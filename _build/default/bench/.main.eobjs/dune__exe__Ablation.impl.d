@@ -1,0 +1,1 @@
+bench/ablation.ml: Backtracking Bench_common Dfa Engine Flex_model Formats Gen_data Grammar List Option Printf Streamtok String Tnd

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Backtracking Comb Comb_tokenizers Engine Ext_oracle Flex_model Fun Grammar Greedy List Option Printf Reps Streamtok String Unix

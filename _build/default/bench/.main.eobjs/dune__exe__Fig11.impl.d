@@ -1,0 +1,1 @@
+bench/fig11.ml: Bench_common Buffered Engine Filename Flex_model Formats Fun Gen_data Grammar List Option Printf Source Streamtok String Sys Unix

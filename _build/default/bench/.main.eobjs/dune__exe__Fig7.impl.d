@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Bench_common Dfa Grammar_corpus Hashtbl List Nfa Option Printf Seq Streamtok String Tnd

@@ -1,0 +1,1 @@
+bench/fig8.ml: Bench_common Comb List Printf Streamtok String Worst_case

@@ -1,0 +1,1 @@
+bench/fig9.ml: Bench_common Formats Gen_data Grammar List Printf Streamtok

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig11 Fig7 Fig8 Fig9 Micro Parallel_bench Rq6 Sys Table1 Table2

@@ -1,0 +1,1 @@
+bench/parallel_bench.ml: Bench_common Domain Engine Formats Gen_data Grammar List Option Par_tokenizer Printf Streamtok String

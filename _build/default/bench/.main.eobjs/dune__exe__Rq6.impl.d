@@ -1,0 +1,1 @@
+bench/rq6.ml: Bench_common Engine Ext_oracle Gen_data Grammar List Option Printf Registry Streamtok String

@@ -1,0 +1,1 @@
+bench/table1.ml: Bench_common Dfa Formats Grammar Languages List Printf Streamtok Tnd

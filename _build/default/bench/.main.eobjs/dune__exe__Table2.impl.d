@@ -1,0 +1,1 @@
+bench/table2.ml: Bench_common Buffer Csv_apps Formats Gen_data Gen_logs Grammar Json_apps Languages List Log_to_tsv Logs_grammars Printf Sql_apps Streamtok String Token_stream Tokenizer_backend

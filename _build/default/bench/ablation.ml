@@ -1,0 +1,113 @@
+(* Ablations of the implementation's design choices (beyond the paper's
+   own experiments):
+     A1. Fig. 5 token-extension table vs the general Fig. 6 machinery
+         forced onto max-TND ≤ 1 grammars — what the specialization buys.
+     A2. DFA minimization on/off — compile time, table size, throughput.
+     A3. flex's compressed tables (ec + row displacement) vs flat tables
+         (plex) — the per-symbol cost of table compression.
+     A4. Lemma 12 observed: backtracking re-reads per input byte stay
+         below the grammar's max-TND. *)
+
+open Streamtok
+
+let run () =
+  Bench_common.pp_header "Ablation A1: Fig. 5 fast path vs forced Fig. 6 engine";
+  Printf.printf "%-10s %14s %16s %12s\n" "grammar" "fast (MB/s)"
+    "general (MB/s)" "ratio";
+  List.iter
+    (fun (g : Grammar.t) ->
+      let d = Grammar.dfa g in
+      match (Engine.compile d, Engine.compile ~force_te:true d) with
+      | Ok fast, Ok general when Engine.k fast <= 1 ->
+          let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+          let input =
+            gen ~seed:Bench_common.seed_data ~target_bytes:(4 * Bench_common.mb) ()
+          in
+          let t_fast =
+            Bench_common.time_best ~repeats:3 (fun () ->
+                ignore (Engine.run_string fast input ~emit:Bench_common.emit_spans))
+          in
+          let t_gen =
+            Bench_common.time_best ~repeats:3 (fun () ->
+                ignore
+                  (Engine.run_string general input ~emit:Bench_common.emit_spans))
+          in
+          Printf.printf "%-10s %14.1f %16.1f %11.2fx\n" g.Grammar.name
+            (Bench_common.throughput (String.length input) t_fast)
+            (Bench_common.throughput (String.length input) t_gen)
+            (t_gen /. t_fast)
+      | _ -> ())
+    [ Formats.csv; Formats.tsv; Formats.fasta; Formats.linux_log; Formats.dns ];
+
+  Bench_common.pp_header "Ablation A2: DFA minimization";
+  Printf.printf "%-10s %10s %10s %12s %12s %14s\n" "grammar" "raw |A|"
+    "min |A|" "build raw" "build min" "speed ratio";
+  List.iter
+    (fun (g : Grammar.t) ->
+      let rules = Grammar.rules g in
+      let d_raw, t_raw =
+        Bench_common.time_once (fun () -> Dfa.of_rules ~minimize:false rules)
+      in
+      let d_min, t_min =
+        Bench_common.time_once (fun () -> Dfa.of_rules ~minimize:true rules)
+      in
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input =
+        gen ~seed:Bench_common.seed_data ~target_bytes:(4 * Bench_common.mb) ()
+      in
+      let speed d =
+        Bench_common.time_best ~repeats:3 (fun () ->
+            ignore (Backtracking.run d input ~emit:Bench_common.emit_spans))
+      in
+      Printf.printf "%-10s %10d %10d %10.1fms %10.1fms %13.2fx\n"
+        g.Grammar.name (Dfa.size d_raw) (Dfa.size d_min) (t_raw *. 1e3)
+        (t_min *. 1e3)
+        (speed d_raw /. speed d_min))
+    [ Formats.csv; Formats.json; Formats.xml; Formats.linux_log ];
+
+  Bench_common.pp_header
+    "Ablation A3: flex table compression cost (vs flat tables)";
+  Printf.printf "%-10s %10s %14s %14s %10s\n" "grammar" "classes"
+    "flat (MB/s)" "compressed" "slowdown";
+  List.iter
+    (fun (g : Grammar.t) ->
+      let d = Grammar.dfa g in
+      let fm = Flex_model.compile d in
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input =
+        gen ~seed:Bench_common.seed_data ~target_bytes:(4 * Bench_common.mb) ()
+      in
+      let t_flat =
+        Bench_common.time_best ~repeats:3 (fun () ->
+            ignore (Backtracking.run d input ~emit:Bench_common.emit_spans))
+      in
+      let t_comp =
+        Bench_common.time_best ~repeats:3 (fun () ->
+            ignore (Flex_model.run fm input ~emit:Bench_common.emit_spans))
+      in
+      Printf.printf "%-10s %10d %14.1f %14.1f %9.2fx\n" g.Grammar.name
+        (Flex_model.num_classes fm)
+        (Bench_common.throughput (String.length input) t_flat)
+        (Bench_common.throughput (String.length input) t_comp)
+        (t_comp /. t_flat))
+    [ Formats.csv; Formats.json; Formats.xml; Formats.linux_log ];
+
+  Bench_common.pp_header
+    "Ablation A4: Lemma 12 observed (backtracking re-reads per byte ≤ max-TND)";
+  Printf.printf "%-10s %8s %18s\n" "grammar" "max-TND" "re-reads per byte";
+  List.iter
+    (fun (g : Grammar.t) ->
+      let d = Grammar.dfa g in
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input =
+        gen ~seed:Bench_common.seed_data ~target_bytes:(2 * Bench_common.mb) ()
+      in
+      let steps = Backtracking.steps d input in
+      let rereads =
+        float_of_int (steps - String.length input)
+        /. float_of_int (String.length input)
+      in
+      Printf.printf "%-10s %8s %18.3f\n" g.Grammar.name
+        (Tnd.result_to_string (Tnd.max_tnd d))
+        rereads)
+    Formats.benchmark_formats

@@ -1,0 +1,155 @@
+(* Fig. 7 (RQ1/RQ2): analysis of the grammar corpus — size histogram,
+   max-TND distribution, DFA vs NFA size relationship, and analysis time
+   vs grammar size. The corpus is the seeded synthetic substitute for the
+   paper's 2669 GitHub-sourced grammars (see DESIGN.md). *)
+
+open Streamtok
+
+type record = {
+  nfa_size : int;
+  dfa_size : int;
+  tnd : Tnd.result;
+  analysis_time : float;
+}
+
+let analyze_corpus count =
+  let corpus = Grammar_corpus.generate ~seed:Bench_common.seed_corpus ~count () in
+  Array.map
+    (fun rules ->
+      let nfa = Nfa.of_rules rules in
+      let (dfa_size, tnd), analysis_time =
+        (* analysis pipeline as in the paper: grammar -> DFA -> Fig. 3;
+           minimization is unnecessary for the analysis and skipped *)
+        Bench_common.time_once (fun () ->
+            let d = Dfa.of_rules ~minimize:false rules in
+            (Dfa.size d, Tnd.max_tnd d))
+      in
+      { nfa_size = nfa.Nfa.num_states; dfa_size; tnd; analysis_time })
+    corpus
+
+let run ?(count = Grammar_corpus.default_count) () =
+  Bench_common.pp_header
+    (Printf.sprintf "Fig. 7 (RQ1/RQ2): corpus of %d grammars" count);
+  let records = analyze_corpus count in
+  let n = Array.length records in
+
+  (* 7a: histogram of grammar sizes <= 100 *)
+  Bench_common.pp_header "Fig. 7a: grammar (NFA) size histogram";
+  let bucket_w = 10 in
+  let buckets = Array.make 10 0 in
+  let over100 = ref 0 in
+  Array.iter
+    (fun r ->
+      if r.nfa_size <= 100 then begin
+        let b = min 9 ((r.nfa_size - 1) / bucket_w) in
+        buckets.(b) <- buckets.(b) + 1
+      end
+      else incr over100)
+    records;
+  Array.iteri
+    (fun i c ->
+      Printf.printf "  %3d-%3d: %5d %s\n" ((i * bucket_w) + 1)
+        ((i + 1) * bucket_w) c
+        (String.make (c * 200 / n) '#'))
+    buckets;
+  Printf.printf "  >100   : %5d\n" !over100;
+  Printf.printf "  share of grammars with size <= 100: %.1f%%  (paper: ~81%%)\n"
+    (100.0 *. float_of_int (n - !over100) /. float_of_int n);
+
+  (* 7b: max-TND distribution *)
+  Bench_common.pp_header "Fig. 7b: max-TND distribution";
+  let unbounded = ref 0 in
+  let tnd_counts = Hashtbl.create 16 in
+  Array.iter
+    (fun r ->
+      match r.tnd with
+      | Tnd.Infinite -> incr unbounded
+      | Tnd.Finite k ->
+          Hashtbl.replace tnd_counts k
+            (1 + Option.value (Hashtbl.find_opt tnd_counts k) ~default:0))
+    records;
+  let bounded = n - !unbounded in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tnd_counts [] in
+  let max_k = List.fold_left max 0 keys in
+  for k = 0 to min max_k 20 do
+    match Hashtbl.find_opt tnd_counts k with
+    | Some c ->
+        Printf.printf "  TND %-3d: %5d %s\n" k c (String.make (c * 200 / n) '#')
+    | None -> ()
+  done;
+  let outliers =
+    List.fold_left (fun acc k -> if k > 20 then acc + Hashtbl.find tnd_counts k else acc) 0 keys
+  in
+  if outliers > 0 then Printf.printf "  TND >20: %5d (largest %d)\n" outliers max_k;
+  Printf.printf "  unbounded: %d (%.0f%%; paper: 32%%)\n" !unbounded
+    (100.0 *. float_of_int !unbounded /. float_of_int n);
+  Printf.printf "  bounded:   %d (%.0f%%; paper: 68%%)\n" bounded
+    (100.0 *. float_of_int bounded /. float_of_int n);
+  (match Hashtbl.find_opt tnd_counts 1 with
+  | Some c1 ->
+      Printf.printf
+        "  max-TND 1 among bounded: %.0f%% (paper: 53%%); of all: %.0f%% \
+         (paper: 36%%)\n"
+        (100.0 *. float_of_int c1 /. float_of_int bounded)
+        (100.0 *. float_of_int c1 /. float_of_int n)
+  | None -> ());
+
+  (* 7c: DFA size vs NFA size, least-squares fit *)
+  Bench_common.pp_header "Fig. 7c: DFA size vs NFA size";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a r -> a +. float_of_int r.nfa_size) 0.0 records in
+  let sy = Array.fold_left (fun a r -> a +. float_of_int r.dfa_size) 0.0 records in
+  let sxx = Array.fold_left (fun a r -> a +. (float_of_int r.nfa_size ** 2.0)) 0.0 records in
+  let sxy =
+    Array.fold_left
+      (fun a r -> a +. (float_of_int r.nfa_size *. float_of_int r.dfa_size))
+      0.0 records
+  in
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. ((fn *. sxx) -. (sx *. sx)) in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (* correlation *)
+  let syy = Array.fold_left (fun a r -> a +. (float_of_int r.dfa_size ** 2.0)) 0.0 records in
+  let r_num = (fn *. sxy) -. (sx *. sy) in
+  let r_den =
+    sqrt (((fn *. sxx) -. (sx *. sx)) *. ((fn *. syy) -. (sy *. sy)))
+  in
+  Printf.printf "  linear fit: dfa ≈ %.2f × nfa + %.1f   (r = %.3f)\n" slope
+    intercept (r_num /. r_den);
+  let worst =
+    Array.fold_left
+      (fun (bn, bd) r ->
+        if r.nfa_size > 0 && r.dfa_size * bn > bd * r.nfa_size then
+          (r.nfa_size, r.dfa_size)
+        else (bn, bd))
+      (1, 0) records
+  in
+  Printf.printf "  largest blowup: nfa %d -> dfa %d (%.1fx)\n" (fst worst)
+    (snd worst)
+    (float_of_int (snd worst) /. float_of_int (fst worst));
+
+  (* 7d: analysis time vs grammar size *)
+  Bench_common.pp_header "Fig. 7d: analysis time vs grammar size (log-log)";
+  let size_buckets = [ (1, 10); (11, 20); (21, 40); (41, 80); (81, 160); (161, 10_000) ] in
+  List.iter
+    (fun (lo, hi) ->
+      let sel = Array.to_list records |> List.filter (fun r -> r.nfa_size >= lo && r.nfa_size <= hi) in
+      if sel <> [] then begin
+        let times = List.map (fun r -> r.analysis_time) sel in
+        let mean = List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times) in
+        let mx = List.fold_left max 0.0 times in
+        Printf.printf "  size %4d-%-5d: %5d grammars, mean %8.3f ms, max %8.3f ms\n"
+          lo hi (List.length sel) (mean *. 1e3) (mx *. 1e3)
+      end)
+    size_buckets;
+  let times = Array.map (fun r -> r.analysis_time) records in
+  Array.sort compare times;
+  let pct p = times.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  Printf.printf
+    "  analyzed under 1 ms: %.1f%% (paper: 88.7%%); under 10 ms: %.1f%% \
+     (97.9%%); under 100 ms: %.1f%% (99.4%%)\n"
+    (100.0 *. float_of_int (Array.length (Array.of_seq (Seq.filter (fun t -> t < 0.001) (Array.to_seq times)))) /. fn)
+    (100.0 *. float_of_int (Array.length (Array.of_seq (Seq.filter (fun t -> t < 0.01) (Array.to_seq times)))) /. fn)
+    (100.0 *. float_of_int (Array.length (Array.of_seq (Seq.filter (fun t -> t < 0.1) (Array.to_seq times)))) /. fn);
+  Printf.printf "  p50 %.3f ms, p99 %.3f ms, max %.3f ms\n" (pct 0.5 *. 1e3)
+    (pct 0.99 *. 1e3)
+    (times.(n - 1) *. 1e3)

@@ -1,0 +1,88 @@
+(* Fig. 8 (RQ3, worst case): the family r_k = (a{0,k}b)|a on an all-'a'
+   stream. StreamTok and ExtOracle are Θ(1) per symbol in k; flex, plex,
+   Reps, nom-style and greedy-regex are Θ(k) per symbol. *)
+
+open Streamtok
+
+(* nom-style encoding of r_k: alt [a{0,k}b; a] with per-branch greedy
+   matching — mirrors how the paper encodes the family for nom. *)
+let nom_rules k =
+  [
+    ( 0,
+      fun s pos ->
+        (* up to k 'a's then 'b' *)
+        let n = String.length s in
+        let rec go i count =
+          if count > k then -1
+          else if i < n && s.[i] = 'b' then i + 1
+          else if i < n && s.[i] = 'a' then go (i + 1) (count + 1)
+          else -1
+        in
+        go pos 0 );
+    (1, Comb.char_ 'a');
+  ]
+
+let run ?(n = 1_000_000) () =
+  Bench_common.pp_header
+    (Printf.sprintf
+       "Fig. 8 (RQ3): worst-case family r_k = (a{0,k}b)|a, input = 'a'^n, n \
+        = %.1f MB"
+       (float_of_int n /. 1e6));
+  let input = Worst_case.input n in
+  Printf.printf "%-6s" "k";
+  let tool_names = [ "streamtok"; "flex"; "plex"; "reps"; "nom"; "regex"; "extoracle" ] in
+  List.iter (fun t -> Printf.printf "%12s" t) tool_names;
+  print_newline ();
+  Printf.printf "%-6s" "";
+  List.iter (fun _ -> Printf.printf "%12s" "MB/s") tool_names;
+  print_newline ();
+  List.iter
+    (fun k ->
+      let g = Worst_case.grammar k in
+      let tools = Bench_common.tools_for g in
+      (* replace the generic nom tokenizer (absent for this grammar) *)
+      let tools =
+        tools
+        @ [
+            {
+              Bench_common.tool_name = "nom";
+              run =
+                (fun s ->
+                  ignore
+                    (Comb.tokenize (nom_rules k) s
+                       ~emit:Bench_common.emit_spans));
+              streaming = false;
+            };
+          ]
+      in
+      Printf.printf "%-6d" k;
+      List.iter
+        (fun name ->
+          match
+            List.find_opt (fun t -> t.Bench_common.tool_name = name) tools
+          with
+          | None -> Printf.printf "%12s" "-"
+          | Some t ->
+              (* scale the input down for the quadratic tools at large k so
+                 the sweep stays within budget; throughput is per-byte *)
+              let len = String.length input in
+              let slice =
+                (* the Θ(k·n) tools get proportionally shorter slices at
+                   large k so the sweep stays within budget; throughput is
+                   per byte, so the series is unaffected *)
+                if name <> "streamtok" && name <> "extoracle" && k >= 16 then
+                  String.sub input 0 (len / (k / 8))
+                else input
+              in
+              let dt =
+                Bench_common.time_best ~repeats:2 (fun () ->
+                    t.Bench_common.run slice)
+              in
+              Printf.printf "%12.1f"
+                (Bench_common.throughput (String.length slice) dt))
+        tool_names;
+      print_newline ())
+    Worst_case.sweep_k;
+  Bench_common.pp_note
+    "(expected shape: streamtok and extoracle flat in k; all others decay \
+     ~1/k)"

@@ -1,0 +1,92 @@
+(* Fig. 9 + Fig. 10 (RQ3, practical workloads): tokenization time vs stream
+   length per format per tool, and throughput at the largest length. *)
+
+open Streamtok
+
+let lengths_mb = [ 1; 2; 4; 8 ]
+
+let tool_names = [ "streamtok"; "flex"; "plex"; "reps"; "nom"; "regex"; "extoracle" ]
+
+let run () =
+  Bench_common.pp_header "Fig. 9 (RQ3): tokenization time vs stream length";
+  let results : (string * (string * (int * float) list) list) list =
+    List.map
+      (fun (g : Grammar.t) ->
+        let gen =
+          match Gen_data.by_name g.Grammar.name with
+          | Some gen -> gen
+          | None -> assert false
+        in
+        let tools = Bench_common.tools_for g in
+        let per_tool =
+          List.filter_map
+            (fun name ->
+              match
+                List.find_opt (fun t -> t.Bench_common.tool_name = name) tools
+              with
+              | None -> None
+              | Some t ->
+                  let series =
+                    List.map
+                      (fun mbs ->
+                        let input =
+                          gen ~seed:Bench_common.seed_data
+                            ~target_bytes:(mbs * Bench_common.mb) ()
+                        in
+                        let dt =
+                          Bench_common.time_best ~repeats:2 (fun () ->
+                              t.Bench_common.run input)
+                        in
+                        (mbs, dt))
+                      lengths_mb
+                  in
+                  Some (name, series))
+            tool_names
+        in
+        (g.Grammar.name, per_tool))
+      Formats.benchmark_formats
+  in
+  (* Fig. 9: time (s) per length *)
+  List.iter
+    (fun (fmt, per_tool) ->
+      Printf.printf "\n-- %s: time (s) per stream length (MB) --\n" fmt;
+      Printf.printf "%-12s" "tool";
+      List.iter (fun mbs -> Printf.printf "%10d" mbs) lengths_mb;
+      print_newline ();
+      List.iter
+        (fun (name, series) ->
+          Printf.printf "%-12s" name;
+          List.iter (fun (_, dt) -> Printf.printf "%10.3f" dt) series;
+          print_newline ())
+        per_tool)
+    results;
+  (* Fig. 10: throughput at the largest length *)
+  Bench_common.pp_header "Fig. 10 (RQ3): throughput (MB/s) at largest length";
+  Printf.printf "%-12s" "format";
+  List.iter (fun t -> Printf.printf "%12s" t) tool_names;
+  print_newline ();
+  List.iter
+    (fun (fmt, per_tool) ->
+      Printf.printf "%-12s" fmt;
+      List.iter
+        (fun name ->
+          match List.assoc_opt name per_tool with
+          | None -> Printf.printf "%12s" "-"
+          | Some series ->
+              let mbs, dt = List.nth series (List.length series - 1) in
+              Printf.printf "%12.1f"
+                (Bench_common.throughput (mbs * Bench_common.mb) dt))
+        tool_names;
+      print_newline ())
+    results;
+  (* headline ratio *)
+  Bench_common.pp_header "Fig. 10 summary: StreamTok speedup over flex";
+  List.iter
+    (fun (fmt, per_tool) ->
+      match (List.assoc_opt "streamtok" per_tool, List.assoc_opt "flex" per_tool) with
+      | Some st, Some fl ->
+          let _, st_t = List.nth st (List.length st - 1) in
+          let _, fl_t = List.nth fl (List.length fl - 1) in
+          Printf.printf "  %-12s %.2fx  (paper: 2-3x)\n" fmt (fl_t /. st_t)
+      | _ -> ())
+    results

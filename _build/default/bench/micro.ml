@@ -1,0 +1,69 @@
+(* Bechamel micro-benchmarks of the per-symbol hot loops: one Test.make
+   per engine per format, on fixed 256 KB inputs. Reports ns/run from the
+   OLS fit of the monotonic clock. *)
+
+open Streamtok
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let mk (g : Grammar.t) =
+    let d = Grammar.dfa g in
+    let fm = Flex_model.compile d in
+    let engine =
+      match Engine.compile d with Ok e -> e | Error _ -> assert false
+    in
+    let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+    let input = gen ~seed:Bench_common.seed_data ~target_bytes:262_144 () in
+    [
+      Test.make
+        ~name:(g.Grammar.name ^ "/streamtok")
+        (Staged.stage (fun () ->
+             ignore (Engine.run_string engine input ~emit:Bench_common.emit_spans)));
+      Test.make
+        ~name:(g.Grammar.name ^ "/flex")
+        (Staged.stage (fun () ->
+             ignore (Flex_model.run fm input ~emit:Bench_common.emit_spans)));
+      Test.make
+        ~name:(g.Grammar.name ^ "/plex")
+        (Staged.stage (fun () ->
+             ignore (Backtracking.run d input ~emit:Bench_common.emit_spans)));
+      Test.make
+        ~name:(g.Grammar.name ^ "/extoracle")
+        (Staged.stage (fun () ->
+             ignore (Ext_oracle.run d input ~emit:Bench_common.emit_spans)));
+    ]
+  in
+  Test.make_grouped ~name:"tokenize-256K" ~fmt:"%s %s"
+    (List.concat_map mk [ Formats.csv; Formats.json; Formats.linux_log ])
+
+let run () =
+  Bench_common.pp_header
+    "Bechamel micro-benchmarks: 256 KB tokenization (ns/run, OLS fit)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (make_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.0f ns/run  (%6.2f MB/s)\n" name est
+                (262_144.0 /. est *. 1e3)
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        rows)
+    results

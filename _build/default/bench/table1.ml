@@ -1,0 +1,27 @@
+(* Table 1: NFA/grammar size, DFA size, and max-TND for the data exchange
+   formats and the C/R/SQL token grammars. *)
+
+open Streamtok
+
+let run () =
+  Bench_common.pp_header "Table 1: max-TND for data formats and languages";
+  Printf.printf "%-14s %10s %10s %10s\n" "grammar" "NFA size" "DFA size"
+    "max-TND";
+  let row g =
+    let nfa = Grammar.nfa_size g in
+    let d = Grammar.dfa g in
+    Printf.printf "%-14s %10d %10d %10s\n" g.Grammar.name nfa (Dfa.size d)
+      (Tnd.result_to_string (Tnd.max_tnd d))
+  in
+  List.iter row
+    [
+      Formats.json; Formats.csv; Formats.tsv; Formats.xml; Languages.c;
+      Languages.r; Languages.sql;
+    ];
+  Bench_common.pp_note
+    "(extras beyond the paper's table: the other shipped grammars)";
+  List.iter row
+    [
+      Formats.csv_rfc; Formats.yaml; Formats.fasta; Formats.dns;
+      Formats.linux_log; Languages.sql_insert;
+    ]

@@ -1,0 +1,430 @@
+(* streamtok: command-line front end.
+
+   Subcommands:
+     list                          list built-in grammars
+     analyze  <grammar>            static analysis (sizes, max-TND, witness)
+     tokenize <grammar> [FILE]     tokenize a file or stdin
+     gen      <format>             generate a synthetic workload
+     convert  <app> [FILE]         run an RQ5 application pipeline *)
+
+open Streamtok
+open Cmdliner
+
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_input = function
+  | None -> read_all stdin
+  | Some path ->
+      let ic = open_in_bin path in
+      let s = read_all ic in
+      close_in ic;
+      s
+
+(* A grammar argument is a built-in name, or an inline grammar prefixed
+   with '@' (rules separated by ';'), or a path to a grammar file. *)
+let resolve_grammar spec =
+  match Registry.find spec with
+  | Some g -> Ok g
+  | None ->
+      if String.length spec > 0 && spec.[0] = '@' then
+        let body = String.sub spec 1 (String.length spec - 1) in
+        let src = String.concat "\n" (String.split_on_char ';' body) in
+        Ok
+          {
+            Grammar.name = "inline";
+            description = "inline grammar";
+            rules =
+              List.mapi
+                (fun i r -> (Printf.sprintf "rule%d" i, r))
+                (String.split_on_char ';' body |> List.filter (fun s -> s <> ""));
+          }
+          |> fun g ->
+          (* validate by parsing *)
+          (try
+             ignore (Parser.parse_grammar src);
+             g
+           with Parser.Error (msg, pos) ->
+             Error (Printf.sprintf "parse error at %d: %s" pos msg))
+      else if Sys.file_exists spec then begin
+        let src = read_input (Some spec) in
+        try
+          ignore (Parser.parse_grammar src);
+          Ok
+            {
+              Grammar.name = Filename.basename spec;
+              description = "grammar file " ^ spec;
+              rules =
+                String.split_on_char '\n' src
+                |> List.filter (fun l ->
+                       let l = String.trim l in
+                       l <> "" && l.[0] <> '#')
+                |> List.mapi (fun i r -> (Printf.sprintf "rule%d" i, r));
+            }
+        with Parser.Error (msg, pos) ->
+          Error (Printf.sprintf "%s: parse error at %d: %s" spec pos msg)
+      end
+      else
+        Error
+          (Printf.sprintf
+             "unknown grammar %S (use `streamtok list`, a file path, or \
+              '@rule;rule;...')"
+             spec)
+
+let grammar_conv =
+  let parse spec =
+    match resolve_grammar spec with Ok g -> Ok g | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt g -> Format.pp_print_string fmt g.Grammar.name)
+
+let grammar_arg =
+  Arg.(
+    required
+    & pos 0 (some grammar_conv) None
+    & info [] ~docv:"GRAMMAR" ~doc:"Built-in grammar name, grammar file, or '@rule;rule'.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun g ->
+        Printf.printf "%-14s %2d rules  %s\n" g.Grammar.name
+          (Grammar.num_rules g) g.Grammar.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in grammars")
+    Term.(const run $ const ())
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the Fig. 3 frontier trace.")
+  in
+  let run g explain =
+    let nfa_size = Grammar.nfa_size g in
+    let d = Grammar.dfa g in
+    Printf.printf "grammar:   %s (%d rules)\n" g.Grammar.name
+      (Grammar.num_rules g);
+    Printf.printf "NFA size:  %d\n" nfa_size;
+    Printf.printf "DFA size:  %d\n" (Dfa.size d);
+    let result, trace = Tnd.max_tnd_trace d in
+    Printf.printf "max-TND:   %s\n" (Tnd.result_to_string result);
+    (match result with
+    | Tnd.Finite k when k > 0 -> (
+        match Tnd.witness d k with
+        | Some (u, v) ->
+            Printf.printf "witness:   %S -> %S (distance %d)\n" u v
+              (String.length v - String.length u)
+        | None -> ())
+    | Tnd.Infinite -> (
+        match Tnd.witness d (Dfa.size d + 2) with
+        | Some (u, v) ->
+            Printf.printf
+              "witness:   %S -> %S (distance %d; grows without bound)\n" u v
+              (String.length v - String.length u)
+        | None -> ())
+    | _ -> ());
+    (match result with
+    | Tnd.Finite k ->
+        Printf.printf "streaming: StreamTok applies (lookahead K = %d)\n" k
+    | Tnd.Infinite ->
+        print_endline
+          "streaming: unbounded lookahead; StreamTok does not apply \
+           (use the offline ExtOracle or flex-style backtracking)");
+    if explain then begin
+      print_endline "\nFig. 3 trace (dist, S, T, test):";
+      List.iter
+        (fun r ->
+          Printf.printf "  dist=%-3d S={%s} T={%s} test=%b\n" r.Tnd.dist
+            (String.concat "," (List.map string_of_int r.Tnd.s))
+            (String.concat "," (List.map string_of_int r.Tnd.t))
+            r.Tnd.test)
+        trace
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the max-TND static analysis on a grammar")
+    Term.(const run $ grammar_arg $ explain)
+
+(* ---- tokenize ---- *)
+
+let tokenize_cmd =
+  let file =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
+  in
+  let count_only =
+    Arg.(value & flag & info [ "count" ] ~doc:"Print token counts per rule only.")
+  in
+  let engine_flag =
+    Arg.(
+      value
+      & opt (enum [ ("streamtok", `Streamtok); ("flex", `Flex) ]) `Streamtok
+      & info [ "engine" ] ~doc:"Tokenizer: streamtok (default) or flex.")
+  in
+  let run g file count_only engine =
+    let input = read_input file in
+    let d = Grammar.dfa g in
+    let counts = Array.make (Grammar.num_rules g) 0 in
+    let print_token ~pos ~len ~rule =
+      if count_only then counts.(rule) <- counts.(rule) + 1
+      else
+        Printf.printf "%-12s %S\n" (Grammar.rule_name g rule)
+          (String.sub input pos len)
+    in
+    let ok =
+      match engine with
+      | `Streamtok -> (
+          match Engine.compile d with
+          | Error Engine.Unbounded_tnd ->
+              prerr_endline
+                "error: grammar has unbounded max-TND; use --engine flex";
+              exit 2
+          | Ok e -> (
+              match Engine.run_string e input ~emit:print_token with
+              | Engine.Finished -> true
+              | Engine.Failed { offset; _ } ->
+                  Printf.eprintf "error: untokenizable input at offset %d\n"
+                    offset;
+                  false))
+      | `Flex -> (
+          let fm = Flex_model.compile d in
+          match Flex_model.run fm input ~emit:print_token with
+          | Backtracking.Finished, _ -> true
+          | Backtracking.Failed { offset; _ }, _ ->
+              Printf.eprintf "error: untokenizable input at offset %d\n" offset;
+              false)
+    in
+    if count_only then
+      Array.iteri
+        (fun rule c ->
+          if c > 0 then Printf.printf "%-12s %d\n" (Grammar.rule_name g rule) c)
+        counts;
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "tokenize" ~doc:"Tokenize a file or stdin")
+    Term.(const run $ grammar_arg $ file $ count_only $ engine_flag)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file for the compiled engine.")
+  in
+  let run g out =
+    let d = Grammar.dfa g in
+    match Engine.compile d with
+    | Error Engine.Unbounded_tnd ->
+        prerr_endline "error: grammar has unbounded max-TND; cannot compile a streaming engine";
+        exit 2
+    | Ok e ->
+        let blob = Engine_io.to_string e in
+        let oc = open_out_bin out in
+        output_string oc blob;
+        close_out oc;
+        Printf.printf "compiled %s: K = %d, %d DFA states, %d bytes -> %s
+"
+          g.Grammar.name (Engine.k e)
+          (Dfa.size (Engine.dfa e))
+          (String.length blob) out
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Analyze a grammar and save the compiled engine tables")
+    Term.(const run $ grammar_arg $ out)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSON file (default stdin).")
+  in
+  let run file =
+    let input = read_input file in
+    let p = Tokenizer_backend.prepare Tokenizer_backend.Streamtok Formats.json in
+    let ts = Token_stream.create () in
+    if not (Token_stream.fill p input ts) then begin
+      (* find the offset for a useful message *)
+      let e =
+        match Engine.compile (Grammar.dfa Formats.json) with
+        | Ok e -> e
+        | Error _ -> assert false
+      in
+      (match Engine.run_string e input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) with
+      | Engine.Failed { offset; _ } ->
+          let loc = St_util.Location.resolve (St_util.Location.of_string input) offset in
+          Printf.printf "invalid: lexical error at %s (offset %d)
+"
+            (Format.asprintf "%a" St_util.Location.pp loc)
+            offset
+      | Engine.Finished -> print_endline "invalid: lexical error");
+      exit 1
+    end;
+    let v = Json_validate.create () in
+    match Json_validate.validate v ts with
+    | Json_validate.Valid ->
+        Printf.printf "valid (max nesting depth %d, %d tokens)
+"
+          (Json_validate.max_depth v)
+          (Token_stream.length ts)
+    | Json_validate.Invalid { at_token; reason } ->
+        if at_token >= 0 && at_token < Token_stream.length ts then begin
+          let off = Token_stream.pos ts at_token in
+          let loc = St_util.Location.resolve (St_util.Location.of_string input) off in
+          Printf.printf "invalid: %s at %s (offset %d)
+" reason
+            (Format.asprintf "%a" St_util.Location.pp loc)
+            off
+        end
+        else Printf.printf "invalid: %s
+" reason;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Streaming JSON syntax validation")
+    Term.(const run $ file)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let format =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMAT"
+          ~doc:"json, csv, tsv, xml, yaml, fasta, dns-zone, log, \
+                json-records, csv-typed, sql-inserts, or a log format name.")
+  in
+  let bytes =
+    Arg.(value & opt int 1_000_000 & info [ "bytes" ] ~doc:"Target size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run format bytes seed =
+    let seed = Int64.of_int seed in
+    let data =
+      match format with
+      | "json-records" -> Gen_data.json_records ~seed ~target_bytes:bytes ()
+      | "csv-typed" -> Gen_data.csv_typed ~seed ~target_bytes:bytes ()
+      | "sql-inserts" -> Gen_data.sql_inserts ~seed ~target_bytes:bytes ()
+      | f when List.mem f Gen_logs.formats ->
+          Gen_logs.generate ~format:f ~seed ~target_bytes:bytes ()
+      | f -> (
+          match Gen_data.by_name f with
+          | Some gen -> gen ~seed ~target_bytes:bytes ()
+          | None ->
+              Printf.eprintf "unknown format %s\n" f;
+              exit 2)
+    in
+    print_string data
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic workload on stdout")
+    Term.(const run $ format $ bytes $ seed)
+
+(* ---- convert ---- *)
+
+let convert_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("log-to-tsv", `Log_to_tsv);
+                  ("json-minify", `Json_minify);
+                  ("json-to-csv", `Json_to_csv);
+                  ("json-to-sql", `Json_to_sql);
+                  ("csv-to-json", `Csv_to_json);
+                  ("csv-schema", `Csv_schema);
+                  ("sql-load", `Sql_load);
+                ]))
+          None
+      & info [] ~docv:"APP" ~doc:"Application pipeline to run.")
+  in
+  let file =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Input file (default stdin).")
+  in
+  let log_format =
+    Arg.(value & opt string "linux" & info [ "format" ] ~doc:"Log format for log-to-tsv.")
+  in
+  let run app file log_format =
+    let input = read_input file in
+    let tokenize g =
+      let p = Tokenizer_backend.prepare Tokenizer_backend.Streamtok g in
+      let ts = Token_stream.create () in
+      if not (Token_stream.fill p input ts) then begin
+        prerr_endline "error: input does not tokenize under the grammar";
+        exit 1
+      end;
+      ts
+    in
+    let out = Buffer.create (String.length input) in
+    (match app with
+    | `Log_to_tsv ->
+        let g =
+          match Registry.find log_format with
+          | Some g -> g
+          | None ->
+              Printf.eprintf "unknown log format %s\n" log_format;
+              exit 2
+        in
+        let ts = tokenize g in
+        ignore (Log_to_tsv.process (Log_to_tsv.prepare g) input ts out)
+    | `Json_minify ->
+        let ts = tokenize Formats.json in
+        ignore (Json_apps.minify (Json_apps.prepare ()) input ts out)
+    | `Json_to_csv ->
+        let ts = tokenize Formats.json in
+        ignore (Json_apps.to_csv (Json_apps.prepare ()) input ts out)
+    | `Json_to_sql ->
+        let ts = tokenize Formats.json in
+        ignore (Json_apps.to_sql (Json_apps.prepare ()) ~table:"data" input ts out)
+    | `Csv_to_json ->
+        let ts = tokenize Formats.csv in
+        ignore (Csv_apps.to_json (Csv_apps.prepare ()) input ts out)
+    | `Csv_schema ->
+        let ts = tokenize Formats.csv in
+        let schema = Csv_apps.infer_schema (Csv_apps.prepare ()) input ts in
+        Array.iter
+          (fun (name, ty) ->
+            Buffer.add_string out
+              (Printf.sprintf "%-20s %s\n" name (Csv_apps.ty_name ty)))
+          schema
+    | `Sql_load ->
+        let ts = tokenize Languages.sql_insert in
+        let stats = Sql_apps.load (Sql_apps.prepare ()) input ts in
+        Buffer.add_string out
+          (Printf.sprintf "statements: %d\nrows: %d\n" stats.Sql_apps.statements
+             stats.Sql_apps.rows);
+        List.iter
+          (fun (t, n) -> Buffer.add_string out (Printf.sprintf "  %-16s %d\n" t n))
+          stats.Sql_apps.tables);
+    print_string (Buffer.contents out)
+  in
+  Cmd.v (Cmd.info "convert" ~doc:"Run an RQ5 application pipeline")
+    Term.(const run $ app_arg $ file $ log_format)
+
+let () =
+  let doc = "StreamTok: static analysis for efficient streaming tokenization" in
+  let info = Cmd.info "streamtok" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; analyze_cmd; tokenize_cmd; compile_cmd; validate_cmd;
+            gen_cmd; convert_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/csv_stats.ml: Array Engine Formats Gen_data Grammar Printf Stream_tokenizer Streamtok String Sys

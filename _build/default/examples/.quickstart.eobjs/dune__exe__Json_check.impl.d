@@ -1,0 +1,1 @@
+examples/json_check.ml: Array Engine Format Formats Gen_data Grammar Json_validate List Location Printf Stream_tokenizer Streamtok String Sys

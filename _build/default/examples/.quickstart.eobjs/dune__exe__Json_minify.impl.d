@@ -1,0 +1,1 @@
+examples/json_minify.ml: Array Buffer Engine Formats Gen_data Grammar Printf Stream_tokenizer Streamtok String Sys Unix

@@ -1,0 +1,1 @@
+examples/log_to_tsv.ml: Array Buffer Gen_logs Log_to_tsv Printf Registry Streamtok String Sys Token_stream Tokenizer_backend Unix

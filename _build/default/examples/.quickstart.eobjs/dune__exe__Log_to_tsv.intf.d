@@ -1,0 +1,1 @@
+examples/log_to_tsv.mli:

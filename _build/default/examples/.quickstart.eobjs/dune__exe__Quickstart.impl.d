@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfa Engine List Parser Printf Stream_tokenizer Streamtok String Tnd

@@ -1,0 +1,69 @@
+(* Streaming JSON syntax checking with positioned errors: the validator
+   runs directly off the chunked tokenizer's emit callback, so documents
+   of any size are checked in one pass with O(nesting depth) memory.
+
+   Run with: dune exec examples/json_check.exe [-- <file.json>] *)
+
+open Streamtok
+
+let () =
+  let input =
+    if Array.length Sys.argv >= 2 then begin
+      let ic = open_in_bin Sys.argv.(1) in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    end
+    else begin
+      prerr_endline "(no file given: checking a generated document, then a broken copy)";
+      Gen_data.json ~target_bytes:500_000 ()
+    end
+  in
+  let engine =
+    match Engine.compile (Grammar.dfa Formats.json) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let check doc =
+    let v = Json_validate.create () in
+    (* remember spans so errors can be located; whitespace included so the
+       validator's token indices line up *)
+    let spans = ref [] in
+    let st =
+      Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
+          spans := (String.length lexeme, rule) :: !spans;
+          ignore (Json_validate.push v ~lexeme_len:(String.length lexeme) ~rule))
+    in
+    Stream_tokenizer.feed_string st doc;
+    match Stream_tokenizer.finish st with
+    | Engine.Failed { offset; _ } ->
+        let loc = Location.resolve (Location.of_string doc) offset in
+        Printf.printf "lexical error at %s\n" (Format.asprintf "%a" Location.pp loc)
+    | Engine.Finished -> (
+        match Json_validate.finish v with
+        | Json_validate.Valid ->
+            Printf.printf "valid; max nesting depth %d\n" (Json_validate.max_depth v)
+        | Json_validate.Invalid { at_token; reason } ->
+            if at_token >= 0 then begin
+              (* recover the byte offset of the offending token *)
+              let spans = Array.of_list (List.rev !spans) in
+              let off = ref 0 in
+              for i = 0 to at_token - 1 do
+                off := !off + fst spans.(i)
+              done;
+              let loc = Location.resolve (Location.of_string doc) !off in
+              Printf.printf "invalid: %s at %s\n" reason
+                (Format.asprintf "%a" Location.pp loc)
+            end
+            else Printf.printf "invalid: %s\n" reason)
+  in
+  check input;
+  if Array.length Sys.argv < 2 then begin
+    (* break the document: drop a closing bracket somewhere in the middle *)
+    let mid = String.length input / 2 in
+    let broken =
+      String.mapi (fun i c -> if i >= mid && c = '}' then ' ' else c) input
+    in
+    check broken
+  end

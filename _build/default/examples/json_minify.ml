@@ -1,0 +1,46 @@
+(* Streaming JSON minification (paper RQ5): drop whitespace tokens, copy
+   everything else through. Reads a file (or generates JSON), writes the
+   minified document to stdout or reports sizes.
+
+   Run with: dune exec examples/json_minify.exe [-- <file.json>] *)
+
+open Streamtok
+
+let () =
+  let input =
+    if Array.length Sys.argv >= 2 then begin
+      let ic = open_in_bin Sys.argv.(1) in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    end
+    else begin
+      prerr_endline "(no file given: using a generated 2 MB JSON document)";
+      Gen_data.json ~target_bytes:2_000_000 ()
+    end
+  in
+  let g = Formats.json in
+  let engine =
+    match Engine.compile (Grammar.dfa g) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let ws = Grammar.rule_id g "ws" in
+  let out = Buffer.create (String.length input) in
+  let st =
+    Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
+        if rule <> ws then Buffer.add_string out lexeme)
+  in
+  let t0 = Unix.gettimeofday () in
+  Stream_tokenizer.feed_string st input;
+  (match Stream_tokenizer.finish st with
+  | Engine.Finished -> ()
+  | Engine.Failed { offset; _ } ->
+      Printf.eprintf "error: invalid JSON tokens at offset %d\n" offset;
+      exit 1);
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.eprintf "minified %d -> %d bytes in %.3f s (%.1f MB/s)\n"
+    (String.length input) (Buffer.length out) dt
+    (float_of_int (String.length input) /. 1e6 /. dt);
+  if Array.length Sys.argv >= 2 then print_string (Buffer.contents out)

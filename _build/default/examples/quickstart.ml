@@ -1,0 +1,59 @@
+(* Quickstart: analyze a grammar, compile a StreamTok engine, tokenize.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Streamtok
+
+let grammar = "[0-9]+(\\.[0-9]+)?([eE][+-]?[0-9]+)?\n[ \\t\\n]+\n[a-z]+\n[,:]"
+
+let () =
+  (* 1. Parse the grammar (one rule per line, priority order). *)
+  let rules = Parser.parse_grammar grammar in
+  Printf.printf "grammar has %d rules\n" (List.length rules);
+
+  (* 2. Build the tokenization DFA and run the static analysis (Fig. 3). *)
+  let dfa = Dfa.of_rules rules in
+  Printf.printf "tokenization DFA: %d states\n" (Dfa.size dfa);
+  (match Tnd.max_tnd dfa with
+  | Tnd.Finite k ->
+      Printf.printf "max token neighbor distance: %d\n" k;
+      (match Tnd.witness dfa k with
+      | Some (u, v) ->
+          Printf.printf "  worst neighbor pair: %S -> %S\n" u v
+      | None -> ())
+  | Tnd.Infinite ->
+      print_endline "max-TND is unbounded: not streamable with O(1) memory");
+
+  (* 3. Compile the streaming engine (Fig. 5 / Fig. 6, chosen by K). *)
+  let engine =
+    match Engine.compile dfa with
+    | Ok e -> e
+    | Error Engine.Unbounded_tnd -> failwith "unbounded grammar"
+  in
+  Printf.printf "engine lookahead K = %d, footprint ≈ %d bytes\n"
+    (Engine.k engine)
+    (Engine.footprint_bytes engine);
+
+  (* 4. One-shot tokenization of an in-memory string. *)
+  let input = "3.14 foo, 1e-9: bar 42" in
+  let tokens, outcome = Engine.tokens engine input in
+  Printf.printf "\ntokens of %S:\n" input;
+  List.iter (fun (lexeme, rule) -> Printf.printf "  %-8S rule %d\n" lexeme rule) tokens;
+  (match outcome with
+  | Engine.Finished -> print_endline "fully tokenized"
+  | Engine.Failed { offset; _ } -> Printf.printf "stopped at offset %d\n" offset);
+
+  (* 5. Streaming: feed chunks of any size; tokens are emitted as soon as
+     maximality is certain, even across chunk boundaries. *)
+  print_endline "\nstreaming the same input 5 bytes at a time:";
+  let st =
+    Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
+        Printf.printf "  emit %-8S rule %d\n" lexeme rule)
+  in
+  let pos = ref 0 in
+  while !pos < String.length input do
+    let len = min 5 (String.length input - !pos) in
+    Stream_tokenizer.feed st input !pos len;
+    pos := !pos + len
+  done;
+  ignore (Stream_tokenizer.finish st)

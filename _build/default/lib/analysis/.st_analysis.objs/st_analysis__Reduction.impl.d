@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Charset List Naive Regex St_regex String

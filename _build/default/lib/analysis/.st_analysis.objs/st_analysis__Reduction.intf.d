@@ -1,0 +1,1 @@
+lib/analysis/reduction.mli: Charset Regex St_regex

@@ -1,0 +1,1 @@
+lib/analysis/tnd.ml: Array Char Dfa Format Int List Map Queue St_automata St_util String

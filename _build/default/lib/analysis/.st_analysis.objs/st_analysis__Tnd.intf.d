@@ -1,0 +1,1 @@
+lib/analysis/tnd.mli: Dfa Format Regex St_automata St_regex

@@ -1,0 +1,1 @@
+lib/analysis/tnd_brute.ml: List Naive Regex St_regex String

@@ -1,0 +1,1 @@
+lib/analysis/tnd_brute.mli: Regex St_regex

@@ -1,0 +1,42 @@
+open St_regex
+
+let box = '\x00'
+let box_cs = Charset.singleton box
+let box_re = Regex.cls box_cs
+
+(* Replace every character class σ in r by □*σ□*. The result matches w iff
+   w's □-erasure is in L(r) and w does not start or end... (leading/
+   trailing boxes are absorbed by the neighbouring □* only for nonempty
+   matches; the top-level wrapper below handles the rest). *)
+let rec pad_boxes r =
+  match r with
+  | Regex.Eps -> Regex.eps
+  | Regex.Cls cs ->
+      assert (Charset.is_empty (Charset.inter cs box_cs));
+      Regex.seq_list [ Regex.star box_re; Regex.cls cs; Regex.star box_re ]
+  | Regex.Alt (a, b) -> Regex.alt (pad_boxes a) (pad_boxes b)
+  | Regex.Seq (a, b) -> Regex.seq (pad_boxes a) (pad_boxes b)
+  | Regex.Star a -> Regex.star (pad_boxes a)
+
+let reduce ~alphabet r =
+  assert (not (Charset.mem alphabet box));
+  if not (Regex.nullable r) then
+    (* case ε ∉ L(r): □ | □□□ *)
+    Regex.alt box_re (Regex.seq_list [ box_re; box_re; box_re ])
+  else
+    (* case ε ∈ L(r): ε, anything ending in □, or a padded word of L(r)
+       (which necessarily ends with a Σ-symbol). *)
+    let sigma_or_box = Regex.cls (Charset.union alphabet box_cs) in
+    let ends_in_box = Regex.seq (Regex.star sigma_or_box) box_re in
+    Regex.alt_list [ Regex.eps; ends_in_box; pad_boxes r ]
+
+let is_universal_upto ~alphabet r ~max_len =
+  let chars = Charset.fold (fun c acc -> c :: acc) alphabet [] in
+  let rec go derivs s len =
+    Regex.nullable derivs
+    && (len >= max_len
+       || List.for_all
+            (fun c -> go (Naive.deriv derivs c) (s ^ String.make 1 c) (len + 1))
+            chars)
+  in
+  go r "" 0

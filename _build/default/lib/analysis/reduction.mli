@@ -1,0 +1,31 @@
+(** The PSPACE-hardness reduction of Theorem 13, made executable.
+
+    [f r] maps a regex [r] over an alphabet Σ to a single-rule tokenization
+    grammar over Σ ∪ {□} such that
+
+    {v r is universal (L(r) = Sigma-star)  <=>  TkDist(f r) <= 1 v}
+
+    Case ε ∉ L(r): f r = □ | □□□ (max-TND 2).
+    Case ε ∈ L(r): f r accepts ε, every string ending in □, and every
+    string ending in a Σ-symbol whose □-erasure is in L(r) — built by
+    replacing each class σ in [r] with □*σ□* and adjoining the
+    "ends with □" branch.
+
+    Tests drive the reduction on universal and non-universal regexes and
+    check the equivalence with the Fig. 3 analysis — the hardness proof's
+    both directions, executed. *)
+
+open St_regex
+
+(** The padding symbol □. Chosen as byte 0x00, which the reduction assumes
+    does not occur in [r]'s character classes (asserted). *)
+val box : char
+
+(** [reduce ~alphabet r] is f(r), where [alphabet] is the Σ the
+    universality question ranges over (classes of [r] must be ⊆ Σ, and
+    □ ∉ Σ). *)
+val reduce : alphabet:Charset.t -> Regex.t -> Regex.t
+
+(** [is_universal_upto ~alphabet r ~max_len] — brute-force universality
+    check used in tests. *)
+val is_universal_upto : alphabet:Charset.t -> Regex.t -> max_len:int -> bool

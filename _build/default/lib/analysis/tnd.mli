@@ -1,0 +1,45 @@
+(** Static analysis: the maximum token neighbor distance (paper §4, Fig. 3).
+
+    The max-TND of a grammar tells us how many characters past the end of a
+    token may be needed to decide that it is maximal (§3, Definition 7). The
+    algorithm explores frontiers of DFA states witnessing larger and larger
+    distances; by the dichotomy lemma (Lemma 11), if the distance exceeds
+    |A| + 2 it is infinite. Running time is O(|A|²). *)
+
+open St_regex
+open St_automata
+
+type result = Finite of int | Infinite
+
+val pp_result : Format.formatter -> result -> unit
+val result_to_string : result -> string
+val equal_result : result -> result -> bool
+
+(** Max-TND of the token language of an already-built tokenization DFA. *)
+val max_tnd : Dfa.t -> result
+
+(** Convenience: build the (minimized) DFA and analyze. *)
+val max_tnd_of_rules : Regex.t list -> result
+
+val max_tnd_of_grammar : string -> result
+
+(** One row of the Fig. 4-style execution trace: the tentative distance, the
+    frontier [s] before the step, its successor set [t], and whether the
+    termination test [T ∩ CoAcc = ∅] held. *)
+type trace_row = {
+  dist : int;
+  s : int list;
+  t : int list;
+  test : bool;
+}
+
+(** The analysis with its full execution trace (used by the CLI's
+    [--explain] mode and by documentation examples). *)
+val max_tnd_trace : Dfa.t -> result * trace_row list
+
+(** [witness dfa k] is a token neighbor pair [(u, v)] with
+    [TkDist (u, v) ≥ k], if one exists. For [k = 0] this is any token paired
+    with itself. Witnesses are verified against the reference semantics in
+    the test suite: u ∈ L, v ∈ L, u ≤ v, and no strictly intermediate prefix
+    of v extending u is in L. *)
+val witness : Dfa.t -> int -> (string * string) option

@@ -1,0 +1,46 @@
+open St_regex
+
+let in_lang rules s = List.exists (fun r -> Naive.matches r s) rules
+
+let is_neighbor_pair rules u v =
+  String.length u > 0
+  && String.length v >= String.length u
+  && String.sub v 0 (String.length u) = u
+  && in_lang rules u && in_lang rules v
+  &&
+  let rec no_intermediate i =
+    i >= String.length v
+    || (not (in_lang rules (String.sub v 0 i))) && no_intermediate (i + 1)
+  in
+  no_intermediate (String.length u + 1)
+
+(* Enumerate strings in length-lexicographic order, tracking for each string
+   v the largest nonempty proper token prefix; the neighbor distance
+   witnessed by v is |v| minus that prefix length. We walk the trie of
+   strings over [alphabet] explicitly. *)
+let max_tnd_upto rules ~alphabet ~max_len =
+  let best = ref None in
+  let note d =
+    match !best with Some b when b >= d -> () | _ -> best := Some d
+  in
+  (* depth-first over the trie; carry the rule-derivative vector so language
+     membership of each node is O(1) from its parent. *)
+  let rec go derivs s last_token_len =
+    let len = String.length s in
+    let is_tok = len > 0 && List.exists Regex.nullable derivs in
+    if is_tok then begin
+      (match last_token_len with
+      | Some l -> note (len - l)
+      | None -> if len > 0 then note 0);
+      ()
+    end;
+    let last = if is_tok then Some len else last_token_len in
+    if len < max_len && not (List.for_all Regex.is_empty_lang derivs) then
+      List.iter
+        (fun c ->
+          let derivs' = List.map (fun r -> Naive.deriv r c) derivs in
+          go derivs' (s ^ String.make 1 c) last)
+        alphabet
+  in
+  go rules "" None;
+  !best

@@ -1,0 +1,21 @@
+(** Brute-force token-neighbor-distance computation by string enumeration.
+
+    Completely independent of the automata pipeline: it uses only the
+    reference derivative matcher, so it serves as differential ground truth
+    for {!Tnd} on small grammars. Exponential — test use only. *)
+
+open St_regex
+
+(** [max_tnd_upto rules ~alphabet ~max_len] enumerates all strings over
+    [alphabet] of length ≤ [max_len] and returns the largest token neighbor
+    distance witnessed among them ([None] if the grammar has no token of
+    length ≤ [max_len]). If the true max-TND is finite and witnessed by
+    strings within the bound, the result equals it; for unbounded grammars
+    the result grows with [max_len]. *)
+val max_tnd_upto :
+  Regex.t list -> alphabet:char list -> max_len:int -> int option
+
+(** [is_neighbor_pair rules u v] checks Definition 7 directly with the
+    reference matcher: u, v nonempty tokens, u ≤ v, and no strictly
+    intermediate extension of u that is a prefix of v is a token. *)
+val is_neighbor_pair : Regex.t list -> string -> string -> bool

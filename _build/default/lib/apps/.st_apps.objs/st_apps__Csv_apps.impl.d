@@ -1,0 +1,1 @@
+lib/apps/csv_apps.ml: Array Buffer Char Formats Grammar List Option Printf St_grammars String Token_stream

@@ -1,0 +1,1 @@
+lib/apps/csv_apps.mli: Buffer Token_stream

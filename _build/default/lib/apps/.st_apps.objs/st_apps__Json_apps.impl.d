@@ -1,0 +1,1 @@
+lib/apps/json_apps.ml: Buffer Formats Grammar List St_grammars String Token_stream

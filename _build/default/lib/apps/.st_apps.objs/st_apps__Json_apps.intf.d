@@ -1,0 +1,1 @@
+lib/apps/json_apps.mli: Buffer Token_stream

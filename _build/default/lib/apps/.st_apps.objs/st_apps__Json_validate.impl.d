@@ -1,0 +1,1 @@
+lib/apps/json_validate.ml: Json_apps Token_stream

@@ -1,0 +1,1 @@
+lib/apps/json_validate.mli: Token_stream

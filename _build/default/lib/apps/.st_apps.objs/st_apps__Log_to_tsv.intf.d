@@ -1,0 +1,1 @@
+lib/apps/log_to_tsv.mli: Buffer Grammar St_grammars Token_stream

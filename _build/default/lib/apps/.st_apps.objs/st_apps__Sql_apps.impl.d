@@ -1,0 +1,1 @@
+lib/apps/sql_apps.ml: Grammar Hashtbl Languages List Printf St_grammars String Token_stream

@@ -1,0 +1,1 @@
+lib/apps/sql_apps.mli: Token_stream

@@ -1,0 +1,1 @@
+lib/apps/token_stream.ml: St_util String Tokenizer_backend

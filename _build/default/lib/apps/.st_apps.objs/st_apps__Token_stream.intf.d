@@ -1,0 +1,1 @@
+lib/apps/token_stream.mli: Tokenizer_backend

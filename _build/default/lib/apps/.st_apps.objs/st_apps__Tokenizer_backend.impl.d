@@ -1,0 +1,1 @@
+lib/apps/tokenizer_backend.ml: Dfa Grammar Printf St_automata St_baselines St_grammars St_streamtok

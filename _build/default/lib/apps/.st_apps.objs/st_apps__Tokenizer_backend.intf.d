@@ -1,0 +1,1 @@
+lib/apps/tokenizer_backend.mli: Dfa Grammar St_automata St_grammars

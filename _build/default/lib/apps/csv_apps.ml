@@ -1,0 +1,206 @@
+open St_grammars
+
+type t = { comma : int; newline : int; quoted : int; field : int }
+
+let prepare () =
+  let g = Formats.csv in
+  let id = Grammar.rule_id g in
+  {
+    comma = id "comma";
+    newline = id "newline";
+    quoted = id "quoted";
+    field = id "field";
+  }
+
+type ty = Ty_int | Ty_float | Ty_bool | Ty_date | Ty_text
+
+let ty_name = function
+  | Ty_int -> "int"
+  | Ty_float -> "float"
+  | Ty_bool -> "bool"
+  | Ty_date -> "date"
+  | Ty_text -> "text"
+
+(* Unquote a quoted-field lexeme; raises Failure when the field is
+   malformed (odd number of quotes = unterminated, per the paper's
+   well-formedness check). *)
+let unquote lexeme =
+  let quotes = ref 0 in
+  String.iter (fun c -> if c = '"' then incr quotes) lexeme;
+  if !quotes mod 2 <> 0 then failwith "csv_apps: malformed quoted field";
+  let buf = Buffer.create (String.length lexeme) in
+  let i = ref 1 in
+  let stop = String.length lexeme - 1 in
+  while !i < stop do
+    if lexeme.[!i] = '"' then begin
+      (* a doubled quote inside the body *)
+      if !i + 1 < stop + 1 && !i + 1 <= stop && lexeme.[!i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        i := !i + 2
+      end
+      else incr i
+    end
+    else begin
+      Buffer.add_char buf lexeme.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* Iterate rows; [f] receives the list of cell strings for each row.
+   Empty trailing line is ignored. *)
+let iter_rows t input tokens f =
+  let n = Token_stream.length tokens in
+  let cells = ref [] in
+  let current = ref None in
+  let row_has_content = ref false in
+  let flush_cell () =
+    cells := Option.value !current ~default:"" :: !cells;
+    current := None
+  in
+  let flush_row () =
+    if !row_has_content || !cells <> [] then begin
+      flush_cell ();
+      f (List.rev !cells);
+      cells := [];
+      row_has_content := false
+    end
+  in
+  for i = 0 to n - 1 do
+    let rule = Token_stream.rule tokens i in
+    if rule = t.newline then flush_row ()
+    else if rule = t.comma then begin
+      flush_cell ();
+      row_has_content := true
+    end
+    else begin
+      let lexeme = Token_stream.lexeme input tokens i in
+      let text = if rule = t.quoted then unquote lexeme else lexeme in
+      (current :=
+         match !current with None -> Some text | Some prev -> Some (prev ^ text));
+      row_has_content := true
+    end
+  done;
+  flush_row ()
+
+let is_int s =
+  s <> ""
+  &&
+  let start = if s.[0] = '-' then 1 else 0 in
+  start < String.length s
+  && String.for_all (fun c -> c >= '0' && c <= '9')
+       (String.sub s start (String.length s - start))
+
+let is_float s = s <> "" && match float_of_string_opt s with Some _ -> true | None -> false
+
+let is_bool s =
+  match String.lowercase_ascii s with
+  | "true" | "false" | "yes" | "no" | "0" | "1" -> true
+  | _ -> false
+
+let is_date s =
+  String.length s = 10
+  && s.[4] = '-' && s.[7] = '-'
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+
+let json_escape out s =
+  Buffer.add_char out '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string out "\\\""
+      | '\\' -> Buffer.add_string out "\\\\"
+      | '\n' -> Buffer.add_string out "\\n"
+      | '\r' -> Buffer.add_string out "\\r"
+      | '\t' -> Buffer.add_string out "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string out (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char out c)
+    s;
+  Buffer.add_char out '"'
+
+let to_json t input tokens out =
+  let header = ref None in
+  let rows = ref 0 in
+  Buffer.add_string out "[";
+  iter_rows t input tokens (fun cells ->
+      match !header with
+      | None -> header := Some cells
+      | Some keys ->
+          if !rows > 0 then Buffer.add_char out ',';
+          Buffer.add_string out "\n{";
+          List.iteri
+            (fun j key ->
+              let value = try List.nth cells j with _ -> "" in
+              if j > 0 then Buffer.add_string out ", ";
+              json_escape out key;
+              Buffer.add_string out ": ";
+              if is_int value || is_float value then
+                Buffer.add_string out value
+              else json_escape out value)
+            keys;
+          Buffer.add_char out '}';
+          incr rows);
+  Buffer.add_string out "\n]\n";
+  !rows
+
+(* candidate masks *)
+let m_int = 1
+let m_float = 2
+let m_bool = 4
+let m_date = 8
+
+let cell_mask s =
+  (if is_int s then m_int else 0)
+  lor (if is_float s then m_float else 0)
+  lor (if is_bool s then m_bool else 0)
+  lor if is_date s then m_date else 0
+
+let mask_type m =
+  if m land m_int <> 0 then Ty_int
+  else if m land m_float <> 0 then Ty_float
+  else if m land m_bool <> 0 then Ty_bool
+  else if m land m_date <> 0 then Ty_date
+  else Ty_text
+
+let infer_schema t input tokens =
+  let header = ref [||] in
+  let masks = ref [||] in
+  let seen_header = ref false in
+  iter_rows t input tokens (fun cells ->
+      if not !seen_header then begin
+        header := Array.of_list cells;
+        masks := Array.make (Array.length !header) (m_int lor m_float lor m_bool lor m_date);
+        seen_header := true
+      end
+      else
+        List.iteri
+          (fun j cell ->
+            if j < Array.length !masks then
+              !masks.(j) <- !masks.(j) land cell_mask cell)
+          cells);
+  Array.mapi (fun j name -> (name, mask_type !masks.(j))) !header
+
+let parses_as ty s =
+  match ty with
+  | Ty_int -> is_int s
+  | Ty_float -> is_float s
+  | Ty_bool -> is_bool s
+  | Ty_date -> is_date s
+  | Ty_text -> true
+
+let validate t input tokens ~schema =
+  let violations = ref 0 in
+  let seen_header = ref false in
+  iter_rows t input tokens (fun cells ->
+      if not !seen_header then seen_header := true
+      else begin
+        let arity = List.length cells in
+        if arity <> Array.length schema then incr violations;
+        List.iteri
+          (fun j cell ->
+            if j < Array.length schema && not (parses_as schema.(j) cell) then
+              incr violations)
+          cells
+      end);
+  !violations

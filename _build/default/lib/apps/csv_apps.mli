@@ -1,0 +1,29 @@
+(** CSV applications (RQ5): CSV→JSON conversion, schema inference and
+    schema validation, over the token stream of [St_grammars.Formats.csv].
+
+    Quoted-field well-formedness (even number of quote characters — the check
+    the paper pairs with the optional-closing-quote grammar variant) is
+    enforced here, in the application layer. *)
+
+type t
+
+val prepare : unit -> t
+
+(** Inferred column types, csvstat-style lattice:
+    Int ⊑ Float, Bool, Date ⊑ Text. *)
+type ty = Ty_int | Ty_float | Ty_bool | Ty_date | Ty_text
+
+val ty_name : ty -> string
+
+(** [to_json t input tokens out]: first row is the header; returns the
+    number of data rows. Raises [Failure] on a malformed quoted field. *)
+val to_json : t -> string -> Token_stream.t -> Buffer.t -> int
+
+(** [infer_schema t input tokens]: column types from the data rows
+    (header excluded), plus the column names. *)
+val infer_schema : t -> string -> Token_stream.t -> (string * ty) array
+
+(** [validate t input tokens ~schema]: number of cell-level violations
+    against the expected column types (a type that doesn't parse, a row
+    with the wrong arity, or a malformed quoted field). *)
+val validate : t -> string -> Token_stream.t -> schema:ty array -> int

@@ -1,0 +1,243 @@
+open St_grammars
+
+type t = {
+  ws : int;
+  lbrace : int;
+  rbrace : int;
+  lbracket : int;
+  rbracket : int;
+  colon : int;
+  comma : int;
+  string_ : int;
+  number : int;
+  true_ : int;
+  false_ : int;
+  null : int;
+}
+
+let prepare () =
+  let g = Formats.json in
+  let id = Grammar.rule_id g in
+  {
+    ws = id "ws";
+    lbrace = id "lbrace";
+    rbrace = id "rbrace";
+    lbracket = id "lbracket";
+    rbracket = id "rbracket";
+    colon = id "colon";
+    comma = id "comma";
+    string_ = id "string";
+    number = id "number";
+    true_ = id "true";
+    false_ = id "false";
+    null = id "null";
+  }
+
+type rule_kind =
+  [ `Ws
+  | `Lbrace
+  | `Rbrace
+  | `Lbracket
+  | `Rbracket
+  | `Colon
+  | `Comma
+  | `String
+  | `Scalar ]
+
+let rule_kind t rule : rule_kind =
+  if rule = t.ws then `Ws
+  else if rule = t.lbrace then `Lbrace
+  else if rule = t.rbrace then `Rbrace
+  else if rule = t.lbracket then `Lbracket
+  else if rule = t.rbracket then `Rbracket
+  else if rule = t.colon then `Colon
+  else if rule = t.comma then `Comma
+  else if rule = t.string_ then `String
+  else `Scalar
+
+let minify t input tokens out =
+  let n = Token_stream.length tokens in
+  let written = ref 0 in
+  for i = 0 to n - 1 do
+    if Token_stream.rule tokens i <> t.ws then begin
+      Buffer.add_substring out input
+        (Token_stream.pos tokens i)
+        (Token_stream.len tokens i);
+      incr written
+    end
+  done;
+  !written
+
+(* Decode the body of a JSON string token (quotes included in the span). *)
+let unescape input pos len =
+  let buf = Buffer.create (len - 2) in
+  let i = ref (pos + 1) in
+  let stop = pos + len - 1 in
+  while !i < stop do
+    let c = input.[!i] in
+    if c = '\\' && !i + 1 < stop then begin
+      (match input.[!i + 1] with
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\x0c'
+      | 'u' ->
+          (* keep the escape verbatim; codepoint decoding is out of scope *)
+          Buffer.add_string buf "\\u"
+      | c -> Buffer.add_char buf c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* A token-level reader for arrays of flat records. *)
+type value = Str of string | Raw of string | Null
+
+let read_records t input tokens =
+  let n = Token_stream.length tokens in
+  let i = ref 0 in
+  let rule () = Token_stream.rule tokens !i in
+  let skip_ws () =
+    while !i < n && rule () = t.ws do
+      incr i
+    done
+  in
+  let expect r what =
+    skip_ws ();
+    if !i >= n || rule () <> r then failwith ("json_apps: expected " ^ what);
+    incr i
+  in
+  let records = ref [] in
+  let read_record () =
+    expect t.lbrace "{";
+    let fields = ref [] in
+    let continue = ref true in
+    skip_ws ();
+    if !i < n && rule () = t.rbrace then begin
+      incr i;
+      continue := false
+    end;
+    while !continue do
+      skip_ws ();
+      if !i >= n || rule () <> t.string_ then failwith "json_apps: expected key";
+      let key =
+        unescape input (Token_stream.pos tokens !i) (Token_stream.len tokens !i)
+      in
+      incr i;
+      expect t.colon ":";
+      skip_ws ();
+      if !i >= n then failwith "json_apps: expected value";
+      let r = rule () in
+      let value =
+        if r = t.string_ then
+          Str
+            (unescape input
+               (Token_stream.pos tokens !i)
+               (Token_stream.len tokens !i))
+        else if r = t.number then Raw (Token_stream.lexeme input tokens !i)
+        else if r = t.true_ then Raw "true"
+        else if r = t.false_ then Raw "false"
+        else if r = t.null then Null
+        else failwith "json_apps: nested values not supported by converter"
+      in
+      incr i;
+      fields := (key, value) :: !fields;
+      skip_ws ();
+      if !i < n && rule () = t.comma then incr i
+      else begin
+        expect t.rbrace "}";
+        continue := false
+      end
+    done;
+    List.rev !fields
+  in
+  expect t.lbracket "[";
+  skip_ws ();
+  if !i < n && rule () = t.rbracket then incr i
+  else begin
+    let continue = ref true in
+    while !continue do
+      records := read_record () :: !records;
+      skip_ws ();
+      if !i < n && rule () = t.comma then incr i
+      else begin
+        expect t.rbracket "]";
+        continue := false
+      end
+    done
+  end;
+  List.rev !records
+
+let csv_escape out s =
+  if
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    Buffer.add_char out '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string out "\"\""
+        else Buffer.add_char out c)
+      s;
+    Buffer.add_char out '"'
+  end
+  else Buffer.add_string out s
+
+let to_csv t input tokens out =
+  let records = read_records t input tokens in
+  match records with
+  | [] -> 0
+  | first :: _ ->
+      let header = List.map fst first in
+      Buffer.add_string out (String.concat "," header);
+      Buffer.add_char out '\n';
+      List.iter
+        (fun record ->
+          List.iteri
+            (fun j key ->
+              if j > 0 then Buffer.add_char out ',';
+              match List.assoc_opt key record with
+              | Some (Str s) -> csv_escape out s
+              | Some (Raw s) -> Buffer.add_string out s
+              | Some Null | None -> ())
+            header;
+          Buffer.add_char out '\n')
+        records;
+      List.length records
+
+let sql_quote out s =
+  Buffer.add_char out '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string out "''" else Buffer.add_char out c)
+    s;
+  Buffer.add_char out '\''
+
+let to_sql t ~table input tokens out =
+  let records = read_records t input tokens in
+  match records with
+  | [] -> 0
+  | first :: _ ->
+      let header = List.map fst first in
+      List.iter
+        (fun record ->
+          Buffer.add_string out "INSERT INTO ";
+          Buffer.add_string out table;
+          Buffer.add_string out " (";
+          Buffer.add_string out (String.concat ", " header);
+          Buffer.add_string out ") VALUES (";
+          List.iteri
+            (fun j key ->
+              if j > 0 then Buffer.add_string out ", ";
+              match List.assoc_opt key record with
+              | Some (Str s) -> sql_quote out s
+              | Some (Raw s) -> Buffer.add_string out s
+              | Some Null | None -> Buffer.add_string out "NULL")
+            header;
+          Buffer.add_string out ");\n")
+        records;
+      List.length records

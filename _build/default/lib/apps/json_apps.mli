@@ -1,0 +1,38 @@
+(** JSON format conversions (RQ5): minification, JSON→CSV, JSON→SQL.
+
+    All three consume the token stream of [St_grammars.Formats.json]; the
+    conversion applications additionally run a tiny token-level reader for
+    arrays of flat records (the shape [Gen_data.json_records] produces). *)
+
+type t
+
+val prepare : unit -> t
+
+(** Classification of a JSON token rule id, for token-level consumers
+    (e.g. {!Json_validate}). [`Scalar] covers number/true/false/null;
+    strings are distinguished because they alone may be object keys. *)
+type rule_kind =
+  [ `Ws
+  | `Lbrace
+  | `Rbrace
+  | `Lbracket
+  | `Rbracket
+  | `Colon
+  | `Comma
+  | `String
+  | `Scalar ]
+
+val rule_kind : t -> int -> rule_kind
+
+(** Copy every non-whitespace token: JSON minification. Returns the number
+    of tokens written. *)
+val minify : t -> string -> Token_stream.t -> Buffer.t -> int
+
+(** Convert an array of flat objects to CSV (header from the first record;
+    missing keys render empty; string values are CSV-quoted as needed).
+    Returns the number of data rows. Raises [Failure] on unexpected
+    structure. *)
+val to_csv : t -> string -> Token_stream.t -> Buffer.t -> int
+
+(** Emit one INSERT statement per record. Returns the number of rows. *)
+val to_sql : t -> table:string -> string -> Token_stream.t -> Buffer.t -> int

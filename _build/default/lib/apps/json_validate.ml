@@ -1,0 +1,148 @@
+
+type container = In_object | In_array
+
+type mode =
+  | Expect_value
+  | Expect_value_or_end  (* right after '[' *)
+  | Expect_member_or_end  (* right after '{' *)
+  | Expect_key  (* after ',' in an object *)
+  | Expect_colon
+  | After_value
+
+type t = {
+  ids : Json_apps.t;
+  mutable mode : mode;
+  mutable stack : container list;
+  mutable depth : int;
+  mutable max_depth : int;
+  mutable tokens_seen : int;
+  mutable error : (int * string) option;
+  mutable started : bool;
+}
+
+let create () =
+  {
+    ids = Json_apps.prepare ();
+    mode = Expect_value;
+    stack = [];
+    depth = 0;
+    max_depth = 0;
+    tokens_seen = 0;
+    error = None;
+    started = false;
+  }
+
+type verdict = Valid | Invalid of { at_token : int; reason : string }
+
+let fail t idx reason =
+  if t.error = None then t.error <- Some (idx, reason);
+  false
+
+let push_container t c =
+  t.stack <- c :: t.stack;
+  t.depth <- t.depth + 1;
+  if t.depth > t.max_depth then t.max_depth <- t.depth
+
+let pop_container t =
+  match t.stack with
+  | [] -> None
+  | c :: rest ->
+      t.stack <- rest;
+      t.depth <- t.depth - 1;
+      Some c
+
+let push t ~lexeme_len ~rule =
+  ignore lexeme_len;
+  if t.error <> None then false
+  else begin
+    let r = Json_apps.rule_kind t.ids rule in
+    let idx = t.tokens_seen in
+    t.tokens_seen <- idx + 1;
+    if r = `Ws then true
+    else begin
+      t.started <- true;
+      let ok =
+        match (t.mode, r) with
+        | (Expect_value | Expect_value_or_end), (`Scalar | `String) ->
+            t.mode <- After_value;
+            true
+        | (Expect_value | Expect_value_or_end), `Lbrace ->
+            push_container t In_object;
+            t.mode <- Expect_member_or_end;
+            true
+        | (Expect_value | Expect_value_or_end), `Lbracket ->
+            push_container t In_array;
+            t.mode <- Expect_value_or_end;
+            true
+        | Expect_value_or_end, `Rbracket -> (
+            match pop_container t with
+            | Some In_array ->
+                t.mode <- After_value;
+                true
+            | _ -> fail t idx "unbalanced ']'")
+        | (Expect_value | Expect_value_or_end), _ ->
+            fail t idx "expected a value"
+        | Expect_member_or_end, `String ->
+            t.mode <- Expect_colon;
+            true
+        | Expect_member_or_end, `Rbrace -> (
+            match pop_container t with
+            | Some In_object ->
+                t.mode <- After_value;
+                true
+            | _ -> fail t idx "unbalanced '}'")
+        | Expect_member_or_end, _ -> fail t idx "expected a key or '}'"
+        | Expect_key, `String ->
+            t.mode <- Expect_colon;
+            true
+        | Expect_key, _ -> fail t idx "expected a key"
+        | Expect_colon, `Colon ->
+            t.mode <- Expect_value;
+            true
+        | Expect_colon, _ -> fail t idx "expected ':'"
+        | After_value, tok -> (
+            match (t.stack, tok) with
+            | [], _ -> fail t idx "trailing content after the document"
+            | In_object :: _, `Comma ->
+                t.mode <- Expect_key;
+                true
+            | In_object :: _, `Rbrace ->
+                ignore (pop_container t);
+                t.mode <- After_value;
+                true
+            | In_array :: _, `Comma ->
+                t.mode <- Expect_value;
+                true
+            | In_array :: _, `Rbracket ->
+                ignore (pop_container t);
+                t.mode <- After_value;
+                true
+            | _ -> fail t idx "expected ',' or a closing bracket")
+      in
+      ok
+    end
+  end
+
+let finish t =
+  match t.error with
+  | Some (at_token, reason) -> Invalid { at_token; reason }
+  | None ->
+      if not t.started then Invalid { at_token = -1; reason = "empty document" }
+      else if t.stack <> [] then
+        Invalid { at_token = -1; reason = "unclosed container at end of input" }
+      else if t.mode <> After_value then
+        Invalid { at_token = -1; reason = "truncated document" }
+      else Valid
+
+let validate t ts =
+  let n = Token_stream.length ts in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && !i < n do
+    continue :=
+      push t ~lexeme_len:(Token_stream.len ts !i) ~rule:(Token_stream.rule ts !i);
+    incr i
+  done;
+  finish t
+
+let max_depth t = t.max_depth

@@ -1,0 +1,37 @@
+(** Streaming JSON syntax validation over the token stream — the
+    "accelerate data processing (e.g., JSON validation) with
+    application-specific tokenizers" direction of the paper's §8,
+    instantiated for plain syntax checking.
+
+    Works directly on StreamTok's emitted tokens with O(nesting depth)
+    state (a stack of container kinds plus a 'what may come next' mode) —
+    no AST is built, so arbitrarily large documents validate in one pass
+    with bounded memory. Usable either over a {!Token_stream} or
+    incrementally as the emit callback of a
+    [St_streamtok.Stream_tokenizer]. *)
+
+type t
+
+val create : unit -> t
+
+type verdict =
+  | Valid
+  | Invalid of { at_token : int; reason : string }
+      (** [at_token] is the index of the offending token in the pushed
+          sequence (whitespace tokens included, so it indexes directly
+          into the {!Token_stream} when driven by {!validate}); -1 for a
+          truncated document detected at {!finish}. *)
+
+(** Feed one token (rule ids of [St_grammars.Formats.json]); returns
+    [false] once the document is known invalid (further tokens ignored). *)
+val push : t -> lexeme_len:int -> rule:int -> bool
+
+(** End of stream: a document is valid iff exactly one complete value was
+    read. *)
+val finish : t -> verdict
+
+(** Validate a whole token stream. *)
+val validate : t -> Token_stream.t -> verdict
+
+(** Maximum nesting depth observed (the memory bound). *)
+val max_depth : t -> int

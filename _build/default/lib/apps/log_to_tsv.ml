@@ -1,0 +1,34 @@
+open St_grammars
+
+type t = { ws : int; newline : int }
+
+let prepare g =
+  { ws = Grammar.rule_id g "ws"; newline = Grammar.rule_id g "newline" }
+
+let process t input tokens out =
+  let n = Token_stream.length tokens in
+  let records = ref 0 in
+  let field_open = ref false in
+  for i = 0 to n - 1 do
+    let rule = Token_stream.rule tokens i in
+    if rule = t.newline then begin
+      Buffer.add_char out '\n';
+      incr records;
+      field_open := false
+    end
+    else if rule = t.ws then begin
+      if !field_open then Buffer.add_char out '\t';
+      field_open := false
+    end
+    else begin
+      Buffer.add_substring out input
+        (Token_stream.pos tokens i)
+        (Token_stream.len tokens i);
+      field_open := true
+    end
+  done;
+  if !field_open then begin
+    Buffer.add_char out '\n';
+    incr records
+  end;
+  !records

@@ -1,0 +1,17 @@
+(** Log parsing (RQ5): convert raw logs into a semi-structured TSV
+    representation — one output line per log line, whitespace runs become
+    field separators, everything else is copied through.
+
+    This is the paper's log-to-TSV task: simple enough to need only a
+    tokenizer (no stack-based parsing), and dominated by tokenization
+    time. *)
+
+open St_grammars
+
+type t
+
+val prepare : Grammar.t -> t
+
+(** [process t input tokens out] renders the TSV into [out]; returns the
+    number of records written. This is the "rest" stage of Table 2. *)
+val process : t -> string -> Token_stream.t -> Buffer.t -> int

@@ -1,0 +1,113 @@
+open St_grammars
+
+type t = {
+  ws : int;
+  kw_insert : int;
+  kw_into : int;
+  kw_values : int;
+  identifier : int;
+  string_ : int;
+  number : int;
+  punct : int;
+}
+
+let prepare () =
+  let g = Languages.sql_insert in
+  let id = Grammar.rule_id g in
+  {
+    ws = id "ws";
+    kw_insert = id "kw_insert";
+    kw_into = id "kw_into";
+    kw_values = id "kw_values";
+    identifier = id "identifier";
+    string_ = id "string";
+    number = id "number";
+    punct = id "punct";
+  }
+
+type stats = {
+  statements : int;
+  rows : int;
+  tables : (string * int) list;
+}
+
+let load t input tokens =
+  let n = Token_stream.length tokens in
+  let table_rows : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let statements = ref 0 in
+  let rows = ref 0 in
+  let i = ref 0 in
+  let rule () = Token_stream.rule tokens !i in
+  let lex () = Token_stream.lexeme input tokens !i in
+  let skip_ws () =
+    while !i < n && rule () = t.ws do
+      incr i
+    done
+  in
+  let punct_is c = rule () = t.punct && lex () = String.make 1 c in
+  let expect_punct c =
+    skip_ws ();
+    if !i >= n || not (punct_is c) then
+      failwith (Printf.sprintf "sql_apps: expected '%c'" c);
+    incr i
+  in
+  (* skip a parenthesized group, validating string literals *)
+  let skip_group () =
+    expect_punct '(';
+    let depth = ref 1 in
+    while !depth > 0 do
+      if !i >= n then failwith "sql_apps: unbalanced parentheses";
+      if punct_is '(' then incr depth
+      else if punct_is ')' then decr depth
+      else if rule () = t.string_ then begin
+        let s = lex () in
+        let quotes = ref 0 in
+        String.iter (fun c -> if c = '\'' then incr quotes) s;
+        if !quotes mod 2 <> 0 then
+          failwith "sql_apps: unterminated string literal"
+      end;
+      incr i
+    done
+  in
+  skip_ws ();
+  while !i < n do
+    if rule () <> t.kw_insert then failwith "sql_apps: expected INSERT";
+    incr i;
+    skip_ws ();
+    if !i >= n || rule () <> t.kw_into then failwith "sql_apps: expected INTO";
+    incr i;
+    skip_ws ();
+    if !i >= n || rule () <> t.identifier then
+      failwith "sql_apps: expected table name";
+    let table = lex () in
+    incr i;
+    skip_ws ();
+    if !i < n && punct_is '(' then skip_group ();
+    skip_ws ();
+    if !i >= n || rule () <> t.kw_values then
+      failwith "sql_apps: expected VALUES";
+    incr i;
+    (* one or more tuples *)
+    let more = ref true in
+    while !more do
+      skip_group ();
+      incr rows;
+      (match Hashtbl.find_opt table_rows table with
+      | Some r -> incr r
+      | None -> Hashtbl.add table_rows table (ref 1));
+      skip_ws ();
+      if !i < n && punct_is ',' then begin
+        incr i;
+        skip_ws ()
+      end
+      else more := false
+    done;
+    expect_punct ';';
+    incr statements;
+    skip_ws ()
+  done;
+  let tables =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) table_rows []
+    |> List.sort compare
+  in
+  { statements = !statements; rows = !rows; tables }

@@ -1,0 +1,17 @@
+(** "SQL loads" (RQ5): replay a migration file of INSERT INTO statements
+    into an in-memory store, counting rows per table. Tokenized with the
+    bounded-TND [St_grammars.Languages.sql_insert] grammar. *)
+
+type t
+
+val prepare : unit -> t
+
+type stats = {
+  statements : int;
+  rows : int;
+  tables : (string * int) list;  (** rows per table, sorted by name *)
+}
+
+(** Raises [Failure] on statements that do not fit the INSERT shape or on a
+    malformed (unterminated) string literal. *)
+val load : t -> string -> Token_stream.t -> stats

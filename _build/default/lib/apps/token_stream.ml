@@ -1,0 +1,25 @@
+module V = St_util.Int_vec
+
+type t = { pos_v : V.t; len_v : V.t; rule_v : V.t }
+
+let create () = { pos_v = V.create (); len_v = V.create (); rule_v = V.create () }
+
+let clear t =
+  V.clear t.pos_v;
+  V.clear t.len_v;
+  V.clear t.rule_v
+
+let push t ~pos ~len ~rule =
+  V.push t.pos_v pos;
+  V.push t.len_v len;
+  V.push t.rule_v rule
+
+let length t = V.length t.pos_v
+let pos t i = V.get t.pos_v i
+let len t i = V.get t.len_v i
+let rule t i = V.get t.rule_v i
+let lexeme input t i = String.sub input (pos t i) (len t i)
+
+let fill backend input t =
+  clear t;
+  Tokenizer_backend.run backend input ~emit:(push t)

@@ -1,0 +1,28 @@
+(** The engine knob of the RQ5 experiments: every application is
+    parameterized by which tokenizer produces its token stream, so Table 2
+    can time the same pipeline with flex-style backtracking vs StreamTok.
+
+    [run] tokenizes the whole input, invoking [emit ~pos ~len ~rule] in
+    stream order, and returns true iff the entire input was tokenized. *)
+
+open St_automata
+open St_grammars
+
+type t = Streamtok | Flex
+
+val name : t -> string
+
+(** [run backend grammar input ~emit]. The StreamTok backend compiles the
+    engine once per call; use {!prepare} in timing loops. *)
+type prepared
+
+val prepare : t -> Grammar.t -> prepared
+
+val run :
+  prepared ->
+  string ->
+  emit:(pos:int -> len:int -> rule:int -> unit) ->
+  bool
+
+(** The underlying tokenization DFA (shared by both backends). *)
+val dfa : prepared -> Dfa.t

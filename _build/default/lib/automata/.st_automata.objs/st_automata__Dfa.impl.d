@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Char Format Hashtbl List Nfa Parser Printf Queue St_regex St_util String

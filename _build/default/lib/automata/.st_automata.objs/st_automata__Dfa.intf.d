@@ -1,0 +1,1 @@
+lib/automata/dfa.mli: Format Nfa Regex St_regex St_util

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Charset List Regex St_regex St_util

@@ -1,0 +1,1 @@
+lib/automata/nfa.mli: Charset Regex St_regex St_util

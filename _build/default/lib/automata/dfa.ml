@@ -1,0 +1,218 @@
+open St_regex
+module Bits = St_util.Bits
+
+type t = {
+  num_states : int;
+  start : int;
+  trans : int array;
+  accept : int array;
+}
+
+let step d q c = d.trans.((q lsl 8) lor Char.code c)
+let is_final d q = d.accept.(q) >= 0
+let accept_rule d q = d.accept.(q)
+let size d = d.num_states
+
+let run d s =
+  let q = ref d.start in
+  String.iter (fun c -> q := step d !q c) s;
+  !q
+
+module Set_tbl = Hashtbl.Make (struct
+  type t = Bits.t
+
+  let equal = Bits.equal
+  let hash = Bits.hash
+end)
+
+let of_nfa (nfa : Nfa.t) =
+  let init = Bits.create nfa.num_states in
+  Bits.add init nfa.start;
+  Nfa.eps_closure nfa init;
+  let tbl = Set_tbl.create 64 in
+  let accept = St_util.Int_vec.create () in
+  let trans_rows = ref [] (* reversed list of int arrays *) in
+  let count = ref 0 in
+  let worklist = Queue.create () in
+  let intern set =
+    match Set_tbl.find_opt tbl set with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Set_tbl.add tbl set id;
+        St_util.Int_vec.push accept (Nfa.accept_of_set nfa set);
+        Queue.add (set, id) worklist;
+        id
+  in
+  let start_id = intern init in
+  let scratch = Bits.create nfa.num_states in
+  while not (Queue.is_empty worklist) do
+    let set, _id = Queue.pop worklist in
+    let row = Array.make 256 0 in
+    for c = 0 to 255 do
+      Nfa.step nfa set (Char.chr c) scratch;
+      row.(c) <- intern (Bits.copy scratch)
+    done;
+    trans_rows := row :: !trans_rows
+  done;
+  let rows = Array.of_list (List.rev !trans_rows) in
+  let n = !count in
+  let trans = Array.make (n * 256) 0 in
+  Array.iteri (fun q row -> Array.blit row 0 trans (q * 256) 256) rows;
+  { num_states = n; start = start_id; trans; accept = St_util.Int_vec.to_array accept }
+
+(* Moore minimization. The initial partition separates states by Λ (so
+   distinct token ids are never merged); refinement splits blocks whose
+   members disagree on the block of some successor. *)
+let minimize_dfa d =
+  let n = d.num_states in
+  let block = Array.make n 0 in
+  (* initial blocks by accept label *)
+  let label_tbl = Hashtbl.create 8 in
+  let next_block = ref 0 in
+  for q = 0 to n - 1 do
+    let lbl = d.accept.(q) in
+    match Hashtbl.find_opt label_tbl lbl with
+    | Some b -> block.(q) <- b
+    | None ->
+        Hashtbl.add label_tbl lbl !next_block;
+        block.(q) <- !next_block;
+        incr next_block
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of a state: (block, successor blocks) *)
+    let sig_tbl = Hashtbl.create n in
+    let new_block = Array.make n 0 in
+    let count = ref 0 in
+    for q = 0 to n - 1 do
+      let key = Array.make 257 0 in
+      key.(0) <- block.(q);
+      for c = 0 to 255 do
+        key.(c + 1) <- block.(d.trans.((q lsl 8) lor c))
+      done;
+      match Hashtbl.find_opt sig_tbl key with
+      | Some b -> new_block.(q) <- b
+      | None ->
+          Hashtbl.add sig_tbl key !count;
+          new_block.(q) <- !count;
+          incr count
+    done;
+    if !count <> !next_block then begin
+      changed := true;
+      next_block := !count;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  let m = !next_block in
+  let trans = Array.make (m * 256) 0 in
+  let accept = Array.make m (-1) in
+  for q = 0 to n - 1 do
+    let b = block.(q) in
+    accept.(b) <- d.accept.(q);
+    for c = 0 to 255 do
+      trans.((b lsl 8) lor c) <- block.(d.trans.((q lsl 8) lor c))
+    done
+  done;
+  (* Re-number so that only states reachable from start remain (merging can
+     leave none unreachable, but keep the invariant explicit). *)
+  let dm = { num_states = m; start = block.(d.start); trans; accept } in
+  dm
+
+let of_rules ?(minimize = true) rules =
+  let d = of_nfa (Nfa.of_rules rules) in
+  if minimize then minimize_dfa d else d
+
+let of_grammar ?minimize src = of_rules ?minimize (Parser.parse_grammar src)
+
+let co_accessible d =
+  let n = d.num_states in
+  (* reverse adjacency *)
+  let preds = Array.make n [] in
+  for q = 0 to n - 1 do
+    for c = 0 to 255 do
+      let q' = d.trans.((q lsl 8) lor c) in
+      preds.(q') <- q :: preds.(q')
+    done
+  done;
+  let coacc = Bits.create n in
+  let stack = ref [] in
+  for q = 0 to n - 1 do
+    if d.accept.(q) >= 0 then begin
+      Bits.add coacc q;
+      stack := q :: !stack
+    end
+  done;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not (Bits.mem coacc p) then begin
+              Bits.add coacc p;
+              stack := p :: !stack
+            end)
+          preds.(q)
+  done;
+  coacc
+
+let reachable_nonempty d =
+  let n = d.num_states in
+  (* reachable-from-start set (start reachable via ε) *)
+  let reach = Bits.create n in
+  Bits.add reach d.start;
+  let stack = ref [ d.start ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        for c = 0 to 255 do
+          let q' = d.trans.((q lsl 8) lor c) in
+          if not (Bits.mem reach q') then begin
+            Bits.add reach q';
+            stack := q' :: !stack
+          end
+        done
+  done;
+  (* a state is reachable by a nonempty string iff it is a successor of some
+     reachable state *)
+  let seen = Bits.create n in
+  Bits.iter
+    (fun q ->
+      for c = 0 to 255 do
+        Bits.add seen d.trans.((q lsl 8) lor c)
+      done)
+    reach;
+  seen
+
+let is_reject _d coacc q = not (Bits.mem coacc q)
+
+let equal (a : t) b =
+  a.num_states = b.num_states && a.start = b.start && a.trans = b.trans
+  && a.accept = b.accept
+
+let pp fmt d =
+  Format.fprintf fmt "dfa: %d states, start %d@." d.num_states d.start;
+  for q = 0 to d.num_states - 1 do
+    let rule = d.accept.(q) in
+    Format.fprintf fmt "  %d%s:" q
+      (if rule >= 0 then Printf.sprintf " [rule %d]" rule else "");
+    (* group target states by contiguous byte ranges *)
+    let c = ref 0 in
+    while !c <= 255 do
+      let tgt = d.trans.((q lsl 8) lor !c) in
+      let j = ref !c in
+      while !j < 255 && d.trans.((q lsl 8) lor (!j + 1)) = tgt do
+        incr j
+      done;
+      if !j > !c then Format.fprintf fmt " %02x-%02x->%d" !c !j tgt
+      else Format.fprintf fmt " %02x->%d" !c tgt;
+      c := !j + 1
+    done;
+    Format.fprintf fmt "@."
+  done

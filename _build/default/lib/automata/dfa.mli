@@ -1,0 +1,60 @@
+(** Tokenization DFA (Definition 3): a total DFA over the byte alphabet,
+    where every final state carries Λ(q), the preferred (least) rule index.
+
+    Built from the rule-tagged NFA by subset construction. Transitions are a
+    dense [num_states × 256] table, so {!step} is one array read — the
+    O(1)-per-symbol property every engine in this library relies on. *)
+
+open St_regex
+
+type t = {
+  num_states : int;
+  start : int;
+  trans : int array;  (** [trans.((q lsl 8) lor byte)] is the successor *)
+  accept : int array;  (** Λ(q): rule id of final state [q], or -1 *)
+}
+
+(** [step dfa q c] is δ(q, c). *)
+val step : t -> int -> char -> int
+
+(** [is_final dfa q]. *)
+val is_final : t -> int -> bool
+
+(** Token id Λ(q) of a final state; -1 for non-final. *)
+val accept_rule : t -> int -> int
+
+(** [run dfa s] is δ(start, s). *)
+val run : t -> string -> int
+
+(** Subset construction from a rule-tagged NFA. The result is total and all
+    states are accessible; a dead (reject) state exists whenever some input
+    cannot be extended into any token. *)
+val of_nfa : Nfa.t -> t
+
+(** [of_rules rules] = subset construction ∘ Thompson, with Moore
+    minimization applied when [minimize] (default true). *)
+val of_rules : ?minimize:bool -> Regex.t list -> t
+
+(** [of_grammar src] parses a newline-separated grammar and builds its DFA. *)
+val of_grammar : ?minimize:bool -> string -> t
+
+(** States from which some final state is reachable (co-accessible,
+    paper §4). The complement is the set of reject/failure states. *)
+val co_accessible : t -> St_util.Bits.t
+
+(** States reachable from the start by a {e nonempty} string — the
+    initialization set of the static analysis needs finals in this set. *)
+val reachable_nonempty : t -> St_util.Bits.t
+
+(** [is_reject dfa coacc q] iff q cannot reach a final state. *)
+val is_reject : t -> St_util.Bits.t -> int -> bool
+
+(** Number of states; [|A|] in the paper's pseudocode. *)
+val size : t -> int
+
+(** Structural equality of the recognized token languages is not decided
+    here; this is plain structural DFA equality for tests. *)
+val equal : t -> t -> bool
+
+(** Render transitions compactly for debugging (one line per state). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/baselines/backtracking.ml: Array Bytes Char Dfa List Option St_automata St_util String

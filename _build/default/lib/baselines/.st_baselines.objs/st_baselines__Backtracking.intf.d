@@ -1,0 +1,1 @@
+lib/baselines/backtracking.mli: Dfa St_automata

@@ -1,0 +1,1 @@
+lib/baselines/ext_oracle.ml: Array Backtracking Bytes Char Dfa Hashtbl List St_automata St_util String

@@ -1,0 +1,1 @@
+lib/baselines/ext_oracle.mli: Backtracking Dfa St_automata

@@ -1,0 +1,1 @@
+lib/baselines/flex_model.ml: Array Backtracking Buffer Bytes Char Dfa Hashtbl List Option St_automata St_util String

@@ -1,0 +1,1 @@
+lib/baselines/flex_model.mli: Backtracking Dfa St_automata

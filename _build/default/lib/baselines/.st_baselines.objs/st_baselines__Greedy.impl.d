@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Array Backtracking Dfa List St_automata St_util String

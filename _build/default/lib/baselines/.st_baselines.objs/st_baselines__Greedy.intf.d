@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Backtracking Dfa Regex St_automata St_regex

@@ -1,0 +1,1 @@
+lib/baselines/reps.ml: Array Backtracking Bytes Char Dfa List St_automata St_util String

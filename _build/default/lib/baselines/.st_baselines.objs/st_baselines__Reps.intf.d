@@ -1,0 +1,1 @@
+lib/baselines/reps.mli: Backtracking Dfa St_automata

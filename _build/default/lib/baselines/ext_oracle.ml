@@ -1,0 +1,162 @@
+open St_automata
+module Bits = St_util.Bits
+
+type result = {
+  outcome : Backtracking.outcome;
+  tape_bytes : int;
+  buffered_bytes : int;
+}
+
+(* ExtOracle's two passes (OOPSLA'25):
+
+   Backward pass. Define R_i = { q | ∃ k ≥ 1. δ(q, s[i .. i+k)) ∈ F } — the
+   states from which consuming at least one upcoming character can still
+   reach a final state. R_n = ∅ and R_i = f_{s[i]}(R_{i+1}) where
+   f_c(R) = { q | δ(q,c) ∈ F ∨ δ(q,c) ∈ R }. The function f_c depends only
+   on (R, c), so the backward pass is a deterministic automaton over the
+   reversed input whose states are the distinct sets R; we build it lazily
+   (memoized transitions), which makes the pass O(1) amortized per symbol
+   regardless of the DFA size — the property that keeps ExtOracle flat in
+   Fig. 8. The tape stores one oracle-state id per position (1 byte per
+   position while ≤ 255 distinct sets occur, which covers every practical
+   grammar; the paper's ~2x-input RSS shape).
+
+   Forward pass. Scan left to right; on reaching a final state q at
+   position i, the token is maximal iff q ∉ R_i — emit immediately. No byte
+   is ever read twice. *)
+
+type oracle = {
+  dfa : Dfa.t;
+  mutable num_states : int;
+  mutable capacity : int;
+  mutable trans : int array;  (* capacity × 256; -1 = not built *)
+  mutable sets : Bits.t array;
+  tbl : (Bits.t, int) Hashtbl.t;
+}
+
+let oracle_create dfa =
+  let capacity = 16 in
+  let o =
+    {
+      dfa;
+      num_states = 0;
+      capacity;
+      trans = Array.make (capacity * 256) (-1);
+      sets = Array.make capacity (Bits.create 0);
+      tbl = Hashtbl.create 64;
+    }
+  in
+  o
+
+let oracle_intern o set =
+  match Hashtbl.find_opt o.tbl set with
+  | Some id -> id
+  | None ->
+      if o.num_states = o.capacity then begin
+        let cap = 2 * o.capacity in
+        let trans = Array.make (cap * 256) (-1) in
+        Array.blit o.trans 0 trans 0 (o.num_states * 256);
+        o.trans <- trans;
+        let sets = Array.make cap (Bits.create 0) in
+        Array.blit o.sets 0 sets 0 o.num_states;
+        o.sets <- sets;
+        o.capacity <- cap
+      end;
+      let id = o.num_states in
+      o.num_states <- id + 1;
+      Hashtbl.add o.tbl set id;
+      o.sets.(id) <- set;
+      id
+
+let oracle_step o id c =
+  let tgt = o.trans.((id * 256) + c) in
+  if tgt >= 0 then tgt
+  else begin
+    let d = o.dfa in
+    let m = Dfa.size d in
+    let set = o.sets.(id) in
+    let next = Bits.create m in
+    for q = 0 to m - 1 do
+      let q' = d.Dfa.trans.((q lsl 8) lor c) in
+      if d.Dfa.accept.(q') >= 0 || Bits.mem set q' then Bits.add next q
+    done;
+    let tgt = oracle_intern o (Bits.copy next) in
+    o.trans.((id * 256) + c) <- tgt;
+    tgt
+  end
+
+let run d s ~emit =
+  let n = String.length s in
+  let m = Dfa.size d in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let o = oracle_create d in
+  let empty_id = oracle_intern o (Bits.create m) in
+  (* backward pass: tape.(i) = oracle-state id of R_i; byte-wide ids with
+     promotion to a wide tape in the (rare) >255-states case *)
+  let tape = Bytes.make (n + 1) '\000' in
+  let wide_tape = ref [||] in
+  let wide = ref false in
+  let tape_set i v =
+    if not !wide then begin
+      if v < 256 then Bytes.unsafe_set tape i (Char.unsafe_chr v)
+      else begin
+        (* promote *)
+        let w = Array.make (n + 1) 0 in
+        for j = i + 1 to n do
+          w.(j) <- Char.code (Bytes.get tape j)
+        done;
+        w.(i) <- v;
+        wide_tape := w;
+        wide := true
+      end
+    end
+    else !wide_tape.(i) <- v
+  in
+  let tape_get i =
+    if !wide then !wide_tape.(i) else Char.code (Bytes.unsafe_get tape i)
+  in
+  tape_set n empty_id;
+  let cur = ref empty_id in
+  for i = n - 1 downto 0 do
+    cur := oracle_step o !cur (Char.code (String.unsafe_get s i));
+    tape_set i !cur
+  done;
+  (* forward pass: emit at the exact maximality position, never re-read *)
+  let coacc = Dfa.co_accessible d in
+  let startp = ref 0 in
+  let q = ref d.Dfa.start in
+  let pos = ref 0 in
+  let outcome = ref None in
+  while !outcome = None && !pos < n do
+    q := trans.((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    incr pos;
+    if not (St_util.Bits.mem coacc !q) then
+      outcome :=
+        Some
+          (Backtracking.Failed
+             { offset = !startp; pending = String.sub s !startp (n - !startp) })
+    else if
+      accept.(!q) >= 0 && not (Bits.mem o.sets.(tape_get !pos) !q)
+    then begin
+      emit ~pos:!startp ~len:(!pos - !startp) ~rule:accept.(!q);
+      startp := !pos;
+      q := d.Dfa.start
+    end
+  done;
+  let outcome =
+    match !outcome with
+    | Some oc -> oc
+    | None ->
+        if !startp < n then
+          Backtracking.Failed
+            { offset = !startp; pending = String.sub s !startp (n - !startp) }
+        else Backtracking.Finished
+  in
+  let tape_bytes = if !wide then 8 * (n + 1) else n + 1 in
+  { outcome; tape_bytes; buffered_bytes = tape_bytes + n }
+
+let tokens d s =
+  let acc = ref [] in
+  let emit ~pos ~len ~rule = acc := (String.sub s pos len, rule) :: !acc in
+  let r = run d s ~emit in
+  (List.rev !acc, r.outcome)

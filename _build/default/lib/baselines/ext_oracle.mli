@@ -1,0 +1,25 @@
+(** The ExtOracle offline tokenizer of Li & Mamouras (OOPSLA 2025, [29]).
+
+    Two passes over the whole (in-memory) input:
+    + a {e right-to-left} pass computes, for every position [i] and final
+      state [q], whether some strictly longer prefix ending past [i] would
+      also be a token — the "lookahead tape";
+    + a {e left-to-right} pass then tokenizes without any backtracking,
+      emitting at the exact position where the tape says a token is maximal.
+
+    Linear time for every grammar (bounded or unbounded max-TND alike), but
+    inherently offline: the whole stream plus the tape must be buffered, so
+    memory is Θ(n) — the tradeoff RQ6 of the paper quantifies. *)
+
+open St_automata
+
+type result = {
+  outcome : Backtracking.outcome;
+  tape_bytes : int;  (** bytes used by the lookahead tape *)
+  buffered_bytes : int;  (** tape + retained input: the RQ6 footprint *)
+}
+
+val run :
+  Dfa.t -> string -> emit:(pos:int -> len:int -> rule:int -> unit) -> result
+
+val tokens : Dfa.t -> string -> (string * int) list * Backtracking.outcome

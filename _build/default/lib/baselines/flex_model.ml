@@ -1,0 +1,288 @@
+open St_automata
+module Bits = St_util.Bits
+
+(* A faithful model of flex's default table representation:
+   - yy_ec: byte -> equivalence class
+   - row-displacement compression with default rows: the transition of
+     state q on class c is found at nxt[base[q] + c] if chk[base[q] + c]
+     = q, otherwise the lookup retries on def[q]. Chains terminate at a
+     template state whose row is fully materialized.
+   The scan loop therefore performs 2..4 dependent loads per symbol plus
+   the last-accept bookkeeping — the per-symbol cost profile of a real
+   flex scanner, which is what the paper's "flex" curves measure. *)
+
+type t = {
+  dfa : Dfa.t;
+  ec : int array;
+  num_classes : int;
+  base : int array;
+  def : int array;
+  nxt : int array;
+  chk : int array;
+  accept : int array;
+  reject : bool array;
+  start : int;
+}
+
+let build_equiv_classes d =
+  let m = Dfa.size d in
+  let sig_tbl = Hashtbl.create 64 in
+  let ec = Array.make 256 0 in
+  let reps = ref [] in
+  let num_classes = ref 0 in
+  for c = 0 to 255 do
+    let buf = Buffer.create (m * 3) in
+    for q = 0 to m - 1 do
+      Buffer.add_string buf (string_of_int d.Dfa.trans.((q lsl 8) lor c));
+      Buffer.add_char buf ','
+    done;
+    let key = Buffer.contents buf in
+    match Hashtbl.find_opt sig_tbl key with
+    | Some cls -> ec.(c) <- cls
+    | None ->
+        Hashtbl.add sig_tbl key !num_classes;
+        ec.(c) <- !num_classes;
+        reps := (!num_classes, c) :: !reps;
+        incr num_classes
+  done;
+  (ec, !num_classes, List.rev !reps)
+
+let compile d =
+  let m = Dfa.size d in
+  let ec, nc, reps = build_equiv_classes d in
+  (* class-indexed rows *)
+  let row q =
+    List.map (fun (cls, c) -> (cls, d.Dfa.trans.((q lsl 8) lor c))) reps
+  in
+  let rows = Array.init m row in
+  (* template: the state with the most frequent row shape (flex uses the
+     jam state's row); every default chain terminates there *)
+  let row_key q = String.concat "," (List.map (fun (_, t) -> string_of_int t) rows.(q)) in
+  let freq = Hashtbl.create m in
+  for q = 0 to m - 1 do
+    let k = row_key q in
+    Hashtbl.replace freq k (1 + Option.value (Hashtbl.find_opt freq k) ~default:0)
+  done;
+  let template = ref 0 in
+  let best = ref (-1) in
+  for q = 0 to m - 1 do
+    let f = Hashtbl.find freq (row_key q) in
+    if f > !best then begin
+      best := f;
+      template := q
+    end
+  done;
+  let template = !template in
+  (* row-displacement placement with first-fit *)
+  let capacity = ref (max ((m * nc) + nc) 64) in
+  let nxt = ref (Array.make !capacity (-1)) in
+  let chk = ref (Array.make !capacity (-1)) in
+  let ensure limit =
+    if limit >= !capacity then begin
+      let ncap = max (2 * !capacity) (limit + 1) in
+      let nnxt = Array.make ncap (-1) and nchk = Array.make ncap (-1) in
+      Array.blit !nxt 0 nnxt 0 !capacity;
+      Array.blit !chk 0 nchk 0 !capacity;
+      nxt := nnxt;
+      chk := nchk;
+      capacity := ncap
+    end
+  in
+  let base = Array.make m 0 in
+  let def = Array.make m (-1) in
+  let place q entries =
+    (* find the least displacement where all entry slots are free *)
+    let rec try_disp disp =
+      ensure (disp + nc);
+      if
+        List.for_all (fun (cls, _) -> !chk.(disp + cls) < 0) entries
+      then disp
+      else try_disp (disp + 1)
+    in
+    let disp = try_disp 0 in
+    base.(q) <- disp;
+    List.iter
+      (fun (cls, tgt) ->
+        !nxt.(disp + cls) <- tgt;
+        !chk.(disp + cls) <- q)
+      entries
+  in
+  (* template gets its full row *)
+  place template rows.(template);
+  def.(template) <- template;
+  (* remaining states: default to the most similar already-placed state *)
+  let placed = ref [ template ] in
+  for q = 0 to m - 1 do
+    if q <> template then begin
+      let similarity q' =
+        List.fold_left2
+          (fun acc (_, a) (_, b) -> if a = b then acc + 1 else acc)
+          0 rows.(q) rows.(q')
+      in
+      let best_def =
+        List.fold_left
+          (fun bst cand ->
+            match bst with
+            | None -> Some (cand, similarity cand)
+            | Some (_, s) ->
+                let s' = similarity cand in
+                if s' > s then Some (cand, s') else bst)
+          None !placed
+      in
+      let dflt, _ = Option.get best_def in
+      def.(q) <- dflt;
+      let diffs =
+        List.rev
+          (List.fold_left2
+             (fun acc (cls, a) (_, b) ->
+               if a <> b then (cls, a) :: acc else acc)
+             [] rows.(q) rows.(dflt))
+      in
+      place q diffs;
+      placed := q :: !placed
+    end
+  done;
+  let coacc = Dfa.co_accessible d in
+  let reject = Array.init m (fun q -> not (Bits.mem coacc q)) in
+  {
+    dfa = d;
+    ec;
+    num_classes = nc;
+    base;
+    def;
+    nxt = !nxt;
+    chk = !chk;
+    accept = d.Dfa.accept;
+    reject;
+    start = d.Dfa.start;
+  }
+
+let num_classes t = t.num_classes
+
+(* the yy_try_NUL-less inner transition: walk the default chain *)
+let[@inline] step t q cls =
+  let rec go q =
+    let slot = t.base.(q) + cls in
+    if Array.unsafe_get t.chk slot = q then Array.unsafe_get t.nxt slot
+    else go t.def.(q)
+  in
+  go q
+
+let run t s ~emit =
+  let ec = t.ec and accept = t.accept and reject = t.reject in
+  let n = String.length s in
+  let steps = ref 0 in
+  let startP = ref 0 in
+  let result = ref None in
+  while !result = None && !startP < n do
+    let q = ref t.start in
+    let pos = ref !startP in
+    let last_rule = ref (-1) in
+    let last_pos = ref !startP in
+    let scanning = ref true in
+    while !scanning && !pos < n do
+      let cls = Array.unsafe_get ec (Char.code (String.unsafe_get s !pos)) in
+      q := step t !q cls;
+      incr pos;
+      incr steps;
+      let rule = Array.unsafe_get accept !q in
+      if rule >= 0 then begin
+        last_rule := rule;
+        last_pos := !pos
+      end;
+      if Array.unsafe_get reject !q then scanning := false
+    done;
+    if !last_rule >= 0 then begin
+      emit ~pos:!startP ~len:(!last_pos - !startP) ~rule:!last_rule;
+      startP := !last_pos
+    end
+    else
+      result :=
+        Some
+          (Backtracking.Failed
+             { offset = !startP; pending = String.sub s !startP (n - !startP) })
+  done;
+  let outcome =
+    match !result with Some r -> r | None -> Backtracking.Finished
+  in
+  (outcome, !steps)
+
+let tokens t s =
+  let acc = ref [] in
+  let emit ~pos ~len ~rule = acc := (String.sub s pos len, rule) :: !acc in
+  let o, _ = run t s ~emit in
+  (List.rev !acc, o)
+
+let run_buffered t ~capacity ~read ~emit =
+  let buf = ref (Bytes.create (max capacity 16)) in
+  let fill = ref 0 in
+  let startp = ref 0 in
+  let global = ref 0 in
+  let eof = ref false in
+  let steps = ref 0 in
+  let outcome = ref None in
+  let refill () =
+    if not !eof then begin
+      if !startp > 0 then begin
+        Bytes.blit !buf !startp !buf 0 (!fill - !startp);
+        global := !global + !startp;
+        fill := !fill - !startp;
+        startp := 0
+      end;
+      if !fill = Bytes.length !buf then begin
+        let nb = Bytes.create (2 * Bytes.length !buf) in
+        Bytes.blit !buf 0 nb 0 !fill;
+        buf := nb
+      end;
+      let n = read !buf ~pos:!fill ~len:(Bytes.length !buf - !fill) in
+      if n = 0 then eof := true else fill := !fill + n
+    end
+  in
+  refill ();
+  while !outcome = None do
+    if !startp >= !fill && !eof then outcome := Some Backtracking.Finished
+    else begin
+      let q = ref t.start in
+      let pos = ref !startp in
+      let last_rule = ref (-1) in
+      let last_pos = ref !startp in
+      let scanning = ref true in
+      while !scanning do
+        if !pos >= !fill then begin
+          if !eof then scanning := false
+          else begin
+            let shift = !startp in
+            refill ();
+            pos := !pos - shift;
+            last_pos := !last_pos - shift;
+            if !pos >= !fill && !eof then scanning := false
+          end
+        end
+        else begin
+          let cls = t.ec.(Char.code (Bytes.get !buf !pos)) in
+          q := step t !q cls;
+          incr pos;
+          incr steps;
+          let rule = t.accept.(!q) in
+          if rule >= 0 then begin
+            last_rule := rule;
+            last_pos := !pos
+          end;
+          if t.reject.(!q) then scanning := false
+        end
+      done;
+      if !last_rule >= 0 then begin
+        emit (Bytes.sub_string !buf !startp (!last_pos - !startp)) !last_rule;
+        startp := !last_pos
+      end
+      else
+        outcome :=
+          Some
+            (Backtracking.Failed
+               {
+                 offset = !global + !startp;
+                 pending = Bytes.sub_string !buf !startp (!fill - !startp);
+               })
+    end
+  done;
+  (Option.get !outcome, !steps)

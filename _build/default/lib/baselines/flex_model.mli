@@ -1,0 +1,43 @@
+(** A faithful runtime model of a flex-generated scanner.
+
+    {!Backtracking} implements the same algorithm over flat byte-indexed
+    tables (that is what the Rust [plex] crate generates); actual flex
+    output is costlier per symbol:
+    - the input byte goes through the equivalence-class map [yy_ec] before
+      indexing the transition table (flex's default table compression);
+    - every accepting state visit updates the last-accept bookkeeping
+      ([yy_last_accepting_state] / [yy_last_accepting_cpos]);
+    - hitting a jam (reject) state triggers the backtrack to that
+      bookmark, re-positioning the input cursor.
+
+    This module reproduces that cost model so the benchmark's "flex" rows
+    have the right shape. Token output is identical to {!Backtracking}
+    (differentially tested). *)
+
+open St_automata
+
+type t
+
+(** Compile the equivalence-class tables from a tokenization DFA. *)
+val compile : Dfa.t -> t
+
+(** Number of byte equivalence classes found. *)
+val num_classes : t -> int
+
+val run :
+  t ->
+  string ->
+  emit:(pos:int -> len:int -> rule:int -> unit) ->
+  Backtracking.outcome * int
+(** Returns the outcome and total DFA steps (including re-reads). *)
+
+val tokens : t -> string -> (string * int) list * Backtracking.outcome
+
+(** Streaming variant with a fixed-capacity input buffer, like
+    {!Backtracking.run_buffered}. *)
+val run_buffered :
+  t ->
+  capacity:int ->
+  read:(bytes -> pos:int -> len:int -> int) ->
+  emit:(string -> int -> unit) ->
+  Backtracking.outcome * int

@@ -1,0 +1,1 @@
+lib/combinator/comb.mli:

@@ -1,0 +1,1 @@
+lib/combinator/comb_tokenizers.ml: Comb String

@@ -1,0 +1,1 @@
+lib/combinator/comb_tokenizers.mli: Comb

@@ -1,0 +1,75 @@
+type parser_ = string -> int -> int
+
+let char_ c s pos =
+  if pos < String.length s && s.[pos] = c then pos + 1 else -1
+
+let tag lit s pos =
+  let n = String.length lit in
+  if pos + n <= String.length s && String.sub s pos n = lit then pos + n
+  else -1
+
+let take_while1 pred s pos =
+  let n = String.length s in
+  let i = ref pos in
+  while !i < n && pred (String.unsafe_get s !i) do
+    incr i
+  done;
+  if !i > pos then !i else -1
+
+let take_while pred s pos =
+  let n = String.length s in
+  let i = ref pos in
+  while !i < n && pred (String.unsafe_get s !i) do
+    incr i
+  done;
+  !i
+
+let alt parsers s pos =
+  let rec go = function
+    | [] -> -1
+    | p :: rest ->
+        let r = p s pos in
+        if r >= 0 then r else go rest
+  in
+  go parsers
+
+let seq parsers s pos =
+  let rec go pos = function
+    | [] -> pos
+    | p :: rest ->
+        let r = p s pos in
+        if r < 0 then -1 else go r rest
+  in
+  go pos parsers
+
+let opt p s pos =
+  let r = p s pos in
+  if r >= 0 then r else pos
+
+let delimited l body r = seq [ l; body; r ]
+
+let many p s pos =
+  let rec go pos =
+    let r = p s pos in
+    if r < 0 || r = pos then pos else go r
+  in
+  go pos
+
+let tokenize rules s ~emit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let stuck = ref false in
+  while (not !stuck) && !pos < n do
+    let rec try_rules = function
+      | [] -> stuck := true
+      | (rule, p) :: rest ->
+          let r = p s !pos in
+          if r > !pos then begin
+            emit ~pos:!pos ~len:(r - !pos) ~rule;
+            pos := r
+          end
+          else try_rules rest
+    in
+    try_rules rules
+  done;
+  !pos

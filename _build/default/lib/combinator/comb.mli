@@ -1,0 +1,45 @@
+(** A small nom-style parser-combinator library over strings.
+
+    Stands in for the Rust [nom] baseline of the paper's RQ3: ordered
+    alternatives with per-branch greedy matching (not maximal munch), and no
+    built-in streaming support — exactly the two limitations §6 discusses.
+
+    Parsers return the new position on success. Failure is encoded as -1 to
+    keep the hot path allocation-free, as handwritten nom tokenizers are. *)
+
+type parser_ = string -> int -> int
+(** [p s pos] is the end position of the match, or -1. *)
+
+(** Matches exactly [c]. *)
+val char_ : char -> parser_
+
+(** Matches the literal string. *)
+val tag : string -> parser_
+
+(** [take_while1 pred] consumes a maximal nonempty run. *)
+val take_while1 : (char -> bool) -> parser_
+
+(** [take_while pred] consumes a maximal (possibly empty) run. *)
+val take_while : (char -> bool) -> parser_
+
+(** First alternative that succeeds (ordered choice). *)
+val alt : parser_ list -> parser_
+
+(** Sequencing. *)
+val seq : parser_ list -> parser_
+
+(** Optional. *)
+val opt : parser_ -> parser_
+
+(** [delimited l body r]. *)
+val delimited : parser_ -> parser_ -> parser_ -> parser_
+
+(** Kleene iteration (greedy, possibly zero). *)
+val many : parser_ -> parser_
+
+(** [tokenize rules s ~emit] applies the ordered rule list repeatedly from
+    the current position ([emit pos len rule] per token); stops at the first
+    position where no rule matches nonempty input. Returns the stop
+    position (= length on full success). *)
+val tokenize :
+  (int * parser_) list -> string -> emit:(pos:int -> len:int -> rule:int -> unit) -> int

@@ -1,0 +1,208 @@
+open Comb
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_word c = is_alpha c || is_digit c || c = '_'
+
+let json =
+  let string_body =
+    many
+      (alt
+         [
+           seq [ char_ '\\'; (fun s pos -> if pos < String.length s then pos + 1 else -1) ];
+           take_while1 (fun c -> c <> '"' && c <> '\\');
+         ])
+  in
+  let number =
+    seq
+      [
+        opt (char_ '-');
+        take_while1 is_digit;
+        opt (seq [ char_ '.'; take_while1 is_digit ]);
+        opt
+          (seq
+             [
+               (fun s pos ->
+                 if pos < String.length s && (s.[pos] = 'e' || s.[pos] = 'E')
+                 then pos + 1
+                 else -1);
+               opt
+                 (fun s pos ->
+                   if pos < String.length s && (s.[pos] = '+' || s.[pos] = '-')
+                   then pos + 1
+                   else -1);
+               take_while1 is_digit;
+             ]);
+      ]
+  in
+  [
+    (0, take_while1 is_ws);
+    (1, char_ '{');
+    (2, char_ '}');
+    (3, char_ '[');
+    (4, char_ ']');
+    (5, char_ ':');
+    (6, char_ ',');
+    (7, delimited (char_ '"') string_body (char_ '"'));
+    (8, number);
+    (9, tag "true");
+    (10, tag "false");
+    (11, tag "null");
+  ]
+
+let csv =
+  let quoted =
+    seq
+      [
+        char_ '"';
+        many (alt [ tag "\"\""; take_while1 (fun c -> c <> '"') ]);
+        opt (char_ '"');
+      ]
+  in
+  [
+    (0, char_ ',');
+    (1, seq [ opt (char_ '\r'); char_ '\n' ]);
+    (2, quoted);
+    (3, take_while1 (fun c -> c <> ',' && c <> '"' && c <> '\r' && c <> '\n'));
+  ]
+
+let tsv =
+  [
+    (0, char_ '\t');
+    (1, seq [ opt (char_ '\r'); char_ '\n' ]);
+    (2, take_while1 (fun c -> c <> '\t' && c <> '\r' && c <> '\n'));
+  ]
+
+(* Rule ids follow St_grammars.Formats.linux_log: ws word number punct nl. *)
+let linux_log =
+  [
+    (0, take_while1 (fun c -> c = ' ' || c = '\t'));
+    (1, char_ '\n');
+    ( 2,
+      seq
+        [
+          (fun s pos ->
+            if
+              pos < String.length s
+              && (is_alpha s.[pos] || s.[pos] = '_' || s.[pos] = '/')
+            then pos + 1
+            else -1);
+          take_while (fun c -> is_word c || c = '.' || c = '/' || c = '-');
+        ] );
+    (3, take_while1 is_digit);
+    (4, (fun s pos -> if pos < String.length s && not (is_ws s.[pos]) then pos + 1 else -1));
+  ]
+
+let fasta =
+  [
+    (0, seq [ char_ '>'; take_while (fun c -> c <> '\n') ]);
+    (1, take_while1 (fun c -> is_alpha c || c = '*' || c = '-'));
+    (2, char_ '\n');
+  ]
+
+let yaml =
+  [
+    (0, seq [ char_ '#'; take_while (fun c -> c <> '\n') ]);
+    (1, seq [ opt (char_ '\r'); char_ '\n' ]);
+    (2, take_while1 (fun c -> c = ' '));
+    ( 3,
+      delimited (char_ '"')
+        (many
+           (alt
+              [
+                seq
+                  [
+                    char_ '\\';
+                    (fun s pos -> if pos < String.length s then pos + 1 else -1);
+                  ];
+                take_while1 (fun c -> c <> '"' && c <> '\\');
+              ]))
+        (char_ '"') );
+    ( 4,
+      seq
+        [
+          opt (char_ '-');
+          take_while1 is_digit;
+          opt (seq [ char_ '.'; take_while1 is_digit ]);
+        ] );
+    ( 5,
+      seq
+        [
+          (fun s pos ->
+            if pos < String.length s && (is_alpha s.[pos] || s.[pos] = '_')
+            then pos + 1
+            else -1);
+          take_while (fun c -> is_word c || c = '.' || c = '/');
+        ] );
+    (6, char_ ':');
+    (7, char_ '-');
+    ( 8,
+      (fun s pos ->
+        if pos < String.length s && String.contains "[]{},&*!|>%@`" s.[pos]
+        then pos + 1
+        else -1) );
+  ]
+
+let xml =
+  [
+    (0, seq [ tag "<!--"; (fun s pos ->
+         (* scan to the first "-->" *)
+         let n = String.length s in
+         let rec go i =
+           if i + 2 >= n then -1
+           else if s.[i] = '-' && s.[i + 1] = '-' && s.[i + 2] = '>' then i + 3
+           else go (i + 1)
+         in
+         go pos) ]);
+    (1, seq [ tag "<![CDATA["; (fun s pos ->
+         let n = String.length s in
+         let rec go i =
+           if i + 2 >= n then -1
+           else if s.[i] = ']' && s.[i + 1] = ']' && s.[i + 2] = '>' then i + 3
+           else go (i + 1)
+         in
+         go pos) ]);
+    (2, seq [ tag "<!"; take_while1 (fun c -> c <> '>'); char_ '>' ]);
+    (3, seq [ tag "<?"; (fun s pos ->
+         let n = String.length s in
+         let rec go i =
+           if i + 1 >= n then -1
+           else if s.[i] = '?' && s.[i + 1] = '>' then i + 2
+           else if s.[i] = '>' then -1
+           else go (i + 1)
+         in
+         go pos) ]);
+    (4, seq [ char_ '<'; opt (char_ '/');
+              take_while1 (fun c -> c <> '>' && c <> '<'); char_ '>' ]);
+    (5, seq [ char_ '&'; take_while1 (fun c -> is_word c || c = '#'); char_ ';' ]);
+    (6, char_ '&');
+    (7, take_while1 (fun c -> c <> '<' && c <> '&'));
+  ]
+
+let dns =
+  [
+    (0, seq [ char_ ';'; take_while (fun c -> c <> '\n') ]);
+    (1, take_while1 (fun c -> c = ' ' || c = '\t'));
+    (2, seq [ opt (char_ '\r'); char_ '\n' ]);
+    (3, delimited (char_ '"') (take_while (fun c -> c <> '"')) (char_ '"'));
+    (4, (fun s pos ->
+          if pos < String.length s && (s.[pos] = '(' || s.[pos] = ')') then
+            pos + 1
+          else -1));
+    ( 5,
+      take_while1 (fun c ->
+          is_word c || c = '.' || c = '-' || c = '@' || c = '*' || c = '+'
+          || c = '=' || c = '/' || c = '$') );
+  ]
+
+let by_name = function
+  | "json" -> Some json
+  | "csv" -> Some csv
+  | "tsv" -> Some tsv
+  | "log" -> Some linux_log
+  | "fasta" -> Some fasta
+  | "yaml" -> Some yaml
+  | "xml" -> Some xml
+  | "dns-zone" -> Some dns
+  | _ -> None

@@ -1,0 +1,17 @@
+(** Handwritten combinator tokenizers for the benchmark formats — what a
+    user of a nom-style library would write for CSV/JSON/TSV/logs. Token
+    ids match the rule order of the corresponding grammars in
+    [St_grammars.Formats], so outputs are comparable in tests (for inputs
+    where greedy ordered choice and maximal munch agree). *)
+
+val json : (int * Comb.parser_) list
+val csv : (int * Comb.parser_) list
+val tsv : (int * Comb.parser_) list
+val linux_log : (int * Comb.parser_) list
+val fasta : (int * Comb.parser_) list
+val yaml : (int * Comb.parser_) list
+val xml : (int * Comb.parser_) list
+val dns : (int * Comb.parser_) list
+
+(** Tokenizer by format-grammar name ([St_grammars.Formats] naming). *)
+val by_name : string -> (int * Comb.parser_) list option

@@ -1,0 +1,89 @@
+(** StreamTok: static analysis for efficient streaming tokenization.
+
+    OCaml reproduction of Li, Yang & Mamouras (ASPLOS 2026). The facade
+    re-exports the public API; see the README for a guided tour.
+
+    {1 Quick start}
+
+    {[
+      let grammar = "[0-9]+(\\.[0-9]+)?\n[ \\t\\n]+\n[a-z]+" in
+      match Streamtok.Engine.compile_grammar grammar with
+      | Error Unbounded_tnd -> prerr_endline "grammar needs unbounded lookahead"
+      | Ok engine ->
+          let tokens, outcome = Streamtok.Engine.tokens engine "3.14 foo 42" in
+          ...
+    ]} *)
+
+(** {1 Regular expressions} *)
+
+module Charset = St_regex.Charset
+module Regex = St_regex.Regex
+module Parser = St_regex.Parser
+module Naive = St_regex.Naive
+
+(** {1 Automata} *)
+
+module Nfa = St_automata.Nfa
+module Dfa = St_automata.Dfa
+
+(** {1 Static analysis (paper §4)} *)
+
+module Tnd = St_analysis.Tnd
+module Tnd_brute = St_analysis.Tnd_brute
+module Reduction = St_analysis.Reduction
+
+(** {1 StreamTok (paper §5)} *)
+
+module Engine = St_streamtok.Engine
+module Par_tokenizer = St_parallel.Par_tokenizer
+module Stream_tokenizer = St_streamtok.Stream_tokenizer
+module Engine_io = St_streamtok.Engine_io
+module Te_dfa = St_streamtok.Te_dfa
+
+(** {1 Baseline tokenizers (paper §6)} *)
+
+module Backtracking = St_baselines.Backtracking
+module Flex_model = St_baselines.Flex_model
+module Reps = St_baselines.Reps
+module Ext_oracle = St_baselines.Ext_oracle
+module Greedy = St_baselines.Greedy
+module Comb = St_combinator.Comb
+module Comb_tokenizers = St_combinator.Comb_tokenizers
+
+(** {1 Grammars} *)
+
+module Grammar = St_grammars.Grammar
+module Formats = St_grammars.Formats
+module Logs_grammars = St_grammars.Logs
+module Languages = St_grammars.Languages
+module Extras = St_grammars.Extras
+module Registry = St_grammars.Registry
+
+(** {1 Workload generators} *)
+
+module Gen_data = St_workloads.Gen_data
+module Gen_logs = St_workloads.Gen_logs
+module Worst_case = St_workloads.Worst_case
+module Grammar_corpus = St_workloads.Grammar_corpus
+
+(** {1 Streaming I/O} *)
+
+module Source = St_stream.Source
+module Buffered = St_stream.Buffered
+module Sink = St_stream.Sink
+
+(** {1 Applications (paper RQ5)} *)
+
+module Tokenizer_backend = St_apps.Tokenizer_backend
+module Token_stream = St_apps.Token_stream
+module Log_to_tsv = St_apps.Log_to_tsv
+module Json_apps = St_apps.Json_apps
+module Json_validate = St_apps.Json_validate
+module Csv_apps = St_apps.Csv_apps
+module Sql_apps = St_apps.Sql_apps
+
+(** {1 Utilities} *)
+
+module Prng = St_util.Prng
+module Location = St_util.Location
+module Timer = St_util.Timer

@@ -1,0 +1,1 @@
+lib/grammars/extras.ml: Grammar

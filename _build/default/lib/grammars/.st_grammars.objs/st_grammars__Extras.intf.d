@@ -1,0 +1,1 @@
+lib/grammars/extras.mli: Grammar

@@ -1,0 +1,1 @@
+lib/grammars/formats.ml: Grammar

@@ -1,0 +1,1 @@
+lib/grammars/grammar.ml: Dfa List Nfa Parser St_analysis St_automata St_regex

@@ -1,0 +1,1 @@
+lib/grammars/grammar.mli: Dfa Regex St_analysis St_automata St_regex

@@ -1,0 +1,1 @@
+lib/grammars/languages.ml: Grammar List

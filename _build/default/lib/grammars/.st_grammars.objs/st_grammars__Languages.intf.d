@@ -1,0 +1,1 @@
+lib/grammars/languages.mli: Grammar

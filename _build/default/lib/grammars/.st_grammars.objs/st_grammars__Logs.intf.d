@@ -1,0 +1,1 @@
+lib/grammars/logs.mli: Grammar

@@ -1,0 +1,1 @@
+lib/grammars/registry.ml: Extras Formats Grammar Languages List Logs

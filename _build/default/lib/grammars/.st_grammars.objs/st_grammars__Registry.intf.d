@@ -1,0 +1,1 @@
+lib/grammars/registry.mli: Grammar

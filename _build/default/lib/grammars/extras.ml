@@ -1,0 +1,54 @@
+let ini : Grammar.t =
+  {
+    name = "ini";
+    description = "INI configuration files: sections, key=value, comments";
+    rules =
+      [
+        ("comment", "[;#][^\\n]*");
+        ("section", "\\[[^\\]\\n]*\\]");
+        ("equals", "=");
+        ("ws", "[ \\t]+");
+        ("newline", "\\r?\\n");
+        ("text", "[^=\\n\\r;#\\[\\] \\t][^=\\n\\r;#]*");
+      ];
+  }
+
+(* TOML subset: dotted keys, basic strings, numbers, booleans, arrays,
+   inline tables. Table headers tokenize as bracket/key/dot sequences (a
+   single-token header rule would make the max-TND unbounded, because a
+   bare '[' extends into '[ ... ]' with an arbitrary gap). *)
+let toml : Grammar.t =
+  {
+    name = "toml";
+    description = "TOML subset (tables, key/value, strings, numbers, arrays)";
+    rules =
+      [
+        ("comment", "#[^\\n]*");
+        ("ws", "[ \\t]+");
+        ("newline", "\\r?\\n");
+        ("string", "\"(\\\\.|[^\"\\\\\\n])*\"");
+        ("literal_string", "'[^'\\n]*'");
+        ("bool", "true|false");
+        ("number", "[+-]?[0-9][0-9_]*(\\.[0-9][0-9_]*)?([eE][+-]?[0-9]+)?");
+        ("key", "[A-Za-z0-9_-]+");
+        ("punct", "[=.,{}\\[\\]:]");
+      ];
+  }
+
+let http_headers : Grammar.t =
+  {
+    name = "http-headers";
+    description = "HTTP/1.1 request line and header fields";
+    rules =
+      [
+        ("version", "HTTP/[0-9]\\.[0-9]");
+        ("token", "[!#$%&'*+.^_`|~0-9A-Za-z-]+");
+        ("colon", ":");
+        ("ws", "[ \\t]+");
+        ("newline", "\\r?\\n");
+        ( "value_punct",
+          "[\"(),/:;<=>?@\\[\\]\\\\{}]" );
+      ];
+  }
+
+let all = [ ini; toml; http_headers ]

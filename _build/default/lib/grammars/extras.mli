@@ -1,0 +1,9 @@
+(** Additional format grammars beyond the paper's evaluation set —
+    the kind of configuration and protocol formats users point a lexer
+    generator at. All have bounded max-TND (verified in tests), so
+    StreamTok applies. *)
+
+val ini : Grammar.t
+val toml : Grammar.t
+val http_headers : Grammar.t
+val all : Grammar.t list

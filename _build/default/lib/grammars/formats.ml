@@ -1,0 +1,154 @@
+(* Rule order within each grammar is the maximal-munch tie-breaking
+   priority: more specific rules come first. *)
+
+let json : Grammar.t =
+  {
+    name = "json";
+    description = "JSON (RFC 8259) tokens; max-TND 3 (from number exponents)";
+    rules =
+      [
+        ("ws", "[ \\t\\r\\n]+");
+        ("lbrace", "\\{");
+        ("rbrace", "\\}");
+        ("lbracket", "\\[");
+        ("rbracket", "\\]");
+        ("colon", ":");
+        ("comma", ",");
+        ("string", "\"(\\\\.|[^\"\\\\])*\"");
+        ("number", "-?[0-9]+(\\.[0-9]+)?([eE][+-]?[0-9]+)?");
+        ("true", "true");
+        ("false", "false");
+        ("null", "null");
+      ];
+  }
+
+(* Streaming-friendly CSV variant (paper §6 RQ1): the closing quote of a
+   quoted field is optional, which brings the max-TND down to 1; quoted
+   fields are checked for well-formedness (even number of quotes)
+   downstream, in lib/apps. *)
+let csv : Grammar.t =
+  {
+    name = "csv";
+    description = "CSV, streaming variant with optional closing quote";
+    rules =
+      [
+        ("comma", ",");
+        ("newline", "\\r?\\n");
+        ("quoted", "\"([^\"]|\"\")*\"?");
+        ("field", "[^,\"\\r\\n]+");
+      ];
+  }
+
+(* RFC 4180 CSV: the strict closing quote makes the max-TND unbounded —
+   after a closing quote, a doubled quote re-opens the field and the gap to
+   the next quote is arbitrary ("x" -> "x""yyyy…y"). *)
+let csv_rfc : Grammar.t =
+  {
+    name = "csv-rfc4180";
+    description = "CSV per RFC 4180 (unbounded max-TND)";
+    rules =
+      [
+        ("comma", ",");
+        ("newline", "\\r?\\n");
+        ("quoted", "\"([^\"]|\"\")*\"");
+        ("field", "[^,\"\\r\\n]+");
+      ];
+  }
+
+let tsv : Grammar.t =
+  {
+    name = "tsv";
+    description = "Tab-separated values (IANA text/tab-separated-values)";
+    rules =
+      [
+        ("tab", "\\t");
+        ("newline", "\\r?\\n");
+        ("field", "[^\\t\\r\\n]+");
+      ];
+  }
+
+(* XML subset. Entity lengths are bounded (real entities are short), which
+   keeps the max-TND finite: the worst neighbor pair is a bare '&' (lenient
+   recovery rule) extended to a full entity reference, distance 6. *)
+let xml : Grammar.t =
+  {
+    name = "xml";
+    description = "XML subset: tags, comments, CDATA, PIs, entities, text";
+    rules =
+      [
+        ("comment", "<!--([^-]|-[^-])*-->");
+        ("cdata", "<!\\[CDATA\\[[^\\]]*\\]\\]>");
+        ("decl", "<![A-Za-z][^>]*>");
+        ("pi", "<\\?[^>]*\\?>");
+        ("tag", "</?[A-Za-z_][A-Za-z0-9_.:\\-]*([ \\t\\r\\n][^<>]*)?/?>");
+        ("entity", "&[a-zA-Z]{1,5};|&#[0-9]{1,4};|&#x[0-9a-fA-F]{1,3};");
+        ("amp", "&");
+        ("text", "[^<&]+");
+      ];
+  }
+
+(* YAML subset: block-style documents with scalars, flow punctuation and
+   comments. Single-quoted strings are omitted because their
+   quote-doubling escape is the CSV-RFC pattern that makes max-TND
+   unbounded; generated workloads use double-quoted strings. *)
+let yaml : Grammar.t =
+  {
+    name = "yaml";
+    description = "YAML subset (block style, double-quoted strings)";
+    rules =
+      [
+        ("comment", "#[^\\n]*");
+        ("newline", "\\r?\\n");
+        ("spaces", "[ ]+");
+        ("string", "\"(\\\\.|[^\"\\\\])*\"");
+        ("number", "-?[0-9]+(\\.[0-9]+)?");
+        ("scalar", "[A-Za-z_][A-Za-z0-9_./]*");
+        ("colon", ":");
+        ("dash", "-");
+        ("punct", "[\\[\\]\\{\\},&\\*!\\|>%@`]");
+      ];
+  }
+
+let fasta : Grammar.t =
+  {
+    name = "fasta";
+    description = "FASTA sequence files: headers and residue lines";
+    rules =
+      [
+        ("header", ">[^\\n]*");
+        ("sequence", "[A-Za-z\\*\\-]+");
+        ("newline", "\\n");
+      ];
+  }
+
+let dns : Grammar.t =
+  {
+    name = "dns-zone";
+    description = "DNS zone files (RFC 1035/4034 presentation format)";
+    rules =
+      [
+        ("comment", ";[^\\n]*");
+        ("ws", "[ \\t]+");
+        ("newline", "\\r?\\n");
+        ("string", "\"[^\"]*\"");
+        ("paren", "[()]");
+        ("name", "[A-Za-z0-9_.\\-@\\*\\+=/$]+");
+      ];
+  }
+
+let linux_log : Grammar.t =
+  {
+    name = "log";
+    description = "Linux /var/log-style text logs";
+    rules =
+      [
+        ("ws", "[ \\t]+");
+        ("newline", "\\n");
+        ("word", "[A-Za-z_/][A-Za-z0-9_./\\-]*");
+        ("number", "[0-9]+");
+        ("punct", "[\\[\\]():=,<>\\+#\"'\\*;\\?!$%&\\{\\}\\|\\^~`\\\\@.\\-]");
+      ];
+  }
+
+let benchmark_formats = [ csv; json; tsv; linux_log; fasta; yaml; xml; dns ]
+let all = [ json; csv; csv_rfc; tsv; xml; yaml; fasta; dns; linux_log ]

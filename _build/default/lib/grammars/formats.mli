@@ -1,0 +1,27 @@
+(** Tokenization grammars for the data exchange formats of the paper's
+    evaluation (Table 1, Figs. 9–11, RQ5, RQ6).
+
+    Expected max-TND values (verified by the test suite):
+    - {!json} 3, {!csv} 1, {!tsv} 1, {!xml} bounded, {!yaml} 2,
+      {!fasta} 1, {!dns} 1, {!linux_log} 1
+    - {!csv_rfc} is the RFC 4180 variant whose strict closing quote makes
+      the max-TND unbounded (§6 RQ1 of the paper explains why; the
+      streaming-friendly {!csv} makes the closing quote optional and checks
+      well-formedness of quoted fields downstream). *)
+
+val json : Grammar.t
+val csv : Grammar.t
+val csv_rfc : Grammar.t
+val tsv : Grammar.t
+val xml : Grammar.t
+val yaml : Grammar.t
+val fasta : Grammar.t
+val dns : Grammar.t
+val linux_log : Grammar.t
+
+(** The formats benchmarked in Figs. 9/10 and RQ6, in presentation order:
+    csv, json, tsv, log, fasta, yaml, xml, dns. *)
+val benchmark_formats : Grammar.t list
+
+(** All grammars in this module. *)
+val all : Grammar.t list

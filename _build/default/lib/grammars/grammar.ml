@@ -1,0 +1,23 @@
+open St_regex
+open St_automata
+
+type t = {
+  name : string;
+  description : string;
+  rules : (string * string) list;
+}
+
+let rules g = List.map (fun (_, src) -> Parser.parse src) g.rules
+
+let rule_id g name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (n, _) :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 g.rules
+
+let rule_name g i = fst (List.nth g.rules i)
+let num_rules g = List.length g.rules
+let nfa_size g = (Nfa.of_rules (rules g)).Nfa.num_states
+let dfa g = Dfa.of_rules (rules g)
+let tnd g = St_analysis.Tnd.max_tnd (dfa g)

@@ -1,0 +1,34 @@
+(** Named tokenization grammars.
+
+    A grammar is an ordered list of named rules; the order is the
+    maximal-munch tie-breaking priority. Rule names give downstream
+    applications (lib/apps) a stable way to interpret token ids. *)
+
+open St_regex
+open St_automata
+
+type t = {
+  name : string;
+  description : string;
+  rules : (string * string) list;
+      (** (rule name, regex source); priority = list order *)
+}
+
+(** Parsed rules, in priority order. Raises {!St_regex.Parser.Error} on a
+    malformed rule (all shipped grammars are covered by tests). *)
+val rules : t -> Regex.t list
+
+(** Rule id of the rule with the given name. Raises [Not_found]. *)
+val rule_id : t -> string -> int
+
+val rule_name : t -> int -> string
+val num_rules : t -> int
+
+(** Thompson NFA size (the "NFA/Grammar size" column of Table 1). *)
+val nfa_size : t -> int
+
+(** Minimized tokenization DFA. *)
+val dfa : t -> Dfa.t
+
+(** Max-TND of the grammar (runs the static analysis). *)
+val tnd : t -> St_analysis.Tnd.result

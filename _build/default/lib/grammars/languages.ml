@@ -1,0 +1,134 @@
+let keyword_rules words = List.map (fun w -> ("kw_" ^ w, w)) words
+
+let c : Grammar.t =
+  {
+    name = "c";
+    description = "C11 tokens (keywords, literals, operators, comments)";
+    rules =
+      [
+        ("ws", "[ \\t\\r\\n]+");
+        ("line_comment", "//[^\\n]*");
+        ("block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/");
+        ("pp_directive", "#[ \\t]*[a-z]+");
+      ]
+      @ keyword_rules
+          [
+            "auto"; "break"; "case"; "char"; "const"; "continue"; "default";
+            "do"; "double"; "else"; "enum"; "extern"; "float"; "for"; "goto";
+            "if"; "inline"; "int"; "long"; "register"; "restrict"; "return";
+            "short"; "signed"; "sizeof"; "static"; "struct"; "switch";
+            "typedef"; "union"; "unsigned"; "void"; "volatile"; "while";
+          ]
+      @ [
+          ("identifier", "[A-Za-z_][A-Za-z0-9_]*");
+          ( "float_lit",
+            "([0-9]+\\.[0-9]*|\\.[0-9]+)([eE][+-]?[0-9]+)?[fFlL]?|[0-9]+[eE][+-]?[0-9]+[fFlL]?"
+          );
+          ( "int_lit",
+            "(0[xX][0-9a-fA-F]+|0[0-7]*|[1-9][0-9]*)([uU][lL]{0,2}|[lL]{1,2}[uU]?)?"
+          );
+          ("char_lit", "'(\\\\.|[^'\\\\\\n])+'");
+          ("string_lit", "\"(\\\\.|[^\"\\\\\\n])*\"");
+          ("ellipsis", "\\.\\.\\.");
+          ("shift_assign", "<<=|>>=");
+          ( "op2",
+            "->|\\+\\+|--|<<|>>|<=|>=|==|!=|&&|\\|\\||\\+=|-=|\\*=|/=|%=|&=|\\^=|\\|=|##"
+          );
+          ("punct", "[\\[\\](){}.,;:?~!%^&*+\\-/<>=|#]");
+        ];
+  }
+
+let r : Grammar.t =
+  {
+    name = "r";
+    description = "R tokens (incl. raw strings, %infix% operators)";
+    rules =
+      [
+        ("ws", "[ \\t\\r\\n]+");
+        ("comment", "#[^\\n]*");
+        ("raw_string", "[rR]\"\\([^)]*\\)\"|[rR]'\\([^)]*\\)'");
+      ]
+      @ keyword_rules
+          [
+            "if"; "else"; "repeat"; "while"; "function"; "for"; "in"; "next";
+            "break"; "TRUE"; "FALSE"; "NULL"; "Inf"; "NaN"; "NA"; "NA_integer_";
+            "NA_real_"; "NA_character_";
+          ]
+      @ [
+          ("identifier", "[A-Za-z.][A-Za-z0-9._]*");
+          ("backtick_id", "`[^`\\n]+`");
+          ( "number",
+            "(0[xX][0-9a-fA-F]+|[0-9]+(\\.[0-9]*)?([eE][+-]?[0-9]+)?|\\.[0-9]+([eE][+-]?[0-9]+)?)[Li]?"
+          );
+          ("string2", "\"(\\\\.|[^\"\\\\])*\"");
+          ("string1", "'(\\\\.|[^'\\\\])*'");
+          ("infix_op", "%[^%\\n]*%");
+          ("arrow", "<<-|->>|<-|->");
+          ("op2", "<=|>=|==|!=|&&|\\|\\||::|:::|\\.\\.\\.|\\$|@");
+          ("punct", "[\\[\\](){},;:?!^~*+\\-/<>=|&]");
+        ];
+  }
+
+let sql : Grammar.t =
+  {
+    name = "sql";
+    description = "SQL tokens (keywords, literals with '' escapes, comments)";
+    rules =
+      [
+        ("ws", "[ \\t\\r\\n]+");
+        ("line_comment", "--[^\\n]*");
+        ("block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/");
+      ]
+      @ keyword_rules
+          [
+            "SELECT"; "FROM"; "WHERE"; "INSERT"; "INTO"; "VALUES"; "UPDATE";
+            "SET"; "DELETE"; "CREATE"; "TABLE"; "DROP"; "ALTER"; "ADD";
+            "COLUMN"; "INDEX"; "VIEW"; "JOIN"; "INNER"; "LEFT"; "RIGHT";
+            "OUTER"; "FULL"; "CROSS"; "ON"; "USING"; "GROUP"; "BY"; "HAVING";
+            "ORDER"; "ASC"; "DESC"; "LIMIT"; "OFFSET"; "UNION"; "ALL";
+            "DISTINCT"; "AS"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "IN";
+            "BETWEEN"; "LIKE"; "EXISTS"; "CASE"; "WHEN"; "THEN"; "ELSE";
+            "END"; "CAST"; "PRIMARY"; "FOREIGN"; "KEY"; "REFERENCES";
+            "UNIQUE"; "CHECK"; "DEFAULT"; "CONSTRAINT"; "INTEGER"; "VARCHAR";
+            "TEXT"; "BOOLEAN"; "DATE"; "TIMESTAMP"; "DECIMAL"; "BEGIN";
+            "COMMIT"; "ROLLBACK"; "TRANSACTION";
+          ]
+      @ [
+          ("identifier", "[A-Za-z_][A-Za-z0-9_$]*");
+          ("quoted_id", "\"([^\"]|\"\")*\"");
+          ("string", "'([^']|'')*'");
+          ( "number",
+            "[0-9]+(\\.[0-9]*)?([eE][+-]?[0-9]+)?|\\.[0-9]+([eE][+-]?[0-9]+)?"
+          );
+          ("param", "[:$][A-Za-z0-9_]+|\\?");
+          ("op2", "<>|<=|>=|!=|\\|\\||:=");
+          ("punct", "[\\[\\](){},;.*+\\-/<>=%^&|~]");
+        ];
+  }
+
+(* Bounded SQL subset for the "JSON to SQL" / "SQL loads" applications of
+   RQ5: only what INSERT migration files need. The closing quote of string
+   literals is optional (the CSV trick from §6 RQ1), which makes the
+   max-TND bounded so StreamTok applies; well-formedness of strings is
+   checked downstream. *)
+let sql_insert : Grammar.t =
+  {
+    name = "sql-insert";
+    description = "SQL INSERT-statement subset with bounded max-TND";
+    rules =
+      [
+        ("ws", "[ \\t\\r\\n]+");
+        ("kw_insert", "INSERT");
+        ("kw_into", "INTO");
+        ("kw_values", "VALUES");
+        ("kw_null", "NULL");
+        ("kw_true", "TRUE");
+        ("kw_false", "FALSE");
+        ("identifier", "[A-Za-z_][A-Za-z0-9_]*");
+        ("string", "'([^'\\r\\n]|'')*'?");
+        ("number", "-?[0-9]+(\\.[0-9]+)?");
+        ("punct", "[(),;.*=]");
+      ];
+  }
+
+let all = [ c; r; sql ]

@@ -1,0 +1,26 @@
+(** Tokenization grammars for programming/query languages (Table 1).
+
+    All three have {e unbounded} max-TND, each for a classic reason:
+    - {!c}: [/] (division) is a token and [/*…*/] (comment) is a token —
+      the gap between them is the comment body, which is arbitrary;
+    - {!r}: the identifier [r] is a token and R ≥ 4.0 raw strings
+      [r"(…)"] are tokens with arbitrary bodies;
+    - {!sql}: after the closing quote of a string literal, a doubled
+      quote re-opens it ([''] escaping), so ['x'] extends to ['x''yy…y']
+      with arbitrary gap — and [-] (minus) extends into [--comment].
+
+    Per the paper, these are analyzed (Table 1) but not used in the
+    streaming benchmarks: program sources are small files that do not need
+    streaming tokenization. *)
+
+val c : Grammar.t
+val r : Grammar.t
+val sql : Grammar.t
+
+(** Bounded-TND SQL subset (INSERT statements only) used by the RQ5
+    "JSON to SQL" and "SQL loads" applications; string literals get the
+    optional-closing-quote treatment so StreamTok applies. Not part of
+    {!all} (Table 1 reports the full grammars). *)
+val sql_insert : Grammar.t
+
+val all : Grammar.t list

@@ -1,0 +1,92 @@
+(* Shared rule fragments. Numbers are plain integer runs and timestamps,
+   versions and IPv4 addresses tokenize as number/punctuation alternations —
+   this keeps the max-TND of the log grammars at 1 (paper RQ1), and the
+   log-to-TSV application reassembles fields from adjacent tokens, so the
+   output is unaffected. *)
+
+let ws = ("ws", "[ \\t]+")
+let newline = ("newline", "\\n")
+let number = ("number", "[0-9]+")
+let word = ("word", "[A-Za-z_][A-Za-z0-9_$]*")
+
+let level =
+  ( "level",
+    "INFO|WARN|WARNING|ERROR|DEBUG|FATAL|TRACE|NOTICE|VERBOSE|CRITICAL" )
+
+let path = ("path", "/[A-Za-z0-9_.\\-/]*")
+
+let punct chars = ("punct", "[" ^ chars ^ "]")
+
+let make name description extra_rules punct_chars : Grammar.t =
+  {
+    Grammar.name;
+    description;
+    rules =
+      extra_rules
+      @ [ level; word; number; ws; newline; punct punct_chars ];
+  }
+
+let android =
+  make "android" "Android logcat: 'MM-DD HH:MM:SS.mmm PID TID L Tag: msg'"
+    []
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*/\\\\|~^`$"
+
+let apache =
+  make "apache" "Apache HTTP error log: '[Day Mon DD HH:MM:SS YYYY] [lvl] msg'"
+    [ path ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$_"
+
+let bgl =
+  make "bgl" "Blue Gene/L RAS log: '- TS date node RAS KERNEL lvl msg'"
+    [ ("hex", "0x[0-9a-fA-F]+"); ("node", "[A-Z][0-9]+(-[A-Z][0-9]+)+") ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*/\\\\|~^`$_"
+
+let hadoop =
+  make "hadoop" "Hadoop daemon log: 'YYYY-MM-DD HH:MM:SS,mmm LEVEL [x] cls: msg'"
+    []
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*/\\\\|~^`$"
+
+let hdfs =
+  make "hdfs" "HDFS datanode log with block ids"
+    [ ("block", "blk_-?[0-9]+"); path ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$_"
+
+let linux =
+  make "linux" "Linux syslog: 'Mon DD HH:MM:SS host proc[pid]: msg'"
+    [ path ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$_"
+
+let mac =
+  make "mac" "macOS system.log"
+    [ path ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$"
+
+let nginx =
+  make "nginx" "Nginx access log (combined format)"
+    [ path; ("quoted", "\"(\\\\.|[^\"\\\\])*\"") ]
+    ":\\-()\\[\\]{}=,@.#'<>+!?;%&\\*\\\\|~^`$_"
+
+let openssh =
+  make "openssh" "OpenSSH auth log"
+    [ path ] ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$_"
+
+let proxifier =
+  make "proxifier" "Proxifier connection log: 'host:port through proxy'"
+    []
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*/\\\\|~^`$_"
+
+let spark =
+  make "spark" "Spark executor log"
+    [ path ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*\\\\|~^`$"
+
+let windows =
+  make "windows" "Windows CBS log: 'YYYY-MM-DD HH:MM:SS, Level Comp Msg'"
+    [ ("winpath", "[A-Za-z]:\\\\[A-Za-z0-9_.\\\\\\-]*") ]
+    ":\\-()\\[\\]{}=,@.#'\"<>+!?;%&\\*/|~^`$_"
+
+let all =
+  [
+    android; apache; bgl; hadoop; hdfs; linux; mac; nginx; openssh; proxifier;
+    spark; windows;
+  ]

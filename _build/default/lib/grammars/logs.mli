@@ -1,0 +1,23 @@
+(** Handcrafted tokenization grammars for the log formats of Table 2
+    (LogHub / Kaggle formats in the paper; here paired with the seeded
+    generators in [lib/workloads/gen_logs.ml]).
+
+    All have bounded max-TND ≤ 3 — timestamps and compound fields are
+    tokenized as number/punctuation sequences (reassembled downstream),
+    which is what keeps log grammars streaming-friendly (paper RQ1/RQ5). *)
+
+val android : Grammar.t
+val apache : Grammar.t
+val bgl : Grammar.t
+val hadoop : Grammar.t
+val hdfs : Grammar.t
+val linux : Grammar.t
+val mac : Grammar.t
+val nginx : Grammar.t
+val openssh : Grammar.t
+val proxifier : Grammar.t
+val spark : Grammar.t
+val windows : Grammar.t
+
+(** The 12 formats in Table 2 order. *)
+val all : Grammar.t list

@@ -1,0 +1,7 @@
+let all =
+  Formats.all @ Logs.all @ Languages.all @ [ Languages.sql_insert ] @ Extras.all
+
+let find name =
+  List.find_opt (fun g -> g.Grammar.name = name) all
+
+let names () = List.map (fun g -> g.Grammar.name) all

@@ -1,0 +1,8 @@
+(** All shipped grammars, for the CLI and the test suite. *)
+
+val all : Grammar.t list
+
+(** Look up a grammar by its [name] field. *)
+val find : string -> Grammar.t option
+
+val names : unit -> string list

@@ -1,0 +1,1 @@
+lib/parallel/par_tokenizer.ml: Array Domain Engine St_streamtok St_util String

@@ -1,0 +1,1 @@
+lib/parallel/par_tokenizer.mli: Engine St_streamtok

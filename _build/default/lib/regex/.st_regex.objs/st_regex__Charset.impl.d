@@ -1,0 +1,1 @@
+lib/regex/charset.ml: Buffer Char Format Int64 List Printf Stdlib String

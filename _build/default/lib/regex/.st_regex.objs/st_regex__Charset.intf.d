@@ -1,0 +1,1 @@
+lib/regex/charset.mli: Format

@@ -1,0 +1,1 @@
+lib/regex/naive.ml: Charset List Regex String

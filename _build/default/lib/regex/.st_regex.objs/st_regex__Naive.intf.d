@@ -1,0 +1,1 @@
+lib/regex/naive.mli: Regex

@@ -1,0 +1,1 @@
+lib/regex/parser.ml: Char Charset List Printf Regex String

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Buffer Char Charset Format List Printf Stdlib String

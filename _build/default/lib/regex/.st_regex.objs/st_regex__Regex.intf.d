@@ -1,0 +1,1 @@
+lib/regex/regex.mli: Charset Format

@@ -1,0 +1,49 @@
+let rec deriv r c =
+  match r with
+  | Regex.Eps -> Regex.empty
+  | Regex.Cls s -> if Charset.mem s c then Regex.eps else Regex.empty
+  | Regex.Alt (a, b) -> Regex.alt (deriv a c) (deriv b c)
+  | Regex.Seq (a, b) ->
+      let da_b = Regex.seq (deriv a c) b in
+      if Regex.nullable a then Regex.alt da_b (deriv b c) else da_b
+  | Regex.Star a -> Regex.seq (deriv a c) (Regex.star a)
+
+let matches r s =
+  let rec go r i =
+    if i >= String.length s then Regex.nullable r
+    else if Regex.is_empty_lang r then false
+    else go (deriv r s.[i]) (i + 1)
+  in
+  go r 0
+
+let longest_match rules s =
+  let n = String.length s in
+  let best = ref None in
+  List.iteri
+    (fun rule r ->
+      let rec go r i =
+        if Regex.is_empty_lang r then ()
+        else begin
+          if i > 0 && Regex.nullable r then begin
+            match !best with
+            | Some (len, brule) when len > i || (len = i && brule <= rule) ->
+                ()
+            | _ -> best := Some (i, rule)
+          end;
+          if i < n then go (deriv r s.[i]) (i + 1)
+        end
+      in
+      go r 0)
+    rules;
+  !best
+
+let tokens rules s =
+  let rec go i acc =
+    if i >= String.length s then List.rev acc
+    else
+      let suffix = String.sub s i (String.length s - i) in
+      match longest_match rules suffix with
+      | None -> List.rev acc
+      | Some (len, rule) -> go (i + len) ((String.sub s i len, rule) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,21 @@
+(** Reference regex semantics via Brzozowski derivatives.
+
+    This module is deliberately simple and obviously correct; it is the
+    ground truth against which the automata pipeline is differentially
+    tested. It is not used on any hot path. *)
+
+(** [deriv r c] is the Brzozowski derivative c⁻¹L(r). *)
+val deriv : Regex.t -> char -> Regex.t
+
+(** [matches r s] iff s ∈ L(r). *)
+val matches : Regex.t -> string -> bool
+
+(** [longest_match rules s] returns [Some (len, rule)] for the longest
+    nonempty prefix of [s] matching some rule, preferring the least rule
+    index on ties — i.e. the paper's [token(r̄)] function — or [None]. *)
+val longest_match : Regex.t list -> string -> (int * int) option
+
+(** [tokens rules s] is the paper's [tokens(r̄)(s)]: the maximal-munch
+    token list [(lexeme, rule)], stopping at the first untokenizable
+    position. Quadratic; test use only. *)
+val tokens : Regex.t list -> string -> (string * int) list

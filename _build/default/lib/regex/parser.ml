@@ -1,0 +1,228 @@
+exception Error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* Returns either a single character or a character class for an escape
+   sequence; the leading backslash has been consumed. *)
+let parse_escape st =
+  match peek st with
+  | None -> error st "dangling backslash"
+  | Some c -> (
+      advance st;
+      match c with
+      | 'n' -> `Char '\n'
+      | 't' -> `Char '\t'
+      | 'r' -> `Char '\r'
+      | 'f' -> `Char '\x0c'
+      | 'v' -> `Char '\x0b'
+      | '0' -> `Char '\x00'
+      | 'a' -> `Char '\x07'
+      | 'e' -> `Char '\x1b'
+      | 'd' -> `Set Charset.digit
+      | 'D' -> `Set (Charset.negate Charset.digit)
+      | 'w' -> `Set Charset.word
+      | 'W' -> `Set (Charset.negate Charset.word)
+      | 's' -> `Set Charset.space
+      | 'S' -> `Set (Charset.negate Charset.space)
+      | 'x' -> (
+          match (peek st, st.pos + 1 < String.length st.src) with
+          | Some h1, true ->
+              let h2 = st.src.[st.pos + 1] in
+              let v1 = hex_value h1 and v2 = hex_value h2 in
+              if v1 < 0 || v2 < 0 then error st "invalid \\x escape"
+              else begin
+                advance st;
+                advance st;
+                `Char (Char.chr ((v1 * 16) + v2))
+              end
+          | _ -> error st "truncated \\x escape")
+      | c -> `Char c)
+
+(* Character class body, after '['. *)
+let parse_class st =
+  let negated =
+    match peek st with
+    | Some '^' ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let set = ref Charset.empty in
+  let add_set s = set := Charset.union !set s in
+  (* A ']' immediately after '[' or '[^' is a literal, per PCRE. *)
+  let first_item = ref true in
+  let rec item () =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some ']' when not !first_item ->
+        advance st
+    | Some c ->
+        first_item := false;
+        let lo =
+          match c with
+          | '\\' ->
+              advance st;
+              parse_escape st
+          | c ->
+              advance st;
+              `Char c
+        in
+        (match lo with
+        | `Set s ->
+            add_set s
+        | `Char lo_c -> (
+            (* Possible range lo-hi; '-' followed by ']' is literal. *)
+            match peek st with
+            | Some '-'
+              when st.pos + 1 < String.length st.src
+                   && st.src.[st.pos + 1] <> ']' -> (
+                advance st;
+                let hi =
+                  match peek st with
+                  | Some '\\' ->
+                      advance st;
+                      parse_escape st
+                  | Some c ->
+                      advance st;
+                      `Char c
+                  | None -> error st "unterminated range"
+                in
+                match hi with
+                | `Char hi_c ->
+                    if Char.code lo_c > Char.code hi_c then
+                      error st "invalid range (lo > hi)"
+                    else add_set (Charset.range lo_c hi_c)
+                | `Set _ -> error st "class escape cannot end a range")
+            | _ -> add_set (Charset.singleton lo_c)));
+        item ()
+  in
+  item ();
+  if negated then Charset.negate !set else !set
+
+let parse_int st =
+  let start = st.pos in
+  let rec go acc =
+    match peek st with
+    | Some ('0' .. '9' as c) ->
+        advance st;
+        go ((acc * 10) + (Char.code c - Char.code '0'))
+    | _ -> if st.pos = start then error st "expected integer" else acc
+  in
+  go 0
+
+(* Grammar:
+   alt    ::= seq ('|' seq)*
+   seq    ::= postfix*
+   postfix::= atom ('*' | '+' | '?' | '{m}' | '{m,n}' | '{m,}')*
+   atom   ::= char | '.' | class | escape | '(' alt? ')' *)
+
+let rec parse_alt st =
+  let left = parse_seq st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Regex.alt left (parse_alt st)
+  | _ -> left
+
+and parse_seq st =
+  let rec go acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> acc
+    | _ -> go (Regex.seq acc (parse_postfix st))
+  in
+  go Regex.eps
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec go r =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        go (Regex.star r)
+    | Some '+' ->
+        advance st;
+        go (Regex.plus r)
+    | Some '?' ->
+        advance st;
+        go (Regex.opt r)
+    | Some '{' ->
+        advance st;
+        let m = parse_int st in
+        let r' =
+          match peek st with
+          | Some '}' -> Regex.repeat_exact r m
+          | Some ',' -> (
+              advance st;
+              match peek st with
+              | Some '}' -> Regex.seq (Regex.repeat_exact r m) (Regex.star r)
+              | _ ->
+                  let n = parse_int st in
+                  if n < m then error st "repetition bound m > n"
+                  else Regex.repeat r m n)
+          | _ -> error st "malformed repetition"
+        in
+        expect st '}';
+        go r'
+    | _ -> r
+  in
+  go atom
+
+and parse_atom st =
+  match peek st with
+  | None -> error st "expected atom"
+  | Some '(' -> (
+      advance st;
+      match peek st with
+      | Some ')' ->
+          advance st;
+          Regex.eps
+      | _ ->
+          let r = parse_alt st in
+          expect st ')';
+          r)
+  | Some '[' ->
+      advance st;
+      Regex.cls (parse_class st)
+  | Some '.' ->
+      advance st;
+      Regex.cls Charset.any
+  | Some '\\' -> (
+      advance st;
+      match parse_escape st with
+      | `Char c -> Regex.chr c
+      | `Set s -> Regex.cls s)
+  | Some (('*' | '+' | '?' | '{' | '}' | ')' | '|' | ']') as c) ->
+      error st (Printf.sprintf "unexpected '%c'" c)
+  | Some c ->
+      advance st;
+      Regex.chr c
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let r = parse_alt st in
+  if st.pos < String.length src then error st "trailing input" else r
+
+let parse_grammar src =
+  let lines = String.split_on_char '\n' src in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None else Some (parse line))
+    lines

@@ -1,0 +1,25 @@
+(** Parser for the PCRE-subset regex syntax used by tokenization grammars.
+
+    Supported syntax:
+    - literals, with escapes [\n \t \r \\ \xHH] and escaped metacharacters
+    - character classes [[...]] with ranges, negation [[^...]], and the
+      class escapes [\d \w \s \D \W \S] (inside and outside classes)
+    - [.] (any byte except newline), [()] grouping, [()] as ε
+    - choice [|], Kleene star [*], plus [+], option [?]
+    - bounded repetition [{m}], [{m,n}], [{m,}] (the latter expands to
+      r^m followed by a star); bounded repetition is an abbreviation, as in
+      the paper.
+
+    Anchors, backreferences and lookaround are intentionally not supported:
+    the paper's tokenization grammars use the classical constructs only. *)
+
+exception Error of string * int
+(** [Error (message, position)] on malformed input. *)
+
+(** Parse a single regular expression. *)
+val parse : string -> Regex.t
+
+(** Parse a tokenization grammar: one rule per line; blank lines and lines
+    starting with [#] are ignored. Rule order is the paper's tie-breaking
+    priority. *)
+val parse_grammar : string -> Regex.t list

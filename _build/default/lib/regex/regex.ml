@@ -1,0 +1,136 @@
+type t =
+  | Eps
+  | Cls of Charset.t
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+let eps = Eps
+let empty = Cls Charset.empty
+let cls c = Cls c
+let chr c = Cls (Charset.singleton c)
+
+let rec is_empty_lang = function
+  | Eps -> false
+  | Cls c -> Charset.is_empty c
+  | Alt (a, b) -> is_empty_lang a && is_empty_lang b
+  | Seq (a, b) -> is_empty_lang a || is_empty_lang b
+  | Star _ -> false
+
+let alt a b =
+  match (a, b) with
+  | Cls x, Cls y when not (Charset.is_empty x || Charset.is_empty y) ->
+      Cls (Charset.union x y)
+  | a, b ->
+      if is_empty_lang a then b
+      else if is_empty_lang b then a
+      else if a = b then a (* keeps derivative towers from duplicating *)
+      else Alt (a, b)
+
+let seq a b =
+  match (a, b) with
+  | Eps, r | r, Eps -> r
+  | a, b -> if is_empty_lang a || is_empty_lang b then empty else Seq (a, b)
+
+let star r =
+  match r with
+  | Eps -> Eps
+  | Star _ -> r
+  | r -> if is_empty_lang r then Eps else Star r
+
+let alt_list = function
+  | [] -> empty
+  | r :: rest -> List.fold_left alt r rest
+
+let seq_list = function [] -> Eps | r :: rest -> List.fold_left seq r rest
+
+let str s =
+  seq_list (List.init (String.length s) (fun i -> chr s.[i]))
+
+let plus r = seq r (star r)
+let opt r = if is_empty_lang r then Eps else alt r Eps
+
+let repeat_exact r n =
+  assert (n >= 0);
+  seq_list (List.init n (fun _ -> r))
+
+let repeat r m n =
+  assert (0 <= m && m <= n);
+  seq (repeat_exact r m) (repeat_exact (opt r) (n - m))
+
+let rec nullable = function
+  | Eps -> true
+  | Cls _ -> false
+  | Alt (a, b) -> nullable a || nullable b
+  | Seq (a, b) -> nullable a && nullable b
+  | Star _ -> true
+
+let rec first = function
+  | Eps -> Charset.empty
+  | Cls c -> c
+  | Alt (a, b) -> Charset.union (first a) (first b)
+  | Seq (a, b) ->
+      if nullable a then Charset.union (first a) (first b) else first a
+  | Star r -> first r
+
+let rec size = function
+  | Eps -> 1
+  | Cls _ -> 1
+  | Alt (a, b) | Seq (a, b) -> 1 + size a + size b
+  | Star r -> 1 + size r
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+(* Printing: precedence levels are alt(0) < seq(1) < postfix(2) < atom(3). *)
+
+let escape_atom_char buf c =
+  match c with
+  | '\\' | '|' | '(' | ')' | '[' | ']' | '*' | '+' | '?' | '{' | '}' | '.'
+  | '^' | '$' ->
+      Buffer.add_char buf '\\';
+      Buffer.add_char buf c
+  | '\n' -> Buffer.add_string buf "\\n"
+  | '\t' -> Buffer.add_string buf "\\t"
+  | '\r' -> Buffer.add_string buf "\\r"
+  | c when Char.code c < 32 || Char.code c > 126 ->
+      Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+  | c -> Buffer.add_char buf c
+
+let to_string r =
+  let buf = Buffer.create 64 in
+  let rec go level r =
+    let paren need body =
+      if level > need then begin
+        Buffer.add_char buf '(';
+        body ();
+        Buffer.add_char buf ')'
+      end
+      else body ()
+    in
+    match r with
+    | Eps -> Buffer.add_string buf "()"
+    | Cls c when Charset.is_empty c -> Buffer.add_string buf "[^\\x00-\\xff]"
+    | Cls c when Charset.cardinal c = 1 -> (
+        match Charset.choose c with
+        | Some ch -> escape_atom_char buf ch
+        | None -> assert false)
+    | Cls c -> Buffer.add_string buf (Charset.to_string c)
+    | Alt (a, b) ->
+        paren 0 (fun () ->
+            go 0 a;
+            Buffer.add_char buf '|';
+            go 0 b)
+    | Seq (a, b) ->
+        paren 1 (fun () ->
+            go 1 a;
+            go 2 b)
+    | Star r ->
+        paren 2 (fun () ->
+            go 3 r;
+            Buffer.add_char buf '*')
+  in
+  go 0 r;
+  Buffer.contents buf
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,69 @@
+(** Regular expression abstract syntax (paper §2).
+
+    The core grammar is [r ::= ε | σ | r|r | r·r | r*] where [σ] is a
+    character class; [+], [?] and bounded repetition [{m,n}] are provided as
+    abbreviations, exactly as in the paper. *)
+
+type t =
+  | Eps  (** the empty string *)
+  | Cls of Charset.t  (** one character from a class *)
+  | Alt of t * t  (** nondeterministic choice *)
+  | Seq of t * t  (** concatenation *)
+  | Star of t  (** Kleene star *)
+
+(** {1 Smart constructors}
+
+    These perform the obvious local simplifications (ε·r = r, ∅|r = r, …) so
+    that abbreviation expansion does not inflate automata. An empty character
+    class denotes the empty language; [Cls empty] is the canonical form. *)
+
+val eps : t
+val empty : t
+
+(** The empty language (matches nothing). *)
+
+val cls : Charset.t -> t
+val chr : char -> t
+
+(** [str "abc"] is the literal concatenation a·b·c. *)
+val str : string -> t
+
+val alt : t -> t -> t
+val alt_list : t list -> t
+val seq : t -> t -> t
+val seq_list : t list -> t
+val star : t -> t
+
+(** [plus r] = r·r* *)
+val plus : t -> t
+
+(** [opt r] = r | ε *)
+val opt : t -> t
+
+(** [repeat_exact r n] = rⁿ *)
+val repeat_exact : t -> int -> t
+
+(** [repeat r m n] = r{m,n} = rᵐ(r?)ⁿ⁻ᵐ; requires 0 ≤ m ≤ n. *)
+val repeat : t -> int -> int -> t
+
+(** {1 Semantics helpers} *)
+
+(** [nullable r] iff ε ∈ L(r). *)
+val nullable : t -> bool
+
+(** [is_empty_lang r] iff L(r) = ∅. *)
+val is_empty_lang : t -> bool
+
+(** [first r] is the set of characters that can start a word of L(r). *)
+val first : t -> Charset.t
+
+(** Number of AST nodes; used as the "grammar size" proxy in reports. *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Pretty-print in re-parsable PCRE-subset syntax. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

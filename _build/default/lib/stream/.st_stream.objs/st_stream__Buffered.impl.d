@@ -1,0 +1,1 @@
+lib/stream/buffered.ml: Bytes Source St_streamtok

@@ -1,0 +1,1 @@
+lib/stream/buffered.mli: Source St_streamtok

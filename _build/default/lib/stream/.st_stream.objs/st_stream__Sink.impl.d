@@ -1,0 +1,1 @@
+lib/stream/sink.ml: Array Char List String

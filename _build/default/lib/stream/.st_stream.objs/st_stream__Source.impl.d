@@ -1,0 +1,1 @@
+lib/stream/source.ml: Bytes String

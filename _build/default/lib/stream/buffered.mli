@@ -1,0 +1,24 @@
+(** Fixed-capacity input buffering between a {!Source} and a consumer —
+    the knob of the Fig. 11a experiment.
+
+    Every refill performs one {!Source.read} and (like flex's buffer
+    management) moves any unconsumed tail to the front of the buffer first,
+    so small capacities pay both per-call overhead and memmove traffic. *)
+
+type t
+
+val create : capacity:int -> Source.t -> t
+
+(** [iter t f] repeatedly refills and passes each filled window to
+    [f buf pos len]; [f] must consume all of it (StreamTok never needs to
+    hold input back — that is the point of bounded-lookahead streaming). *)
+val iter : t -> (bytes -> int -> int -> unit) -> unit
+
+(** [run_streamtok engine ~capacity source ~emit] drives a StreamTok engine
+    from a buffered source; returns the outcome. *)
+val run_streamtok :
+  St_streamtok.Engine.t ->
+  capacity:int ->
+  Source.t ->
+  emit:(string -> int -> unit) ->
+  St_streamtok.Engine.outcome

@@ -1,0 +1,33 @@
+type counter = { counts : int array; mutable total : int }
+
+let counter ~num_rules = { counts = Array.make num_rules 0; total = 0 }
+
+let count_emit c _lexeme rule =
+  c.counts.(rule) <- c.counts.(rule) + 1;
+  c.total <- c.total + 1
+
+let total c = c.total
+let per_rule c = Array.copy c.counts
+
+type collector = { mutable items : (string * int) list }
+
+let collector () = { items = [] }
+let collect_emit c lexeme rule = c.items <- (lexeme, rule) :: c.items
+let collected c = List.rev c.items
+
+type blackhole = { mutable acc : int }
+
+let blackhole () = { acc = 0 }
+
+let blackhole_emit b lexeme rule =
+  let h = ref rule in
+  (* touch first/middle/last byte: forces the string without an O(n) scan *)
+  let n = String.length lexeme in
+  if n > 0 then begin
+    h := !h lxor Char.code lexeme.[0];
+    h := !h lxor Char.code lexeme.[n / 2];
+    h := !h lxor Char.code lexeme.[n - 1]
+  end;
+  b.acc <- b.acc lxor !h
+
+let blackhole_value b = b.acc

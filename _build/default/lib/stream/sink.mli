@@ -1,0 +1,27 @@
+(** Token sinks: consumers for the [(lexeme, rule)] stream. *)
+
+(** Counts tokens per rule. *)
+type counter
+
+val counter : num_rules:int -> counter
+val count_emit : counter -> string -> int -> unit
+val total : counter -> int
+val per_rule : counter -> int array
+
+(** Collects tokens into a list (test/debug use). *)
+type collector
+
+val collector : unit -> collector
+val collect_emit : collector -> string -> int -> unit
+val collected : collector -> (string * int) list
+
+(** A black-hole sink that still forces the lexeme bytes to be observed
+    (one xor-fold over the string), so benchmarks cannot dead-code-eliminate
+    token construction. *)
+type blackhole
+
+val blackhole : unit -> blackhole
+val blackhole_emit : blackhole -> string -> int -> unit
+
+(** Fold over the observed bytes (use to keep the result alive). *)
+val blackhole_value : blackhole -> int

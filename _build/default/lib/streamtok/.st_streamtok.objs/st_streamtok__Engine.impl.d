@@ -1,0 +1,1 @@
+lib/streamtok/engine.ml: Array Bytes Char Dfa Int64 List St_analysis St_automata St_util String Te_dfa

@@ -1,0 +1,1 @@
+lib/streamtok/engine.mli: Bytes Dfa Regex St_automata St_regex Te_dfa

@@ -1,0 +1,1 @@
+lib/streamtok/engine_io.ml: Array Buffer Bytes Char Dfa Engine Printf St_analysis St_automata String

@@ -1,0 +1,1 @@
+lib/streamtok/engine_io.mli: Engine

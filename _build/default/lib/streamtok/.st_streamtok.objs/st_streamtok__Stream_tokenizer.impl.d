@@ -1,0 +1,1 @@
+lib/streamtok/stream_tokenizer.ml: Array Buffer Bytes Char Engine Int64 Option St_automata String Te_dfa

@@ -1,0 +1,1 @@
+lib/streamtok/stream_tokenizer.mli: Engine

@@ -1,0 +1,1 @@
+lib/streamtok/te_dfa.ml: Array Char Dfa Hashtbl Int64 Mutex St_automata St_util

@@ -1,0 +1,1 @@
+lib/streamtok/te_dfa.mli: Dfa St_automata

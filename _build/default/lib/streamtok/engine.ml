@@ -1,0 +1,200 @@
+open St_automata
+module Bits = St_util.Bits
+module Tnd = St_analysis.Tnd
+
+type mode =
+  | Table_k1 of Bytes.t
+      (* Fig. 5: [q * 257 + sym] = '\001' iff the token ending at final
+         state [q] is maximal given next symbol [sym] (256 = EOF). *)
+  | Te of Te_dfa.t (* Fig. 6 *)
+
+type t = { dfa : Dfa.t; k : int; reject : bool array; mode : mode }
+
+type error = Unbounded_tnd
+
+let k e = e.k
+let dfa e = e.dfa
+let te_states e = match e.mode with Table_k1 _ -> 0 | Te te -> Te_dfa.num_states te
+
+let footprint_bytes e =
+  let dfa_bytes = (Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8 in
+  let mode_bytes =
+    match e.mode with
+    | Table_k1 tbl -> Bytes.length tbl
+    | Te te ->
+        (* materialized powerstates: transition row + emit-bit row each *)
+        Te_dfa.num_states te
+        * ((257 * 8) + (((Dfa.size e.dfa + 63) / 64) * 8) + 16)
+  in
+  dfa_bytes + mode_bytes + e.k + 64
+
+let build_k1_table d =
+  let n = Dfa.size d in
+  let tbl = Bytes.make (n * 257) '\000' in
+  for q = 0 to n - 1 do
+    if Dfa.is_final d q then begin
+      for c = 0 to 255 do
+        if not (Dfa.is_final d (Dfa.step d q (Char.chr c))) then
+          Bytes.set tbl ((q * 257) + c) '\001'
+      done;
+      (* at EOF nothing can extend the token *)
+      Bytes.set tbl ((q * 257) + 256) '\001'
+    end
+  done;
+  tbl
+
+let compile ?(force_te = false) d =
+  match Tnd.max_tnd d with
+  | Tnd.Infinite -> Error Unbounded_tnd
+  | Tnd.Finite k ->
+      let coacc = Dfa.co_accessible d in
+      let reject =
+        Array.init (Dfa.size d) (fun q -> not (Bits.mem coacc q))
+      in
+      let mode =
+        (* the token-extension DFA is correct for any lookahead ≥ max-TND,
+           so forcing it on a K ≤ 1 grammar (ablation) uses K = 1 *)
+        if k <= 1 && not force_te then Table_k1 (build_k1_table d)
+        else Te (Te_dfa.build d ~k:(max k 1))
+      in
+      Ok { dfa = d; k; reject; mode }
+
+(* Deserialization fast path: the caller asserts the max-TND. Correct as
+   long as k is ≥ the true (finite) max-TND of the DFA — the engine's
+   lookahead only needs to be at least the real distance. *)
+let compile_trusted d ~k =
+  if k < 0 then invalid_arg "Engine.compile_trusted: negative k";
+  let coacc = Dfa.co_accessible d in
+  let reject = Array.init (Dfa.size d) (fun q -> not (Bits.mem coacc q)) in
+  let mode =
+    if k <= 1 then Table_k1 (build_k1_table d) else Te (Te_dfa.build d ~k)
+  in
+  { dfa = d; k; reject; mode }
+
+let compile_rules rules = compile (Dfa.of_rules rules)
+let compile_grammar src = compile (Dfa.of_grammar src)
+
+type outcome = Finished | Failed of { offset : int; pending : string }
+
+let fail s startP =
+  Failed
+    { offset = startP; pending = String.sub s startP (String.length s - startP) }
+
+(* Fig. 5 specialized runner: one DFA step and one table probe per symbol.
+
+   There is no per-symbol failure check: once the DFA enters a reject state
+   it can never be final again, so no token is ever emitted past that point
+   and the trailing [startP < n] test reports the failure with the same
+   offset the eager check would (§5 of the paper proves no emission can be
+   pending when the DFA dies). *)
+let run_string_k1 ?(from = 0) e tbl s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let start = d.Dfa.start in
+  let n = String.length s in
+  let q = ref start in
+  let startP = ref from in
+  let pos = ref from in
+  while !pos < n do
+    q :=
+      Array.unsafe_get trans
+        ((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    incr pos;
+    let next_sym =
+      if !pos < n then Char.code (String.unsafe_get s !pos) else 256
+    in
+    if Bytes.unsafe_get tbl ((!q * 257) + next_sym) <> '\000' then begin
+      emit ~pos:!startP ~len:(!pos - !startP) ~rule:accept.(!q);
+      startP := !pos;
+      q := start
+    end
+  done;
+  if !startP < n then fail s !startP else Finished
+
+(* Fig. 6 runner: the token-extension DFA runs K symbols ahead. Three table
+   lookups per symbol (δ_B, δ_A, and the maximality probe); the maximality
+   table T[q][S] is materialized as a packed bit matrix so the per-symbol
+   check is branch + single word read. Failure detection is lazy, as in the
+   K ≤ 1 runner. *)
+let run_string_te ?(from = 0) e te s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let start = d.Dfa.start in
+  let k = Te_dfa.k te in
+  let words = Te_dfa.Raw.words te in
+  let n = String.length s in
+  let q = ref start in
+  let st = ref (Te_dfa.start te) in
+  let startP = ref from in
+  (* Cached raw views of the lazy TeDFA; refreshed whenever a step
+     materializes a new powerstate (which may reallocate the arrays). *)
+  let te_trans = ref (Te_dfa.Raw.trans te) in
+  let emit_rows = ref (Te_dfa.Raw.emit_rows te) in
+  let te_step sym =
+    let tgt = Array.unsafe_get !te_trans ((!st * 257) + sym) in
+    if tgt >= 0 then st := tgt
+    else begin
+      st := Te_dfa.step te !st sym;
+      te_trans := Te_dfa.Raw.trans te;
+      emit_rows := Te_dfa.Raw.emit_rows te
+    end
+  in
+  (* prologue: B consumes the first K symbols (or pads at EOF) *)
+  for i = from to from + k - 1 do
+    te_step
+      (if i < n then Char.code (String.unsafe_get s i) else Te_dfa.eof_symbol)
+  done;
+  for pos = from to n - 1 do
+    te_step
+      (if pos + k < n then Char.code (String.unsafe_get s (pos + k))
+       else Te_dfa.eof_symbol);
+    q :=
+      Array.unsafe_get trans
+        ((!q lsl 8) lor Char.code (String.unsafe_get s pos));
+    if
+      Int64.logand
+        (Int64.shift_right_logical
+           (Array.unsafe_get !emit_rows ((!st * words) + (!q lsr 6)))
+           (!q land 63))
+        1L
+      <> 0L
+    then begin
+      emit ~pos:!startP ~len:(pos + 1 - !startP) ~rule:accept.(!q);
+      startP := pos + 1;
+      q := start
+    end
+  done;
+  if !startP < n then fail s !startP else Finished
+
+let run_string ?from e s ~emit =
+  match e.mode with
+  | Table_k1 tbl -> run_string_k1 ?from e tbl s ~emit
+  | Te te -> run_string_te ?from e te s ~emit
+
+let tokens e s =
+  let acc = ref [] in
+  let emit ~pos ~len ~rule = acc := (String.sub s pos len, rule) :: !acc in
+  let outcome = run_string e s ~emit in
+  (List.rev !acc, outcome)
+
+module Internal = struct
+  let delay e = max e.k 1
+  let is_reject e q = e.reject.(q)
+  let dfa_start e = e.dfa.Dfa.start
+  let dfa_step e q byte = e.dfa.Dfa.trans.((q lsl 8) lor byte)
+  let accept e q = e.dfa.Dfa.accept.(q)
+
+  let la_start e =
+    match e.mode with Table_k1 _ -> 256 | Te te -> Te_dfa.start te
+
+  let la_step e la sym =
+    match e.mode with Table_k1 _ -> sym | Te te -> Te_dfa.step te la sym
+
+  let maximal e q la =
+    match e.mode with
+    | Table_k1 tbl -> Bytes.get tbl ((q * 257) + la) = '\001'
+    | Te te -> Te_dfa.emit_bit te la q
+
+  let k1_table e = match e.mode with Table_k1 tbl -> Some tbl | Te _ -> None
+  let te_dfa e = match e.mode with Table_k1 _ -> None | Te te -> Some te
+end

@@ -1,0 +1,104 @@
+(** StreamTok: backtracking-free streaming tokenization (paper §5).
+
+    An {!t} is a compiled tokenizer for a grammar with bounded max-TND. For
+    max-TND ≤ 1 it uses the token-extension table of Fig. 5 (one extra table
+    lookup per symbol); for max-TND = K ≥ 2 it uses the token-extension DFA
+    of Fig. 6 running K symbols ahead of the tokenization DFA. Either way
+    the cost is O(1) table lookups per input symbol and the memory footprint
+    is independent of the stream length. *)
+
+open St_regex
+open St_automata
+
+type t
+
+(** Grammars with unbounded max-TND cannot be streamed with bounded memory
+    (paper Lemma 6); {!compile} reports them instead of guessing. *)
+type error = Unbounded_tnd
+
+(** [force_te] (ablation knob, default false): use the general Fig. 6
+    token-extension machinery even when the grammar's max-TND is ≤ 1 and
+    the cheaper Fig. 5 table would suffice. *)
+val compile : ?force_te:bool -> Dfa.t -> (t, error) result
+
+(** Deserialization fast path ({!Engine_io}): builds the engine taking the
+    given [k] as the grammar's max-TND without re-running the analysis.
+    {b Unsafe} if [k] is smaller than the true max-TND (tokens would be
+    emitted too eagerly) or if the true max-TND is unbounded; sound
+    whenever [k] is ≥ the true finite distance. *)
+val compile_trusted : Dfa.t -> k:int -> t
+
+(** Convenience wrappers: build the minimized tokenization DFA first. *)
+val compile_rules : Regex.t list -> (t, error) result
+
+val compile_grammar : string -> (t, error) result
+
+(** The grammar's max-TND; the engine's lookahead window. *)
+val k : t -> int
+
+(** The underlying tokenization DFA. *)
+val dfa : t -> Dfa.t
+
+(** Number of powerstates of the token-extension DFA (0 when the Fig. 5
+    table is used); reported by the memory-footprint experiment. *)
+val te_states : t -> int
+
+(** Approximate resident size, in bytes, of all tables the engine consults
+    at run time (transition tables, maximality tables, lookahead buffer).
+    Used by the RQ6 memory experiment. *)
+val footprint_bytes : t -> int
+
+(** How a run ended: the whole input was tokenized, or tokenization stopped
+    at [offset] (no nonempty prefix of the remaining input matches any
+    rule); [pending] is the untokenized remainder that the caller may want
+    to report. *)
+type outcome = Finished | Failed of { offset : int; pending : string }
+
+(** [run_string e s ~emit] tokenizes an in-memory string, calling
+    [emit ~pos ~len ~rule] for every maximal token, in order. Single
+    left-to-right pass, no backtracking. [from] (default 0) starts
+    tokenization at that offset (the rest of the string is still the
+    lookahead horizon); the emit callback may raise to stop the run
+    early — used by the parallel tokenizer's splice phase. *)
+val run_string :
+  ?from:int ->
+  t ->
+  string ->
+  emit:(pos:int -> len:int -> rule:int -> unit) ->
+  outcome
+
+(** [tokens e s] collects [(lexeme, rule)] pairs (convenience wrapper). *)
+val tokens : t -> string -> (string * int) list * outcome
+
+(**/**)
+
+(** Internal plumbing shared with {!Stream_tokenizer}: a uniform view of
+    the two lookahead mechanisms (Fig. 5 table / Fig. 6 token-extension
+    DFA). Not part of the public API. *)
+module Internal : sig
+  (** Lookahead depth: max(K, 1). *)
+  val delay : t -> int
+
+  val is_reject : t -> int -> bool
+  val dfa_start : t -> int
+
+  (** [dfa_step e q byte]. *)
+  val dfa_step : t -> int -> int -> int
+
+  (** Λ(q) or -1. *)
+  val accept : t -> int -> int
+
+  val la_start : t -> int
+
+  (** [la_step e la sym] with [sym] ∈ 0..256 (256 = EOF). *)
+  val la_step : t -> int -> int -> int
+
+  (** [maximal e q la]: should a token ending in state [q] be emitted? *)
+  val maximal : t -> int -> int -> bool
+
+  (** The Fig. 5 table when K ≤ 1. *)
+  val k1_table : t -> Bytes.t option
+
+  (** The token-extension DFA when K ≥ 2. *)
+  val te_dfa : t -> Te_dfa.t option
+end

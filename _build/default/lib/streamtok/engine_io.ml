@@ -1,0 +1,96 @@
+open St_automata
+
+let magic = "STKE"
+let version = 1
+
+(* little-endian 32-bit ints; table entries are small nonnegative numbers
+   (state ids, rule ids ≥ -1 stored +1) *)
+
+let put_i32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_i32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* a simple Fletcher-style checksum over the payload *)
+let checksum s from =
+  let a = ref 1 and b = ref 0 in
+  for i = from to String.length s - 1 do
+    a := (!a + Char.code s.[i]) mod 65521;
+    b := (!b + !a) mod 65521
+  done;
+  (!b lsl 16) lor !a
+
+let to_string e =
+  let d = Engine.dfa e in
+  let buf = Buffer.create (Array.length d.Dfa.trans * 4) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_i32 buf 0 (* checksum placeholder *);
+  put_i32 buf (Engine.k e);
+  put_i32 buf d.Dfa.num_states;
+  put_i32 buf d.Dfa.start;
+  Array.iter (fun r -> put_i32 buf (r + 1)) d.Dfa.accept;
+  Array.iter (fun t -> put_i32 buf t) d.Dfa.trans;
+  let s = Bytes.of_string (Buffer.contents buf) in
+  let c = checksum (Bytes.unsafe_to_string s) 9 in
+  Bytes.set s 5 (Char.chr (c land 0xff));
+  Bytes.set s 6 (Char.chr ((c lsr 8) land 0xff));
+  Bytes.set s 7 (Char.chr ((c lsr 16) land 0xff));
+  Bytes.set s 8 (Char.chr ((c lsr 24) land 0xff));
+  Bytes.unsafe_to_string s
+
+let of_string ?(verify = true) s =
+  let err msg = Error ("Engine_io: " ^ msg) in
+  if String.length s < 21 then err "truncated header"
+  else if String.sub s 0 4 <> magic then err "bad magic"
+  else if Char.code s.[4] <> version then
+    err (Printf.sprintf "unsupported version %d" (Char.code s.[4]))
+  else begin
+    let stored_sum = get_i32 s 5 in
+    if checksum s 9 <> stored_sum then err "checksum mismatch"
+    else begin
+      let k = get_i32 s 9 in
+      let num_states = get_i32 s 13 in
+      let start = get_i32 s 17 in
+      let need = 21 + (4 * num_states) + (4 * num_states * 256) in
+      if num_states <= 0 || String.length s <> need then err "bad table sizes"
+      else if start < 0 || start >= num_states then err "bad start state"
+      else begin
+        let accept =
+          Array.init num_states (fun q -> get_i32 s (21 + (4 * q)) - 1)
+        in
+        let base = 21 + (4 * num_states) in
+        let trans =
+          Array.init (num_states * 256) (fun i -> get_i32 s (base + (4 * i)))
+        in
+        if Array.exists (fun t -> t < 0 || t >= num_states) trans then
+          err "transition out of range"
+        else begin
+          let d = { Dfa.num_states; start; trans; accept } in
+          if verify then begin
+            match St_analysis.Tnd.max_tnd d with
+            | St_analysis.Tnd.Finite k' when k' = k -> (
+                match Engine.compile d with
+                | Ok e -> Ok e
+                | Error Engine.Unbounded_tnd -> err "analysis disagreement")
+            | St_analysis.Tnd.Finite k' ->
+                err
+                  (Printf.sprintf "stored max-TND %d but analysis says %d" k k')
+            | St_analysis.Tnd.Infinite ->
+                err "stored DFA has unbounded max-TND"
+          end
+          else
+            match Engine.compile_trusted d ~k with
+            | e -> Ok e
+            | exception Invalid_argument m -> err m
+        end
+      end
+    end
+  end

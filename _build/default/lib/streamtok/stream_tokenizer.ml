@@ -1,0 +1,256 @@
+module I = Engine.Internal
+
+(* Mode-specialized chunk processing. The K ≤ 1 path mirrors the Fig. 5
+   loop with a single carried byte (the one still awaiting its lookahead)
+   and extracts lexemes by chunk segments, so the steady state does no
+   per-byte buffering. The K ≥ 2 path mirrors the Fig. 6 loop with a
+   K-byte ring between the token-extension DFA and the tokenization DFA. *)
+
+type impl =
+  | M_k1 of { tbl : Bytes.t; mutable pending : int (* byte or -1 *) }
+  | M_te of {
+      te : Te_dfa.t;
+      k : int;
+      ring : Bytes.t;  (* power-of-two capacity ≥ k *)
+      mask : int;
+      mutable rd : int;
+      mutable wr : int;
+      mutable rlen : int;
+      mutable st : int;  (* TeDFA powerstate *)
+      mutable te_trans : int array;  (* cached lazy views *)
+      mutable emit_rows : int64 array;
+      words : int;
+    }
+
+type t = {
+  engine : Engine.t;
+  emit : string -> int -> unit;
+  trans : int array;
+  accept : int array;
+  reject : bool array;
+  dfa_start : int;
+  mutable q : int;
+  token : Buffer.t;  (* bytes of the unfinished token from earlier chunks *)
+  mutable start_offset : int;  (* global offset of the current token start *)
+  mutable fed : int;
+  mutable state :
+    [ `Running | `Failed of Engine.outcome | `Finished of Engine.outcome ];
+  impl : impl;
+}
+
+let create engine ~emit =
+  let impl =
+    match I.k1_table engine with
+    | Some tbl -> M_k1 { tbl; pending = -1 }
+    | None ->
+        let te = Option.get (I.te_dfa engine) in
+        let k = Te_dfa.k te in
+        let cap =
+          let rec go c = if c >= k + 1 then c else go (2 * c) in
+          go 2
+        in
+        M_te
+          {
+            te;
+            k;
+            ring = Bytes.make cap '\000';
+            mask = cap - 1;
+            rd = 0;
+            wr = 0;
+            rlen = 0;
+            st = Te_dfa.start te;
+            te_trans = Te_dfa.Raw.trans te;
+            emit_rows = Te_dfa.Raw.emit_rows te;
+            words = Te_dfa.Raw.words te;
+          }
+  in
+  let d = Engine.dfa engine in
+  {
+    engine;
+    emit;
+    trans = d.St_automata.Dfa.trans;
+    accept = d.St_automata.Dfa.accept;
+    reject = Array.init (St_automata.Dfa.size d) (fun q -> I.is_reject engine q);
+    dfa_start = d.St_automata.Dfa.start;
+    q = d.St_automata.Dfa.start;
+    token = Buffer.create 64;
+    start_offset = 0;
+    fed = 0;
+    state = `Running;
+    impl;
+  }
+
+let failed t = match t.state with `Failed _ -> true | _ -> false
+let bytes_fed t = t.fed
+
+let fail_with t pending_bytes =
+  t.state <-
+    `Failed (Engine.Failed { offset = t.start_offset; pending = pending_bytes })
+
+(* Emit the current token given that its trailing bytes are s[seg..last]
+   (possibly empty when the token lives entirely in [t.token]). *)
+let emit_token t s seg last =
+  let rule = t.accept.(t.q) in
+  let lexeme =
+    if Buffer.length t.token = 0 then String.sub s seg (last - seg + 1)
+    else begin
+      if last >= seg then Buffer.add_substring t.token s seg (last - seg + 1);
+      let lex = Buffer.contents t.token in
+      Buffer.clear t.token;
+      lex
+    end
+  in
+  t.emit lexeme rule;
+  t.start_offset <- t.start_offset + String.length lexeme;
+  t.q <- t.dfa_start
+
+(* K ≤ 1: consume byte [c] (already known) with lookahead symbol [la]
+   (byte or 256); the byte's text is already in t.token or will be handled
+   by the caller's segment bookkeeping — here only for the carried byte. *)
+let k1_consume_carried t tbl c la =
+  t.q <- t.trans.((t.q lsl 8) lor c);
+  Buffer.add_char t.token (Char.chr c);
+  if t.reject.(t.q) then fail_with t (Buffer.contents t.token)
+  else if Bytes.unsafe_get tbl ((t.q * 257) + la) <> '\000' then
+    emit_token t "" 0 (-1)
+
+let feed t s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Stream_tokenizer.feed";
+  if t.state <> `Running then t.fed <- t.fed + len
+  else begin
+    t.fed <- t.fed + len;
+    match t.impl with
+    | M_k1 m ->
+        let finish = pos + len in
+        let i = ref pos in
+        (* the carried byte consumes the chunk's first byte as lookahead *)
+        if m.pending >= 0 && !i < finish then begin
+          let la = Char.code (String.unsafe_get s !i) in
+          k1_consume_carried t m.tbl m.pending la;
+          m.pending <- -1
+        end;
+        let seg = ref !i in
+        let trans = t.trans and tbl = m.tbl and reject = t.reject in
+        while t.state = `Running && !i + 1 < finish do
+          let c = Char.code (String.unsafe_get s !i) in
+          let la = Char.code (String.unsafe_get s (!i + 1)) in
+          t.q <- Array.unsafe_get trans ((t.q lsl 8) lor c);
+          if Array.unsafe_get reject t.q then begin
+            Buffer.add_substring t.token s !seg (!i - !seg + 1);
+            fail_with t (Buffer.contents t.token)
+          end
+          else begin
+            if Bytes.unsafe_get tbl ((t.q * 257) + la) <> '\000' then begin
+              emit_token t s !seg !i;
+              seg := !i + 1
+            end;
+            incr i
+          end
+        done;
+        if t.state = `Running then begin
+          if !i < finish then begin
+            (* the chunk's last byte awaits its lookahead *)
+            m.pending <- Char.code (String.unsafe_get s !i);
+            if !i > !seg then Buffer.add_substring t.token s !seg (!i - !seg)
+          end
+          else if !i > !seg then
+            Buffer.add_substring t.token s !seg (!i - !seg)
+        end
+    | M_te m ->
+        let finish = pos + len in
+        let i = ref pos in
+        let trans = t.trans and reject = t.reject in
+        while t.state = `Running && !i < finish do
+          let c = Char.code (String.unsafe_get s !i) in
+          (* B: token-extension DFA step, lazy views refreshed on miss *)
+          let tgt = Array.unsafe_get m.te_trans ((m.st * 257) + c) in
+          if tgt >= 0 then m.st <- tgt
+          else begin
+            m.st <- Te_dfa.step m.te m.st c;
+            m.te_trans <- Te_dfa.Raw.trans m.te;
+            m.emit_rows <- Te_dfa.Raw.emit_rows m.te
+          end;
+          if m.rlen = m.k then begin
+            (* A consumes the oldest pending byte *)
+            let c' = Char.code (Bytes.unsafe_get m.ring m.rd) in
+            m.rd <- (m.rd + 1) land m.mask;
+            Bytes.unsafe_set m.ring m.wr (Char.unsafe_chr c);
+            m.wr <- (m.wr + 1) land m.mask;
+            t.q <- Array.unsafe_get trans ((t.q lsl 8) lor c');
+            Buffer.add_char t.token (Char.unsafe_chr c');
+            if Array.unsafe_get reject t.q then
+              fail_with t (Buffer.contents t.token)
+            else if
+              Int64.logand
+                (Int64.shift_right_logical
+                   (Array.unsafe_get m.emit_rows
+                      ((m.st * m.words) + (t.q lsr 6)))
+                   (t.q land 63))
+                1L
+              <> 0L
+            then emit_token t "" 0 (-1)
+          end
+          else begin
+            Bytes.unsafe_set m.ring m.wr (Char.unsafe_chr c);
+            m.wr <- (m.wr + 1) land m.mask;
+            m.rlen <- m.rlen + 1
+          end;
+          incr i
+        done
+  end
+
+let feed_string t s = feed t s 0 (String.length s)
+
+let finish t =
+  match t.state with
+  | `Failed o | `Finished o -> o
+  | `Running ->
+      (match t.impl with
+      | M_k1 m ->
+          if m.pending >= 0 then begin
+            k1_consume_carried t m.tbl m.pending 256;
+            m.pending <- -1
+          end
+      | M_te m ->
+          (* Drain: K EOF pseudo-symbols; pop a pending byte once the
+             lookahead is again K symbols ahead of the tokenization DFA. *)
+          let round = ref 1 in
+          while t.state = `Running && !round <= m.k do
+            m.st <- Te_dfa.step m.te m.st Te_dfa.eof_symbol;
+            m.te_trans <- Te_dfa.Raw.trans m.te;
+            m.emit_rows <- Te_dfa.Raw.emit_rows m.te;
+            if m.rlen > 0 && m.rlen + !round > m.k then begin
+              let c' = Char.code (Bytes.unsafe_get m.ring m.rd) in
+              m.rd <- (m.rd + 1) land m.mask;
+              m.rlen <- m.rlen - 1;
+              t.q <- t.trans.((t.q lsl 8) lor c');
+              Buffer.add_char t.token (Char.chr c');
+              if t.reject.(t.q) then fail_with t (Buffer.contents t.token)
+              else if Te_dfa.emit_bit m.te m.st t.q then emit_token t "" 0 (-1)
+            end;
+            incr round
+          done);
+      let outcome =
+        match t.state with
+        | `Failed o -> o
+        | _ ->
+            let leftover = Buffer.length t.token > 0 in
+            let leftover_ring =
+              match t.impl with M_te m -> m.rlen > 0 | M_k1 _ -> false
+            in
+            if leftover || leftover_ring then begin
+              let b = Buffer.create 16 in
+              Buffer.add_buffer b t.token;
+              (match t.impl with
+              | M_te m ->
+                  for j = 0 to m.rlen - 1 do
+                    Buffer.add_char b (Bytes.get m.ring ((m.rd + j) land m.mask))
+                  done
+              | M_k1 _ -> ());
+              Engine.Failed { offset = t.start_offset; pending = Buffer.contents b }
+            end
+            else Engine.Finished
+      in
+      (match t.state with `Failed _ -> () | _ -> t.state <- `Finished outcome);
+      outcome

@@ -1,0 +1,35 @@
+(** Push-based chunked streaming interface to StreamTok.
+
+    The stream is delivered block-by-block ({!feed}); tokens are emitted as
+    soon as their maximality is confirmed — at most max(K, 1) symbols after
+    their last character arrives — and may straddle chunk boundaries
+    transparently. Memory use is O(K + longest pending token), independent
+    of the stream length.
+
+    This is the interface the paper's streaming claims are about: flex
+    processes a stream block-by-block with backtracking inside its buffer,
+    while StreamTok never re-reads a byte. *)
+
+type t
+
+(** [create engine ~emit] starts a run. [emit lexeme rule] is called for
+    every maximal token in stream order. *)
+val create : Engine.t -> emit:(string -> int -> unit) -> t
+
+(** Has the run already failed (untokenizable input seen)? Further {!feed}s
+    are ignored once failed. *)
+val failed : t -> bool
+
+(** [feed t s pos len] pushes a chunk. Raises [Invalid_argument] on bad
+    bounds; silently ignores input after a failure or after {!finish}. *)
+val feed : t -> string -> int -> int -> unit
+
+(** [feed_string t s] = [feed t s 0 (String.length s)]. *)
+val feed_string : t -> string -> unit
+
+(** Signal end-of-stream: drains the lookahead window, emits any final
+    maximal token, and reports the outcome. Idempotent. *)
+val finish : t -> Engine.outcome
+
+(** Total bytes accepted so far (across all chunks). *)
+val bytes_fed : t -> int

@@ -1,0 +1,226 @@
+open St_automata
+module Bits = St_util.Bits
+
+(* The token-extension DFA is built *lazily*: a powerstate's transitions
+   are materialized the first time they are taken. Eager construction can
+   be exponential in K (each subset of "which of the last K positions can
+   still extend a token" is a distinct powerstate); on any concrete stream
+   only the windows that actually occur are materialized, so the lazy
+   automaton keeps the O(1) amortized per-symbol cost for arbitrary K.
+   This realizes the paper's implementation note that the token-extension
+   paths are kept in a compact shared structure from which the TeDFA is
+   built without enumerating paths. *)
+
+module Set_key = struct
+  type t = Bits.t
+
+  let equal = Bits.equal
+  let hash = Bits.hash
+end
+
+module Set_tbl = Hashtbl.Make (Set_key)
+
+type t = {
+  dfa : Dfa.t;
+  k : int;
+  fidx : int array;
+  num_finals : int;
+  words : int;  (* int64 words per emit-bit row: ceil(|DFA|/64) *)
+  mutable num_states : int;
+  mutable capacity : int;
+  mutable trans : int array;  (* capacity × 257; -1 = not yet built *)
+  mutable emit_rows : int64 array;  (* capacity × words *)
+  mutable origin_rows : Bits.t array;  (* per state: extendable finals *)
+  mutable sets : Bits.t array;  (* per state: the NFA powerset *)
+  tbl : int Set_tbl.t;
+  (* NFA parameters *)
+  m : int;
+  active_count : int;
+  nfa_size : int;
+  inject : Bits.t;
+  final_state : int array;  (* final index -> DFA state *)
+  coacc : Bits.t;
+  scratch : Bits.t;
+  start : int;
+  lock : Mutex.t;  (* guards materialization; reads are lock-free *)
+}
+
+let eof_symbol = 256
+
+(* NFA state encoding, given M = DFA size, F = number of finals, K:
+   - Active (f0, q, j), j ∈ 0..K-1:  id = f0*M*K + q*K + j
+   - Done (f0, j), j ∈ 1..K:         id = F*M*K + f0*K + (j-1)
+   Accepting states are Done (f0, K); Λ(Done (f0, _)) = f0. *)
+
+let active t f0 q j = (f0 * t.m * t.k) + (q * t.k) + j
+let done_ t f0 j = t.active_count + (f0 * t.k) + (j - 1)
+
+let grow t =
+  let cap = 2 * t.capacity in
+  let trans = Array.make (cap * 257) (-1) in
+  Array.blit t.trans 0 trans 0 (t.num_states * 257);
+  t.trans <- trans;
+  let emit_rows = Array.make (cap * t.words) 0L in
+  Array.blit t.emit_rows 0 emit_rows 0 (t.num_states * t.words);
+  t.emit_rows <- emit_rows;
+  let origin_rows = Array.make cap (Bits.create 0) in
+  Array.blit t.origin_rows 0 origin_rows 0 t.num_states;
+  t.origin_rows <- origin_rows;
+  let sets = Array.make cap (Bits.create 0) in
+  Array.blit t.sets 0 sets 0 t.num_states;
+  t.sets <- sets;
+  t.capacity <- cap
+
+(* intern a powerset, computing its origin set and emit-bit row *)
+let intern t set =
+  match Set_tbl.find_opt t.tbl set with
+  | Some id -> id
+  | None ->
+      if t.num_states = t.capacity then grow t;
+      let id = t.num_states in
+      t.num_states <- id + 1;
+      Set_tbl.add t.tbl set id;
+      t.sets.(id) <- set;
+      let origin = Bits.create (max t.num_finals 1) in
+      for f0 = 0 to t.num_finals - 1 do
+        if Bits.mem set (done_ t f0 t.k) then Bits.add origin f0
+      done;
+      t.origin_rows.(id) <- origin;
+      (* emit bit for (id, q): q final and no completed extension path *)
+      for q = 0 to t.m - 1 do
+        if t.fidx.(q) >= 0 && not (Bits.mem origin t.fidx.(q)) then
+          t.emit_rows.((id * t.words) + (q lsr 6)) <-
+            Int64.logor
+              t.emit_rows.((id * t.words) + (q lsr 6))
+              (Int64.shift_left 1L (q land 63))
+      done;
+      id
+
+(* one NFA step of the whole powerset on [sym] (byte or EOF); restart
+   injection applied for real symbols only *)
+let step_set t set sym into =
+  Bits.clear into;
+  let dfa = t.dfa in
+  Bits.iter
+    (fun id ->
+      if id < t.active_count then begin
+        if sym <> eof_symbol then begin
+          let f0 = id / (t.m * t.k) in
+          let rem = id mod (t.m * t.k) in
+          let q = rem / t.k and j = rem mod t.k in
+          let q = if j = 0 then t.final_state.(f0) else q in
+          let q' = Dfa.step dfa q (Char.chr sym) in
+          let j' = j + 1 in
+          if Dfa.is_final dfa q' then Bits.add into (done_ t f0 j')
+          else if j' < t.k && Bits.mem t.coacc q' then
+            (* dead DFA states can never complete a path: prune *)
+            Bits.add into (active t f0 q' j')
+        end
+      end
+      else begin
+        let id' = id - t.active_count in
+        let f0 = id' / t.k and j = (id' mod t.k) + 1 in
+        if j < t.k then Bits.add into (done_ t f0 (j + 1))
+      end)
+    set;
+  if sym <> eof_symbol then Bits.union_into ~dst:into t.inject
+
+let build dfa ~k =
+  assert (k >= 1);
+  let m = Dfa.size dfa in
+  let fidx = Array.make m (-1) in
+  let num_finals = ref 0 in
+  for q = 0 to m - 1 do
+    if Dfa.is_final dfa q then begin
+      fidx.(q) <- !num_finals;
+      incr num_finals
+    end
+  done;
+  let f = !num_finals in
+  let active_count = f * m * k in
+  let nfa_size = active_count + (f * k) in
+  let final_state = Array.make (max f 1) 0 in
+  for q = 0 to m - 1 do
+    if fidx.(q) >= 0 then final_state.(fidx.(q)) <- q
+  done;
+  let inject = Bits.create nfa_size in
+  for q = 0 to m - 1 do
+    if fidx.(q) >= 0 then Bits.add inject ((fidx.(q) * m * k) + (q * k)) (* j = 0 *)
+  done;
+  let capacity = 16 in
+  let words = (m + 63) / 64 in
+  let t =
+    {
+      dfa;
+      k;
+      fidx;
+      num_finals = f;
+      words;
+      num_states = 0;
+      capacity;
+      trans = Array.make (capacity * 257) (-1);
+      emit_rows = Array.make (capacity * words) 0L;
+      origin_rows = Array.make capacity (Bits.create 0);
+      sets = Array.make capacity (Bits.create 0);
+      tbl = Set_tbl.create 64;
+      m;
+      active_count;
+      nfa_size;
+      inject;
+      final_state;
+      coacc = Dfa.co_accessible dfa;
+      scratch = Bits.create nfa_size;
+      start = 0;
+      lock = Mutex.create ();
+    }
+  in
+  let start = intern t (Bits.copy inject) in
+  assert (start = 0);
+  t
+
+let materialize t s sym =
+  (* Multi-domain safety: materialization (which may grow and replace the
+     arrays) is serialized; readers race benignly — a stale array read
+     yields -1 and falls back here. *)
+  Mutex.lock t.lock;
+  let id =
+    match t.trans.((s * 257) + sym) with
+    | tgt when tgt >= 0 -> tgt
+    | _ ->
+        step_set t t.sets.(s) sym t.scratch;
+        let id = intern t (Bits.copy t.scratch) in
+        (* t.trans may have been reallocated by intern/grow: write after *)
+        t.trans.((s * 257) + sym) <- id;
+        id
+  in
+  Mutex.unlock t.lock;
+  id
+
+let step t s sym =
+  let tgt = t.trans.((s * 257) + sym) in
+  if tgt >= 0 then tgt else materialize t s sym
+
+let extendable t s q =
+  let f0 = t.fidx.(q) in
+  f0 >= 0 && Bits.mem t.origin_rows.(s) f0
+
+let emit_bit t s q =
+  Int64.logand
+    (Int64.shift_right_logical
+       (Array.unsafe_get t.emit_rows ((s * t.words) + (q lsr 6)))
+       (q land 63))
+    1L
+  <> 0L
+
+let num_states t = t.num_states
+
+let start _t = 0
+let k t = t.k
+let num_finals t = t.num_finals
+let final_index t q = t.fidx.(q)
+
+module Raw = struct
+  let trans t = t.trans
+  let emit_rows t = t.emit_rows
+  let words t = t.words
+end

@@ -1,0 +1,79 @@
+(** The token-extension DFA (paper §5.2).
+
+    For a tokenization DFA [A] with max-TND [K], a {e token-extension path}
+    is a path [q →a₁ q₁ → … →aₖ qₖ] (k ≤ K) whose endpoints are final and
+    whose intermediate states are non-final. The token-extension NFA
+    recognizes the labels of these paths padded to length exactly [K]; its
+    states are labeled with the path's first state [fst(π)]. The
+    token-extension DFA results from a modified powerset construction that
+    re-injects the initial states at every step ("restart"), so that while
+    scanning the stream it simultaneously tracks extension paths starting
+    at every position.
+
+    The NFA is never materialized as an explicit path enumeration: its
+    states are the compact triples [(q₀, q, j)] (in-progress path from
+    final state [q₀], currently at [q], [j] symbols consumed) and pairs
+    [(q₀, j)] ("done": the path already ended at a final state and is
+    padding to length [K]) — the sharing-based structure of the paper's
+    implementation note. In-progress paths through non-co-accessible DFA
+    states are pruned.
+
+    The DFA itself is {e lazy}: powerstates and their transitions
+    materialize the first time {!step} takes them (eager construction is
+    exponential in [K] in the worst case; on a concrete stream only the
+    windows that occur are built, preserving O(1) amortized work per
+    symbol). Consequently {!step} mutates internal tables; it is
+    idempotent and the automaton's answers are deterministic.
+
+    An extra EOF pseudo-symbol kills in-progress paths but advances the
+    padding; the engine feeds it [K] times when the stream ends, so
+    maximality checks near end-of-stream are exact. *)
+
+open St_automata
+
+type t
+
+val eof_symbol : int
+
+(** [build dfa ~k] prepares the automaton (only the start state is
+    materialized). Requires [k ≥ 1]. *)
+val build : Dfa.t -> k:int -> t
+
+(** The start powerstate (the restart injection set). *)
+val start : t -> int
+
+val k : t -> int
+
+(** Powerstates materialized so far. *)
+val num_states : t -> int
+
+val num_finals : t -> int
+
+(** Dense index of a final DFA state, -1 for non-final. *)
+val final_index : t -> int -> int
+
+(** [step te s sym] with [sym] ∈ 0..255 or {!eof_symbol}; materializes the
+    target powerstate on first use. *)
+val step : t -> int -> int -> int
+
+(** [extendable te s q] — some token-extension path starting at final DFA
+    state [q] matches the (padded) window just consumed, i.e. the token
+    ending at [q] is {e not} maximal. *)
+val extendable : t -> int -> int -> bool
+
+(** [emit_bit te s q] — the token-maximality table entry T[q][S]: true iff
+    [q] is final and the token ending at [q] is maximal. Single packed-bit
+    read; the engine's per-symbol check. *)
+val emit_bit : t -> int -> int -> bool
+
+(**/**)
+
+(** Internal raw views for the engine's hot loop. The arrays are replaced
+    wholesale when the automaton grows, so callers must re-fetch them after
+    any {!step} that materialized a state (a cached copy stays valid for
+    reads of already-materialized states). *)
+module Raw : sig
+  val trans : t -> int array
+  val emit_rows : t -> int64 array
+  val words : t -> int
+end

@@ -1,0 +1,1 @@
+lib/util/location.ml: Array Format Int_vec String

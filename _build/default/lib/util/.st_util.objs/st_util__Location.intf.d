@@ -1,0 +1,1 @@
+lib/util/location.mli: Format

@@ -1,0 +1,13 @@
+(** Growable integer vectors, used for building automata transition tables
+    without intermediate lists. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val clear : t -> unit
+val to_array : t -> int array
+val iter : (int -> unit) -> t -> unit

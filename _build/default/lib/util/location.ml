@@ -1,0 +1,33 @@
+(* line_starts.(i) = byte offset where 1-based line i+1 begins *)
+type t = { len : int; line_starts : int array }
+
+let of_string s =
+  let starts = Int_vec.create ~capacity:64 () in
+  Int_vec.push starts 0;
+  String.iteri (fun i c -> if c = '\n' then Int_vec.push starts (i + 1)) s;
+  { len = String.length s; line_starts = Int_vec.to_array starts }
+
+type position = { line : int; column : int }
+
+let resolve t offset =
+  if offset < 0 || offset > t.len then invalid_arg "Location.resolve";
+  (* greatest line start ≤ offset *)
+  let lo = ref 0 and hi = ref (Array.length t.line_starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.line_starts.(mid) <= offset then lo := mid else hi := mid - 1
+  done;
+  { line = !lo + 1; column = offset - t.line_starts.(!lo) + 1 }
+
+let num_lines t = Array.length t.line_starts
+
+let line_span t ln =
+  if ln < 1 || ln > num_lines t then invalid_arg "Location.line_span";
+  let start = t.line_starts.(ln - 1) in
+  let stop =
+    if ln < num_lines t then t.line_starts.(ln) - 1 (* exclude the newline *)
+    else t.len
+  in
+  (start, stop)
+
+let pp fmt p = Format.fprintf fmt "line %d, column %d" p.line p.column

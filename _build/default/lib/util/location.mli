@@ -1,0 +1,24 @@
+(** Byte offset → (line, column) resolution for error reporting.
+
+    An index over an in-memory document; construction is O(n), queries are
+    O(log #lines). Lines and columns are 1-based; the newline byte itself
+    belongs to the line it terminates. *)
+
+type t
+
+val of_string : string -> t
+
+type position = { line : int; column : int }
+
+(** [resolve t offset] for 0 ≤ offset ≤ document length (the end position
+    is valid and points just past the last byte). Raises
+    [Invalid_argument] outside that range. *)
+val resolve : t -> int -> position
+
+val num_lines : t -> int
+
+(** [line_span t ln] is the [(start, end_exclusive)] byte span of 1-based
+    line [ln], newline excluded. *)
+val line_span : t -> int -> int * int
+
+val pp : Format.formatter -> position -> unit

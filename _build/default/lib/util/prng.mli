@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All workload generators and the synthetic grammar corpus are seeded with
+    this PRNG so that every experiment is exactly reproducible. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [in_range t lo hi] is uniform in [lo, hi] (inclusive). *)
+val in_range : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [choose t arr] picks a uniform element of a nonempty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [weighted t weights] returns an index with probability proportional to
+    [weights.(i)]; weights must be nonnegative with positive sum. *)
+val weighted : t -> float array -> int
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new independent generator from [t]'s stream. *)
+val split : t -> t

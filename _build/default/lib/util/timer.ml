@@ -1,0 +1,20 @@
+let now () = Unix.gettimeofday ()
+
+let time_it f =
+  let t0 = now () in
+  let r = f () in
+  let t1 = now () in
+  (r, t1 -. t0)
+
+let best_of ~repeats f =
+  assert (repeats > 0);
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let (), dt = time_it f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let throughput_mbps ~bytes seconds =
+  if seconds <= 0.0 then infinity
+  else float_of_int bytes /. 1_000_000.0 /. seconds

@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+(** [time_it f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+val time_it : (unit -> 'a) -> 'a * float
+
+(** [best_of ~repeats f] runs [f] [repeats] times and returns the minimum
+    elapsed seconds (standard practice for micro-benchmarks: the minimum is
+    the least noisy estimator of the true cost). *)
+val best_of : repeats:int -> (unit -> unit) -> float
+
+(** [throughput_mbps ~bytes seconds] is megabytes (10^6 bytes) per second. *)
+val throughput_mbps : bytes:int -> float -> float

@@ -1,0 +1,1 @@
+lib/workloads/gen_common.ml: Buffer Char Printf Prng St_util String

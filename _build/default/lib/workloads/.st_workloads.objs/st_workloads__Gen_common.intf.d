@@ -1,0 +1,1 @@
+lib/workloads/gen_common.mli: Buffer Prng St_util

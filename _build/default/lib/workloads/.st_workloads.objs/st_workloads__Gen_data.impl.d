@@ -1,0 +1,1 @@
+lib/workloads/gen_data.ml: Buffer Char Gen_common Printf Prng St_util String

@@ -1,0 +1,1 @@
+lib/workloads/gen_logs.ml: Array Buffer Gen_common List Printf Prng St_util String

@@ -1,0 +1,1 @@
+lib/workloads/grammar_corpus.ml: Array Char Charset Gen_common Hashtbl List Prng Regex St_regex St_util String

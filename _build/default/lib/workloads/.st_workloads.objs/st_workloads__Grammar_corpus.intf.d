@@ -1,0 +1,1 @@
+lib/workloads/grammar_corpus.mli: Regex St_regex

@@ -1,0 +1,1 @@
+lib/workloads/worst_case.ml: Grammar Printf St_grammars String

@@ -1,0 +1,1 @@
+lib/workloads/worst_case.mli: Grammar St_grammars

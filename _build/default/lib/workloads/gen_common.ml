@@ -1,0 +1,67 @@
+open St_util
+
+let word rng lo hi =
+  let n = Prng.in_range rng lo hi in
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Prng.int rng 26))
+
+let vocabulary =
+  [|
+    "request"; "session"; "user"; "server"; "client"; "connection"; "packet";
+    "thread"; "worker"; "queue"; "cache"; "index"; "table"; "record"; "field";
+    "value"; "status"; "error"; "warning"; "timeout"; "retry"; "handler";
+    "service"; "module"; "config"; "buffer"; "stream"; "block"; "file";
+    "path"; "host"; "port"; "proxy"; "socket"; "message"; "event"; "task";
+    "job"; "batch"; "commit"; "update"; "delete"; "insert"; "query"; "scan";
+  |]
+
+let vocab_word rng =
+  let base = Prng.choose rng vocabulary in
+  if Prng.chance rng 0.2 then base ^ string_of_int (Prng.int rng 100)
+  else base
+
+let digits rng n =
+  assert (n >= 1);
+  String.init n (fun i ->
+      if i = 0 then Char.chr (Char.code '1' + Prng.int rng 9)
+      else Char.chr (Char.code '0' + Prng.int rng 10))
+
+let number rng =
+  let i = digits rng (Prng.in_range rng 1 6) in
+  if Prng.chance rng 0.3 then
+    let f = digits rng (Prng.in_range rng 1 4) in
+    if Prng.chance rng 0.2 then
+      Printf.sprintf "%s.%se%s%s" i f
+        (if Prng.bool rng then "+" else "-")
+        (digits rng 1)
+    else i ^ "." ^ f
+  else i
+
+let plain_number rng =
+  let i = digits rng (Prng.in_range rng 1 6) in
+  if Prng.chance rng 0.3 then i ^ "." ^ digits rng (Prng.in_range rng 1 4)
+  else i
+
+let ipv4 rng =
+  Printf.sprintf "%d.%d.%d.%d" (Prng.int rng 256) (Prng.int rng 256)
+    (Prng.int rng 256) (Prng.int rng 256)
+
+let time_hms rng =
+  Printf.sprintf "%02d:%02d:%02d" (Prng.int rng 24) (Prng.int rng 60)
+    (Prng.int rng 60)
+
+let date_ymd rng =
+  Printf.sprintf "%04d-%02d-%02d"
+    (2020 + Prng.int rng 6)
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+
+let months =
+  [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct";
+     "Nov"; "Dec" |]
+
+let month rng = Prng.choose rng months
+
+let repeat_until buf target f =
+  while Buffer.length buf < target do
+    f ()
+  done

@@ -1,0 +1,36 @@
+(** Shared helpers for the seeded workload generators. *)
+
+open St_util
+
+(** Random lowercase word of length in [lo, hi]. *)
+val word : Prng.t -> int -> int -> string
+
+(** Random word drawn from a small realistic vocabulary plus random
+    inflections; repeats are common, like real data. *)
+val vocab_word : Prng.t -> string
+
+(** Random integer literal with [digits] digits (no leading zero). *)
+val digits : Prng.t -> int -> string
+
+(** Random decimal number, sometimes with fraction/exponent. *)
+val number : Prng.t -> string
+
+(** Random decimal number without exponent (integer or int.frac), for
+    grammars whose number rule has no exponent part. *)
+val plain_number : Prng.t -> string
+
+(** IPv4 address. *)
+val ipv4 : Prng.t -> string
+
+(** 'HH:MM:SS'. *)
+val time_hms : Prng.t -> string
+
+(** 'YYYY-MM-DD'. *)
+val date_ymd : Prng.t -> string
+
+(** Three-letter month name. *)
+val month : Prng.t -> string
+
+(** [repeat_until buf target f] calls [f ()] until the buffer reaches
+    [target] bytes. *)
+val repeat_until : Buffer.t -> int -> (unit -> unit) -> unit

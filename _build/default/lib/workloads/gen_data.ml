@@ -1,0 +1,412 @@
+open St_util
+module G = Gen_common
+
+let default_seed = 0x5eed_5eedL
+
+(* The JSON string generator avoids backslashes and quotes so the documents
+   stay valid for the simple string rule; escapes are exercised separately
+   in the test suite. *)
+let json_string rng len =
+  let n = max 1 len in
+  let body =
+    String.init n (fun _ ->
+        let c = Prng.int rng 64 in
+        if c < 26 then Char.chr (Char.code 'a' + c)
+        else if c < 52 then Char.chr (Char.code 'A' + c - 26)
+        else if c < 62 then Char.chr (Char.code '0' + c - 52)
+        else if c = 62 then ' '
+        else '_')
+  in
+  "\"" ^ body ^ "\""
+
+let json ?(seed = default_seed) ?(avg_token_len = 8) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let value_depth = ref 0 in
+  let rec value () =
+    incr value_depth;
+    let choice =
+      if !value_depth > 3 then Prng.int rng 4 else Prng.int rng 6
+    in
+    (match choice with
+    | 0 -> Buffer.add_string buf (json_string rng (Prng.in_range rng (max 1 (avg_token_len - 3)) (avg_token_len + 3)))
+    | 1 -> Buffer.add_string buf (G.number rng)
+    | 2 -> Buffer.add_string buf (if Prng.bool rng then "true" else "false")
+    | 3 -> Buffer.add_string buf "null"
+    | 4 ->
+        (* object *)
+        Buffer.add_char buf '{';
+        let n = Prng.in_range rng 1 5 in
+        for i = 1 to n do
+          Buffer.add_string buf (json_string rng (Prng.in_range rng 3 (max 4 avg_token_len)));
+          Buffer.add_string buf ": ";
+          value ();
+          if i < n then Buffer.add_string buf ", "
+        done;
+        Buffer.add_char buf '}'
+    | _ ->
+        Buffer.add_char buf '[';
+        let n = Prng.in_range rng 1 6 in
+        for i = 1 to n do
+          value ();
+          if i < n then Buffer.add_string buf ", "
+        done;
+        Buffer.add_char buf ']');
+    decr value_depth
+  in
+  Buffer.add_string buf "[\n";
+  value ();
+  G.repeat_until buf target_bytes (fun () ->
+      Buffer.add_string buf ",\n";
+      value ());
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let csv_field rng avg =
+  let n = Prng.in_range rng (max 1 (avg - 3)) (avg + 3) in
+  String.init n (fun _ ->
+      let c = Prng.int rng 40 in
+      if c < 26 then Char.chr (Char.code 'a' + c)
+      else if c < 36 then Char.chr (Char.code '0' + c - 26)
+      else if c = 36 then ' '
+      else if c = 37 then '.'
+      else if c = 38 then '-'
+      else '_')
+
+let csv ?(seed = default_seed) ?(avg_token_len = 8) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let cols = Prng.in_range rng 4 8 in
+  G.repeat_until buf target_bytes (fun () ->
+      for i = 1 to cols do
+        (match Prng.int rng 10 with
+        | 0 ->
+            (* quoted field, possibly containing commas and doubled quotes *)
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (csv_field rng avg_token_len);
+            if Prng.chance rng 0.3 then begin
+              Buffer.add_string buf "\"\"";
+              Buffer.add_string buf (csv_field rng avg_token_len)
+            end;
+            if Prng.chance rng 0.3 then begin
+              Buffer.add_char buf ',';
+              Buffer.add_string buf (csv_field rng avg_token_len)
+            end;
+            Buffer.add_char buf '"'
+        | 1 | 2 | 3 -> Buffer.add_string buf (G.number rng)
+        | _ -> Buffer.add_string buf (csv_field rng avg_token_len));
+        if i < cols then Buffer.add_char buf ','
+      done;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let tsv ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let cols = Prng.in_range rng 4 8 in
+  G.repeat_until buf target_bytes (fun () ->
+      for i = 1 to cols do
+        (match Prng.int rng 4 with
+        | 0 -> Buffer.add_string buf (G.number rng)
+        | 1 -> Buffer.add_string buf (G.vocab_word rng)
+        | _ -> Buffer.add_string buf (G.word rng 3 12));
+        if i < cols then Buffer.add_char buf '\t'
+      done;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let xml ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  Buffer.add_string buf "<?xml version=\"1.0\"?>\n<root>\n";
+  let entities = [| "&amp;"; "&lt;"; "&gt;"; "&quot;"; "&#38;"; "&#x26;" |] in
+  G.repeat_until buf (target_bytes - 16) (fun () ->
+      let tag = G.vocab_word rng in
+      Buffer.add_string buf "  <";
+      Buffer.add_string buf tag;
+      if Prng.chance rng 0.5 then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (G.word rng 2 8);
+        Buffer.add_char buf '"'
+      end;
+      Buffer.add_char buf '>';
+      (match Prng.int rng 8 with
+      | 0 -> Buffer.add_string buf (Prng.choose rng entities)
+      | 1 ->
+          Buffer.add_string buf "<!-- ";
+          Buffer.add_string buf (G.word rng 3 20);
+          Buffer.add_string buf " -->"
+      | 2 ->
+          Buffer.add_string buf "<![CDATA[";
+          Buffer.add_string buf (G.word rng 3 20);
+          Buffer.add_string buf "]]>"
+      | _ ->
+          Buffer.add_string buf (G.vocab_word rng);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (G.number rng));
+      Buffer.add_string buf "</";
+      Buffer.add_string buf tag;
+      Buffer.add_string buf ">\n");
+  Buffer.add_string buf "</root>\n";
+  Buffer.contents buf
+
+let yaml ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  G.repeat_until buf target_bytes (fun () ->
+      Buffer.add_string buf (G.vocab_word rng);
+      Buffer.add_string buf ":\n";
+      let n = Prng.in_range rng 1 5 in
+      for _ = 1 to n do
+        Buffer.add_string buf "  ";
+        if Prng.chance rng 0.3 then Buffer.add_string buf "- ";
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_string buf ": ";
+        (match Prng.int rng 4 with
+        | 0 -> Buffer.add_string buf (G.plain_number rng)
+        | 1 ->
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (G.word rng 3 14);
+            Buffer.add_char buf '"'
+        | 2 -> Buffer.add_string buf (G.vocab_word rng)
+        | _ ->
+            Buffer.add_string buf (G.vocab_word rng);
+            if Prng.chance rng 0.3 then begin
+              Buffer.add_string buf " # ";
+              Buffer.add_string buf (G.word rng 3 12)
+            end);
+        Buffer.add_char buf '\n'
+      done);
+  Buffer.contents buf
+
+let fasta ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let residues = "ACGTACGTACGTNRYKM" in
+  G.repeat_until buf target_bytes (fun () ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (G.vocab_word rng);
+      Buffer.add_char buf '_';
+      Buffer.add_string buf (G.digits rng 4);
+      Buffer.add_string buf " synthetic sequence\n";
+      let lines = Prng.in_range rng 2 20 in
+      for _ = 1 to lines do
+        let n = Prng.in_range rng 40 70 in
+        for _ = 1 to n do
+          Buffer.add_char buf residues.[Prng.int rng (String.length residues)]
+        done;
+        Buffer.add_char buf '\n'
+      done);
+  Buffer.contents buf
+
+let dns ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  Buffer.add_string buf "$ORIGIN example.com.\n$TTL 3600\n";
+  let rrtypes = [| "A"; "AAAA"; "NS"; "MX"; "CNAME"; "TXT"; "SOA" |] in
+  G.repeat_until buf target_bytes (fun () ->
+      let name = G.vocab_word rng in
+      let ty = Prng.choose rng rrtypes in
+      Buffer.add_string buf name;
+      Buffer.add_string buf "\tIN\t";
+      Buffer.add_string buf ty;
+      Buffer.add_char buf '\t';
+      (match ty with
+      | "A" -> Buffer.add_string buf (G.ipv4 rng)
+      | "MX" ->
+          Buffer.add_string buf (string_of_int (10 * Prng.in_range rng 1 5));
+          Buffer.add_string buf " mail.example.com."
+      | "TXT" ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (G.word rng 5 30);
+          Buffer.add_char buf '"'
+      | _ ->
+          Buffer.add_string buf (G.vocab_word rng);
+          Buffer.add_string buf ".example.com.");
+      if Prng.chance rng 0.1 then begin
+        Buffer.add_string buf " ; ";
+        Buffer.add_string buf (G.word rng 3 15)
+      end;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let linux_log ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  G.repeat_until buf target_bytes (fun () ->
+      Buffer.add_string buf (G.month rng);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (1 + Prng.int rng 28));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (G.time_hms rng);
+      Buffer.add_string buf " host ";
+      Buffer.add_string buf (G.vocab_word rng);
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (G.digits rng 4);
+      Buffer.add_string buf "]: ";
+      let n = Prng.in_range rng 3 10 in
+      for i = 1 to n do
+        (match Prng.int rng 5 with
+        | 0 -> Buffer.add_string buf (G.number rng)
+        | 1 -> Buffer.add_string buf (G.ipv4 rng)
+        | 2 ->
+            Buffer.add_string buf (G.vocab_word rng);
+            Buffer.add_char buf '=';
+            Buffer.add_string buf (G.number rng)
+        | _ -> Buffer.add_string buf (G.vocab_word rng));
+        if i < n then Buffer.add_char buf ' '
+      done;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let record_keys = [| "id"; "name"; "value"; "active"; "score"; "tag" |]
+
+let json_records ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let id = ref 0 in
+  let record () =
+    incr id;
+    Buffer.add_string buf "{\"id\": ";
+    Buffer.add_string buf (string_of_int !id);
+    Buffer.add_string buf ", \"name\": ";
+    Buffer.add_string buf (json_string rng (Prng.in_range rng 4 12));
+    Buffer.add_string buf ", \"value\": ";
+    Buffer.add_string buf (G.number rng);
+    Buffer.add_string buf ", \"active\": ";
+    Buffer.add_string buf (if Prng.bool rng then "true" else "false");
+    Buffer.add_string buf ", \"score\": ";
+    Buffer.add_string buf (G.digits rng 2);
+    Buffer.add_string buf ".";
+    Buffer.add_string buf (G.digits rng 2);
+    Buffer.add_string buf ", \"tag\": ";
+    if Prng.chance rng 0.1 then Buffer.add_string buf "null"
+    else Buffer.add_string buf (json_string rng (Prng.in_range rng 3 8));
+    Buffer.add_char buf '}'
+  in
+  ignore record_keys;
+  Buffer.add_string buf "[\n";
+  record ();
+  G.repeat_until buf target_bytes (fun () ->
+      Buffer.add_string buf ",\n";
+      record ());
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let csv_typed ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  Buffer.add_string buf "id,name,value,active,created,comment\n";
+  let id = ref 0 in
+  G.repeat_until buf target_bytes (fun () ->
+      incr id;
+      Printf.bprintf buf "%d,%s,%s,%s,%s," !id (G.vocab_word rng)
+        (G.number rng)
+        (if Prng.bool rng then "true" else "false")
+        (G.date_ymd rng);
+      if Prng.chance rng 0.15 then begin
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_string buf "\"\"";
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_char buf '"'
+      end
+      else Buffer.add_string buf (G.word rng 3 12);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let sql_inserts ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let tables = [| "users"; "events"; "orders"; "metrics" |] in
+  let id = ref 0 in
+  G.repeat_until buf target_bytes (fun () ->
+      incr id;
+      let table = Prng.choose rng tables in
+      Printf.bprintf buf "INSERT INTO %s (id, name, value, note) VALUES " table;
+      let tuples = Prng.in_range rng 1 4 in
+      for i = 1 to tuples do
+        Printf.bprintf buf "(%d, '%s', %s, '%s%s')" !id (G.vocab_word rng)
+          (G.plain_number rng) (G.vocab_word rng)
+          (if Prng.chance rng 0.2 then "''s" else "");
+        if i < tuples then Buffer.add_string buf ", "
+      done;
+      Buffer.add_string buf ";\n");
+  Buffer.contents buf
+
+let ini ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  G.repeat_until buf target_bytes (fun () ->
+      Printf.bprintf buf "[%s.%s]\n" (G.vocab_word rng) (G.vocab_word rng);
+      let n = Prng.in_range rng 2 8 in
+      for _ = 1 to n do
+        (match Prng.int rng 6 with
+        | 0 -> Printf.bprintf buf "; %s\n" (G.word rng 4 20)
+        | 1 ->
+            Printf.bprintf buf "%s = %s  # %s\n" (G.vocab_word rng)
+              (G.plain_number rng) (G.word rng 3 10)
+        | _ ->
+            Printf.bprintf buf "%s = %s\n" (G.vocab_word rng)
+              (G.vocab_word rng))
+      done;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let toml ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  G.repeat_until buf target_bytes (fun () ->
+      Printf.bprintf buf "[%s.%s]\n" (G.vocab_word rng) (G.vocab_word rng);
+      let n = Prng.in_range rng 2 8 in
+      for _ = 1 to n do
+        Printf.bprintf buf "%s = " (G.vocab_word rng);
+        (match Prng.int rng 6 with
+        | 0 -> Printf.bprintf buf "\"%s\"" (G.word rng 3 14)
+        | 1 -> Printf.bprintf buf "'%s'" (G.word rng 3 14)
+        | 2 -> Buffer.add_string buf (if Prng.bool rng then "true" else "false")
+        | 3 ->
+            Printf.bprintf buf "[%s, %s, %s]" (G.plain_number rng)
+              (G.plain_number rng) (G.plain_number rng)
+        | 4 -> Printf.bprintf buf "{ %s = %s }" (G.vocab_word rng) (G.plain_number rng)
+        | _ -> Buffer.add_string buf (G.plain_number rng));
+        if Prng.chance rng 0.2 then Printf.bprintf buf " # %s" (G.word rng 3 10);
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let http_headers ?(seed = default_seed) ~target_bytes () =
+  let rng = Prng.create seed in
+  let buf = Buffer.create (target_bytes + 1024) in
+  let methods = [| "GET"; "POST"; "PUT"; "DELETE"; "HEAD" |] in
+  let headers =
+    [| "Host"; "User-Agent"; "Accept"; "Content-Type"; "Content-Length";
+       "Authorization"; "Cache-Control"; "X-Request-Id" |]
+  in
+  G.repeat_until buf target_bytes (fun () ->
+      Printf.bprintf buf "%s /%s/%s HTTP/1.1\r\n" (Prng.choose rng methods)
+        (G.vocab_word rng) (G.vocab_word rng);
+      let n = Prng.in_range rng 3 8 in
+      for _ = 1 to n do
+        Printf.bprintf buf "%s: %s=%s; %s\r\n" (Prng.choose rng headers)
+          (G.vocab_word rng) (G.word rng 3 12) (G.vocab_word rng)
+      done;
+      Buffer.add_string buf "\r\n");
+  Buffer.contents buf
+
+let by_name = function
+  | "json" -> Some (fun ?seed ~target_bytes () -> json ?seed ~target_bytes ())
+  | "csv" -> Some (fun ?seed ~target_bytes () -> csv ?seed ~target_bytes ())
+  | "tsv" -> Some tsv
+  | "xml" -> Some xml
+  | "yaml" -> Some yaml
+  | "fasta" -> Some fasta
+  | "dns-zone" -> Some dns
+  | "log" -> Some linux_log
+  | "ini" -> Some ini
+  | "toml" -> Some toml
+  | "http-headers" -> Some http_headers
+  | _ -> None

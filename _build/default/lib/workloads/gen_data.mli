@@ -1,0 +1,45 @@
+(** Seeded synthetic document generators for every format benchmarked in
+    Figs. 9–11 and RQ5/RQ6. All generators are deterministic in [seed] and
+    produce at least [target_bytes] bytes of well-formed data for the
+    corresponding grammar in [St_grammars.Formats].
+
+    These substitute for the paper's downloaded corpora (see DESIGN.md):
+    they exercise the same grammars with realistic token mixes. *)
+
+(** JSON: an array of flat-ish objects with strings, numbers, booleans,
+    nulls and nested arrays. [avg_token_len] controls the approximate
+    length of string/number tokens (Fig. 11b); default ≈ 8. *)
+val json : ?seed:int64 -> ?avg_token_len:int -> target_bytes:int -> unit -> string
+
+(** CSV rows with quoted and unquoted fields ([avg_token_len] as above). *)
+val csv : ?seed:int64 -> ?avg_token_len:int -> target_bytes:int -> unit -> string
+
+val tsv : ?seed:int64 -> target_bytes:int -> unit -> string
+val xml : ?seed:int64 -> target_bytes:int -> unit -> string
+val yaml : ?seed:int64 -> target_bytes:int -> unit -> string
+val fasta : ?seed:int64 -> target_bytes:int -> unit -> string
+val dns : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** Generic /var/log-style lines for the [log] grammar. *)
+val linux_log : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** INI / TOML / HTTP-header documents for the extra grammars. *)
+val ini : ?seed:int64 -> target_bytes:int -> unit -> string
+
+val toml : ?seed:int64 -> target_bytes:int -> unit -> string
+val http_headers : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** JSON array of {e flat} records with a fixed key set — the shape the
+    RQ5 conversion applications (JSON→CSV, JSON→SQL) consume. *)
+val json_records : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** CSV with a header row and typed columns (int, float, bool, date, word),
+    for the schema-inference and validation applications. *)
+val csv_typed : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** SQL migration file made of INSERT INTO statements, for "SQL loads". *)
+val sql_inserts : ?seed:int64 -> target_bytes:int -> unit -> string
+
+(** Generator for a format grammar by name (the Fig. 9/10 loop);
+    [None] for unknown names. *)
+val by_name : string -> (?seed:int64 -> target_bytes:int -> unit -> string) option

@@ -1,0 +1,187 @@
+open St_util
+module G = Gen_common
+
+let levels = [| "INFO"; "WARN"; "ERROR"; "DEBUG" |]
+
+let message rng buf =
+  let n = Prng.in_range rng 4 12 in
+  for i = 1 to n do
+    (match Prng.int rng 8 with
+    | 0 -> Buffer.add_string buf (G.number rng)
+    | 1 -> Buffer.add_string buf (G.ipv4 rng)
+    | 2 ->
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (G.number rng)
+    | 3 ->
+        Buffer.add_char buf '/';
+        Buffer.add_string buf (G.vocab_word rng);
+        Buffer.add_char buf '/';
+        Buffer.add_string buf (G.vocab_word rng)
+    | _ -> Buffer.add_string buf (G.vocab_word rng));
+    if i < n then Buffer.add_char buf ' '
+  done
+
+let qualified rng buf =
+  Buffer.add_string buf "org.apache.";
+  Buffer.add_string buf (G.vocab_word rng);
+  Buffer.add_char buf '.';
+  Buffer.add_string buf (String.capitalize_ascii (G.vocab_word rng))
+
+let android_line rng buf =
+  Printf.bprintf buf "%02d-%02d %s.%03d %5d %5d %c "
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (Prng.int rng 1000)
+    (1 + Prng.int rng 30000)
+    (1 + Prng.int rng 30000)
+    [| 'V'; 'D'; 'I'; 'W'; 'E' |].(Prng.int rng 5);
+  Buffer.add_string buf (String.capitalize_ascii (G.vocab_word rng));
+  Buffer.add_string buf ": ";
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let apache_line rng buf =
+  Printf.bprintf buf "[%s %s %02d %s %04d] [%s] [client %s] "
+    [| "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat"; "Sun" |].(Prng.int rng 7)
+    (G.month rng)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng)
+    (2020 + Prng.int rng 6)
+    (String.lowercase_ascii (Prng.choose rng levels))
+    (G.ipv4 rng);
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let bgl_line rng buf =
+  Printf.bprintf buf "- %d %04d.%02d.%02d R%02d-M%d-N%d-C%02d RAS KERNEL %s "
+    (1_100_000_000 + Prng.int rng 100_000_000)
+    (2020 + Prng.int rng 6)
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+    (Prng.int rng 64) (Prng.int rng 2) (Prng.int rng 16) (Prng.int rng 64)
+    (Prng.choose rng levels);
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let hadoop_line rng buf =
+  Printf.bprintf buf "%s %s,%03d %s [%s] " (G.date_ymd rng) (G.time_hms rng)
+    (Prng.int rng 1000) (Prng.choose rng levels)
+    (G.vocab_word rng);
+  qualified rng buf;
+  Buffer.add_string buf ": ";
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let hdfs_line rng buf =
+  Printf.bprintf buf "%02d%02d%02d %s %d %s dfs.DataNode: blk_%s "
+    (20 + Prng.int rng 7)
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (Prng.int rng 1000) (Prng.choose rng levels)
+    (G.digits rng 10);
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let linux_line rng buf =
+  Printf.bprintf buf "%s %2d %s combo %s[%s]: " (G.month rng)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (G.vocab_word rng) (G.digits rng 4);
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let mac_line rng buf =
+  Printf.bprintf buf "%s %2d %s Macs-MacBook-Pro " (G.month rng)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng);
+  qualified rng buf;
+  Printf.bprintf buf "[%s]: " (G.digits rng 3);
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let nginx_line rng buf =
+  Printf.bprintf buf "%s - - [%02d/%s/%04d:%s +0000] \"GET /%s/%s HTTP/1.1\" %d %s \"-\" \"Mozilla/5.0\"\n"
+    (G.ipv4 rng)
+    (1 + Prng.int rng 28)
+    (G.month rng)
+    (2020 + Prng.int rng 6)
+    (G.time_hms rng) (G.vocab_word rng) (G.vocab_word rng)
+    [| 200; 301; 404; 500 |].(Prng.int rng 4)
+    (G.digits rng 4)
+
+let openssh_line rng buf =
+  Printf.bprintf buf "%s %2d %s LabSZ sshd[%s]: " (G.month rng)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (G.digits rng 5);
+  (match Prng.int rng 3 with
+  | 0 ->
+      Printf.bprintf buf "Failed password for invalid user %s from %s port %s ssh2"
+        (G.vocab_word rng) (G.ipv4 rng) (G.digits rng 5)
+  | 1 ->
+      Printf.bprintf buf "Accepted password for %s from %s port %s ssh2"
+        (G.vocab_word rng) (G.ipv4 rng) (G.digits rng 5)
+  | _ -> message rng buf);
+  Buffer.add_char buf '\n'
+
+let proxifier_line rng buf =
+  Printf.bprintf buf "[%02d.%02d %s] %s.exe - %s.com:%d "
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (G.vocab_word rng) (G.vocab_word rng)
+    [| 80; 443; 8080 |].(Prng.int rng 3);
+  (match Prng.int rng 3 with
+  | 0 -> Buffer.add_string buf "open through proxy proxy.example.com:1080 SOCKS5"
+  | 1 ->
+      Printf.bprintf buf "close, %s bytes sent, %s bytes received, lifetime %s sec"
+        (G.digits rng 4) (G.digits rng 5) (G.digits rng 2)
+  | _ -> Buffer.add_string buf "error : Could not connect");
+  Buffer.add_char buf '\n'
+
+let spark_line rng buf =
+  Printf.bprintf buf "%02d/%02d/%02d %s %s "
+    (17 + Prng.int rng 9)
+    (1 + Prng.int rng 12)
+    (1 + Prng.int rng 28)
+    (G.time_hms rng) (Prng.choose rng levels);
+  qualified rng buf;
+  Buffer.add_string buf ": ";
+  message rng buf;
+  Buffer.add_char buf '\n'
+
+let windows_line rng buf =
+  Printf.bprintf buf "%s %s, %s CBS " (G.date_ymd rng) (G.time_hms rng)
+    (Prng.choose rng levels);
+  (match Prng.int rng 2 with
+  | 0 ->
+      Printf.bprintf buf "Loaded Servicing Stack v%d.%d.%d.%d with Core: C:\\Windows\\%s.dll"
+        (6 + Prng.int rng 5) (Prng.int rng 4) (Prng.int rng 20000)
+        (Prng.int rng 3000) (G.vocab_word rng)
+  | _ -> message rng buf);
+  Buffer.add_char buf '\n'
+
+let table =
+  [
+    ("android", android_line);
+    ("apache", apache_line);
+    ("bgl", bgl_line);
+    ("hadoop", hadoop_line);
+    ("hdfs", hdfs_line);
+    ("linux", linux_line);
+    ("mac", mac_line);
+    ("nginx", nginx_line);
+    ("openssh", openssh_line);
+    ("proxifier", proxifier_line);
+    ("spark", spark_line);
+    ("windows", windows_line);
+  ]
+
+let formats = List.map fst table
+
+let generate ~format ?(seed = 0x1065L) ~target_bytes () =
+  match List.assoc_opt format table with
+  | None -> invalid_arg ("Gen_logs.generate: unknown format " ^ format)
+  | Some line ->
+      let rng = Prng.create seed in
+      let buf = Buffer.create (target_bytes + 1024) in
+      G.repeat_until buf target_bytes (fun () -> line rng buf);
+      Buffer.contents buf

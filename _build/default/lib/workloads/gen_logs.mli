@@ -1,0 +1,10 @@
+(** Seeded log-line generators for the 12 formats of Table 2; shapes follow
+    the LogHub samples the paper used (timestamps, PIDs, levels, components,
+    free-text messages with ids and IPs). *)
+
+(** [generate ~format ?seed ~target_bytes ()]; [format] is the grammar name
+    from [St_grammars.Logs]. Raises [Invalid_argument] on unknown format. *)
+val generate :
+  format:string -> ?seed:int64 -> target_bytes:int -> unit -> string
+
+val formats : string list

@@ -1,0 +1,102 @@
+open St_util
+open St_regex
+
+(* Character classes that occur in real tokenization grammars. *)
+let named_classes =
+  [|
+    Charset.digit;
+    Charset.alpha;
+    Charset.word;
+    Charset.space;
+    Charset.of_string " \t";
+    Charset.union Charset.alpha (Charset.singleton '_');
+    Charset.negate (Charset.of_string "\n");
+    Charset.negate (Charset.of_string "\"\\");
+    Charset.negate (Charset.of_string "<>&");
+    Charset.range 'a' 'f';
+    Charset.union Charset.digit (Charset.of_string "abcdefABCDEF");
+  |]
+
+let punctuation = ",.;:(){}[]<>=+-*/|&!?@#%^~'\"\\_"
+
+let rand_class rng =
+  match Prng.int rng 4 with
+  | 0 -> Prng.choose rng named_classes
+  | 1 -> Charset.singleton punctuation.[Prng.int rng (String.length punctuation)]
+  | 2 -> Charset.singleton (Char.chr (Char.code 'a' + Prng.int rng 26))
+  | _ ->
+      let lo = Char.chr (Char.code 'a' + Prng.int rng 20) in
+      let hi = Char.chr (Char.code lo + Prng.int rng 6) in
+      Charset.range lo hi
+
+(* Random regex with roughly [budget] leaves. *)
+let rec rand_regex rng budget =
+  if budget <= 1 then rand_leaf rng
+  else
+    match Prng.weighted rng [| 0.35; 0.25; 0.15; 0.1; 0.08; 0.07 |] with
+    | 0 ->
+        (* concatenation *)
+        let left = max 1 (Prng.int rng budget) in
+        Regex.seq (rand_regex rng left) (rand_regex rng (budget - left))
+    | 1 ->
+        let left = max 1 (Prng.int rng budget) in
+        Regex.alt (rand_regex rng left) (rand_regex rng (budget - left))
+    | 2 -> Regex.plus (rand_regex rng (budget / 2))
+    | 3 -> Regex.star (rand_regex rng (budget / 2))
+    | 4 -> Regex.opt (rand_regex rng (budget / 2))
+    | _ ->
+        let m = Prng.int rng 3 in
+        let n = m + 1 + Prng.int rng 3 in
+        Regex.repeat (rand_leaf rng) m n
+
+and rand_leaf rng =
+  if Prng.chance rng 0.3 then
+    (* short literal word *)
+    Regex.str (Gen_common.word rng 1 4)
+  else Regex.cls (rand_class rng)
+
+(* Rule shapes seen in real tokenization grammars: plain class repeats
+   and literal keywords dominate; catch-all "rest of line/input" rules
+   (class* class) are the common source of unbounded max-TND. *)
+let rand_rule rng budget =
+  match Prng.weighted rng [| 0.25; 0.12; 0.12; 0.51 |] with
+  | 0 -> Regex.plus (Regex.cls (rand_class rng)) (* [c]+ *)
+  | 1 -> Regex.str (Gen_common.word rng 2 8) (* keyword *)
+  | 2 ->
+      (* catch-all: c1* c2 *)
+      Regex.seq
+        (Regex.star (Regex.cls (rand_class rng)))
+        (Regex.cls (rand_class rng))
+  | _ -> rand_regex rng budget
+
+let rand_grammar rng =
+  let num_rules = 1 + Prng.int rng 7 in
+  (* long-tailed size distribution: mostly small grammars, a few large *)
+  let scale = if Prng.chance rng 0.06 then 120 else 12 in
+  let rules =
+    List.init num_rules (fun _ ->
+        let budget = 1 + Prng.int rng scale in
+        rand_rule rng budget)
+  in
+  (* drop rules denoting the empty language *)
+  match List.filter (fun r -> not (Regex.is_empty_lang r)) rules with
+  | [] -> [ Regex.chr 'a' ]
+  | rs -> rs
+
+let default_count = 2669
+
+let generate ?(seed = 0xC0DEDL) ~count () =
+  let rng = Prng.create seed in
+  let seen = Hashtbl.create (2 * count) in
+  let out = Array.make count [] in
+  let filled = ref 0 in
+  while !filled < count do
+    let g = rand_grammar rng in
+    let key = String.concat "\x00" (List.map Regex.to_string g) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out.(!filled) <- g;
+      incr filled
+    end
+  done;
+  out

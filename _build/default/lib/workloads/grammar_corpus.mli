@@ -1,0 +1,17 @@
+(** Synthetic corpus of random tokenization grammars, substituting for the
+    paper's GitHub-sourced dataset of 2669 grammars (RQ1/RQ2, Fig. 7).
+
+    Grammars are sampled with a realistic construct mix (literals, character
+    classes, star/plus/option, bounded repetition, small alternations) and a
+    size distribution skewed toward small grammars, then deduplicated — the
+    properties Fig. 7a reports for the GitHub corpus. Deterministic in the
+    seed. *)
+
+open St_regex
+
+(** [generate ?seed ~count ()] returns [count] distinct grammars (each a
+    nonempty rule list). *)
+val generate : ?seed:int64 -> count:int -> unit -> Regex.t list array
+
+(** Default corpus size, matching the paper. *)
+val default_count : int

@@ -1,0 +1,13 @@
+open St_grammars
+
+let grammar k =
+  assert (k >= 0);
+  {
+    Grammar.name = Printf.sprintf "worst-case-k%d" k;
+    description =
+      Printf.sprintf "Fig. 8 family r_k = (a{0,%d}b)|a with max-TND %d" k k;
+    rules = [ ("ab", Printf.sprintf "a{0,%d}b" k); ("a", "a") ];
+  }
+
+let input n = String.make n 'a'
+let sweep_k = [ 2; 4; 8; 16; 32; 64 ]

@@ -1,0 +1,15 @@
+open St_grammars
+
+(** The Fig. 8 microbenchmark family: grammars [r_k = (a{0,k}b) | a] with
+    [TkDist(r_k) = k], run on streams of only [a]s. The flex-style
+    backtracking algorithm re-reads ≈k characters per emitted token on this
+    input (Θ(k·n) total); StreamTok stays Θ(n). *)
+
+(** [grammar k] is r_k as a named grammar. *)
+val grammar : int -> Grammar.t
+
+(** [input n] is the n-byte all-[a] stream. *)
+val input : int -> string
+
+(** The k values swept in Fig. 8. *)
+val sweep_k : int list

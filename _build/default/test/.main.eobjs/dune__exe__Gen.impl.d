@@ -1,0 +1,1 @@
+test/gen.ml: Charset List Printf QCheck Regex Streamtok String

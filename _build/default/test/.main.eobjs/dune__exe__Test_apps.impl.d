@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Buffer Csv_apps Formats Gen_data Gen_logs Grammar Json_apps Languages List Log_to_tsv Logs_grammars Sql_apps Streamtok String Token_stream Tokenizer_backend

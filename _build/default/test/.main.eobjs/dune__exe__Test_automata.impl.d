@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Backtracking Char Dfa Gen List Naive Nfa Parser Prng QCheck QCheck_alcotest St_util Streamtok String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Backtracking Bytes Dfa Ext_oracle Flex_model Formats Gen Gen_data Grammar Greedy List Naive Parser Printf QCheck QCheck_alcotest Reps Streamtok String Worst_case

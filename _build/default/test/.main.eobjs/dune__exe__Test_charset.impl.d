@@ -1,0 +1,1 @@
+test/test_charset.ml: Alcotest Char Charset List Parser Printf Regex Streamtok

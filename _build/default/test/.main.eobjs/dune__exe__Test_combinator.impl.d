@@ -1,0 +1,1 @@
+test/test_combinator.ml: Alcotest Backtracking Comb Comb_tokenizers Formats Gen Gen_data Grammar List Streamtok String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Backtracking Dfa Engine Gen Grammar List Printf QCheck QCheck_alcotest Stream_tokenizer Streamtok String Worst_case

@@ -1,0 +1,1 @@
+test/test_grammars.ml: Alcotest Backtracking Engine Extras Formats Gen Gen_data Gen_logs Grammar Languages List Logs_grammars Option Printf Registry Streamtok String Tnd

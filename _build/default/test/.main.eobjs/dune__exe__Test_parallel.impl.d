@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Buffer Dfa Engine Formats Gen Gen_data Grammar List Option Par_tokenizer Printf QCheck QCheck_alcotest Streamtok String

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Charset Dfa List Parser Printf QCheck QCheck_alcotest Reduction Regex Streamtok Tnd

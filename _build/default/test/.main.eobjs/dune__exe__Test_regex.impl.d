@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Char Charset List Naive Parser Prng QCheck QCheck_alcotest Regex Streamtok String

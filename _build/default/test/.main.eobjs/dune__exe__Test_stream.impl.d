@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Buffer Buffered Bytes Engine Formats Gen Gen_data Grammar List Printf Sink Source Streamtok String

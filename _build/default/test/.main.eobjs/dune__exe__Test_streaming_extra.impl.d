@@ -1,0 +1,1 @@
+test/test_streaming_extra.ml: Alcotest Dfa Engine Formats Gen Gen_data Gen_logs Grammar List Logs_grammars Option Printf QCheck QCheck_alcotest Stream_tokenizer Streamtok String

@@ -1,0 +1,1 @@
+test/test_te_dfa.ml: Alcotest Char Dfa List Streamtok String Te_dfa

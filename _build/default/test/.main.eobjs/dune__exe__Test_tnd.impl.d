@@ -1,0 +1,1 @@
+test/test_tnd.ml: Alcotest Dfa Gen Grammar List Parser Printf QCheck QCheck_alcotest Streamtok String Tnd Tnd_brute Worst_case

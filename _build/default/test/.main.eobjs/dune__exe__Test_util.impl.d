@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Prng St_util Streamtok Sys

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Backtracking Dfa Formats Fun Gen_data Gen_logs Grammar Grammar_corpus List Printf Prng Regex Streamtok String Tnd Worst_case

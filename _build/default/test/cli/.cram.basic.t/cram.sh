@@ -1,0 +1,16 @@
+  $ streamtok list | head -4
+  $ streamtok analyze json
+  $ streamtok analyze '@[0-9]+;[ ]+' --explain
+  $ streamtok analyze '@a;b;(a|b)*c' 2>&1 | grep -E "max-TND|streaming"
+  $ printf '1,2.5,"a,b"' | streamtok tokenize csv
+  $ printf 'aa bb 12 cc' | streamtok tokenize '@[a-z]+;[0-9]+;[ ]+' --count
+  $ printf '12 @@' | streamtok tokenize '@[0-9]+;[ ]+' --count
+  $ printf '{"a": [1, 2]}' | streamtok validate
+  $ printf '{"a": 1,}\n' | streamtok validate
+  $ streamtok compile csv -o csv.stc | sed 's/[0-9]* bytes/N bytes/'
+  $ test -s csv.stc && echo present
+  $ streamtok gen csv --bytes 200 --seed 7 > a.csv
+  $ streamtok gen csv --bytes 200 --seed 7 > b.csv
+  $ cmp a.csv b.csv && echo identical
+  $ printf '[{"id": 1, "name": "ann"}]' | streamtok convert json-to-csv
+  $ printf 'a,b\n1,2\n' | streamtok convert csv-to-json

@@ -1,0 +1,93 @@
+The CLI lists its built-in grammars:
+
+  $ streamtok list | head -4
+  json           12 rules  JSON (RFC 8259) tokens; max-TND 3 (from number exponents)
+  csv             4 rules  CSV, streaming variant with optional closing quote
+  csv-rfc4180     4 rules  CSV per RFC 4180 (unbounded max-TND)
+  tsv             3 rules  Tab-separated values (IANA text/tab-separated-values)
+
+Static analysis of a built-in grammar reproduces the paper's numbers:
+
+  $ streamtok analyze json
+  grammar:   json (12 rules)
+  NFA size:  53
+  DFA size:  32
+  max-TND:   3
+  witness:   "0" -> "0E+0" (distance 3)
+  streaming: StreamTok applies (lookahead K = 3)
+
+Inline grammars work, and the Fig. 4 execution trace is available:
+
+  $ streamtok analyze '@[0-9]+;[ ]+' --explain
+  grammar:   inline (2 rules)
+  NFA size:  9
+  DFA size:  4
+  max-TND:   1
+  witness:   " " -> "  " (distance 1)
+  streaming: StreamTok applies (lookahead K = 1)
+  
+  Fig. 3 trace (dist, S, T, test):
+    dist=0   S={2,3} T={1,2,3} test=false
+    dist=1   S={1} T={1} test=true
+
+An unbounded grammar is detected and explained:
+
+  $ streamtok analyze '@a;b;(a|b)*c' 2>&1 | grep -E "max-TND|streaming"
+  max-TND:   inf
+  streaming: unbounded lookahead; StreamTok does not apply (use the offline ExtOracle or flex-style backtracking)
+
+Tokenization with named rules:
+
+  $ printf '1,2.5,"a,b"' | streamtok tokenize csv
+  field        "1"
+  comma        ","
+  field        "2.5"
+  comma        ","
+  quoted       "\"a,b\""
+
+Token counting mode:
+
+  $ printf 'aa bb 12 cc' | streamtok tokenize '@[a-z]+;[0-9]+;[ ]+' --count
+  rule0        3
+  rule1        1
+  rule2        3
+
+A lexical error reports the offset and exits nonzero:
+
+  $ printf '12 @@' | streamtok tokenize '@[0-9]+;[ ]+' --count
+  rule0        1
+  rule1        1
+  error: untokenizable input at offset 3
+  [1]
+
+JSON validation reports positioned errors:
+
+  $ printf '{"a": [1, 2]}' | streamtok validate
+  valid (max nesting depth 2, 11 tokens)
+  $ printf '{"a": 1,}\n' | streamtok validate
+  invalid: expected a key at line 1, column 9 (offset 8)
+  [1]
+
+Compiled engines round-trip through files:
+
+  $ streamtok compile csv -o csv.stc | sed 's/[0-9]* bytes/N bytes/'
+  compiled csv: K = 1, 8 DFA states, N bytes -> csv.stc
+  $ test -s csv.stc && echo present
+  present
+
+Workload generation is deterministic in the seed:
+
+  $ streamtok gen csv --bytes 200 --seed 7 > a.csv
+  $ streamtok gen csv --bytes 200 --seed 7 > b.csv
+  $ cmp a.csv b.csv && echo identical
+  identical
+
+Conversions run end to end:
+
+  $ printf '[{"id": 1, "name": "ann"}]' | streamtok convert json-to-csv
+  id,name
+  1,ann
+  $ printf 'a,b\n1,2\n' | streamtok convert csv-to-json
+  [
+  {"a": 1, "b": 2}
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "streamtok"
+    [
+      ("util", Test_util.suite);
+      ("charset", Test_charset.suite);
+      ("regex", Test_regex.suite);
+      ("automata", Test_automata.suite);
+      ("tnd-analysis", Test_tnd.suite);
+      ("reduction", Test_reduction.suite);
+      ("te-dfa", Test_te_dfa.suite);
+      ("engine", Test_engine.suite);
+      ("streaming-extra", Test_streaming_extra.suite);
+      ("parallel", Test_parallel.suite);
+      ("extensions", Test_extensions.suite);
+      ("baselines", Test_baselines.suite);
+      ("grammars", Test_grammars.suite);
+      ("workloads", Test_workloads.suite);
+      ("stream", Test_stream.suite);
+      ("apps", Test_apps.suite);
+      ("combinator", Test_combinator.suite);
+    ]

@@ -1,0 +1,125 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_nfa_structure () =
+  let rules = Parser.parse_grammar "a+\nb" in
+  let nfa = Nfa.of_rules rules in
+  check "has states" true (nfa.Nfa.num_states > 2);
+  let finals =
+    Array.to_list nfa.Nfa.accept_rule |> List.filter (fun r -> r >= 0)
+  in
+  check_int "one accept per rule" 2 (List.length finals)
+
+let test_dfa_basic () =
+  let d = Dfa.of_grammar "[0-9]\n[ ]" in
+  (* Fig. 1 left: start, reject, space-final, digit-final *)
+  check_int "four states" 4 (Dfa.size d);
+  let q_digit = Dfa.run d "5" in
+  check_int "digit rule" 0 (Dfa.accept_rule d q_digit);
+  let q_space = Dfa.run d " " in
+  check_int "space rule" 1 (Dfa.accept_rule d q_space);
+  check "digit-digit rejects" false (Dfa.is_final d (Dfa.run d "55"));
+  let coacc = Dfa.co_accessible d in
+  check "reject state detected" true (Dfa.is_reject d coacc (Dfa.run d "xx"))
+
+let test_dfa_priority () =
+  (* equal-length match must take least rule index *)
+  let d = Dfa.of_grammar "ab\na[b]" in
+  let q = Dfa.run d "ab" in
+  check_int "least rule wins" 0 (Dfa.accept_rule d q)
+
+let test_dfa_totality () =
+  let d = Dfa.of_grammar "abc" in
+  (* every state has a transition for every byte *)
+  let ok = ref true in
+  for q = 0 to Dfa.size d - 1 do
+    for c = 0 to 255 do
+      let q' = Dfa.step d q (Char.chr c) in
+      if q' < 0 || q' >= Dfa.size d then ok := false
+    done
+  done;
+  check "total" true !ok
+
+let test_minimization_shrinks () =
+  let rules = Parser.parse_grammar "(a|b)(a|b)\n(aa|ab|ba|bb)c" in
+  let d_min = Dfa.of_rules ~minimize:true rules in
+  let d_raw = Dfa.of_rules ~minimize:false rules in
+  check "minimized not larger" true (Dfa.size d_min <= Dfa.size d_raw)
+
+let test_minimization_preserves_language () =
+  let grammars = [ "a+b\nc"; "[0-9]+(\\.[0-9]+)?\n[ ]+"; "(ab)*\nb+a" ] in
+  List.iter
+    (fun src ->
+      let rules = Parser.parse_grammar src in
+      let d_min = Dfa.of_rules ~minimize:true rules in
+      let d_raw = Dfa.of_rules ~minimize:false rules in
+      let rng = Prng.create 7L in
+      for _ = 1 to 500 do
+        let len = Prng.int rng 10 in
+        let s =
+          String.init len (fun _ ->
+              [| 'a'; 'b'; 'c'; '0'; '9'; '.'; ' ' |].(Prng.int rng 7))
+        in
+        let qm = Dfa.run d_min s and qr = Dfa.run d_raw s in
+        if Dfa.accept_rule d_min qm <> Dfa.accept_rule d_raw qr then
+          Alcotest.failf "minimization changed language of %s on %S" src s
+      done)
+    grammars;
+  check "ok" true true
+
+let test_reachable_nonempty () =
+  let d = Dfa.of_grammar "a" in
+  let rne = Dfa.reachable_nonempty d in
+  (* the start state of this grammar is not reachable via a nonempty word *)
+  check "start not included" false (St_util.Bits.mem rne d.Dfa.start);
+  check "a-state included" true (St_util.Bits.mem rne (Dfa.run d "a"))
+
+let test_reachable_nonempty_loop () =
+  (* here the start state is re-entered on 'b' after 'a': (ab)* *)
+  let d = Dfa.of_grammar "(ab)*c" in
+  let rne = Dfa.reachable_nonempty d in
+  check "start re-entered" true (St_util.Bits.mem rne (Dfa.run d "ab"))
+
+(* Differential: DFA acceptance ≡ naive derivative matcher. *)
+let prop_dfa_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"DFA run ≡ derivative matcher"
+    Gen.grammar_input_arb (fun (rules, s) ->
+      let d = Dfa.of_rules rules in
+      let q = Dfa.run d s in
+      let dfa_rule = if s = "" then -1 else Dfa.accept_rule d q in
+      let naive_rule =
+        if s = "" then -1
+        else
+          let rec first i = function
+            | [] -> -1
+            | r :: rest -> if Naive.matches r s then i else first (i + 1) rest
+          in
+          first 0 rules
+      in
+      dfa_rule = naive_rule)
+
+(* Differential: minimization preserves the tokenization function. *)
+let prop_minimize_preserves_tokens =
+  QCheck.Test.make ~count:200 ~name:"minimize preserves tokens"
+    Gen.grammar_input_arb (fun (rules, s) ->
+      let tmin, _ = Backtracking.tokens (Dfa.of_rules ~minimize:true rules) s in
+      let traw, _ = Backtracking.tokens (Dfa.of_rules ~minimize:false rules) s in
+      Gen.same_tokens tmin traw)
+
+let suite =
+  [
+    Alcotest.test_case "NFA structure" `Quick test_nfa_structure;
+    Alcotest.test_case "DFA basics (Fig. 1)" `Quick test_dfa_basic;
+    Alcotest.test_case "rule priority" `Quick test_dfa_priority;
+    Alcotest.test_case "totality" `Quick test_dfa_totality;
+    Alcotest.test_case "minimization shrinks" `Quick test_minimization_shrinks;
+    Alcotest.test_case "minimization preserves language" `Quick
+      test_minimization_preserves_language;
+    Alcotest.test_case "reachable-nonempty" `Quick test_reachable_nonempty;
+    Alcotest.test_case "reachable-nonempty loop" `Quick
+      test_reachable_nonempty_loop;
+    QCheck_alcotest.to_alcotest prop_dfa_matches_naive;
+    QCheck_alcotest.to_alcotest prop_minimize_preserves_tokens;
+  ]

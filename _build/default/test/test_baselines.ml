@@ -1,0 +1,244 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bt_outcome_eq (a : Backtracking.outcome) (b : Backtracking.outcome) =
+  match (a, b) with
+  | Backtracking.Finished, Backtracking.Finished -> true
+  | Backtracking.Failed { offset = o1; _ }, Backtracking.Failed { offset = o2; _ }
+    ->
+      o1 = o2
+  | _ -> false
+
+let test_backtracking_reference () =
+  let d = Dfa.of_grammar "a\nba*\nc[ab]*" in
+  let tokens, o = Backtracking.tokens d "abaabacabaa" in
+  check "example 2" true
+    (Gen.same_tokens tokens [ ("a", 0); ("baa", 1); ("ba", 1); ("cabaa", 2) ]);
+  check "finished" true (o = Backtracking.Finished)
+
+(* Backtracking ≡ the quadratic derivative-based specification. *)
+let prop_backtracking_equals_naive =
+  QCheck.Test.make ~count:300 ~name:"backtracking ≡ naive tokens"
+    Gen.grammar_input_arb (fun (rules, input) ->
+      let d = Dfa.of_rules rules in
+      let bt, _ = Backtracking.tokens d input in
+      let nv = Naive.tokens rules input in
+      Gen.same_tokens bt nv)
+
+let prop_reps_equals_backtracking =
+  QCheck.Test.make ~count:300 ~name:"Reps ≡ backtracking"
+    Gen.grammar_input_arb (fun (rules, input) ->
+      let d = Dfa.of_rules rules in
+      let bt, bo = Backtracking.tokens d input in
+      let rp, ro = Reps.tokens d input in
+      Gen.same_tokens bt rp && bt_outcome_eq bo ro)
+
+let prop_ext_oracle_equals_backtracking =
+  QCheck.Test.make ~count:300 ~name:"ExtOracle ≡ backtracking"
+    Gen.grammar_input_arb (fun (rules, input) ->
+      let d = Dfa.of_rules rules in
+      let bt, bo = Backtracking.tokens d input in
+      let eo, oo = Ext_oracle.tokens d input in
+      Gen.same_tokens bt eo && bt_outcome_eq bo oo)
+
+let test_reps_linear_on_quadratic_case () =
+  (* Reps' classic instance: grammar abc | (abc)*d on input (abc)^m makes
+     plain backtracking scan to the end for every token (Θ(n²) total),
+     while memoization caps each scan after a constant number of steps. *)
+  let m = 300 in
+  let input = String.concat "" (List.init m (fun _ -> "abc")) in
+  let n = String.length input in
+  let d = Dfa.of_grammar "abc\n(abc)*d" in
+  let flex_steps = Backtracking.steps d input in
+  check "flex quadratic" true (flex_steps > (n * n) / 8);
+  let r = Reps.run d input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  check "reps much cheaper than flex" true (r.Reps.steps * 10 < flex_steps);
+  check "reps linear-ish" true (r.Reps.steps <= 8 * n);
+  check "reps memo populated" true (r.Reps.memo_entries > 0);
+  (* and on the Fig. 8 family Reps is Θ(k·n), like flex (the paper's
+     observation that memoization does not dodge that worst case) *)
+  let k = 32 in
+  let wc_input = Worst_case.input 2000 in
+  let wd = Dfa.of_rules (Grammar.rules (Worst_case.grammar k)) in
+  let wr = Reps.run wd wc_input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  check "reps Θ(k·n) on Fig. 8 family" true
+    (wr.Reps.steps > (k / 2) * (String.length wc_input / 2))
+
+let prop_flex_model_equals_backtracking =
+  QCheck.Test.make ~count:300 ~name:"flex model ≡ backtracking"
+    Gen.grammar_input_arb (fun (rules, input) ->
+      let d = Dfa.of_rules rules in
+      let fm = Flex_model.compile d in
+      let bt, bo = Backtracking.tokens d input in
+      let ft, fo = Flex_model.tokens fm input in
+      Gen.same_tokens bt ft && bt_outcome_eq bo fo)
+
+let test_flex_model_structure () =
+  let d = Grammar.dfa Formats.json in
+  let fm = Flex_model.compile d in
+  (* equivalence classes exist and are far fewer than 256 *)
+  check "classes compress" true
+    (Flex_model.num_classes fm > 1 && Flex_model.num_classes fm < 64);
+  (* step count equals the backtracking reference's step count: the
+     compressed tables change per-symbol cost, not the algorithm *)
+  let input = Gen_data.json ~target_bytes:20_000 () in
+  let _, fm_steps = Flex_model.run fm input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  let bt_steps = Backtracking.steps d input in
+  check_int "same DFA steps" bt_steps fm_steps
+
+let test_flex_model_buffered () =
+  let d = Grammar.dfa Formats.csv in
+  let fm = Flex_model.compile d in
+  let input = Gen_data.csv ~target_bytes:5_000 () in
+  let reference, _ = Flex_model.tokens fm input in
+  List.iter
+    (fun capacity ->
+      let source = ref 0 in
+      let read buf ~pos ~len =
+        let n = min len (String.length input - !source) in
+        Bytes.blit_string input !source buf pos n;
+        source := !source + n;
+        n
+      in
+      let acc = ref [] in
+      let o, _ =
+        Flex_model.run_buffered fm ~capacity ~read ~emit:(fun lex r ->
+            acc := (lex, r) :: !acc)
+      in
+      check
+        (Printf.sprintf "flex buffered capacity=%d" capacity)
+        true
+        (Gen.same_tokens reference (List.rev !acc) && o = Backtracking.Finished))
+    [ 17; 4096 ]
+
+let test_ext_oracle_no_rereads () =
+  (* the forward pass of ExtOracle reads each byte exactly once; its token
+     output on a nasty instance still matches *)
+  let d = Dfa.of_rules (Grammar.rules (Worst_case.grammar 16)) in
+  let input = Worst_case.input 500 in
+  let bt, _ = Backtracking.tokens d input in
+  let eo, _ = Ext_oracle.tokens d input in
+  check "tokens equal" true (Gen.same_tokens bt eo)
+
+let test_ext_oracle_memory_linear () =
+  let d = Grammar.dfa Formats.csv in
+  let small = Gen_data.csv ~target_bytes:10_000 () in
+  let large = Gen_data.csv ~target_bytes:100_000 () in
+  let r_small = Ext_oracle.run d small ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  let r_large = Ext_oracle.run d large ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  check "tape grows linearly" true
+    (r_large.Ext_oracle.tape_bytes > 8 * r_small.Ext_oracle.tape_bytes);
+  check "buffered ≥ input" true
+    (r_large.Ext_oracle.buffered_bytes >= String.length large)
+
+let test_ext_oracle_works_on_unbounded () =
+  (* ExtOracle applies to any grammar, including unbounded max-TND ones —
+     the RQ6 generality tradeoff *)
+  let rules = Parser.parse_grammar "a\nb\n(a|b)*c" in
+  let d = Dfa.of_rules rules in
+  let input = "ababc aab" in
+  let bt, bo = Backtracking.tokens d input in
+  let eo, oo = Ext_oracle.tokens d input in
+  check "tokens equal" true (Gen.same_tokens bt eo);
+  check "outcome equal" true (bt_outcome_eq bo oo)
+
+let test_greedy_agrees_on_disjoint_rules () =
+  (* when no rule's token is a prefix of a later rule's longer token,
+     greedy = maximal munch *)
+  let g = Greedy.compile (Parser.parse_grammar "[0-9]+\n[ ]+\n[a-z]+") in
+  let d = Dfa.of_grammar "[0-9]+\n[ ]+\n[a-z]+" in
+  let input = "12 abc 7 x" in
+  let gt, go = Greedy.tokens g input in
+  let bt, bo = Backtracking.tokens d input in
+  check "tokens equal" true (Gen.same_tokens bt gt);
+  check "outcome equal" true (bt_outcome_eq bo go)
+
+let test_greedy_diverges_documented () =
+  (* the documented divergence: rule order beats length *)
+  let g = Greedy.compile (Parser.parse_grammar "a\nab") in
+  let gt, go = Greedy.tokens g "ab" in
+  check "greedy picks first rule" true (Gen.same_tokens gt [ ("a", 0) ]);
+  check "greedy then fails on b" true
+    (match go with Backtracking.Failed { offset = 1; _ } -> true | _ -> false);
+  (* maximal munch takes the longer token *)
+  let d = Dfa.of_grammar "a\nab" in
+  let bt, bo = Backtracking.tokens d "ab" in
+  check "munch takes ab" true (Gen.same_tokens bt [ ("ab", 1) ]);
+  check "munch finishes" true (bo = Backtracking.Finished)
+
+let test_greedy_steps_counted () =
+  let g = Greedy.compile (Parser.parse_grammar "x+\ny+") in
+  let _, steps = Greedy.run g "yyyy" ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) in
+  (* tried rule x+ (1 step) then matched y+ *)
+  check "steps include failed alternatives" true (steps > 4)
+
+let test_buffered_backtracking_matches () =
+  (* flex's block-by-block buffer processing gives the same tokens for any
+     buffer capacity, including capacities smaller than a token *)
+  let d = Grammar.dfa Formats.csv in
+  let input = Gen_data.csv ~target_bytes:5_000 () in
+  let reference, _ = Backtracking.tokens d input in
+  List.iter
+    (fun capacity ->
+      let source = ref 0 in
+      let read buf ~pos ~len =
+        let n = min len (String.length input - !source) in
+        Bytes.blit_string input !source buf pos n;
+        source := !source + n;
+        n
+      in
+      let acc = ref [] in
+      let o, _ =
+        Backtracking.run_buffered d ~capacity ~read ~emit:(fun lex r ->
+            acc := (lex, r) :: !acc)
+      in
+      check
+        (Printf.sprintf "buffered capacity=%d" capacity)
+        true
+        (Gen.same_tokens reference (List.rev !acc)
+        && o = Backtracking.Finished))
+    [ 7; 64; 1024; 1 lsl 16 ]
+
+let test_buffered_failure () =
+  let d = Dfa.of_grammar "[0-9]+\n[ ]+" in
+  let input = "123 x" in
+  let source = ref 0 in
+  let read buf ~pos ~len =
+    let n = min len (String.length input - !source) in
+    Bytes.blit_string input !source buf pos n;
+    source := !source + n;
+    n
+  in
+  let o, _ = Backtracking.run_buffered d ~capacity:4 ~read ~emit:(fun _ _ -> ()) in
+  check "failure offset global" true
+    (match o with
+    | Backtracking.Failed { offset = 4; _ } -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "backtracking reference" `Quick test_backtracking_reference;
+    Alcotest.test_case "Reps vs quadratic case" `Quick
+      test_reps_linear_on_quadratic_case;
+    Alcotest.test_case "ExtOracle no re-reads" `Quick test_ext_oracle_no_rereads;
+    Alcotest.test_case "ExtOracle memory linear" `Quick
+      test_ext_oracle_memory_linear;
+    Alcotest.test_case "ExtOracle on unbounded grammar" `Quick
+      test_ext_oracle_works_on_unbounded;
+    Alcotest.test_case "greedy agrees (disjoint)" `Quick
+      test_greedy_agrees_on_disjoint_rules;
+    Alcotest.test_case "greedy diverges (documented)" `Quick
+      test_greedy_diverges_documented;
+    Alcotest.test_case "greedy step accounting" `Quick test_greedy_steps_counted;
+    Alcotest.test_case "buffered flex all capacities" `Quick
+      test_buffered_backtracking_matches;
+    Alcotest.test_case "buffered flex failure" `Quick test_buffered_failure;
+    Alcotest.test_case "flex model structure" `Quick test_flex_model_structure;
+    Alcotest.test_case "flex model buffered" `Quick test_flex_model_buffered;
+    QCheck_alcotest.to_alcotest prop_flex_model_equals_backtracking;
+    QCheck_alcotest.to_alcotest prop_backtracking_equals_naive;
+    QCheck_alcotest.to_alcotest prop_reps_equals_backtracking;
+    QCheck_alcotest.to_alcotest prop_ext_oracle_equals_backtracking;
+  ]

@@ -1,0 +1,106 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_primitives () =
+  check_int "char_ ok" 1 (Comb.char_ 'a' "abc" 0);
+  check_int "char_ fail" (-1) (Comb.char_ 'b' "abc" 0);
+  check_int "tag ok" 3 (Comb.tag "abc" "abcd" 0);
+  check_int "tag fail" (-1) (Comb.tag "abd" "abcd" 0);
+  check_int "tag at end" (-1) (Comb.tag "cd" "abc" 1);
+  check_int "take_while1" 3 (Comb.take_while1 (fun c -> c = 'x') "xxxy" 0);
+  check_int "take_while1 empty fails" (-1)
+    (Comb.take_while1 (fun c -> c = 'x') "y" 0);
+  check_int "take_while empty ok" 0 (Comb.take_while (fun c -> c = 'x') "y" 0)
+
+let test_combinators () =
+  let p = Comb.seq [ Comb.char_ 'a'; Comb.opt (Comb.char_ 'b'); Comb.char_ 'c' ] in
+  check_int "seq abc" 3 (p "abc" 0);
+  check_int "seq ac" 2 (p "ac" 0);
+  check_int "seq fail" (-1) (p "ab" 0);
+  let alt = Comb.alt [ Comb.tag "aa"; Comb.tag "a" ] in
+  check_int "alt ordered" 2 (alt "aa" 0);
+  check_int "alt fallback" 1 (alt "ab" 0);
+  let m = Comb.many (Comb.tag "ab") in
+  check_int "many" 4 (m "ababx" 0);
+  check_int "many zero" 0 (m "x" 0)
+
+let test_tokenize_stops () =
+  let rules = [ (0, Comb.take_while1 (fun c -> c = 'a')) ] in
+  let count = ref 0 in
+  let stop =
+    Comb.tokenize rules "aaab" ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> incr count)
+  in
+  check_int "stopped at b" 3 stop;
+  check_int "one token" 1 !count
+
+(* On generated well-formed documents, the handwritten combinator
+   tokenizers agree with maximal munch (the inputs avoid the pathological
+   cases where ordered choice diverges). *)
+let agree_on name g comb input =
+  let d = Grammar.dfa g in
+  let bt, bo = Backtracking.tokens d input in
+  let acc = ref [] in
+  let stop =
+    Comb.tokenize comb input ~emit:(fun ~pos ~len ~rule ->
+        acc := (String.sub input pos len, rule) :: !acc)
+  in
+  check (name ^ " full consumption") true
+    (stop = String.length input && bo = Backtracking.Finished);
+  check (name ^ " same tokens") true (Gen.same_tokens bt (List.rev !acc))
+
+let test_comb_csv () =
+  agree_on "csv" Formats.csv Comb_tokenizers.csv
+    (Gen_data.csv ~target_bytes:20_000 ())
+
+let test_comb_tsv () =
+  agree_on "tsv" Formats.tsv Comb_tokenizers.tsv
+    (Gen_data.tsv ~target_bytes:20_000 ())
+
+let test_comb_json () =
+  agree_on "json" Formats.json Comb_tokenizers.json
+    (Gen_data.json ~target_bytes:20_000 ())
+
+let test_comb_log () =
+  agree_on "log" Formats.linux_log Comb_tokenizers.linux_log
+    (Gen_data.linux_log ~target_bytes:20_000 ())
+
+let test_comb_fasta () =
+  agree_on "fasta" Formats.fasta Comb_tokenizers.fasta
+    (Gen_data.fasta ~target_bytes:20_000 ())
+
+let test_comb_yaml () =
+  agree_on "yaml" Formats.yaml Comb_tokenizers.yaml
+    (Gen_data.yaml ~target_bytes:20_000 ())
+
+let test_comb_xml () =
+  agree_on "xml" Formats.xml Comb_tokenizers.xml
+    (Gen_data.xml ~target_bytes:20_000 ())
+
+let test_comb_dns () =
+  agree_on "dns" Formats.dns Comb_tokenizers.dns
+    (Gen_data.dns ~target_bytes:20_000 ())
+
+let test_by_name_coverage () =
+  List.iter
+    (fun g ->
+      check (g.Grammar.name ^ " has comb tokenizer") true
+        (Comb_tokenizers.by_name g.Grammar.name <> None))
+    Formats.benchmark_formats
+
+let suite =
+  [
+    Alcotest.test_case "primitives" `Quick test_primitives;
+    Alcotest.test_case "combinators" `Quick test_combinators;
+    Alcotest.test_case "tokenize stops" `Quick test_tokenize_stops;
+    Alcotest.test_case "csv agreement" `Quick test_comb_csv;
+    Alcotest.test_case "tsv agreement" `Quick test_comb_tsv;
+    Alcotest.test_case "json agreement" `Quick test_comb_json;
+    Alcotest.test_case "log agreement" `Quick test_comb_log;
+    Alcotest.test_case "fasta agreement" `Quick test_comb_fasta;
+    Alcotest.test_case "yaml agreement" `Quick test_comb_yaml;
+    Alcotest.test_case "xml agreement" `Quick test_comb_xml;
+    Alcotest.test_case "dns agreement" `Quick test_comb_dns;
+    Alcotest.test_case "by_name coverage" `Quick test_by_name_coverage;
+  ]

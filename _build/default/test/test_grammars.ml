@@ -1,0 +1,202 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_all_grammars_parse () =
+  List.iter
+    (fun g ->
+      let rules = Grammar.rules g in
+      check (g.Grammar.name ^ " parses") true (List.length rules > 0))
+    Registry.all
+
+let test_registry () =
+  check "find json" true (Registry.find "json" <> None);
+  check "find nothing" true (Registry.find "no-such" = None);
+  check "names unique" true
+    (let names = Registry.names () in
+     List.length names = List.length (List.sort_uniq compare names))
+
+(* Table 1: expected max-TND per grammar (our grammars; deviations from the
+   paper's exact values are documented in EXPERIMENTS.md). *)
+let test_expected_tnd () =
+  let expect name g tnd = check_str name tnd (Tnd.result_to_string (Grammar.tnd g)) in
+  expect "json" Formats.json "3";
+  expect "csv" Formats.csv "1";
+  expect "csv-rfc" Formats.csv_rfc "inf";
+  expect "tsv" Formats.tsv "1";
+  expect "xml" Formats.xml "6";
+  expect "yaml" Formats.yaml "2";
+  expect "fasta" Formats.fasta "1";
+  expect "dns" Formats.dns "1";
+  expect "log" Formats.linux_log "1";
+  expect "c" Languages.c "inf";
+  expect "r" Languages.r "inf";
+  expect "sql" Languages.sql "inf";
+  expect "sql-insert bounded" Languages.sql_insert "2";
+  expect "ini" Extras.ini "1";
+  expect "toml" Extras.toml "3";
+  expect "http-headers" Extras.http_headers "4"
+
+let test_log_grammars_bounded () =
+  List.iter
+    (fun g ->
+      match Grammar.tnd g with
+      | Tnd.Finite k ->
+          check (g.Grammar.name ^ " small TND") true (k <= 6)
+      | Tnd.Infinite -> Alcotest.failf "%s unbounded" g.Grammar.name)
+    Logs_grammars.all
+
+let test_rule_ids () =
+  let g = Formats.json in
+  check_int "ws is 0" 0 (Grammar.rule_id g "ws");
+  check_str "roundtrip" "string" (Grammar.rule_name g (Grammar.rule_id g "string"));
+  check_int "num rules" 12 (Grammar.num_rules g);
+  check "missing raises" true
+    (match Grammar.rule_id g "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* Every generated workload must tokenize completely under its grammar. *)
+let full_tokenization g input =
+  let d = Grammar.dfa g in
+  match Backtracking.run d input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()) with
+  | Backtracking.Finished, _ -> true
+  | Backtracking.Failed { offset; _ }, _ ->
+      Printf.eprintf "%s fails at %d: %S...\n" g.Grammar.name offset
+        (String.sub input offset (min 40 (String.length input - offset)));
+      false
+
+let test_generated_formats_tokenize () =
+  List.iter
+    (fun g ->
+      match Gen_data.by_name g.Grammar.name with
+      | None -> Alcotest.failf "no generator for %s" g.Grammar.name
+      | Some gen ->
+          let input = gen ~seed:11L ~target_bytes:20_000 () in
+          check (g.Grammar.name ^ " tokenizes fully") true
+            (full_tokenization g input))
+    Formats.benchmark_formats
+
+let test_extras_tokenize_and_agree () =
+  List.iter
+    (fun (g : Grammar.t) ->
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input = gen ~seed:17L ~target_bytes:20_000 () in
+      check (g.Grammar.name ^ " tokenizes fully") true (full_tokenization g input);
+      (* StreamTok agrees with the reference on the extra grammars too *)
+      let d = Grammar.dfa g in
+      let e = match Engine.compile d with Ok e -> e | Error _ -> assert false in
+      let bt, _ = Backtracking.tokens d input in
+      let st, o = Engine.tokens e input in
+      check (g.Grammar.name ^ " streamtok agrees") true
+        (Gen.same_tokens bt st && o = Engine.Finished))
+    Extras.all
+
+let test_generated_logs_tokenize () =
+  List.iter
+    (fun g ->
+      let input =
+        Gen_logs.generate ~format:g.Grammar.name ~seed:13L ~target_bytes:20_000
+          ()
+      in
+      check (g.Grammar.name ^ " tokenizes fully") true (full_tokenization g input))
+    Logs_grammars.all
+
+let test_special_generators_tokenize () =
+  check "json records / json grammar" true
+    (full_tokenization Formats.json (Gen_data.json_records ~target_bytes:10_000 ()));
+  check "csv typed / csv grammar" true
+    (full_tokenization Formats.csv (Gen_data.csv_typed ~target_bytes:10_000 ()));
+  check "sql inserts / sql-insert grammar" true
+    (full_tokenization Languages.sql_insert
+       (Gen_data.sql_inserts ~target_bytes:10_000 ()))
+
+let test_c_snippet_tokenizes () =
+  let src =
+    "static int f(const char *s) {\n\
+    \  /* block comment **/ int x = 0x1F + 075 - 12uL;\n\
+    \  double d = .5e-3f; char c = '\\n';\n\
+    \  if (x >= 2 && d <= 1.0) { x <<= 2; x ->* 0; }\n\
+    \  return x; // line comment\n\
+     }\n"
+  in
+  check "C snippet" true (full_tokenization Languages.c src)
+
+let test_r_snippet_tokenizes () =
+  let src =
+    "f <- function(x, ...) {\n\
+    \  y <- x %% 2; z <- r\"(raw string)\" # comment\n\
+    \  w <- c(1L, 2.5e3, .5, 0x1f, NA_real_)\n\
+    \  `odd name` <- 'single' \n\
+    \  if (TRUE && x >= 1) y else z\n\
+     }\n"
+  in
+  check "R snippet" true (full_tokenization Languages.r src)
+
+let test_sql_snippet_tokenizes () =
+  let src =
+    "SELECT a.x, \"col name\" FROM t AS a WHERE x <> 3 AND y LIKE 'it''s' \
+     OR z IS NOT NULL -- trailing comment\n\
+     /* block */ INSERT INTO t (x) VALUES (1.5e2), (:param), (?);\n"
+  in
+  check "SQL snippet" true (full_tokenization Languages.sql src)
+
+(* JSON with string escapes exercises the escape alternative of the rule. *)
+let test_json_escapes () =
+  let input = "{\"a\\n\\\"b\": \"c\\\\\", \"d\": [1e-5, -2.5, \"\\u0041\"]}" in
+  check "escaped json" true (full_tokenization Formats.json input);
+  let e =
+    match Engine.compile (Grammar.dfa Formats.json) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let toks, o = Engine.tokens e input in
+  check "streamtok agrees" true (o = Engine.Finished);
+  check "string token intact" true
+    (List.exists (fun (lex, _) -> lex = "\"a\\n\\\"b\"") toks)
+
+(* CSV quoted-field semantics under maximal munch. *)
+let test_csv_quoted_semantics () =
+  let d = Grammar.dfa Formats.csv in
+  let toks, _ = Backtracking.tokens d "\"a\"\"b\",c" in
+  (* "a""b" is ONE quoted token (escaped quote), then comma, then field *)
+  check "escaped quote one token" true
+    (Gen.same_tokens toks
+       [ ("\"a\"\"b\"", Grammar.rule_id Formats.csv "quoted");
+         (",", Grammar.rule_id Formats.csv "comma");
+         ("c", Grammar.rule_id Formats.csv "field") ]);
+  (* an unterminated quote swallows the rest (and is flagged downstream) *)
+  let toks2, o2 = Backtracking.tokens d "\"abc,def" in
+  check "unterminated is one token" true (List.length toks2 = 1);
+  check "but stream completes" true (o2 = Backtracking.Finished)
+
+let test_xml_comment_boundaries () =
+  let d = Grammar.dfa Formats.xml in
+  let toks, o = Backtracking.tokens d "<a><!-- x - y --><b/>text&amp;</a>" in
+  check "finishes" true (o = Backtracking.Finished);
+  check_int "token count" 6 (List.length toks)
+
+let suite =
+  [
+    Alcotest.test_case "all grammars parse" `Quick test_all_grammars_parse;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "Table 1 TND values" `Quick test_expected_tnd;
+    Alcotest.test_case "log grammars bounded" `Quick test_log_grammars_bounded;
+    Alcotest.test_case "rule ids" `Quick test_rule_ids;
+    Alcotest.test_case "format workloads tokenize" `Quick
+      test_generated_formats_tokenize;
+    Alcotest.test_case "log workloads tokenize" `Quick
+      test_generated_logs_tokenize;
+    Alcotest.test_case "extra grammars (ini/toml/http)" `Quick
+      test_extras_tokenize_and_agree;
+    Alcotest.test_case "app workloads tokenize" `Quick
+      test_special_generators_tokenize;
+    Alcotest.test_case "C snippet" `Quick test_c_snippet_tokenizes;
+    Alcotest.test_case "R snippet" `Quick test_r_snippet_tokenizes;
+    Alcotest.test_case "SQL snippet" `Quick test_sql_snippet_tokenizes;
+    Alcotest.test_case "JSON escapes" `Quick test_json_escapes;
+    Alcotest.test_case "CSV quoted semantics" `Quick test_csv_quoted_semantics;
+    Alcotest.test_case "XML comments" `Quick test_xml_comment_boundaries;
+  ]

@@ -1,0 +1,155 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let engine_of g =
+  match Engine.compile (Grammar.dfa g) with
+  | Ok e -> e
+  | Error _ -> Alcotest.failf "%s unbounded" g.Grammar.name
+
+let collect_par ?num_domains e input =
+  let acc = ref [] in
+  let outcome, stats =
+    Par_tokenizer.tokenize ?num_domains e input ~emit:(fun ~pos ~len ~rule ->
+        acc := (String.sub input pos len, rule) :: !acc)
+  in
+  (List.rev !acc, outcome, stats)
+
+let same_as_sequential ?num_domains name e input =
+  let reference, ro = Engine.tokens e input in
+  let got, o, stats = collect_par ?num_domains e input in
+  check (name ^ " tokens") true (Gen.same_tokens reference got);
+  check (name ^ " outcome") true
+    (match (ro, o) with
+    | Engine.Finished, Engine.Finished -> true
+    | Engine.Failed { offset = a; _ }, Engine.Failed { offset = b; _ } -> a = b
+    | _ -> false);
+  check_int (name ^ " emitted count") (List.length reference)
+    stats.Par_tokenizer.emitted_tokens;
+  stats
+
+let test_formats_parallel () =
+  List.iter
+    (fun (g : Grammar.t) ->
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input = gen ~seed:55L ~target_bytes:200_000 () in
+      let e = engine_of g in
+      List.iter
+        (fun p ->
+          ignore
+            (same_as_sequential ~num_domains:p
+               (Printf.sprintf "%s p=%d" g.Grammar.name p)
+               e input))
+        [ 2; 3; 4; 8 ])
+    Formats.benchmark_formats
+
+let test_splice_dominates () =
+  (* On quote-free formats every segment re-synchronizes within a token or
+     two, so speculation is adopted everywhere and the sync cost is a
+     handful of tokens per boundary. (Quoted CSV is the known hard case:
+     a boundary inside a quoted field flips quote parity and that
+     segment's speculation is wasted — correctness then comes from the
+     sequential catch-up, exercised by the other tests.) *)
+  List.iter
+    (fun (g : Grammar.t) ->
+      let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+      let input = gen ~seed:56L ~target_bytes:500_000 () in
+      let e = engine_of g in
+      let stats =
+        same_as_sequential ~num_domains:8 (g.Grammar.name ^ " splice") e input
+      in
+      check (g.Grammar.name ^ " all spliced") true
+        (stats.Par_tokenizer.spliced = 7 && stats.Par_tokenizer.caught_up = 0);
+      check (g.Grammar.name ^ " cheap sync") true
+        (stats.Par_tokenizer.sync_tokens <= 8 * 8))
+    [ Formats.tsv; Formats.linux_log; Formats.fasta ];
+  (* quoted CSV: correctness with degraded speculation is acceptable *)
+  let e = engine_of Formats.csv in
+  let input = Gen_data.csv ~seed:56L ~target_bytes:500_000 () in
+  let stats = same_as_sequential ~num_domains:8 "csv quote parity" e input in
+  check "csv some segments still splice" true (stats.Par_tokenizer.spliced >= 1)
+
+let test_small_input_sequential_path () =
+  let e = engine_of Formats.csv in
+  let input = "a,b,c\n" in
+  let _, _, stats = collect_par ~num_domains:4 e input in
+  check_int "one segment below threshold" 1 stats.Par_tokenizer.segments
+
+let test_failure_positions () =
+  let e = engine_of Formats.json in
+  (* failure in various segments of an 80 KB input *)
+  let base = Gen_data.json ~seed:57L ~target_bytes:80_000 () in
+  List.iter
+    (fun frac ->
+      let cut = String.length base * frac / 10 in
+      let input = String.sub base 0 cut ^ "@@@" ^ String.sub base cut 1000 in
+      ignore
+        (same_as_sequential ~num_domains:4
+           (Printf.sprintf "failure at %d/10" frac)
+           e input))
+    [ 1; 3; 5; 9 ]
+
+let test_giant_token_spanning_segments () =
+  (* one token larger than several segments: workers misalign, catch-up
+     must carry the stream across *)
+  let e = engine_of Formats.csv in
+  let huge = "\"" ^ String.make 60_000 'x' ^ "\"" in
+  let input = "a,b\n" ^ huge ^ ",tail\nc,d\n" in
+  ignore (same_as_sequential ~num_domains:6 "giant token" e input)
+
+let test_empty_and_tiny () =
+  let e = engine_of Formats.csv in
+  ignore (same_as_sequential ~num_domains:4 "empty" e "");
+  ignore (same_as_sequential ~num_domains:4 "tiny" e "x")
+
+let test_k3_grammar_parallel () =
+  let e = engine_of Formats.json in
+  let input = Gen_data.json ~seed:58L ~target_bytes:300_000 () in
+  ignore (same_as_sequential ~num_domains:8 "json p=8" e input)
+
+(* Random grammars + inputs + domain counts, against the sequential engine.
+   Inputs are repeated to exceed the parallel threshold. *)
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~count:60 ~name:"parallel ≡ sequential (random)"
+    (QCheck.pair Gen.grammar_input_arb (QCheck.int_range 2 6))
+    (fun ((rules, base), p) ->
+      let d = Dfa.of_rules rules in
+      match Engine.compile d with
+      | Error Engine.Unbounded_tnd -> QCheck.assume_fail ()
+      | Ok e ->
+          let input =
+            (* ~8 KB of repeated material so segmentation actually happens *)
+            let b = Buffer.create 9000 in
+            while Buffer.length b < 8200 do
+              Buffer.add_string b (if base = "" then "ab" else base)
+            done;
+            Buffer.contents b
+          in
+          let reference, ro = Engine.tokens e input in
+          let acc = ref [] in
+          let o, _ =
+            Par_tokenizer.tokenize ~num_domains:p e input
+              ~emit:(fun ~pos ~len ~rule ->
+                acc := (String.sub input pos len, rule) :: !acc)
+          in
+          Gen.same_tokens reference (List.rev !acc)
+          &&
+          (match (ro, o) with
+          | Engine.Finished, Engine.Finished -> true
+          | Engine.Failed { offset = a; _ }, Engine.Failed { offset = b; _ }
+            ->
+              a = b
+          | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "formats, p ∈ {2,3,4,8}" `Quick test_formats_parallel;
+    Alcotest.test_case "splice dominates" `Quick test_splice_dominates;
+    Alcotest.test_case "small input" `Quick test_small_input_sequential_path;
+    Alcotest.test_case "failure positions" `Quick test_failure_positions;
+    Alcotest.test_case "giant token" `Quick test_giant_token_spanning_segments;
+    Alcotest.test_case "empty/tiny" `Quick test_empty_and_tiny;
+    Alcotest.test_case "K=3 grammar" `Quick test_k3_grammar_parallel;
+    QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+  ]

@@ -1,0 +1,197 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let matches src s = Naive.matches (Parser.parse src) s
+
+let test_literals () =
+  check "abc matches abc" true (matches "abc" "abc");
+  check "abc not ab" false (matches "abc" "ab");
+  check "abc not abcd" false (matches "abc" "abcd");
+  check "empty regex () matches eps" true (matches "()" "");
+  check "empty regex () not a" false (matches "()" "a")
+
+let test_alt () =
+  check "a|b : a" true (matches "a|b" "a");
+  check "a|b : b" true (matches "a|b" "b");
+  check "a|b : c" false (matches "a|b" "c");
+  check "a|b|c : c" true (matches "a|b|c" "c");
+  check "ab|cd : cd" true (matches "ab|cd" "cd");
+  check "ab|cd : ad" false (matches "ab|cd" "ad")
+
+let test_star_plus_opt () =
+  check "a* : eps" true (matches "a*" "");
+  check "a* : aaaa" true (matches "a*" "aaaa");
+  check "a+ : eps" false (matches "a+" "");
+  check "a+ : aaa" true (matches "a+" "aaa");
+  check "a? : eps" true (matches "a?" "");
+  check "a? : a" true (matches "a?" "a");
+  check "a? : aa" false (matches "a?" "aa");
+  check "(ab)* : abab" true (matches "(ab)*" "abab");
+  check "(ab)* : aba" false (matches "(ab)*" "aba")
+
+let test_repetition () =
+  check "a{3} : aaa" true (matches "a{3}" "aaa");
+  check "a{3} : aa" false (matches "a{3}" "aa");
+  check "a{2,4} : aa" true (matches "a{2,4}" "aa");
+  check "a{2,4} : aaaa" true (matches "a{2,4}" "aaaa");
+  check "a{2,4} : aaaaa" false (matches "a{2,4}" "aaaaa");
+  check "a{0,2} : eps" true (matches "a{0,2}" "");
+  check "a{2,} : a" false (matches "a{2,}" "a");
+  check "a{2,} : aaaaaa" true (matches "a{2,}" "aaaaaa");
+  check "(ab){2} : abab" true (matches "(ab){2}" "abab")
+
+let test_classes () =
+  check "[abc] : b" true (matches "[abc]" "b");
+  check "[abc] : d" false (matches "[abc]" "d");
+  check "[a-c] : b" true (matches "[a-c]" "b");
+  check "[^abc] : d" true (matches "[^abc]" "d");
+  check "[^abc] : a" false (matches "[^abc]" "a");
+  check "[a-cx-z] : y" true (matches "[a-cx-z]" "y");
+  check "[]a] : ]" true (matches "[]a]" "]");
+  check "dot excludes newline" false (matches "." "\n");
+  check "dot matches space" true (matches "." " ");
+  check "\\d : 7" true (matches "\\d" "7");
+  check "\\w+ : a_9" true (matches "\\w+" "a_9");
+  check "\\s : tab" true (matches "\\s" "\t");
+  check "\\D : a" true (matches "\\D" "a");
+  check "\\D : 5" false (matches "\\D" "5");
+  check "class with \\d inside: [\\d.] matches ." true (matches "[\\d.]" ".");
+  check "escaped dash in class" true (matches "[a\\-c]" "-")
+
+let test_escapes () =
+  check "\\n" true (matches "\\n" "\n");
+  check "\\t" true (matches "\\t" "\t");
+  check "\\x41" true (matches "\\x41" "A");
+  check "\\\\" true (matches "\\\\" "\\");
+  check "\\. literal dot" true (matches "\\." ".");
+  check "\\. not a" false (matches "\\." "a");
+  check "\\{" true (matches "\\{" "{")
+
+let test_parse_errors () =
+  let fails src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> true
+    | _ -> false
+  in
+  check "unbalanced paren" true (fails "(a");
+  check "trailing junk paren" true (fails "a)");
+  check "dangling star" true (fails "*a");
+  check "unterminated class" true (fails "[abc");
+  check "bad repetition" true (fails "a{3,2}");
+  check "dangling backslash" true (fails "a\\");
+  check "bad hex escape" true (fails "\\xg1");
+  check "empty alternative parses" false (fails "a|")
+
+let test_smart_constructors () =
+  check "seq eps left" true (Regex.equal (Regex.seq Regex.eps (Regex.chr 'a')) (Regex.chr 'a'));
+  check "seq eps right" true (Regex.equal (Regex.seq (Regex.chr 'a') Regex.eps) (Regex.chr 'a'));
+  check "alt with empty lang" true
+    (Regex.equal (Regex.alt Regex.empty (Regex.chr 'a')) (Regex.chr 'a'));
+  check "star of eps" true (Regex.equal (Regex.star Regex.eps) Regex.eps);
+  check "star idempotent" true
+    (Regex.equal (Regex.star (Regex.star (Regex.chr 'a'))) (Regex.star (Regex.chr 'a')));
+  check "seq with empty lang is empty" true
+    (Regex.is_empty_lang (Regex.seq Regex.empty (Regex.chr 'a')));
+  check "class union in alt" true
+    (Regex.equal (Regex.alt (Regex.chr 'a') (Regex.chr 'b'))
+       (Regex.cls (Charset.of_string "ab")))
+
+let test_nullable () =
+  let nullable src = Regex.nullable (Parser.parse src) in
+  check "a* nullable" true (nullable "a*");
+  check "a+ not nullable" false (nullable "a+");
+  check "a? nullable" true (nullable "a?");
+  check "a|() nullable" true (nullable "a|()");
+  check "ab not nullable" false (nullable "ab");
+  check "a*b* nullable" true (nullable "a*b*")
+
+let test_first () =
+  let first src = Regex.first (Parser.parse src) in
+  check "first of abc" true (Charset.equal (first "abc") (Charset.singleton 'a'));
+  check "first of a|b" true (Charset.equal (first "a|b") (Charset.of_string "ab"));
+  check "first of a*b includes both" true
+    (Charset.equal (first "a*b") (Charset.of_string "ab"))
+
+let test_size () =
+  check_int "size of a" 1 (Regex.size (Parser.parse "a"));
+  check "size of a{5} grows" true (Regex.size (Parser.parse "a{5}") >= 5)
+
+let test_print_parse_roundtrip () =
+  let cases =
+    [ "abc"; "a|b*c"; "(a|b)*"; "[0-9]+(\\.[0-9]+)?"; "\"(\\\\.|[^\"\\\\])*\"";
+      "a{2,4}b"; "[^a-z]+"; "\\{\\}"; "x(y|())z" ]
+  in
+  List.iter
+    (fun src ->
+      let r = Parser.parse src in
+      let printed = Regex.to_string r in
+      let r' = Parser.parse printed in
+      (* compare languages on a sample of strings *)
+      let alphabet = [ 'a'; 'b'; 'c'; 'x'; 'y'; 'z'; '0'; '9'; '.'; '"'; '\\'; '{' ] in
+      let rng = Prng.create 42L in
+      for _ = 1 to 200 do
+        let len = Prng.int rng 6 in
+        let s = String.init len (fun _ -> List.nth alphabet (Prng.int rng (List.length alphabet))) in
+        if Naive.matches r s <> Naive.matches r' s then
+          Alcotest.failf "roundtrip mismatch for %s (printed %s) on %S" src printed s
+      done)
+    cases;
+  check "done" true true
+
+let test_grammar_parsing () =
+  let rules = Parser.parse_grammar "a+\n# comment\n\nb|c\n" in
+  check_int "two rules" 2 (List.length rules);
+  check "rule 1" true (Naive.matches (List.nth rules 0) "aa");
+  check "rule 2" true (Naive.matches (List.nth rules 1) "c")
+
+let test_longest_match () =
+  let rules = Parser.parse_grammar "a\nab\nabc" in
+  check "longest wins" true (Naive.longest_match rules "abcx" = Some (3, 2));
+  check "no match" true (Naive.longest_match rules "x" = None);
+  let tie = Parser.parse_grammar "ab\na(b)" in
+  check "least rule wins ties" true (Naive.longest_match tie "ab" = Some (2, 0))
+
+let test_tokens_reference () =
+  let rules = Parser.parse_grammar "a\nba*\nc[ab]*" in
+  (* Example 2 of the paper *)
+  check "example 2" true
+    (Naive.tokens rules "abaabacabaa"
+    = [ ("a", 0); ("baa", 1); ("ba", 1); ("cabaa", 2) ])
+
+(* Robustness: the parser either returns a regex or raises Parser.Error —
+   never any other exception — on arbitrary byte soup; and anything it
+   accepts can be printed and re-parsed. *)
+let prop_parser_total =
+  QCheck.Test.make ~count:500 ~name:"parser never crashes"
+    (QCheck.string_gen_of_size
+       (QCheck.Gen.int_range 0 30)
+       (QCheck.Gen.map Char.chr (QCheck.Gen.int_range 32 126)))
+    (fun src ->
+      match Parser.parse src with
+      | exception Parser.Error (_, pos) -> pos >= 0 && pos <= String.length src
+      | r -> (
+          match Parser.parse (Regex.to_string r) with
+          | _ -> true
+          | exception Parser.Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "alternation" `Quick test_alt;
+    Alcotest.test_case "star/plus/opt" `Quick test_star_plus_opt;
+    Alcotest.test_case "bounded repetition" `Quick test_repetition;
+    Alcotest.test_case "character classes" `Quick test_classes;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "nullable" `Quick test_nullable;
+    Alcotest.test_case "first set" `Quick test_first;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "grammar files" `Quick test_grammar_parsing;
+    Alcotest.test_case "longest_match reference" `Quick test_longest_match;
+    Alcotest.test_case "tokens reference (Example 2)" `Quick test_tokens_reference;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+  ]

