@@ -110,3 +110,28 @@ let pp_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let pp_note note = Printf.printf "%s\n" note
+
+(* Machine-diffable results. Experiments record scalar series with
+   [record_result] alongside their human-readable tables; when
+   STREAMTOK_BENCH_STATS names a file, main.exe dumps everything recorded
+   as the st_obs JSON schema (the same one `streamtok tokenize --stats`
+   emits), so bench output can be diffed across PRs without scraping
+   stdout. *)
+let bench_stats = Obs.Metrics.Registry.create ()
+
+let record_result ~experiment ~name ?(labels = []) value =
+  Obs.Metrics.Gauge.set
+    (Obs.Metrics.Registry.gauge bench_stats
+       ~labels:(("experiment", experiment) :: labels)
+       name)
+    value
+
+let dump_stats () =
+  match Sys.getenv_opt "STREAMTOK_BENCH_STATS" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Export.to_json_string bench_stats);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\n[bench stats written to %s]\n" path

@@ -8,7 +8,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|quick|all]";
+    "usage: main.exe \
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -27,7 +28,7 @@ let all ~quick =
   Micro.run ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "table1" -> Table1.run ()
   | "fig7" -> Fig7.run ()
   | "fig8" -> Fig8.run ()
@@ -38,6 +39,8 @@ let () =
   | "ablation" -> Ablation.run ()
   | "parallel" -> Parallel_bench.run ()
   | "micro" -> Micro.run ()
+  | "smoke" -> Micro.smoke ()
   | "all" -> all ~quick:false
   | "quick" -> all ~quick:true
-  | _ -> usage ()
+  | _ -> usage ());
+  Bench_common.dump_stats ()

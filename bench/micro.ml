@@ -62,8 +62,103 @@ let run () =
         (fun (name, ols) ->
           match Analyze.OLS.estimates ols with
           | Some [ est ] ->
+              Bench_common.record_result ~experiment:"micro" ~name:"ns_per_run"
+                ~labels:[ ("test", name) ]
+                est;
               Printf.printf "  %-28s %12.0f ns/run  (%6.2f MB/s)\n" name est
                 (262_144.0 /. est *. 1e3)
           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
         rows)
     results
+
+(* `main.exe smoke` — the bin/check.sh guardrail, ~2 s total. Verifies that
+   the instrumented runner variant (a) produces a byte-identical token
+   stream and outcome, (b) reports bytes_in = input length, and (c) stays
+   within the overhead budget on the hot loops (both the Fig. 6 TE path —
+   json, K = 3 — and the Fig. 5 table path — csv, K = 1). The measured
+   overhead, target ≤2%, is printed and recorded; the hard gate is 10% so
+   a noisy CI neighbor cannot fail the build spuriously. *)
+let smoke () =
+  let check (g : Streamtok.Grammar.t) =
+    let d = Grammar.dfa g in
+    let engine =
+      match Engine.compile d with Ok e -> e | Error _ -> assert false
+    in
+    let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+    let input = gen ~seed:Bench_common.seed_data ~target_bytes:524_288 () in
+    let digest run =
+      let b = Buffer.create 65536 in
+      let outcome =
+        run ~emit:(fun ~pos ~len ~rule ->
+            Buffer.add_string b (Printf.sprintf "%d:%d:%d;" pos len rule))
+      in
+      Buffer.add_string b
+        (match outcome with
+        | Engine.Finished -> "finished"
+        | Engine.Failed { offset; _ } -> Printf.sprintf "failed@%d" offset);
+      Digest.string (Buffer.contents b)
+    in
+    let stats = Streamtok.Run_stats.create () in
+    let plain = digest (fun ~emit -> Engine.run_string engine input ~emit) in
+    let inst =
+      digest (fun ~emit ->
+          Engine.run_string_instrumented engine input ~stats ~emit)
+    in
+    if plain <> inst then begin
+      Printf.eprintf "smoke: instrumented token stream differs on %s\n"
+        g.Grammar.name;
+      exit 1
+    end;
+    if Streamtok.Run_stats.bytes_in stats <> String.length input then begin
+      Printf.eprintf "smoke: bytes_in %d <> input length %d on %s\n"
+        (Streamtok.Run_stats.bytes_in stats)
+        (String.length input) g.Grammar.name;
+      exit 1
+    end;
+    (* Interleave plain/instrumented rounds so clock-frequency drift and
+       noisy neighbors hit both sides equally; best-of over the rounds. *)
+    let st = Streamtok.Run_stats.create () in
+    let t_plain = ref infinity and t_inst = ref infinity in
+    for _ = 1 to 15 do
+      let _, dt =
+        Bench_common.time_once (fun () ->
+            ignore
+              (Engine.run_string engine input ~emit:Bench_common.emit_spans))
+      in
+      if dt < !t_plain then t_plain := dt;
+      let _, dt =
+        Bench_common.time_once (fun () ->
+            ignore
+              (Engine.run_string_instrumented engine input ~stats:st
+                 ~emit:Bench_common.emit_spans))
+      in
+      if dt < !t_inst then t_inst := dt
+    done;
+    let t_plain = !t_plain and t_inst = !t_inst in
+    let overhead = (t_inst -. t_plain) /. t_plain *. 100.0 in
+    Printf.printf
+      "  %-10s plain %7.1f MB/s  instrumented %7.1f MB/s  overhead %+5.2f%%  \
+       (target <=2%%)\n"
+      g.Grammar.name
+      (Bench_common.throughput (String.length input) t_plain)
+      (Bench_common.throughput (String.length input) t_inst)
+      overhead;
+    Bench_common.record_result ~experiment:"smoke"
+      ~name:"instrumented_overhead_pct"
+      ~labels:[ ("grammar", g.Grammar.name) ]
+      overhead;
+    overhead
+  in
+  Bench_common.pp_header
+    "Smoke: instrumented runner parity + overhead (512 KB inputs)";
+  let worst =
+    List.fold_left
+      (fun acc g -> Float.max acc (check g))
+      neg_infinity
+      [ Formats.json; Formats.csv ]
+  in
+  if worst > 10.0 then begin
+    Printf.eprintf "smoke: instrumented overhead %.1f%% exceeds the 10%% gate\n"
+      worst;
+    exit 1
+  end

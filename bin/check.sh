@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate (see ROADMAP.md): full build, the whole test suite, and the
+# ~2 s observability smoke check — instrumented-runner parity plus its
+# overhead budget (target <=2%, hard gate 10% to absorb CI timing noise).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench smoke (instrumented-runner parity + overhead)"
+dune exec bench/main.exe -- smoke
+
+echo "== check.sh OK"

@@ -3,9 +3,13 @@
    Subcommands:
      list                          list built-in grammars
      analyze  <grammar>            static analysis (sizes, max-TND, witness)
+     stats    <grammar>            compile-time analysis as machine-readable JSON
      tokenize <grammar> [FILE]     tokenize a file or stdin
      gen      <format>             generate a synthetic workload
-     convert  <app> [FILE]         run an RQ5 application pipeline *)
+     convert  <app> [FILE]         run an RQ5 application pipeline
+
+   `tokenize` and `convert` accept --stats[=FILE] / --stats-format=json|prom
+   to dump run-time statistics (see README §Observability for the schema). *)
 
 open Streamtok
 open Cmdliner
@@ -93,6 +97,55 @@ let grammar_arg =
     & pos 0 (some grammar_conv) None
     & info [] ~docv:"GRAMMAR" ~doc:"Built-in grammar name, grammar file, or '@rule;rule'.")
 
+(* ---- observability plumbing ---- *)
+
+let stats_dest_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Record run statistics via the instrumented runner and write them \
+           to $(docv) ('-' or no value: stderr, keeping stdout clean for \
+           tokens).")
+
+let stats_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "stats-format" ] ~docv:"FMT"
+        ~doc:"Statistics format: compact $(b,json) or $(b,prom)etheus text.")
+
+let write_stats ~dest ~format ~rule_name stats =
+  let text =
+    match format with
+    | `Json -> Run_stats.to_json_string ~rule_name stats ^ "\n"
+    | `Prom -> Run_stats.to_prometheus ~rule_name stats
+  in
+  match dest with
+  | "-" -> output_string stderr text
+  | path -> (
+      match open_out path with
+      | oc ->
+          output_string oc text;
+          close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write stats: %s\n" msg;
+          exit 1)
+
+(* Uniform lexical-failure report: offset, resolved position, and a bounded
+   preview of the untokenizable remainder — on stderr, so scripts can both
+   detect the failure (exit 1) and capture the diagnostics. *)
+let report_failure input offset pending =
+  let loc = Location.resolve (Location.of_string input) offset in
+  let preview =
+    if String.length pending <= 32 then Printf.sprintf "%S" pending
+    else Printf.sprintf "%S..." (String.sub pending 0 32)
+  in
+  Printf.eprintf "error: untokenizable input at offset %d (%s)\n" offset
+    (Format.asprintf "%a" Location.pp loc);
+  Printf.eprintf "pending (%d bytes): %s\n" (String.length pending) preview
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -158,6 +211,64 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run the max-TND static analysis on a grammar")
     Term.(const run $ grammar_arg $ explain)
 
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run g =
+    let open Obs in
+    let r = Metrics.Registry.create () in
+    let gauge name help v =
+      Metrics.Gauge.set_int (Metrics.Registry.gauge r ~help name) v
+    in
+    let span name help dt = Metrics.Span.add (Metrics.Registry.span r ~help name) dt in
+    gauge "rules" "grammar rules" (Grammar.num_rules g);
+    gauge "nfa_states" "rule-tagged Thompson NFA states" (Grammar.nfa_size g);
+    let d, dfa_seconds = Timer.time_it (fun () -> Grammar.dfa g) in
+    gauge "dfa_states" "minimized tokenization DFA states" (Dfa.size d);
+    span "dfa_seconds" "subset construction + Moore minimization" dfa_seconds;
+    let result, compile_seconds =
+      Timer.time_it (fun () -> Engine.compile_timed d)
+    in
+    let streaming =
+      match result with
+      | Ok (e, cs) ->
+          gauge "max_tnd" "maximum token neighbor distance"
+            (match cs.Engine.max_tnd with Tnd.Finite k -> k | Tnd.Infinite -> -1);
+          gauge "lookahead_k" "engine lookahead window" (Engine.k e);
+          gauge "te_states" "token-extension powerstates materialized"
+            cs.Engine.te_states;
+          gauge "k1_table_bytes" "Fig. 5 maximality table size"
+            cs.Engine.k1_table_bytes;
+          gauge "footprint_bytes" "run-time tables + lookahead buffer"
+            cs.Engine.footprint_bytes;
+          span "analysis_seconds" "max-TND frontier analysis"
+            cs.Engine.analysis_seconds;
+          span "build_seconds" "engine table construction"
+            cs.Engine.build_seconds;
+          true
+      | Error Engine.Unbounded_tnd ->
+          gauge "max_tnd" "maximum token neighbor distance (-1: unbounded)"
+            (-1);
+          span "analysis_seconds" "max-TND frontier analysis" compile_seconds;
+          false
+    in
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("schema", Json.String "streamtok/compile-stats/v1");
+              ("grammar", Json.String g.Grammar.name);
+              ("streaming", Json.Bool streaming);
+              ("metrics", Export.registry_to_json r);
+            ]))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Dump the compile-time analysis (sizes, max-TND, footprint, phase \
+          timings) as machine-readable JSON")
+    Term.(const run $ grammar_arg)
+
 (* ---- tokenize ---- *)
 
 let tokenize_cmd =
@@ -173,7 +284,7 @@ let tokenize_cmd =
       & opt (enum [ ("streamtok", `Streamtok); ("flex", `Flex) ]) `Streamtok
       & info [ "engine" ] ~doc:"Tokenizer: streamtok (default) or flex.")
   in
-  let run g file count_only engine =
+  let run g file count_only engine stats_dest stats_format =
     let input = read_input file in
     let d = Grammar.dfa g in
     let counts = Array.make (Grammar.num_rules g) 0 in
@@ -183,6 +294,7 @@ let tokenize_cmd =
         Printf.printf "%-12s %S\n" (Grammar.rule_name g rule)
           (String.sub input pos len)
     in
+    let stats = Option.map (fun _ -> Run_stats.create ()) stats_dest in
     let ok =
       match engine with
       | `Streamtok -> (
@@ -192,18 +304,43 @@ let tokenize_cmd =
                 "error: grammar has unbounded max-TND; use --engine flex";
               exit 2
           | Ok e -> (
-              match Engine.run_string e input ~emit:print_token with
+              let outcome =
+                match stats with
+                | None -> Engine.run_string e input ~emit:print_token
+                | Some st ->
+                    Engine.run_string_instrumented e input ~stats:st
+                      ~emit:print_token
+              in
+              match outcome with
               | Engine.Finished -> true
-              | Engine.Failed { offset; _ } ->
-                  Printf.eprintf "error: untokenizable input at offset %d\n"
-                    offset;
+              | Engine.Failed { offset; pending } ->
+                  report_failure input offset pending;
                   false))
       | `Flex -> (
           let fm = Flex_model.compile d in
-          match Flex_model.run fm input ~emit:print_token with
-          | Backtracking.Finished, _ -> true
-          | Backtracking.Failed { offset; _ }, _ ->
-              Printf.eprintf "error: untokenizable input at offset %d\n" offset;
+          let emit =
+            match stats with
+            | None -> print_token
+            | Some st ->
+                fun ~pos ~len ~rule ->
+                  Run_stats.record_token st ~rule ~len;
+                  print_token ~pos ~len ~rule
+          in
+          let (outcome, _), dt =
+            Timer.time_it (fun () -> Flex_model.run fm input ~emit)
+          in
+          (match stats with
+          | Some st ->
+              Run_stats.add_chunk st (String.length input);
+              Run_stats.add_run_seconds st dt
+          | None -> ());
+          match outcome with
+          | Backtracking.Finished -> true
+          | Backtracking.Failed { offset; pending } ->
+              (match stats with
+              | Some st -> Run_stats.record_failure st
+              | None -> ());
+              report_failure input offset pending;
               false)
     in
     if count_only then
@@ -211,10 +348,17 @@ let tokenize_cmd =
         (fun rule c ->
           if c > 0 then Printf.printf "%-12s %d\n" (Grammar.rule_name g rule) c)
         counts;
+    (match (stats, stats_dest) with
+    | Some st, Some dest ->
+        write_stats ~dest ~format:stats_format ~rule_name:(Grammar.rule_name g)
+          st
+    | _ -> ());
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "tokenize" ~doc:"Tokenize a file or stdin")
-    Term.(const run $ grammar_arg $ file $ count_only $ engine_flag)
+    Term.(
+      const run $ grammar_arg $ file $ count_only $ engine_flag
+      $ stats_dest_arg $ stats_format_arg)
 
 (* ---- compile ---- *)
 
@@ -361,15 +505,45 @@ let convert_cmd =
   let log_format =
     Arg.(value & opt string "linux" & info [ "format" ] ~doc:"Log format for log-to-tsv.")
   in
-  let run app file log_format =
+  let run app file log_format stats_dest stats_format =
     let input = read_input file in
+    let stats = Option.map (fun _ -> Run_stats.create ()) stats_dest in
+    (* rule names for the stats export come from the grammar the pipeline
+       actually tokenized with *)
+    let stats_grammar = ref None in
     let tokenize g =
+      stats_grammar := Some g;
       let p = Tokenizer_backend.prepare Tokenizer_backend.Streamtok g in
       let ts = Token_stream.create () in
-      if not (Token_stream.fill p input ts) then begin
-        prerr_endline "error: input does not tokenize under the grammar";
+      let filled, dt = Timer.time_it (fun () -> Token_stream.fill p input ts) in
+      if not filled then begin
+        (match stats with
+        | Some st -> Run_stats.record_failure st
+        | None -> ());
+        (* the backend reports only success; re-run the engine for a
+           positioned diagnostic *)
+        (match Engine.compile (Tokenizer_backend.dfa p) with
+        | Ok e -> (
+            match
+              Engine.run_string e input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ())
+            with
+            | Engine.Failed { offset; pending } ->
+                report_failure input offset pending
+            | Engine.Finished ->
+                prerr_endline "error: input does not tokenize under the grammar")
+        | Error _ ->
+            prerr_endline "error: input does not tokenize under the grammar");
         exit 1
       end;
+      (match stats with
+      | Some st ->
+          Run_stats.add_chunk st (String.length input);
+          Run_stats.add_run_seconds st dt;
+          for i = 0 to Token_stream.length ts - 1 do
+            Run_stats.record_token st ~rule:(Token_stream.rule ts i)
+              ~len:(Token_stream.len ts i)
+          done
+      | None -> ());
       ts
     in
     let out = Buffer.create (String.length input) in
@@ -413,10 +587,21 @@ let convert_cmd =
         List.iter
           (fun (t, n) -> Buffer.add_string out (Printf.sprintf "  %-16s %d\n" t n))
           stats.Sql_apps.tables);
-    print_string (Buffer.contents out)
+    print_string (Buffer.contents out);
+    match (stats, stats_dest) with
+    | Some st, Some dest ->
+        let rule_name =
+          match !stats_grammar with
+          | Some g -> Grammar.rule_name g
+          | None -> string_of_int
+        in
+        write_stats ~dest ~format:stats_format ~rule_name st
+    | _ -> ()
   in
   Cmd.v (Cmd.info "convert" ~doc:"Run an RQ5 application pipeline")
-    Term.(const run $ app_arg $ file $ log_format)
+    Term.(
+      const run $ app_arg $ file $ log_format $ stats_dest_arg
+      $ stats_format_arg)
 
 let () =
   let doc = "StreamTok: static analysis for efficient streaming tokenization" in
@@ -425,6 +610,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; analyze_cmd; tokenize_cmd; compile_cmd; validate_cmd;
-            gen_cmd; convert_cmd;
+            list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
+            validate_cmd; gen_cmd; convert_cmd;
           ]))

@@ -40,6 +40,15 @@ module Stream_tokenizer = St_streamtok.Stream_tokenizer
 module Engine_io = St_streamtok.Engine_io
 module Te_dfa = St_streamtok.Te_dfa
 
+(** {1 Observability}
+
+    [Obs] is the generic metrics layer (counters, gauges, log2 histograms,
+    span timers; JSON + Prometheus export); [Run_stats] the per-run record
+    filled by the instrumented runner variants. *)
+
+module Obs = St_obs
+module Run_stats = St_streamtok.Run_stats
+
 (** {1 Baseline tokenizers (paper §6)} *)
 
 module Backtracking = St_baselines.Backtracking

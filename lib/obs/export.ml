@@ -1,0 +1,142 @@
+open Metrics
+
+let schema = "streamtok/metrics/v1"
+
+(* ---- JSON ---- *)
+
+let metric_to_json (m : metric) =
+  let base = [ ("name", Json.String m.name) ] in
+  let help = if m.help = "" then [] else [ ("help", Json.String m.help) ] in
+  let labels =
+    match m.labels with
+    | [] -> []
+    | ls ->
+        [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls)) ]
+  in
+  let body =
+    match m.kind with
+    | Counter c ->
+        [ ("type", Json.String "counter"); ("value", Json.Int (Counter.value c)) ]
+    | Gauge g ->
+        [ ("type", Json.String "gauge"); ("value", Json.Float (Gauge.value g)) ]
+    | Histogram h ->
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int (Histogram.count h));
+          ("sum", Json.Int (Histogram.sum h));
+          ("max", Json.Int (Histogram.max_value h));
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
+                 (Histogram.buckets h)) );
+        ]
+    | Span s ->
+        [
+          ("type", Json.String "span");
+          ("count", Json.Int (Span.count s));
+          ("seconds", Json.Float (Span.seconds s));
+        ]
+  in
+  Json.Obj (base @ body @ labels @ help)
+
+let registry_to_json r =
+  Json.List (List.map metric_to_json (Registry.metrics r))
+
+let to_json_string r =
+  Json.to_string
+    (Json.Obj
+       [ ("schema", Json.String schema); ("metrics", registry_to_json r) ])
+
+(* ---- Prometheus text format ---- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+             ls)
+      ^ "}"
+
+let float_sample f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_prometheus ?(namespace = "streamtok") r =
+  let b = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let header name ty help =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      if help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name ty)
+    end
+  in
+  List.iter
+    (fun (m : metric) ->
+      let name = sanitize (namespace ^ "_" ^ m.name) in
+      let labels = render_labels m.labels in
+      match m.kind with
+      | Counter c ->
+          header name "counter" m.help;
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name labels (Counter.value c))
+      | Gauge g ->
+          header name "gauge" m.help;
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" name labels
+               (float_sample (Gauge.value g)))
+      | Histogram h ->
+          header name "histogram" m.help;
+          let cum = ref 0 in
+          List.iter
+            (fun (upper, c) ->
+              cum := !cum + c;
+              let le = ("le", string_of_int upper) in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (render_labels (m.labels @ [ le ]))
+                   !cum))
+            (Histogram.buckets h);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (render_labels (m.labels @ [ ("le", "+Inf") ]))
+               (Histogram.count h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %d\n" name labels (Histogram.sum h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name labels (Histogram.count h))
+      | Span s ->
+          header name "summary" m.help;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name labels
+               (float_sample (Span.seconds s)));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name labels (Span.count s)))
+    (Registry.metrics r);
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Minimal JSON generator for the observability exports.
+
+    Compact output only, no parser: stats documents are produced, never
+    consumed, by this library (the CLI test suite validates the output with
+    the repo's own [streamtok validate]). Non-finite floats serialize as
+    [null] so the output is always valid RFC 8259 JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,117 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr c = c.v <- c.v + 1
+  let add c n = c.v <- c.v + n
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+  let set g v = g.v <- v
+  let set_int g v = g.v <- float_of_int v
+  let set_max g v = if v > g.v then g.v <- v
+  let value g = g.v
+end
+
+module Histogram = struct
+  type t = {
+    buckets : int array;  (* 63 log2 buckets; index = bit length *)
+    mutable count : int;
+    mutable sum : int;
+    mutable max_value : int;
+  }
+
+  let num_buckets = 63
+
+  let create () =
+    { buckets = Array.make num_buckets 0; count = 0; sum = 0; max_value = 0 }
+
+  let bucket_index v =
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    if v <= 0 then 0 else bits 0 v
+
+  let bucket_upper i = (1 lsl i) - 1
+
+  let observe h v =
+    let i = bucket_index v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    if v > h.max_value then h.max_value <- v
+
+  let count h = h.count
+  let sum h = h.sum
+  let max_value h = h.max_value
+
+  let buckets h =
+    let hi = ref (-1) in
+    Array.iteri (fun i c -> if c > 0 then hi := i) h.buckets;
+    List.init (!hi + 1) (fun i -> (bucket_upper i, h.buckets.(i)))
+end
+
+module Span = struct
+  type t = { mutable seconds : float; mutable count : int }
+
+  let create () = { seconds = 0.0; count = 0 }
+
+  let add s dt =
+    s.seconds <- s.seconds +. dt;
+    s.count <- s.count + 1
+
+  let time s f =
+    let t0 = Unix.gettimeofday () in
+    let finally () = add s (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+
+  let count s = s.count
+  let seconds s = s.seconds
+end
+
+type kind =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Span of Span.t
+
+type metric = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+}
+
+module Registry = struct
+  type t = { mutable rev_metrics : metric list }
+
+  let create () = { rev_metrics = [] }
+  let add r m = r.rev_metrics <- m :: r.rev_metrics
+
+  let make r ?(help = "") ?(labels = []) name kind =
+    add r { name; help; labels; kind }
+
+  let counter r ?help ?labels name =
+    let c = Counter.create () in
+    make r ?help ?labels name (Counter c);
+    c
+
+  let gauge r ?help ?labels name =
+    let g = Gauge.create () in
+    make r ?help ?labels name (Gauge g);
+    g
+
+  let histogram r ?help ?labels name =
+    let h = Histogram.create () in
+    make r ?help ?labels name (Histogram h);
+    h
+
+  let span r ?help ?labels name =
+    let s = Span.create () in
+    make r ?help ?labels name (Span s);
+    s
+
+  let metrics r = List.rev r.rev_metrics
+end

@@ -206,3 +206,25 @@ let tokenize ?num_domains engine s ~emit =
         emitted_tokens = !emitted;
       } )
   end
+
+(* Instrumented wrapper: the splice pass already emits every token exactly
+   once and in order, so wrapping [emit] there is enough; the speculative
+   workers run the plain engine untouched. *)
+let tokenize_instrumented ?num_domains engine s ~stats ~emit =
+  let emit ~pos ~len ~rule =
+    Run_stats.record_token stats ~rule ~len;
+    emit ~pos ~len ~rule
+  in
+  let (outcome, st), dt =
+    St_util.Timer.time_it (fun () -> tokenize ?num_domains engine s ~emit)
+  in
+  Run_stats.add_run_seconds stats dt;
+  Run_stats.add_chunk stats (String.length s);
+  Run_stats.set_lookahead stats (max (Engine.k engine) 1);
+  Run_stats.set_te_states stats (Engine.te_states engine);
+  Run_stats.record_parallel stats ~segments:st.segments
+    ~splice_retries:st.caught_up ~sync_tokens:st.sync_tokens;
+  (match outcome with
+  | Engine.Failed _ -> Run_stats.record_failure stats
+  | Engine.Finished -> ());
+  (outcome, st)

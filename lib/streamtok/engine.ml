@@ -16,6 +16,20 @@ let k e = e.k
 let dfa e = e.dfa
 let te_states e = match e.mode with Table_k1 _ -> 0 | Te te -> Te_dfa.num_states te
 
+(* Run-time lookahead buffering, mirroring Stream_tokenizer: the K ≤ 1
+   paths carry a single pending byte; the TE path keeps a power-of-two
+   ring of capacity ≥ K + 1. *)
+let lookahead_buffer_bytes e =
+  match e.mode with
+  | Table_k1 _ -> 1
+  | Te _ ->
+      let k = max e.k 1 in
+      let rec cap c = if c >= k + 1 then c else cap (2 * c) in
+      cap 2
+
+let k1_table_bytes e =
+  match e.mode with Table_k1 tbl -> Bytes.length tbl | Te _ -> 0
+
 let footprint_bytes e =
   let dfa_bytes = (Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8 in
   let mode_bytes =
@@ -26,7 +40,7 @@ let footprint_bytes e =
         Te_dfa.num_states te
         * ((257 * 8) + (((Dfa.size e.dfa + 63) / 64) * 8) + 16)
   in
-  dfa_bytes + mode_bytes + e.k + 64
+  dfa_bytes + mode_bytes + lookahead_buffer_bytes e + 64
 
 let build_k1_table d =
   let n = Dfa.size d in
@@ -43,21 +57,51 @@ let build_k1_table d =
   done;
   tbl
 
-let compile ?(force_te = false) d =
-  match Tnd.max_tnd d with
+type compile_stats = {
+  dfa_states : int;
+  max_tnd : St_analysis.Tnd.result;
+  analysis_seconds : float;
+  build_seconds : float;
+  te_states : int;
+  k1_table_bytes : int;
+  footprint_bytes : int;
+}
+
+let compile_timed ?(force_te = false) d =
+  let result, analysis_seconds =
+    St_util.Timer.time_it (fun () -> Tnd.max_tnd d)
+  in
+  match result with
   | Tnd.Infinite -> Error Unbounded_tnd
   | Tnd.Finite k ->
-      let coacc = Dfa.co_accessible d in
-      let reject =
-        Array.init (Dfa.size d) (fun q -> not (Bits.mem coacc q))
+      let e, build_seconds =
+        St_util.Timer.time_it (fun () ->
+            let coacc = Dfa.co_accessible d in
+            let reject =
+              Array.init (Dfa.size d) (fun q -> not (Bits.mem coacc q))
+            in
+            let mode =
+              (* the token-extension DFA is correct for any lookahead ≥
+                 max-TND, so forcing it on a K ≤ 1 grammar (ablation) uses
+                 K = 1 *)
+              if k <= 1 && not force_te then Table_k1 (build_k1_table d)
+              else Te (Te_dfa.build d ~k:(max k 1))
+            in
+            { dfa = d; k; reject; mode })
       in
-      let mode =
-        (* the token-extension DFA is correct for any lookahead ≥ max-TND,
-           so forcing it on a K ≤ 1 grammar (ablation) uses K = 1 *)
-        if k <= 1 && not force_te then Table_k1 (build_k1_table d)
-        else Te (Te_dfa.build d ~k:(max k 1))
-      in
-      Ok { dfa = d; k; reject; mode }
+      Ok
+        ( e,
+          {
+            dfa_states = Dfa.size d;
+            max_tnd = result;
+            analysis_seconds;
+            build_seconds;
+            te_states = te_states e;
+            k1_table_bytes = k1_table_bytes e;
+            footprint_bytes = footprint_bytes e;
+          } )
+
+let compile ?force_te d = Result.map fst (compile_timed ?force_te d)
 
 (* Deserialization fast path: the caller asserts the max-TND. Correct as
    long as k is ≥ the true (finite) max-TND of the DFA — the engine's
@@ -176,6 +220,109 @@ let tokens e s =
   let emit ~pos ~len ~rule = acc := (String.sub s pos len, rule) :: !acc in
   let outcome = run_string e s ~emit in
   (List.rev !acc, outcome)
+
+(* Instrumented specializations of the two hot loops (the instrumented
+   runner variant): identical control flow to run_string_k1/run_string_te
+   with one unchecked per-rule tally increment at the emit site. Kept as
+   separate copies so the plain runners carry zero extra branches and the
+   instrumented ones stay inside the ≤2% overhead budget that
+   `bench/main.exe smoke` gates; everything else Run_stats reports is
+   recorded once per call, outside the loop. *)
+
+let run_string_k1_obs ~from e tbl rc s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let start = d.Dfa.start in
+  let n = String.length s in
+  let q = ref start in
+  let startP = ref from in
+  let pos = ref from in
+  while !pos < n do
+    q :=
+      Array.unsafe_get trans
+        ((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    incr pos;
+    let next_sym =
+      if !pos < n then Char.code (String.unsafe_get s !pos) else 256
+    in
+    if Bytes.unsafe_get tbl ((!q * 257) + next_sym) <> '\000' then begin
+      let rule = Array.unsafe_get accept !q in
+      Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
+      emit ~pos:!startP ~len:(!pos - !startP) ~rule;
+      startP := !pos;
+      q := start
+    end
+  done;
+  if !startP < n then fail s !startP else Finished
+
+let run_string_te_obs ~from e te rc s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let start = d.Dfa.start in
+  let k = Te_dfa.k te in
+  let words = Te_dfa.Raw.words te in
+  let n = String.length s in
+  let q = ref start in
+  let st = ref (Te_dfa.start te) in
+  let startP = ref from in
+  let te_trans = ref (Te_dfa.Raw.trans te) in
+  let emit_rows = ref (Te_dfa.Raw.emit_rows te) in
+  let te_step sym =
+    let tgt = Array.unsafe_get !te_trans ((!st * 257) + sym) in
+    if tgt >= 0 then st := tgt
+    else begin
+      st := Te_dfa.step te !st sym;
+      te_trans := Te_dfa.Raw.trans te;
+      emit_rows := Te_dfa.Raw.emit_rows te
+    end
+  in
+  for i = from to from + k - 1 do
+    te_step
+      (if i < n then Char.code (String.unsafe_get s i) else Te_dfa.eof_symbol)
+  done;
+  for pos = from to n - 1 do
+    te_step
+      (if pos + k < n then Char.code (String.unsafe_get s (pos + k))
+       else Te_dfa.eof_symbol);
+    q :=
+      Array.unsafe_get trans
+        ((!q lsl 8) lor Char.code (String.unsafe_get s pos));
+    if
+      Int64.logand
+        (Int64.shift_right_logical
+           (Array.unsafe_get !emit_rows ((!st * words) + (!q lsr 6)))
+           (!q land 63))
+        1L
+      <> 0L
+    then begin
+      let rule = Array.unsafe_get accept !q in
+      Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
+      emit ~pos:!startP ~len:(pos + 1 - !startP) ~rule;
+      startP := pos + 1;
+      q := start
+    end
+  done;
+  if !startP < n then fail s !startP else Finished
+
+let num_rules e = 1 + Array.fold_left max (-1) e.dfa.Dfa.accept
+
+let run_string_instrumented ?(from = 0) e s ~stats ~emit =
+  let rc = Run_stats.rule_slots stats (num_rules e) in
+  let outcome, dt =
+    St_util.Timer.time_it (fun () ->
+        match e.mode with
+        | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc s ~emit
+        | Te te -> run_string_te_obs ~from e te rc s ~emit)
+  in
+  Run_stats.add_run_seconds stats dt;
+  Run_stats.add_chunk stats (String.length s - from);
+  Run_stats.set_lookahead stats (max e.k 1);
+  Run_stats.observe_buffer stats (lookahead_buffer_bytes e);
+  Run_stats.set_te_states stats (te_states e);
+  (match outcome with
+  | Failed _ -> Run_stats.record_failure stats
+  | Finished -> ());
+  outcome
 
 module Internal = struct
   let delay e = max e.k 1

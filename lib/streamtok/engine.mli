@@ -21,6 +21,24 @@ type error = Unbounded_tnd
     the cheaper Fig. 5 table would suffice. *)
 val compile : ?force_te:bool -> Dfa.t -> (t, error) result
 
+(** Compile-time observability: everything {!compile} learned about the
+    grammar, with phase timings. Consumed by [streamtok stats] and the
+    bench harness. [te_states] counts powerstates materialized {e so far}
+    (the token-extension DFA is lazy, so this grows as inputs are run —
+    see {!te_states}). *)
+type compile_stats = {
+  dfa_states : int;
+  max_tnd : St_analysis.Tnd.result;
+  analysis_seconds : float;  (** max-TND frontier analysis (paper Fig. 3) *)
+  build_seconds : float;  (** engine table construction after the analysis *)
+  te_states : int;
+  k1_table_bytes : int;  (** Fig. 5 table size; 0 when the TE DFA is used *)
+  footprint_bytes : int;
+}
+
+(** {!compile}, also returning the recorded {!compile_stats}. *)
+val compile_timed : ?force_te:bool -> Dfa.t -> (t * compile_stats, error) result
+
 (** Deserialization fast path ({!Engine_io}): builds the engine taking the
     given [k] as the grammar's max-TND without re-running the analysis.
     {b Unsafe} if [k] is smaller than the true max-TND (tokens would be
@@ -43,9 +61,16 @@ val dfa : t -> Dfa.t
     table is used); reported by the memory-footprint experiment. *)
 val te_states : t -> int
 
+(** Size in bytes of the Fig. 5 maximality table (0 in TE mode): one byte
+    per (state, symbol-or-EOF) pair, i.e. [257 * dfa_states]. *)
+val k1_table_bytes : t -> int
+
 (** Approximate resident size, in bytes, of all tables the engine consults
-    at run time (transition tables, maximality tables, lookahead buffer).
-    Used by the RQ6 memory experiment. *)
+    at run time: DFA transition/accept tables, the Fig. 5 [k1_table] or the
+    materialized token-extension powerstates, and the lookahead buffer the
+    streaming runner keeps (one pending byte for K ≤ 1, a power-of-two ring
+    of capacity ≥ K + 1 otherwise). Monotone in {!te_states}, so it grows
+    as the lazy TE DFA materializes. Used by the RQ6 memory experiment. *)
 val footprint_bytes : t -> int
 
 (** How a run ended: the whole input was tokenized, or tokenization stopped
@@ -69,6 +94,20 @@ val run_string :
 
 (** [tokens e s] collects [(lexeme, rule)] pairs (convenience wrapper). *)
 val tokens : t -> string -> (string * int) list * outcome
+
+(** Instrumented variant of {!run_string}: same token stream, same outcome
+    (differentially tested), plus [stats] recording. The stats are kept off
+    the plain runner entirely — these are separate specializations of the
+    Fig. 5 / Fig. 6 loops whose only per-token extra work is one unchecked
+    per-rule tally increment; bytes/chunk/lookahead/footprint numbers are
+    recorded once per call. *)
+val run_string_instrumented :
+  ?from:int ->
+  t ->
+  string ->
+  stats:Run_stats.t ->
+  emit:(pos:int -> len:int -> rule:int -> unit) ->
+  outcome
 
 (**/**)
 

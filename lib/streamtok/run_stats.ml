@@ -1,0 +1,123 @@
+module Metrics = St_obs.Metrics
+
+type t = {
+  mutable bytes_in : int;
+  mutable chunks : int;
+  mutable failures : int;
+  mutable buffer_high_water : int;
+  mutable lookahead : int;
+  mutable te_states : int;
+  mutable segments : int;
+  mutable splice_retries : int;
+  mutable sync_tokens : int;
+  mutable rule_counts : int array;
+  chunk_bytes : Metrics.Histogram.t;
+  run_span : Metrics.Span.t;
+}
+
+let create () =
+  {
+    bytes_in = 0;
+    chunks = 0;
+    failures = 0;
+    buffer_high_water = 0;
+    lookahead = 0;
+    te_states = 0;
+    segments = 0;
+    splice_retries = 0;
+    sync_tokens = 0;
+    rule_counts = [||];
+    chunk_bytes = Metrics.Histogram.create ();
+    run_span = Metrics.Span.create ();
+  }
+
+let rule_slots t n =
+  if Array.length t.rule_counts < n then begin
+    let grown = Array.make n 0 in
+    Array.blit t.rule_counts 0 grown 0 (Array.length t.rule_counts);
+    t.rule_counts <- grown
+  end;
+  t.rule_counts
+
+let record_token t ~rule ~len =
+  ignore len;
+  let rc = rule_slots t (rule + 1) in
+  rc.(rule) <- rc.(rule) + 1
+
+let add_chunk t n =
+  t.chunks <- t.chunks + 1;
+  t.bytes_in <- t.bytes_in + n;
+  Metrics.Histogram.observe t.chunk_bytes n
+
+let observe_buffer t n =
+  if n > t.buffer_high_water then t.buffer_high_water <- n
+
+let set_lookahead t n = t.lookahead <- n
+let set_te_states t n = t.te_states <- n
+let record_failure t = t.failures <- t.failures + 1
+let add_run_seconds t dt = Metrics.Span.add t.run_span dt
+
+let record_parallel t ~segments ~splice_retries ~sync_tokens =
+  t.segments <- t.segments + segments;
+  t.splice_retries <- t.splice_retries + splice_retries;
+  t.sync_tokens <- t.sync_tokens + sync_tokens
+
+let bytes_in t = t.bytes_in
+let chunks t = t.chunks
+let tokens_out t = Array.fold_left ( + ) 0 t.rule_counts
+let failures t = t.failures
+
+let rule_count t r =
+  if r >= 0 && r < Array.length t.rule_counts then t.rule_counts.(r) else 0
+
+let to_registry ?(rule_name = string_of_int) t =
+  let r = St_obs.Metrics.Registry.create () in
+  let open St_obs.Metrics.Registry in
+  let c name help v = Metrics.Counter.add (counter r ~help name) v in
+  let g name help v = Metrics.Gauge.set_int (gauge r ~help name) v in
+  c "bytes_in" "input bytes consumed" t.bytes_in;
+  c "chunks" "chunks fed (1 for one-shot runs)" t.chunks;
+  add r
+    {
+      St_obs.Metrics.name = "chunk_bytes";
+      help = "chunk size distribution (log2 buckets)";
+      labels = [];
+      kind = St_obs.Metrics.Histogram t.chunk_bytes;
+    };
+  c "tokens" "tokens emitted" (tokens_out t);
+  Array.iteri
+    (fun rule n ->
+      if n > 0 then
+        Metrics.Counter.add
+          (counter r ~help:"tokens per rule"
+             ~labels:[ ("rule", rule_name rule) ]
+             "rule_tokens")
+          n)
+    t.rule_counts;
+  c "failures" "runs that ended untokenizable" t.failures;
+  g "buffer_high_water_bytes"
+    "pending token + lookahead bytes retained across chunks (high-water)"
+    t.buffer_high_water;
+  g "lookahead_bytes" "lookahead window, max(K, 1)" t.lookahead;
+  g "te_states" "token-extension powerstates materialized" t.te_states;
+  if t.segments > 0 then begin
+    g "segments" "parallel tokenizer segments" t.segments;
+    c "splice_retries" "segments whose speculation was discarded"
+      t.splice_retries;
+    c "sync_tokens" "tokens re-tokenized to re-synchronize boundaries"
+      t.sync_tokens
+  end;
+  add r
+    {
+      St_obs.Metrics.name = "run_seconds";
+      help = "wall-clock time inside instrumented runs";
+      labels = [];
+      kind = St_obs.Metrics.Span t.run_span;
+    };
+  r
+
+let to_json_string ?rule_name t =
+  St_obs.Export.to_json_string (to_registry ?rule_name t)
+
+let to_prometheus ?rule_name t =
+  St_obs.Export.to_prometheus (to_registry ?rule_name t)

@@ -1,0 +1,67 @@
+(** Run-time observability for one tokenization run (the instrumented-runner
+    pattern).
+
+    The plain runners ({!Engine.run_string}, {!Stream_tokenizer},
+    {!Par_tokenizer}) stay branch-free; callers who want stats pass a
+    [Run_stats.t] to the instrumented variants
+    ({!Engine.run_string_instrumented}, [Stream_tokenizer.create ~stats],
+    {!Par_tokenizer.tokenize_instrumented}). Everything here is updated
+    per chunk or per run except the per-rule token tally, which is a single
+    unchecked array increment per token — measured ≤2% overhead on the
+    [bench/micro.ml] hot loops (the `smoke` subcommand gates it).
+
+    Exported metric names (see README §Observability):
+    - [bytes_in] (counter) — input bytes consumed
+    - [chunks] (counter) — feed calls (1 for one-shot runs)
+    - [chunk_bytes] (histogram, log2 buckets) — chunk size distribution
+    - [tokens] (counter) — tokens emitted (sum over rules)
+    - [rule_tokens{rule=...}] (counter per rule) — tokens per rule
+    - [failures] (counter) — runs that ended in [Engine.Failed]
+    - [buffer_high_water_bytes] (gauge) — pending token + lookahead bytes
+      retained across chunk boundaries, high-water mark
+    - [lookahead_bytes] (gauge) — the engine's lookahead window, max(K, 1)
+    - [te_states] (gauge) — token-extension powerstates materialized so far
+    - [segments], [splice_retries], [sync_tokens] (parallel tokenizer)
+    - [run_seconds] (span) — wall-clock time inside instrumented runs *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} (used by the instrumented runners) *)
+
+(** [rule_slots t n] returns the per-rule tally array, grown to hold rules
+    [0..n-1]; the hot loop increments it with unsafe accesses, so [n] must
+    be ≥ 1 + the largest rule id the run can emit. *)
+val rule_slots : t -> int -> int array
+
+(** [record_token t ~rule ~len] — per-token tally for non-hot callers
+    (grows the rule table on demand). [len] is accepted for interface
+    symmetry; only the tally is updated. *)
+val record_token : t -> rule:int -> len:int -> unit
+
+val add_chunk : t -> int -> unit
+val observe_buffer : t -> int -> unit
+val set_lookahead : t -> int -> unit
+val set_te_states : t -> int -> unit
+val record_failure : t -> unit
+val add_run_seconds : t -> float -> unit
+val record_parallel : t -> segments:int -> splice_retries:int -> sync_tokens:int -> unit
+
+(** {1 Reading} *)
+
+val bytes_in : t -> int
+val chunks : t -> int
+val tokens_out : t -> int
+val failures : t -> int
+val rule_count : t -> int -> int
+
+(** {1 Export} *)
+
+(** Snapshot into a fresh registry. [rule_name] labels the per-rule
+    counters (default [string_of_int]); rules with zero tokens are
+    omitted. *)
+val to_registry : ?rule_name:(int -> string) -> t -> St_obs.Metrics.Registry.t
+
+val to_json_string : ?rule_name:(int -> string) -> t -> string
+val to_prometheus : ?rule_name:(int -> string) -> t -> string

@@ -36,9 +36,10 @@ type t = {
   mutable state :
     [ `Running | `Failed of Engine.outcome | `Finished of Engine.outcome ];
   impl : impl;
+  stats : Run_stats.t option;
 }
 
-let create engine ~emit =
+let create ?stats engine ~emit =
   let impl =
     match I.k1_table engine with
     | Some tbl -> M_k1 { tbl; pending = -1 }
@@ -64,6 +65,15 @@ let create engine ~emit =
             words = Te_dfa.Raw.words te;
           }
   in
+  let emit =
+    match stats with
+    | None -> emit
+    | Some st ->
+        Run_stats.set_lookahead st (I.delay engine);
+        fun lexeme rule ->
+          Run_stats.record_token st ~rule ~len:(String.length lexeme);
+          emit lexeme rule
+  in
   let d = Engine.dfa engine in
   {
     engine;
@@ -78,14 +88,24 @@ let create engine ~emit =
     fed = 0;
     state = `Running;
     impl;
+    stats;
   }
 
 let failed t = match t.state with `Failed _ -> true | _ -> false
 let bytes_fed t = t.fed
 
 let fail_with t pending_bytes =
+  (match t.stats with Some st -> Run_stats.record_failure st | None -> ());
   t.state <-
     `Failed (Engine.Failed { offset = t.start_offset; pending = pending_bytes })
+
+(* Bytes carried across the chunk boundary: the unfinished-token buffer
+   plus whatever the lookahead mechanism holds back. *)
+let carried_bytes t =
+  Buffer.length t.token
+  + (match t.impl with
+    | M_k1 m -> if m.pending >= 0 then 1 else 0
+    | M_te m -> m.rlen)
 
 (* Emit the current token given that its trailing bytes are s[seg..last]
    (possibly empty when the token lives entirely in [t.token]). *)
@@ -117,10 +137,17 @@ let k1_consume_carried t tbl c la =
 let feed t s pos len =
   if pos < 0 || len < 0 || pos + len > String.length s then
     invalid_arg "Stream_tokenizer.feed";
+  (match t.stats with
+  | Some st ->
+      Run_stats.add_chunk st len;
+      (* carried state is sampled before and after each chunk (below), so
+         the high-water mark reflects what survives chunk boundaries *)
+      Run_stats.observe_buffer st (carried_bytes t)
+  | None -> ());
   if t.state <> `Running then t.fed <- t.fed + len
   else begin
     t.fed <- t.fed + len;
-    match t.impl with
+    (match t.impl with
     | M_k1 m ->
         let finish = pos + len in
         let i = ref pos in
@@ -197,7 +224,10 @@ let feed t s pos len =
             m.rlen <- m.rlen + 1
           end;
           incr i
-        done
+        done);
+    match t.stats with
+    | Some st -> Run_stats.observe_buffer st (carried_bytes t)
+    | None -> ()
   end
 
 let feed_string t s = feed t s 0 (String.length s)
@@ -248,9 +278,16 @@ let finish t =
                     Buffer.add_char b (Bytes.get m.ring ((m.rd + j) land m.mask))
                   done
               | M_k1 _ -> ());
+              (match t.stats with
+              | Some st -> Run_stats.record_failure st
+              | None -> ());
               Engine.Failed { offset = t.start_offset; pending = Buffer.contents b }
             end
             else Engine.Finished
       in
+      (match t.stats with
+      | Some st ->
+          Run_stats.set_te_states st (Engine.te_states t.engine)
+      | None -> ());
       (match t.state with `Failed _ -> () | _ -> t.state <- `Finished outcome);
       outcome

@@ -13,8 +13,16 @@
 type t
 
 (** [create engine ~emit] starts a run. [emit lexeme rule] is called for
-    every maximal token in stream order. *)
-val create : Engine.t -> emit:(string -> int -> unit) -> t
+    every maximal token in stream order.
+
+    [stats] (optional) turns on the instrumented variant: tokens are
+    tallied per rule as they are emitted, and each {!feed} additionally
+    records the chunk size and the carried-state high-water mark (pending
+    token buffer + lookahead ring occupancy at the chunk boundary — the
+    bytes the tokenizer actually retains between chunks). All extra work is
+    per token or per chunk; the per-byte loops are unchanged. *)
+val create :
+  ?stats:Run_stats.t -> Engine.t -> emit:(string -> int -> unit) -> t
 
 (** Has the run already failed (untokenizable input seen)? Further {!feed}s
     are ignored once failed. *)

@@ -52,13 +52,42 @@ Token counting mode:
   rule1        1
   rule2        3
 
-A lexical error reports the offset and exits nonzero:
+A lexical error reports the position and pending bytes, and exits nonzero:
 
   $ printf '12 @@' | streamtok tokenize '@[0-9]+;[ ]+' --count
   rule0        1
   rule1        1
-  error: untokenizable input at offset 3
+  error: untokenizable input at offset 3 (line 1, column 4)
+  pending (2 bytes): "@@"
   [1]
+
+Compile-time statistics come out as JSON our own validator accepts:
+
+  $ streamtok stats json | streamtok validate
+  valid (max nesting depth 3, 228 tokens)
+  $ streamtok stats json | grep -c '"schema":"streamtok/compile-stats/v1"'
+  1
+
+An unbounded grammar still gets its analysis reported, marked non-streaming:
+
+  $ streamtok stats '@a;b;(a|b)*c' | grep -o '"streaming":false'
+  "streaming":false
+
+Run-time statistics ride along with tokenize (--stats[=FILE], JSON or
+Prometheus text format; bare --stats goes to stderr so stdout stays clean):
+
+  $ printf '1,2,3\n' | streamtok tokenize csv --count --stats=run.json
+  comma        2
+  newline      1
+  field        3
+  $ streamtok validate < run.json
+  valid (max nesting depth 5, 290 tokens)
+  $ printf '1,2,3\n' | streamtok tokenize csv --count --stats --stats-format=prom 2>&1 | grep -E '^streamtok_(bytes_in|tokens|rule_tokens)'
+  streamtok_bytes_in 6
+  streamtok_tokens 6
+  streamtok_rule_tokens{rule="comma"} 2
+  streamtok_rule_tokens{rule="newline"} 1
+  streamtok_rule_tokens{rule="field"} 3
 
 JSON validation reports positioned errors:
 

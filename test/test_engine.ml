@@ -35,6 +35,42 @@ let test_compile_modes () =
   check "TeDFA built" true (Engine.te_states e3 > 0);
   check "footprint positive" true (Engine.footprint_bytes e3 > 0)
 
+(* footprint_bytes must be positive in both modes and account for the
+   lookahead buffer and mode tables consistently: in TE mode it grows
+   monotonically as powerstates materialize (te_states is lazy), and the
+   compile-time snapshot matches the engine's own accessor. *)
+let test_footprint () =
+  let d1 = Dfa.of_grammar "[0-9]+\n[ ]+" in
+  (match Engine.compile_timed d1 with
+  | Error _ -> Alcotest.fail "unexpected unbounded"
+  | Ok (e1, cs) ->
+      check "k1 footprint positive" true (Engine.footprint_bytes e1 > 0);
+      check "k1 table accounted" true
+        (Engine.footprint_bytes e1 > Engine.k1_table_bytes e1);
+      check_int "snapshot matches accessor" (Engine.footprint_bytes e1)
+        cs.Engine.footprint_bytes;
+      check_int "k1_table_bytes = 257 * states"
+        (257 * cs.Engine.dfa_states)
+        (Engine.k1_table_bytes e1));
+  let d3 = Dfa.of_grammar "[0-9]+([eE][+-]?[0-9]+)?\n[ ]+" in
+  match Engine.compile d3 with
+  | Error _ -> Alcotest.fail "unexpected unbounded"
+  | Ok e3 ->
+      check "te footprint positive" true (Engine.footprint_bytes e3 > 0);
+      check_int "no k1 table in TE mode" 0 (Engine.k1_table_bytes e3);
+      let states0 = Engine.te_states e3 in
+      let fp0 = Engine.footprint_bytes e3 in
+      (* a run materializes more TE powerstates; footprint must follow *)
+      ignore
+        (Engine.run_string e3 "1e+5 27 3e9 12 " ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()));
+      let states1 = Engine.te_states e3 in
+      let fp1 = Engine.footprint_bytes e3 in
+      check "run materialized powerstates" true (states1 > states0);
+      check "footprint monotone in te_states" true (fp1 > fp0);
+      check_int "growth proportional to states"
+        ((fp1 - fp0) / (states1 - states0) * (states1 - states0))
+        (fp1 - fp0)
+
 let test_compile_unbounded () =
   match Engine.compile_grammar "a\nb\n(a|b)*c" with
   | Error Engine.Unbounded_tnd -> ()
@@ -261,6 +297,7 @@ let prop_backtracking_reconstructs =
 let suite =
   [
     Alcotest.test_case "compile modes" `Quick test_compile_modes;
+    Alcotest.test_case "footprint accounting" `Quick test_footprint;
     Alcotest.test_case "unbounded rejected" `Quick test_compile_unbounded;
     Alcotest.test_case "Example 2" `Quick test_example2;
     Alcotest.test_case "Example 18 (Fig. 5)" `Quick test_example18;

@@ -1,0 +1,282 @@
+(* The st_obs metrics layer and the instrumented-runner contract: metric
+   semantics, JSON / Prometheus serialization, and the guarantee that the
+   instrumented engine variants observe without perturbing — identical
+   token streams, and stats that account for every input byte. *)
+
+open Streamtok
+module M = Obs.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_counter () =
+  let c = M.Counter.create () in
+  check_int "fresh" 0 (M.Counter.value c);
+  M.Counter.incr c;
+  M.Counter.add c 41;
+  check_int "incr + add" 42 (M.Counter.value c)
+
+let test_gauge () =
+  let g = M.Gauge.create () in
+  M.Gauge.set g 2.5;
+  check "set" true (M.Gauge.value g = 2.5);
+  M.Gauge.set_int g 7;
+  check "set_int" true (M.Gauge.value g = 7.0);
+  M.Gauge.set_max g 3.0;
+  check "set_max keeps high water" true (M.Gauge.value g = 7.0);
+  M.Gauge.set_max g 9.0;
+  check "set_max raises" true (M.Gauge.value g = 9.0)
+
+let test_histogram_buckets () =
+  (* bucket index = bit length: 0 → 0, 1 → 1, 2..3 → 2, 4..7 → 3, ... *)
+  check_int "index 0" 0 (M.Histogram.bucket_index 0);
+  check_int "index -5 clamps" 0 (M.Histogram.bucket_index (-5));
+  check_int "index 1" 1 (M.Histogram.bucket_index 1);
+  check_int "index 2" 2 (M.Histogram.bucket_index 2);
+  check_int "index 3" 2 (M.Histogram.bucket_index 3);
+  check_int "index 4" 3 (M.Histogram.bucket_index 4);
+  check_int "index 7" 3 (M.Histogram.bucket_index 7);
+  check_int "index 8" 4 (M.Histogram.bucket_index 8);
+  check_int "index max_int" 62 (M.Histogram.bucket_index max_int);
+  check_int "upper 0" 0 (M.Histogram.bucket_upper 0);
+  check_int "upper 3" 7 (M.Histogram.bucket_upper 3);
+  (* every observation lands in the bucket whose bound brackets it *)
+  List.iter
+    (fun v ->
+      let i = M.Histogram.bucket_index v in
+      check (Printf.sprintf "v=%d under upper" v) true
+        (v <= M.Histogram.bucket_upper i);
+      if i > 0 then
+        check (Printf.sprintf "v=%d above previous" v) true
+          (v > M.Histogram.bucket_upper (i - 1)))
+    [ 1; 2; 3; 4; 15; 16; 17; 1000; 65535; 65536 ]
+
+let test_histogram_observe () =
+  let h = M.Histogram.create () in
+  List.iter (M.Histogram.observe h) [ 0; 1; 5; 5; 100 ];
+  check_int "count" 5 (M.Histogram.count h);
+  check_int "sum" 111 (M.Histogram.sum h);
+  check_int "max" 100 (M.Histogram.max_value h);
+  (* buckets: the non-empty prefix, cumulative count = total *)
+  let bs = M.Histogram.buckets h in
+  check_int "bucket total" 5 (List.fold_left (fun a (_, c) -> a + c) 0 bs);
+  check "bounds increasing" true
+    (let rec incr_bounds = function
+       | (u1, _) :: ((u2, _) :: _ as rest) -> u1 < u2 && incr_bounds rest
+       | _ -> true
+     in
+     incr_bounds bs);
+  let last_upper, last_count = List.nth bs (List.length bs - 1) in
+  check "last bucket holds 100" true (last_upper >= 100 && last_count = 1)
+
+let test_span () =
+  let s = M.Span.create () in
+  M.Span.add s 0.25;
+  M.Span.add s 0.5;
+  check_int "count" 2 (M.Span.count s);
+  check "seconds accumulate" true (abs_float (M.Span.seconds s -. 0.75) < 1e-9);
+  let r = M.Span.time s (fun () -> 42) in
+  check_int "time returns value" 42 r;
+  check_int "time counts section" 3 (M.Span.count s)
+
+(* ---- serialization ---- *)
+
+let test_json_exact () =
+  let r = M.Registry.create () in
+  M.Counter.add (M.Registry.counter r "tokens") 12;
+  M.Gauge.set (M.Registry.gauge r ~labels:[ ("grammar", "json") ] "mb_s") 1.5;
+  let h = M.Registry.histogram r "chunk_bytes" in
+  M.Histogram.observe h 3;
+  check_str "document"
+    "{\"schema\":\"streamtok/metrics/v1\",\"metrics\":[\
+     {\"name\":\"tokens\",\"type\":\"counter\",\"value\":12},\
+     {\"name\":\"mb_s\",\"type\":\"gauge\",\"value\":1.5,\
+     \"labels\":{\"grammar\":\"json\"}},\
+     {\"name\":\"chunk_bytes\",\"type\":\"histogram\",\"count\":1,\"sum\":3,\
+     \"max\":3,\"buckets\":[[0,0],[1,0],[3,1]]}]}"
+    (Obs.Export.to_json_string r)
+
+let test_json_non_finite () =
+  check_str "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check_str "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity));
+  check_str "escaping" "\"a\\\"b\\\\c\\n\\u0001\""
+    (Obs.Json.to_string (Obs.Json.String "a\"b\\c\n\001"))
+
+(* The documents the library produces must be valid JSON by the repo's own
+   validator: tokenize with the Formats.json grammar, then stream the
+   tokens through Json_validate. *)
+let json_valid s =
+  let d = Grammar.dfa Formats.json in
+  let e = match Engine.compile d with Ok e -> e | Error _ -> assert false in
+  let v = Json_validate.create () in
+  match
+    Engine.run_string e s ~emit:(fun ~pos:_ ~len ~rule ->
+        ignore (Json_validate.push v ~lexeme_len:len ~rule))
+  with
+  | Engine.Failed _ -> false
+  | Engine.Finished -> ( match Json_validate.finish v with
+      | Json_validate.Valid -> true
+      | Json_validate.Invalid _ -> false)
+
+let test_json_validates () =
+  let r = M.Registry.create () in
+  M.Counter.add (M.Registry.counter r ~help:"input bytes" "bytes_in") 1024;
+  M.Gauge.set (M.Registry.gauge r "ratio") 0.325;
+  M.Gauge.set (M.Registry.gauge r "bad") Float.nan;
+  let h = M.Registry.histogram r ~labels:[ ("x", "y\"z") ] "sizes" in
+  List.iter (M.Histogram.observe h) [ 1; 100; 10_000 ];
+  M.Span.add (M.Registry.span r "run_seconds") 0.004;
+  check "registry JSON validates" true (json_valid (Obs.Export.to_json_string r));
+  let st = Run_stats.create () in
+  Run_stats.add_chunk st 512;
+  Run_stats.record_token st ~rule:0 ~len:3;
+  Run_stats.record_token st ~rule:2 ~len:1;
+  Run_stats.record_failure st;
+  Run_stats.record_parallel st ~segments:4 ~splice_retries:1 ~sync_tokens:9;
+  check "run-stats JSON validates" true (json_valid (Run_stats.to_json_string st))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_prometheus () =
+  let r = M.Registry.create () in
+  M.Counter.add (M.Registry.counter r ~help:"input bytes" "bytes_in") 99;
+  M.Gauge.set (M.Registry.gauge r ~labels:[ ("g", "a\"b") ] "mb/s") 2.0;
+  let h = M.Registry.histogram r "chunk_bytes" in
+  List.iter (M.Histogram.observe h) [ 1; 3 ];
+  M.Span.add (M.Registry.span r "run_seconds") 0.5;
+  let out = Obs.Export.to_prometheus r in
+  check "counter sample" true (contains ~sub:"streamtok_bytes_in 99\n" out);
+  check "counter help" true
+    (contains ~sub:"# HELP streamtok_bytes_in input bytes\n" out);
+  check "counter type" true
+    (contains ~sub:"# TYPE streamtok_bytes_in counter\n" out);
+  check "gauge name sanitized, label escaped" true
+    (contains ~sub:"streamtok_mb_s{g=\"a\\\"b\"} 2\n" out);
+  (* cumulative buckets: le=1 has 1, le=3 has both, +Inf total *)
+  check "bucket le=1" true
+    (contains ~sub:"streamtok_chunk_bytes_bucket{le=\"1\"} 1\n" out);
+  check "bucket le=3" true
+    (contains ~sub:"streamtok_chunk_bytes_bucket{le=\"3\"} 2\n" out);
+  check "bucket +Inf" true
+    (contains ~sub:"streamtok_chunk_bytes_bucket{le=\"+Inf\"} 2\n" out);
+  check "histogram sum/count" true
+    (contains ~sub:"streamtok_chunk_bytes_sum 4\n" out
+    && contains ~sub:"streamtok_chunk_bytes_count 2\n" out);
+  check "span as summary" true
+    (contains ~sub:"# TYPE streamtok_run_seconds summary\n" out
+    && contains ~sub:"streamtok_run_seconds_sum 0.5\n" out
+    && contains ~sub:"streamtok_run_seconds_count 1\n" out)
+
+(* ---- the instrumented-runner contract ---- *)
+
+let tokens_via run =
+  let acc = ref [] in
+  let outcome = run ~emit:(fun ~pos ~len ~rule -> acc := (pos, len, rule) :: !acc) in
+  (List.rev !acc, outcome)
+
+let test_instrumented_identical () =
+  List.iter
+    (fun (src, input) ->
+      let e =
+        match Engine.compile_grammar src with
+        | Ok e -> e
+        | Error _ -> Alcotest.fail "unexpected unbounded"
+      in
+      let plain = tokens_via (fun ~emit -> Engine.run_string e input ~emit) in
+      let st = Run_stats.create () in
+      let inst =
+        tokens_via
+          (fun ~emit -> Engine.run_string_instrumented e input ~stats:st ~emit)
+      in
+      check (Printf.sprintf "identical on %S" input) true (plain = inst);
+      check_int "bytes_in" (String.length input) (Run_stats.bytes_in st);
+      check_int "chunks" 1 (Run_stats.chunks st);
+      check_int "tokens_out" (List.length (fst plain)) (Run_stats.tokens_out st);
+      check_int "failures"
+        (match snd plain with Engine.Finished -> 0 | Engine.Failed _ -> 1)
+        (Run_stats.failures st))
+    [
+      (* K = 1 table path, success and failure *)
+      ("[0-9]+\n[ ]+", "12 345 6 ");
+      ("[0-9]+\n[ ]+", "12 x34");
+      (* K = 3 TE path, success and failure *)
+      ("[0-9]+([eE][+-]?[0-9]+)?\n[ ]+", "1e+5 27 3e9 ");
+      ("[0-9]+([eE][+-]?[0-9]+)?\n[ ]+", "1e+5 !");
+      ("[0-9]+([eE][+-]?[0-9]+)?\n[ ]+", "");
+    ]
+
+let test_rule_tallies () =
+  let e =
+    match Engine.compile_grammar "[0-9]+\n[ ]+\n[a-z]+" with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let st = Run_stats.create () in
+  ignore
+    (Engine.run_string_instrumented e "12 abc 7 x" ~stats:st
+       ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()));
+  check_int "rule 0 (numbers)" 2 (Run_stats.rule_count st 0);
+  check_int "rule 1 (spaces)" 3 (Run_stats.rule_count st 1);
+  check_int "rule 2 (words)" 2 (Run_stats.rule_count st 2);
+  check_int "total" 7 (Run_stats.tokens_out st)
+
+let test_stream_tokenizer_stats () =
+  let e =
+    match Engine.compile_grammar "[0-9]+\n[ ]+" with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let plain = ref [] and inst = ref [] in
+  let feed_all acc stats =
+    let t = Stream_tokenizer.create ?stats e ~emit:(fun lex r -> acc := (lex, r) :: !acc) in
+    List.iter (Stream_tokenizer.feed_string t) [ "12 3"; "45"; " 6 " ];
+    Stream_tokenizer.finish t
+  in
+  let o1 = feed_all plain None in
+  let st = Run_stats.create () in
+  let o2 = feed_all inst (Some st) in
+  check "same outcome" true (o1 = o2);
+  check "same tokens" true (!plain = !inst);
+  check_int "bytes_in" 9 (Run_stats.bytes_in st);
+  check_int "chunks" 3 (Run_stats.chunks st);
+  check_int "tokens" (List.length !plain) (Run_stats.tokens_out st)
+
+let prop_bytes_in_accounts_for_input =
+  QCheck.Test.make ~count:300 ~name:"instrumented bytes_in = input length"
+    Gen.grammar_input_arb (fun (rules, input) ->
+      let d = Dfa.of_rules rules in
+      match Engine.compile d with
+      | Error Engine.Unbounded_tnd -> QCheck.assume_fail ()
+      | Ok e ->
+          let st = Run_stats.create () in
+          let plain = tokens_via (fun ~emit -> Engine.run_string e input ~emit) in
+          let inst =
+            tokens_via
+              (fun ~emit ->
+                Engine.run_string_instrumented e input ~stats:st ~emit)
+          in
+          plain = inst
+          && Run_stats.bytes_in st = String.length input
+          && Run_stats.tokens_out st = List.length (fst plain))
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "span" `Quick test_span;
+    Alcotest.test_case "JSON exact form" `Quick test_json_exact;
+    Alcotest.test_case "JSON non-finite + escaping" `Quick test_json_non_finite;
+    Alcotest.test_case "JSON validates" `Quick test_json_validates;
+    Alcotest.test_case "Prometheus text format" `Quick test_prometheus;
+    Alcotest.test_case "instrumented ≡ plain" `Quick test_instrumented_identical;
+    Alcotest.test_case "per-rule tallies" `Quick test_rule_tallies;
+    Alcotest.test_case "stream tokenizer stats" `Quick test_stream_tokenizer_stats;
+    QCheck_alcotest.to_alcotest prop_bytes_in_accounts_for_input;
+  ]
