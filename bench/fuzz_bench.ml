@@ -1,0 +1,33 @@
+(* Throughput of the fuzzing machinery itself: grammars, inputs, and
+   differential subject checks per second for a fixed seed. Not a paper
+   experiment — it exists so a perf regression in the generators, the
+   chunk-split battery, or the differential runner shows up as a number,
+   and it doubles as a longer-running "the seed tree is clean" sweep. *)
+
+open Streamtok
+
+let run ?(iters = 400) () =
+  print_endline "== fuzz: differential-fuzzing throughput";
+  let config =
+    {
+      Fuzz.Driver.default with
+      Fuzz.Driver.seed = 0xF12;
+      max_iters = iters;
+      max_seconds = 0.;
+      parallel_fraction = 0.1;
+    }
+  in
+  let r, dt = Bench_common.time_once (fun () -> Fuzz.Driver.run config) in
+  Printf.printf "  %s\n" (Fuzz.Driver.summary r);
+  Printf.printf "  %.2f s  (%.0f grammars/s, %.0f checks/s)\n" dt
+    (float_of_int r.Fuzz.Driver.iterations /. dt)
+    (float_of_int r.Fuzz.Driver.checks /. dt);
+  if r.Fuzz.Driver.found <> [] then begin
+    List.iter
+      (fun (f : Fuzz.Driver.found) ->
+        Printf.eprintf "  MISMATCH %s: %s on %S\n" f.Fuzz.Driver.subject
+          (String.concat " | " (List.map Regex.to_string f.Fuzz.Driver.rules))
+          f.Fuzz.Driver.input)
+      r.Fuzz.Driver.found;
+    exit 1
+  end

@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|smoke|quick|all]";
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -39,6 +39,7 @@ let () =
   | "ablation" -> Ablation.run ()
   | "parallel" -> Parallel_bench.run ()
   | "micro" -> Micro.run ()
+  | "fuzz" -> Fuzz_bench.run ()
   | "smoke" -> Micro.smoke ()
   | "all" -> all ~quick:false
   | "quick" -> all ~quick:true

@@ -1,7 +1,11 @@
 #!/bin/sh
-# Tier-1 gate (see ROADMAP.md): full build, the whole test suite, and the
+# Tier-1 gate (see ROADMAP.md): full build, the whole test suite, the
 # ~2 s observability smoke check — instrumented-runner parity plus its
-# overhead budget (target <=2%, hard gate 10% to absorb CI timing noise).
+# overhead budget (target <=2%, hard gate 10% to absorb CI timing noise) —
+# and the differential-fuzzing smoke gate: a seeded `streamtok fuzz --smoke`
+# must find zero mismatches, and an artificially injected engine bug must be
+# caught and shrunk to a <=64-byte repro (the find->shrink->repro pipeline
+# proves itself on every run).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -13,5 +17,26 @@ dune runtest
 
 echo "== bench smoke (instrumented-runner parity + overhead)"
 dune exec bench/main.exe -- smoke
+
+echo "== fuzz smoke (differential battery, seeded + deterministic)"
+dune exec -- streamtok fuzz --smoke --seed 42
+
+echo "== fuzz self-test (injected engine bug must be caught and shrunk)"
+tmpd=$(mktemp -d)
+if dune exec -- streamtok fuzz --iters 2 --seconds 0 --seed 7 --inject-bug \
+    --corpus-dir "$tmpd" > /dev/null 2>&1; then
+  echo "fuzz self-test FAILED: injected bug not caught"
+  rm -rf "$tmpd"
+  exit 1
+fi
+for f in "$tmpd"/*.repro; do
+  hex=$(grep 'input-hex:' "$f" | awk '{print $2}')
+  if [ "${#hex}" -gt 128 ]; then
+    echo "fuzz self-test FAILED: repro not shrunk to <=64 bytes: $f"
+    rm -rf "$tmpd"
+    exit 1
+  fi
+done
+rm -rf "$tmpd"
 
 echo "== check.sh OK"

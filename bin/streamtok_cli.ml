@@ -6,6 +6,7 @@
      stats    <grammar>            compile-time analysis as machine-readable JSON
      tokenize <grammar> [FILE]     tokenize a file or stdin
      gen      <format>             generate a synthetic workload
+     fuzz     [REPRO...]           differential fuzzing / repro replay
      convert  <app> [FILE]         run an RQ5 application pipeline
 
    `tokenize` and `convert` accept --stats[=FILE] / --stats-format=json|prom
@@ -478,6 +479,140 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic workload on stdout")
     Term.(const run $ format $ bytes $ seed)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REPRO"
+          ~doc:"Repro files to replay instead of fuzzing (see test/corpus/).")
+  in
+  let iters =
+    Arg.(
+      value
+      & opt int Fuzz.Driver.default.Fuzz.Driver.max_iters
+      & info [ "iters" ] ~doc:"Grammar iterations.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt float Fuzz.Driver.default.Fuzz.Driver.max_seconds
+      & info [ "seconds" ] ~doc:"Wall-clock budget (0 = unlimited).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let max_input =
+    Arg.(
+      value
+      & opt int Fuzz.Driver.default.Fuzz.Driver.max_input_bytes
+      & info [ "max-input" ] ~doc:"Maximum generated input size in bytes.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Write shrunk repro files for any mismatch into $(docv).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Quick deterministic preset (60 iterations, no time limit, \
+             inputs ≤ 96 bytes) for CI gates.")
+  in
+  let inject_bug =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Self-test: make the batch engine drop its final token; the \
+             run must find and shrink the mismatch.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Emit the streamtok/fuzz-report/v1 JSON document to $(docv) \
+             (or stdout).")
+  in
+  let print_mismatch i (m : Fuzz.Differential.mismatch) =
+    Printf.printf "mismatch %d: %s\n" i (Fuzz.Differential.show_mismatch m)
+  in
+  let replay files inject_bug =
+    let failures = ref 0 in
+    List.iter
+      (fun path ->
+        match Fuzz.Repro.load path with
+        | Error msg ->
+            incr failures;
+            Printf.printf "%s: load error: %s\n" path msg
+        | Ok repro -> (
+            let r = Fuzz.Repro.check ~inject_bug repro in
+            match r.Fuzz.Differential.mismatches with
+            | [] ->
+                Printf.printf "%s: ok (%d subjects%s)\n" path
+                  r.Fuzz.Differential.subjects
+                  (if r.Fuzz.Differential.streaming then "" else ", unbounded")
+            | ms ->
+                incr failures;
+                Printf.printf "%s: %d mismatches\n" path (List.length ms);
+                List.iteri print_mismatch ms))
+      files;
+    if !failures > 0 then exit 1
+  in
+  let run files iters seconds seed max_input corpus_dir smoke inject_bug report
+      =
+    if files <> [] then replay files inject_bug
+    else begin
+      let config =
+        {
+          Fuzz.Driver.default with
+          Fuzz.Driver.seed;
+          max_iters = (if smoke then 60 else iters);
+          max_seconds = (if smoke then 0. else seconds);
+          max_input_bytes = (if smoke then 96 else max_input);
+          corpus_dir;
+          inject_bug;
+        }
+      in
+      let r = Fuzz.Driver.run config in
+      print_endline (Fuzz.Driver.summary r);
+      List.iteri
+        (fun i (f : Fuzz.Driver.found) ->
+          Printf.printf "mismatch %d: subject %s\n  grammar: %s\n  input: %S\n"
+            i f.Fuzz.Driver.subject
+            (String.concat " | "
+               (List.map Regex.to_string f.Fuzz.Driver.rules))
+            f.Fuzz.Driver.input;
+          match f.Fuzz.Driver.repro_path with
+          | Some p -> Printf.printf "  repro: %s\n" p
+          | None -> ())
+        r.Fuzz.Driver.found;
+      (match report with
+      | None -> ()
+      | Some dest ->
+          let doc = Obs.Json.to_string (Fuzz.Driver.report_to_json r) in
+          if dest = "-" then print_endline doc
+          else begin
+            let oc = open_out dest in
+            output_string oc doc;
+            output_char oc '\n';
+            close_out oc
+          end);
+      if r.Fuzz.Driver.found <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing of all tokenizer implementations")
+    Term.(
+      const run $ files $ iters $ seconds $ seed $ max_input $ corpus_dir
+      $ smoke $ inject_bug $ report)
+
 (* ---- convert ---- *)
 
 let convert_cmd =
@@ -611,5 +746,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
-            validate_cmd; gen_cmd; convert_cmd;
+            validate_cmd; gen_cmd; fuzz_cmd; convert_cmd;
           ]))

@@ -3,6 +3,20 @@ module Bits = St_util.Bits
 
 type outcome = Finished | Failed of { offset : int; pending : string }
 
+let outcome_equal a b =
+  match (a, b) with
+  | Finished, Finished -> true
+  | Failed { offset = o1; pending = p1 }, Failed { offset = o2; pending = p2 }
+    ->
+      o1 = o2 && String.equal p1 p2
+  | _ -> false
+
+let outcome_to_string = function
+  | Finished -> "finished"
+  | Failed { offset; pending } ->
+      Printf.sprintf "failed at %d (%d pending bytes)" offset
+        (String.length pending)
+
 let fail s startP =
   Failed
     { offset = startP; pending = String.sub s startP (String.length s - startP) }

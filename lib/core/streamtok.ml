@@ -59,6 +59,14 @@ module Greedy = St_baselines.Greedy
 module Comb = St_combinator.Comb
 module Comb_tokenizers = St_combinator.Comb_tokenizers
 
+(** {1 Fuzzing & differential testing}
+
+    Seeded generators, adversarial chunk splits, the cross-engine
+    differential runner, mismatch shrinking, and replayable repro files —
+    the machinery behind [streamtok fuzz] (see DESIGN.md §Fuzzing). *)
+
+module Fuzz = St_fuzz
+
 (** {1 Grammars} *)
 
 module Grammar = St_grammars.Grammar

@@ -1,0 +1,72 @@
+open St_util
+open St_streamtok
+
+type t = int list
+
+let is_partition t n =
+  List.for_all (fun l -> l >= 0) t && List.fold_left ( + ) 0 t = n
+
+let whole n = if n = 0 then [] else [ n ]
+
+let bytes size n =
+  if size <= 0 then invalid_arg "Chunking.bytes";
+  let rec go rem = if rem <= 0 then [] else min size rem :: go (rem - size) in
+  go n
+
+let random rng n =
+  let rec go rem =
+    if rem <= 0 then []
+    else if Prng.chance rng 0.1 then 0 :: go rem
+    else
+      let l = min rem (1 + Prng.int rng 8) in
+      l :: go (rem - l)
+  in
+  go n
+
+let at_cuts cuts n =
+  let cuts =
+    List.filter (fun c -> c > 0 && c < n) cuts
+    |> List.sort_uniq compare
+  in
+  let rec go prev = function
+    | [] -> if n > prev then [ n - prev ] else []
+    | c :: rest -> (c - prev) :: go c rest
+  in
+  go 0 cuts
+
+let straddle ~token_ends ~shift n =
+  at_cuts (List.map (fun e -> e + shift) token_ends) n
+
+let standard ?rng ?token_ends ~delay n =
+  let base =
+    [ ("whole", whole n); ("byte-at-a-time", bytes 1 n) ]
+    @ (if delay > 1 then [ (Printf.sprintf "bytes-%d" delay, bytes delay n) ]
+       else [])
+    @
+    match rng with
+    | Some rng -> [ ("random", random rng n) ]
+    | None -> []
+  in
+  match token_ends with
+  | None | Some [] -> base
+  | Some ends ->
+      base
+      @ [
+          ("straddle-on", straddle ~token_ends:ends ~shift:0 n);
+          ("straddle-before", straddle ~token_ends:ends ~shift:(-1) n);
+          ("straddle-after", straddle ~token_ends:ends ~shift:1 n);
+        ]
+
+let apply e input chunks =
+  let n = String.length input in
+  if not (is_partition chunks n) then invalid_arg "Chunking.apply";
+  let acc = ref [] in
+  let st = Stream_tokenizer.create e ~emit:(fun lex r -> acc := (lex, r) :: !acc) in
+  let pos = ref 0 in
+  List.iter
+    (fun len ->
+      Stream_tokenizer.feed st input !pos len;
+      pos := !pos + len)
+    chunks;
+  let outcome = Stream_tokenizer.finish st in
+  (List.rev !acc, outcome)

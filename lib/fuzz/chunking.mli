@@ -1,0 +1,48 @@
+(** Adversarial chunk-split strategies for the streaming tokenizer.
+
+    A chunking is a list of chunk lengths partitioning an input (zero-length
+    chunks are allowed — an empty [feed] must be a no-op). The differential
+    runner feeds the same input under several chunkings and requires the
+    token stream and failure offset to be independent of the split, which is
+    exactly the paper's streaming-equivalence claim (Figs. 5/6). *)
+
+open St_util
+open St_streamtok
+
+type t = int list
+
+(** [is_partition t n] — lengths are ≥ 0 and sum to [n]. *)
+val is_partition : t -> int -> bool
+
+(** The whole input as one chunk ([[]] for the empty input). *)
+val whole : int -> t
+
+(** Fixed-size chunks; [bytes 1 n] is byte-at-a-time, the historical
+    worst case for lookahead carried across boundaries. *)
+val bytes : int -> int -> t
+
+(** Random partition: geometric-ish chunk lengths 1–8 with occasional
+    zero-length chunks. Deterministic in the PRNG state. *)
+val random : Prng.t -> int -> t
+
+(** [at_cuts cuts n] splits at the given absolute offsets (out-of-range or
+    duplicate cuts are ignored). *)
+val at_cuts : int list -> int -> t
+
+(** [straddle ~token_ends ~shift n] cuts at every token end offset moved by
+    [shift] bytes — [shift = 0] puts every chunk boundary exactly on a
+    token boundary; [±1] puts it one byte before/after, so a pending token
+    plus lookahead always straddles the chunk edge. *)
+val straddle : token_ends:int list -> shift:int -> int -> t
+
+(** The named strategy battery for one input: whole, byte-at-a-time,
+    [delay]-sized chunks (the engine's lookahead window, so the window and
+    the chunk edge interfere), a random partition, and the three straddle
+    variants when [token_ends] is given. *)
+val standard :
+  ?rng:Prng.t -> ?token_ends:int list -> delay:int -> int -> (string * t) list
+
+(** Feed [input] to a fresh {!Stream_tokenizer} under the given chunking
+    and collect tokens and outcome. Raises [Invalid_argument] if the
+    chunking is not a partition of the input. *)
+val apply : Engine.t -> string -> t -> (string * int) list * Engine.outcome

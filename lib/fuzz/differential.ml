@@ -1,0 +1,199 @@
+open St_regex
+open St_automata
+open St_baselines
+open St_streamtok
+
+type behaviour = {
+  tokens : (string * int) list;
+  failure : (int * string) option;
+}
+
+let tokens_equal a b =
+  List.length a.tokens = List.length b.tokens
+  && List.for_all2
+       (fun (x, i) (y, j) -> i = j && String.equal x y)
+       a.tokens b.tokens
+
+let behaviour_equal a b = a.failure = b.failure && tokens_equal a b
+
+(* Streaming subjects keep O(K) state, so on failure their [pending] holds
+   only the bytes retained when the failure was detected — bytes fed after
+   a failure are dropped by contract. The streaming-equivalence claim is:
+   same tokens, same failure offset, and the retained bytes are a byte-exact
+   prefix of the reference's untokenizable suffix. *)
+let behaviour_equal_streaming reference b =
+  tokens_equal reference b
+  &&
+  match (reference.failure, b.failure) with
+  | None, None -> true
+  | Some (o1, p1), Some (o2, p2) ->
+      o1 = o2
+      && String.length p2 <= String.length p1
+      && String.equal p2 (String.sub p1 0 (String.length p2))
+  | _ -> false
+
+let of_bt (tokens, o) =
+  {
+    tokens;
+    failure =
+      (match o with
+      | Backtracking.Finished -> None
+      | Backtracking.Failed { offset; pending } -> Some (offset, pending));
+  }
+
+let of_engine (tokens, o) =
+  {
+    tokens;
+    failure =
+      (match o with
+      | Engine.Finished -> None
+      | Engine.Failed { offset; pending } -> Some (offset, pending));
+  }
+
+let show_behaviour b =
+  let buf = Buffer.create 128 in
+  let n = List.length b.tokens in
+  List.iteri
+    (fun i (lex, r) ->
+      if i < 12 then Buffer.add_string buf (Printf.sprintf "%S/%d " lex r))
+    b.tokens;
+  if n > 12 then Buffer.add_string buf (Printf.sprintf "... (%d tokens) " n);
+  (match b.failure with
+  | None -> Buffer.add_string buf "finished"
+  | Some (off, pending) ->
+      Buffer.add_string buf
+        (Printf.sprintf "failed at %d (%d pending bytes)" off
+           (String.length pending)));
+  Buffer.contents buf
+
+type mismatch = {
+  subject : string;
+  expected : behaviour;
+  got : behaviour;
+}
+
+let show_mismatch m =
+  Printf.sprintf "%s:\n  expected: %s\n  got:      %s" m.subject
+    (show_behaviour m.expected) (show_behaviour m.got)
+
+type spec = {
+  rules : Regex.t list;
+  input : string;
+  chunkings : (string * Chunking.t) list;
+  domain_counts : int list;
+  inject_bug : bool;
+}
+
+type result = {
+  mismatches : mismatch list;
+  streaming : bool;
+  subjects : int;
+}
+
+(* The injected bug: the batch engine "forgets" its final token. Any input
+   producing at least one token trips it, so the shrinker converges to a
+   one-token repro — this is the end-to-end self-test of the pipeline. *)
+let inject b =
+  match List.rev b.tokens with
+  | [] -> b
+  | _ :: rest -> { b with tokens = List.rev rest }
+
+let reference_token_ends rules input =
+  let d = Dfa.of_rules rules in
+  let toks, _ = Backtracking.tokens d input in
+  let ends = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun (lex, _) ->
+      pos := !pos + String.length lex;
+      ends := !pos :: !ends)
+    toks;
+  List.rev !ends
+
+let spec ?rng ?(domain_counts = [ 2; 3 ]) ?(inject_bug = false) rules input =
+  let token_ends = reference_token_ends rules input in
+  let delay =
+    (* the engine's lookahead window, if the grammar streams; 2 otherwise
+       (any small chunk size > 1 still interferes with pending tokens) *)
+    match Engine.compile_rules rules with
+    | Ok e -> max 1 (Engine.k e)
+    | Error Engine.Unbounded_tnd -> 2
+  in
+  {
+    rules;
+    input;
+    chunkings =
+      Chunking.standard ?rng ~token_ends ~delay (String.length input);
+    domain_counts;
+    inject_bug;
+  }
+
+let check ?(on_subject = fun _ -> ()) spec =
+  let d = Dfa.of_rules spec.rules in
+  let input = spec.input in
+  let reference = of_bt (Backtracking.tokens d input) in
+  let mismatches = ref [] in
+  let subjects = ref 0 in
+  let record ~equal name got =
+    if not (equal reference got) then
+      mismatches := { subject = name; expected = reference; got } :: !mismatches
+  in
+  let expect ?(equal = behaviour_equal) name got =
+    incr subjects;
+    on_subject name;
+    record ~equal name got
+  in
+  expect "ext-oracle" (of_bt (Ext_oracle.tokens d input));
+  expect "reps" (of_bt (Reps.tokens d input));
+  expect "flex-model" (of_bt (Flex_model.tokens (Flex_model.compile d) input));
+  (match spec.rules with
+  | [ _ ] ->
+      expect "greedy" (of_bt (Greedy.tokens (Greedy.compile spec.rules) input))
+  | _ ->
+      (* multi-rule greedy legitimately diverges from maximal munch; check
+         the invariant it does promise: emitted lexemes reconstruct exactly
+         the consumed prefix *)
+      incr subjects;
+      on_subject "greedy-invariant";
+      let toks, o = Greedy.tokens (Greedy.compile spec.rules) input in
+      let consumed = String.concat "" (List.map fst toks) in
+      let ok =
+        match o with
+        | Backtracking.Finished -> String.equal consumed input
+        | Backtracking.Failed { offset; pending } ->
+            String.length consumed = offset
+            && String.equal consumed (String.sub input 0 offset)
+            && String.equal pending
+                 (String.sub input offset (String.length input - offset))
+      in
+      if not ok then
+        mismatches :=
+          { subject = "greedy-invariant"; expected = reference; got = of_bt (toks, o) }
+          :: !mismatches);
+  let streaming =
+    match Engine.compile d with
+    | Error Engine.Unbounded_tnd -> false
+    | Ok e ->
+        let batch = of_engine (Engine.tokens e input) in
+        let batch = if spec.inject_bug then inject batch else batch in
+        expect "engine" batch;
+        List.iter
+          (fun (name, ch) ->
+            expect ~equal:behaviour_equal_streaming ("stream:" ^ name)
+              (of_engine (Chunking.apply e input ch)))
+          spec.chunkings;
+        List.iter
+          (fun p ->
+            let acc = ref [] in
+            let o, _ =
+              St_parallel.Par_tokenizer.tokenize ~num_domains:p
+                ~min_input_bytes:1 e input ~emit:(fun ~pos ~len ~rule ->
+                  acc := (String.sub input pos len, rule) :: !acc)
+            in
+            expect
+              (Printf.sprintf "parallel:p%d" p)
+              (of_engine (List.rev !acc, o)))
+          spec.domain_counts;
+        true
+  in
+  { mismatches = List.rev !mismatches; streaming; subjects = !subjects }

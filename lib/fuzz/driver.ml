@@ -1,0 +1,254 @@
+open St_util
+open St_regex
+open St_automata
+open St_streamtok
+open St_obs
+
+type config = {
+  seed : int;
+  max_iters : int;
+  max_seconds : float;
+  max_input_bytes : int;
+  inputs_per_grammar : int;
+  parallel_fraction : float;
+  corpus_dir : string option;
+  inject_bug : bool;
+}
+
+let default =
+  {
+    seed = 1;
+    max_iters = 500;
+    max_seconds = 10.0;
+    max_input_bytes = 160;
+    inputs_per_grammar = 3;
+    parallel_fraction = 0.25;
+    corpus_dir = None;
+    inject_bug = false;
+  }
+
+type found = {
+  subject : string;
+  rules : Regex.t list;
+  input : string;
+  shrink_evals : int;
+  repro_path : string option;
+}
+
+type report = {
+  config : config;
+  iterations : int;
+  unbounded : int;
+  inputs : int;
+  checks : int;
+  found : found list;
+  elapsed : float;
+  registry : Metrics.Registry.t;
+}
+
+(* ---- grammar sources ---- *)
+
+type source = Small | Bytes | Corpus | Mutate | Registry
+
+let source_weights = [| 0.30; 0.20; 0.20; 0.20; 0.10 |]
+let sources = [| Small; Bytes; Corpus; Mutate; Registry |]
+
+let registry_grammars =
+  lazy (Array.of_list St_grammars.Registry.all)
+
+let worst_case_ks = lazy (Array.of_list St_workloads.Worst_case.sweep_k)
+
+let pick_grammar rng =
+  match sources.(Prng.weighted rng source_weights) with
+  | Small -> (Gen.grammar rng ~cls:Gen.charset_small, false)
+  | Bytes -> (Gen.grammar rng ~cls:Gen.charset_bytes, false)
+  | Corpus -> (St_workloads.Grammar_corpus.sample rng, false)
+  | Mutate ->
+      let rules = ref (St_workloads.Grammar_corpus.sample rng) in
+      for _ = 0 to Prng.int rng 3 do
+        rules := St_workloads.Grammar_corpus.mutate rng !rules
+      done;
+      (!rules, false)
+  | Registry ->
+      if Prng.chance rng 0.4 then
+        let k = Prng.choose rng (Lazy.force worst_case_ks) in
+        (St_grammars.Grammar.rules (St_workloads.Worst_case.grammar k), true)
+      else
+        ( St_grammars.Grammar.rules (Prng.choose rng (Lazy.force registry_grammars)),
+          false )
+
+let gen_input rng rules dfa ~worst_case ~max_len shape =
+  let target_len = 1 + Prng.int rng max_len in
+  if worst_case && shape = 0 then St_workloads.Worst_case.input target_len
+  else
+    match shape mod 3 with
+    | 0 -> Gen.token_dense rng dfa ~target_len
+    | 1 -> Gen.near_miss rng (Gen.token_dense rng dfa ~target_len)
+    | _ ->
+        Gen.uniform rng
+          ~alphabet:(Gen.alphabet_of_rules rng rules)
+          ~max_len
+
+(* ---- the loop ---- *)
+
+let parallel_domains subject =
+  (* "parallel:p3" -> Some 3 *)
+  match String.index_opt subject ':' with
+  | Some i
+    when String.length subject > i + 1
+         && String.sub subject 0 i = "parallel"
+         && subject.[i + 1] = 'p' -> (
+      match int_of_string (String.sub subject (i + 2) (String.length subject - i - 2)) with
+      | d -> Some d
+      | exception Failure _ -> None)
+  | _ -> None
+
+let run ?(on_progress = fun _ -> ()) config =
+  let t0 = Unix.gettimeofday () in
+  let rng = Prng.create (Int64.of_int config.seed) in
+  let reg = Metrics.Registry.create () in
+  let c_grammars = Metrics.Registry.counter reg "fuzz_grammars" ~help:"grammars generated" in
+  let c_unbounded =
+    Metrics.Registry.counter reg "fuzz_unbounded_grammars"
+      ~help:"grammars with unbounded max-TND (baselines only)"
+  in
+  let c_inputs = Metrics.Registry.counter reg "fuzz_inputs" ~help:"inputs generated" in
+  let c_checks =
+    Metrics.Registry.counter reg "fuzz_checks" ~help:"differential subject evaluations"
+  in
+  let c_mismatches = Metrics.Registry.counter reg "fuzz_mismatches" ~help:"mismatches found" in
+  let c_shrink =
+    Metrics.Registry.counter reg "fuzz_shrink_evals"
+      ~help:"predicate evaluations spent minimizing mismatches"
+  in
+  let h_input_bytes =
+    Metrics.Registry.histogram reg "fuzz_input_bytes" ~help:"generated input sizes"
+  in
+  let sp = Metrics.Registry.span reg "fuzz_run_seconds" ~help:"whole fuzz run" in
+  let deadline =
+    if config.max_seconds <= 0. then infinity else t0 +. config.max_seconds
+  in
+  let iters = ref 0 in
+  let found = ref [] in
+  while !iters < config.max_iters && Unix.gettimeofday () < deadline do
+    incr iters;
+    on_progress !iters;
+    let rules, worst_case = pick_grammar rng in
+    Metrics.Counter.incr c_grammars;
+    (match Engine.compile_rules rules with
+    | Ok _ -> ()
+    | Error Engine.Unbounded_tnd -> Metrics.Counter.incr c_unbounded);
+    let dfa = Dfa.of_rules rules in
+    for shape = 0 to config.inputs_per_grammar - 1 do
+      let input =
+        gen_input rng rules dfa ~worst_case ~max_len:config.max_input_bytes shape
+      in
+      Metrics.Counter.incr c_inputs;
+      Metrics.Histogram.observe h_input_bytes (String.length input);
+      let domain_counts =
+        if Prng.chance rng config.parallel_fraction then [ 2; 3 ] else []
+      in
+      let spec =
+        Differential.spec ~rng ~domain_counts ~inject_bug:config.inject_bug
+          rules input
+      in
+      let r =
+        Differential.check
+          ~on_subject:(fun _ -> Metrics.Counter.incr c_checks)
+          spec
+      in
+      match r.Differential.mismatches with
+      | [] -> ()
+      | m :: _ ->
+          Metrics.Counter.incr c_mismatches;
+          let subject = m.Differential.subject in
+          let domains = parallel_domains subject in
+          let shrink_dc = match domains with Some d -> [ d ] | None -> [] in
+          (* the shrink predicate rebuilds a deterministic battery per
+             candidate (the original chunking need not partition a shrunken
+             input) and only spawns domains for parallel-subject bugs *)
+          let fails (c : Shrink.candidate) =
+            let spec =
+              Differential.spec ~domain_counts:shrink_dc
+                ~inject_bug:config.inject_bug c.Shrink.rules c.Shrink.input
+            in
+            (Differential.check spec).Differential.mismatches <> []
+          in
+          let c0 = { Shrink.rules; input } in
+          let (cmin, evals), chunks =
+            if fails c0 then (Shrink.minimize ~fails c0, None)
+            else
+              (* only the run's random chunking tripped it: keep the exact
+                 split in the repro instead of shrinking *)
+              ( (c0, 0),
+                match String.index_opt subject ':' with
+                | Some i when String.sub subject 0 i = "stream" ->
+                    List.assoc_opt
+                      (String.sub subject (i + 1) (String.length subject - i - 1))
+                      spec.Differential.chunkings
+                | _ -> None )
+          in
+          Metrics.Counter.add c_shrink evals;
+          let repro =
+            Repro.v ?chunks ?domains ~note:("subject " ^ subject)
+              cmin.Shrink.rules cmin.Shrink.input
+          in
+          let repro_path =
+            Option.map (fun dir -> Repro.save ~dir repro) config.corpus_dir
+          in
+          found :=
+            {
+              subject;
+              rules = cmin.Shrink.rules;
+              input = cmin.Shrink.input;
+              shrink_evals = evals;
+              repro_path;
+            }
+            :: !found
+    done
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Metrics.Span.add sp elapsed;
+  {
+    config;
+    iterations = !iters;
+    unbounded = Metrics.Counter.value c_unbounded;
+    inputs = Metrics.Counter.value c_inputs;
+    checks = Metrics.Counter.value c_checks;
+    found = List.rev !found;
+    elapsed;
+    registry = reg;
+  }
+
+(* ---- report ---- *)
+
+let found_to_json f =
+  Json.Obj
+    [
+      ("subject", Json.String f.subject);
+      ( "rules",
+        Json.List (List.map (fun r -> Json.String (Regex.to_string r)) f.rules) );
+      ("input_hex", Json.String (Repro.hex_of_string f.input));
+      ("shrink_evals", Json.Int f.shrink_evals);
+      ( "repro",
+        match f.repro_path with Some p -> Json.String p | None -> Json.Null );
+    ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "streamtok/fuzz-report/v1");
+      ("seed", Json.Int r.config.seed);
+      ("iterations", Json.Int r.iterations);
+      ("unbounded_grammars", Json.Int r.unbounded);
+      ("inputs", Json.Int r.inputs);
+      ("checks", Json.Int r.checks);
+      ("mismatches", Json.List (List.map found_to_json r.found));
+      ("elapsed_seconds", Json.Float r.elapsed);
+      ("metrics", Export.registry_to_json r.registry);
+    ]
+
+let summary r =
+  Printf.sprintf
+    "fuzz: %d grammars (%d unbounded), %d inputs, %d subject checks, %d mismatches"
+    r.iterations r.unbounded r.inputs r.checks (List.length r.found)

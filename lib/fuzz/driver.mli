@@ -1,0 +1,62 @@
+(** The budgeted differential-fuzzing loop behind [streamtok fuzz].
+
+    Each iteration draws one grammar from a weighted mix of sources —
+    random small-alphabet, random full-byte, corpus sample, corpus
+    mutation, and the registry / worst-case families — then several inputs
+    (token-dense DFA walks, near-misses, uniform noise; all-['a'] streams
+    for the worst-case grammars) and runs the {!Differential} battery on
+    each. Mismatches are minimized with {!Shrink} and written to
+    [corpus_dir] as {!Repro} files.
+
+    The whole run is a pure function of [config]: generation uses the
+    SplitMix64 {!St_util.Prng} seeded from [config.seed], so two runs with
+    the same config produce the same report (minus [elapsed]). *)
+
+open St_regex
+
+type config = {
+  seed : int;
+  max_iters : int;  (** grammar iterations *)
+  max_seconds : float;  (** wall-clock budget; [<= 0.] means unlimited *)
+  max_input_bytes : int;
+  inputs_per_grammar : int;
+  parallel_fraction : float;
+      (** probability an input also runs the [Par_tokenizer] subjects
+          (spawning domains per input is the expensive part) *)
+  corpus_dir : string option;  (** where shrunk repros are written *)
+  inject_bug : bool;
+      (** drop the batch engine's last token — the self-test that the
+          find → shrink → repro pipeline actually fires *)
+}
+
+(** iters 500, seconds 10, input ≤ 160 bytes, 3 inputs/grammar, parallel
+    fraction 0.25, no corpus dir, no injected bug, seed 1. *)
+val default : config
+
+type found = {
+  subject : string;  (** which differential subject disagreed *)
+  rules : Regex.t list;  (** minimized grammar *)
+  input : string;  (** minimized input *)
+  shrink_evals : int;
+  repro_path : string option;  (** written iff [corpus_dir] was set *)
+}
+
+type report = {
+  config : config;
+  iterations : int;
+  unbounded : int;  (** grammars rejected by the static analysis *)
+  inputs : int;
+  checks : int;  (** subject evaluations across all inputs *)
+  found : found list;
+  elapsed : float;
+  registry : St_obs.Metrics.Registry.t;
+}
+
+val run : ?on_progress:(int -> unit) -> config -> report
+
+(** The [streamtok/fuzz-report/v1] document: run totals, minimized
+    mismatches (rules, hex input, repro path), and the metrics registry. *)
+val report_to_json : report -> St_obs.Json.t
+
+(** Deterministic one-line summary (no timings — safe for cram tests). *)
+val summary : report -> string

@@ -1,0 +1,150 @@
+open St_util
+open St_regex
+open St_automata
+
+(* ---- alphabets ---- *)
+
+let small_alphabet = [| 'a'; 'b'; 'c' |]
+let byte_alphabet = Array.init 256 Char.chr
+
+let rec classes_of r acc =
+  match r with
+  | Regex.Eps -> acc
+  | Regex.Cls c -> Charset.union c acc
+  | Regex.Alt (a, b) | Regex.Seq (a, b) -> classes_of a (classes_of b acc)
+  | Regex.Star a -> classes_of a acc
+
+let alphabet_of_rules ?(max_chars = 12) rng rules =
+  let cs = List.fold_left (fun acc r -> classes_of r acc) Charset.empty rules in
+  let all = Array.of_list (List.rev (Charset.fold (fun c acc -> c :: acc) cs [])) in
+  if Array.length all = 0 then [| 'a' |]
+  else if Array.length all <= max_chars then all
+  else begin
+    Prng.shuffle rng all;
+    Array.sub all 0 max_chars
+  end
+
+(* ---- grammars ---- *)
+
+let charset_small rng =
+  match Prng.int rng 6 with
+  | 0 | 1 -> Charset.singleton (Prng.choose rng small_alphabet)
+  | 2 -> Charset.of_string "ab"
+  | 3 -> Charset.of_string "bc"
+  | 4 -> Charset.of_string "abc"
+  | _ -> Charset.negate (Charset.of_string "ab")
+
+let named_classes =
+  [| Charset.digit; Charset.alpha; Charset.word; Charset.space; Charset.any |]
+
+let charset_bytes rng =
+  match Prng.int rng 6 with
+  | 0 | 1 -> Charset.singleton (Char.chr (Prng.int rng 256))
+  | 2 ->
+      let lo = Prng.int rng 256 in
+      let hi = min 255 (lo + Prng.int rng 64) in
+      Charset.range (Char.chr lo) (Char.chr hi)
+  | 3 -> Charset.negate (Charset.singleton (Char.chr (Prng.int rng 256)))
+  | 4 -> Prng.choose rng named_classes
+  | _ ->
+      Charset.union
+        (Charset.singleton (Char.chr (Prng.int rng 256)))
+        (Charset.singleton (Char.chr (Prng.int rng 256)))
+
+let rec regex rng ~cls budget =
+  if budget <= 1 then
+    if Prng.chance rng 0.1 then Regex.eps else Regex.cls (cls rng)
+  else
+    match Prng.weighted rng [| 0.3; 0.25; 0.2; 0.1; 0.08; 0.07 |] with
+    | 0 -> Regex.cls (cls rng)
+    | 1 ->
+        let l = max 1 (Prng.int rng budget) in
+        Regex.seq (regex rng ~cls l) (regex rng ~cls (budget - l))
+    | 2 ->
+        let l = max 1 (Prng.int rng budget) in
+        Regex.alt (regex rng ~cls l) (regex rng ~cls (budget - l))
+    | 3 -> Regex.star (regex rng ~cls (budget / 2))
+    | 4 -> Regex.plus (regex rng ~cls (budget / 2))
+    | _ -> Regex.opt (regex rng ~cls (budget / 2))
+
+let grammar rng ~cls =
+  let num_rules = 1 + Prng.int rng 4 in
+  let rules =
+    List.init num_rules (fun _ -> regex rng ~cls (1 + Prng.int rng 8))
+  in
+  match List.filter (fun r -> not (Regex.is_empty_lang r)) rules with
+  | [] -> [ Regex.chr 'a' ]
+  | rs -> rs
+
+(* ---- inputs ---- *)
+
+let uniform rng ~alphabet ~max_len =
+  let len = Prng.int rng (max_len + 1) in
+  String.init len (fun _ -> Prng.choose rng alphabet)
+
+let token_dense rng dfa ~target_len =
+  let coacc = Dfa.co_accessible dfa in
+  let live = Hashtbl.create 16 in
+  let live_bytes q =
+    match Hashtbl.find_opt live q with
+    | Some a -> a
+    | None ->
+        let acc = ref [] in
+        for c = 255 downto 0 do
+          let q' = dfa.Dfa.trans.((q lsl 8) lor c) in
+          if not (Dfa.is_reject dfa coacc q') then acc := Char.chr c :: !acc
+        done;
+        let a = Array.of_list !acc in
+        Hashtbl.add live q a;
+        a
+  in
+  let buf = Buffer.create target_len in
+  let q = ref dfa.Dfa.start in
+  (try
+     while Buffer.length buf < target_len do
+       (* at a final state, sometimes restart so the walk lands exactly on
+          a token boundary (the emitted string stays tokenizable) *)
+       if Dfa.is_final dfa !q && Prng.chance rng 0.35 then q := dfa.Dfa.start;
+       let a = live_bytes !q in
+       if Array.length a = 0 then
+         if !q = dfa.Dfa.start then raise Exit else q := dfa.Dfa.start
+       else begin
+         let c = Prng.choose rng a in
+         Buffer.add_char buf c;
+         q := Dfa.step dfa !q c
+       end
+     done
+   with Exit -> ());
+  Buffer.contents buf
+
+let near_miss rng s =
+  let n = String.length s in
+  if n = 0 then String.make 1 (Char.chr (Prng.int rng 256))
+  else
+    match Prng.int rng 6 with
+    | 0 ->
+        let b = Bytes.of_string s in
+        Bytes.set b (Prng.int rng n) (Char.chr (Prng.int rng 256));
+        Bytes.to_string b
+    | 1 ->
+        let i = Prng.int rng n in
+        String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | 2 ->
+        let i = Prng.int rng (n + 1) in
+        String.sub s 0 i
+        ^ String.make 1 (Char.chr (Prng.int rng 256))
+        ^ String.sub s i (n - i)
+    | 3 ->
+        let i = Prng.int rng n in
+        let len = 1 + Prng.int rng (min 8 (n - i)) in
+        String.sub s 0 (i + len)
+        ^ String.sub s i len
+        ^ String.sub s (i + len) (n - i - len)
+    | 4 when n >= 2 ->
+        let b = Bytes.of_string s in
+        let i = Prng.int rng (n - 1) in
+        let c = Bytes.get b i in
+        Bytes.set b i (Bytes.get b (i + 1));
+        Bytes.set b (i + 1) c;
+        Bytes.to_string b
+    | _ -> String.sub s 0 (Prng.int rng n)

@@ -1,0 +1,67 @@
+(** Seeded, reproducible generators for fuzzing grammars and inputs.
+
+    Everything here is driven by the repo's SplitMix64 {!St_util.Prng}, not
+    by qcheck's random state, so a fuzz run is replayable from its seed
+    alone ([streamtok fuzz --seed N]); the qcheck wrappers for the property
+    suites live in {!Qgen}.
+
+    Three grammar sources (random small-alphabet, random full-byte, corpus
+    sample/mutation via {!St_workloads.Grammar_corpus}) and four input
+    shapes (token-dense DFA walks, near-miss mutations, uniform noise,
+    worst-case-TND streams) cover the axes the differential runner needs:
+    boundary-dense token streams, failure offsets, and full-byte alphabets
+    beyond the [{a,b,c}] the unit suites use. *)
+
+open St_util
+open St_regex
+open St_automata
+
+(** {1 Alphabets} *)
+
+(** The [{a,b,c}] alphabet of the original differential suites. *)
+val small_alphabet : char array
+
+(** All 256 bytes. *)
+val byte_alphabet : char array
+
+(** Bytes mentioned by the rules' character classes (capped at [max_chars],
+    sampled when larger), so uniform inputs actually exercise the grammar;
+    never empty. *)
+val alphabet_of_rules : ?max_chars:int -> Prng.t -> Regex.t list -> char array
+
+(** {1 Grammars} *)
+
+(** Random character class over {!small_alphabet} (singletons, small
+    unions, one negation — the historical test/gen.ml distribution). *)
+val charset_small : Prng.t -> Charset.t
+
+(** Random class over the full byte alphabet: singletons, ranges, negated
+    singletons, PCRE named classes, small unions. *)
+val charset_bytes : Prng.t -> Charset.t
+
+(** [regex rng ~cls budget] is a random regex with roughly [budget] leaves
+    drawn from [cls], with weighted operators (concatenation and
+    alternation dominate, as in real grammars). *)
+val regex : Prng.t -> cls:(Prng.t -> Charset.t) -> int -> Regex.t
+
+(** [grammar rng ~cls] is 1–4 rules of budget ≤ 8 each; rules denoting the
+    empty language are dropped (never returns an empty list). *)
+val grammar : Prng.t -> cls:(Prng.t -> Charset.t) -> Regex.t list
+
+(** {1 Inputs} *)
+
+(** [uniform rng ~alphabet ~max_len] — i.i.d. bytes, length in
+    [0, max_len]. *)
+val uniform : Prng.t -> alphabet:char array -> max_len:int -> string
+
+(** [token_dense rng dfa ~target_len] walks the tokenization DFA choosing
+    live (co-accessible) successors, restarting at final states with some
+    probability so the string is dense in token boundaries; stops early if
+    the walk dead-ends at the start state. The result usually tokenizes to
+    completion — the interesting case for maximality decisions. *)
+val token_dense : Prng.t -> Dfa.t -> target_len:int -> string
+
+(** One random edit: flip / insert / delete a byte, duplicate a slice,
+    swap adjacent bytes, or truncate. Turns a token-dense string into a
+    near-miss that probes failure offsets and partial-token drains. *)
+val near_miss : Prng.t -> string -> string

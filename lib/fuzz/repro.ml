@@ -1,0 +1,154 @@
+open St_regex
+
+type t = {
+  rules : Regex.t list;
+  input : string;
+  chunks : int list option;
+  domains : int option;
+  note : string option;
+}
+
+let v ?chunks ?domains ?note rules input =
+  { rules; input; chunks; domains; note }
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then Error "odd-length hex"
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+      | _ -> Error (Printf.sprintf "bad hex digit %C" c)
+    in
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n / 2 then Ok (Bytes.to_string b)
+      else
+        match (digit h.[2 * i], digit h.[(2 * i) + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set b i (Char.chr ((hi lsl 4) lor lo));
+            go (i + 1)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# streamtok/fuzz-repro/v1\n";
+  (match t.note with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)
+  | None -> ());
+  List.iter
+    (fun r -> Buffer.add_string buf (Printf.sprintf "rule: %s\n" (Regex.to_string r)))
+    t.rules;
+  Buffer.add_string buf (Printf.sprintf "input-hex: %s\n" (hex_of_string t.input));
+  (match t.chunks with
+  | Some cs ->
+      Buffer.add_string buf
+        (Printf.sprintf "chunks: %s\n" (String.concat " " (List.map string_of_int cs)))
+  | None -> ());
+  (match t.domains with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "domains: %d\n" d)
+  | None -> ());
+  Buffer.contents buf
+
+let of_string src =
+  let rules = ref [] in
+  let input = ref None in
+  let chunks = ref None in
+  let domains = ref None in
+  let note = ref None in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.index_opt line ':' with
+        | None -> fail (Printf.sprintf "line %d: expected 'key: value'" (lineno + 1))
+        | Some i -> (
+            let key = String.trim (String.sub line 0 i) in
+            let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            match key with
+            | "rule" -> (
+                match Parser.parse value with
+                | r -> rules := r :: !rules
+                | exception Parser.Error (msg, pos) ->
+                    fail (Printf.sprintf "line %d: rule parse error at %d: %s" (lineno + 1) pos msg))
+            | "input-hex" -> (
+                match string_of_hex value with
+                | Ok s -> input := Some s
+                | Error e -> fail (Printf.sprintf "line %d: %s" (lineno + 1) e))
+            | "chunks" -> (
+                let parts =
+                  String.split_on_char ' ' value |> List.filter (fun s -> s <> "")
+                in
+                match List.map int_of_string parts with
+                | cs -> chunks := Some cs
+                | exception Failure _ ->
+                    fail (Printf.sprintf "line %d: bad chunks" (lineno + 1)))
+            | "domains" -> (
+                match int_of_string value with
+                | d -> domains := Some d
+                | exception Failure _ ->
+                    fail (Printf.sprintf "line %d: bad domains" (lineno + 1)))
+            | "note" -> note := Some value
+            | _ -> fail (Printf.sprintf "line %d: unknown key %S" (lineno + 1) key)))
+    (String.split_on_char '\n' src);
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match (!rules, !input) with
+      | [], _ -> Error "no rules"
+      | _, None -> Error "no input-hex"
+      | rules, Some input -> (
+          let t = { rules = List.rev rules; input; chunks = !chunks; domains = !domains; note = !note } in
+          match t.chunks with
+          | Some cs when not (Chunking.is_partition cs (String.length input)) ->
+              Error "chunks do not partition the input"
+          | _ -> Ok t))
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      of_string s
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let body = to_string t in
+  (* content-derived name: saving the same repro twice is idempotent *)
+  let h = Hashtbl.hash body land 0xFFFFFF in
+  let path = Filename.concat dir (Printf.sprintf "fuzz-%06x.repro" h) in
+  let oc = open_out_bin path in
+  output_string oc body;
+  close_out oc;
+  path
+
+let check ?(inject_bug = false) t =
+  let spec = Differential.spec ~inject_bug t.rules t.input in
+  let spec =
+    {
+      spec with
+      Differential.chunkings =
+        (match t.chunks with
+        | Some cs -> ("recorded", cs) :: spec.Differential.chunkings
+        | None -> spec.Differential.chunkings);
+      domain_counts =
+        (match t.domains with
+        | Some d -> List.sort_uniq compare (d :: spec.Differential.domain_counts)
+        | None -> spec.Differential.domain_counts);
+    }
+  in
+  Differential.check spec

@@ -1,0 +1,56 @@
+(** Replayable repro files ([streamtok/fuzz-repro/v1]).
+
+    A repro is a (grammar, input, optional chunking/domain-count) record in
+    a line-oriented text format, written by the fuzzer when it shrinks a
+    mismatch and checked in under [test/corpus/] as a regression once the
+    underlying bug is fixed:
+
+    {v
+    # streamtok/fuzz-repro/v1
+    note: free text
+    rule: [0-9]+(\.[0-9]+)?
+    rule: [.]
+    input-hex: 312e342e2e
+    chunks: 1 1 1 2
+    domains: 3
+    v}
+
+    Rules are the PCRE-subset syntax of {!St_regex.Parser} (priority = file
+    order); the input is hex so arbitrary bytes survive editors and VCS.
+    [chunks]/[domains] pin an adversarial split when the mismatch was
+    chunking-specific; replay always adds the {!Chunking.standard} battery
+    on top. *)
+
+open St_regex
+
+type t = {
+  rules : Regex.t list;
+  input : string;
+  chunks : int list option;
+  domains : int option;
+  note : string option;
+}
+
+val v :
+  ?chunks:int list -> ?domains:int -> ?note:string -> Regex.t list -> string -> t
+
+(** Lowercase hex of arbitrary bytes — the [input-hex] encoding (also used
+    by the fuzz report). *)
+val hex_of_string : string -> string
+
+val to_string : t -> string
+
+(** Parse; [Error msg] on malformed files (unknown keys, bad hex, a
+    [chunks] line that is not a partition of the input, unparsable rules). *)
+val of_string : string -> (t, string) result
+
+val load : string -> (t, string) result
+
+(** [save ~dir t] writes [t] to [dir/fuzz-<hash>.repro] (creating [dir] if
+    needed) and returns the path; the name is a content hash, so saving the
+    same repro twice is idempotent. *)
+val save : dir:string -> t -> string
+
+(** Replay: run the {!Differential} battery (standard chunkings plus the
+    recorded ones, recorded domain count included) on the repro. *)
+val check : ?inject_bug:bool -> t -> Differential.result

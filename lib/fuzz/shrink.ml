@@ -1,0 +1,113 @@
+open St_regex
+
+type candidate = { rules : Regex.t list; input : string }
+
+(* One-edit-smaller variants of a regex, most aggressive first. *)
+let rec simpler r =
+  match r with
+  | Regex.Eps -> []
+  | Regex.Cls c -> (
+      match Charset.choose c with
+      | Some ch when Charset.cardinal c > 1 -> [ Regex.cls (Charset.singleton ch) ]
+      | _ -> [])
+  | Regex.Alt (a, b) ->
+      (a :: b :: List.map (fun a' -> Regex.alt a' b) (simpler a))
+      @ List.map (fun b' -> Regex.alt a b') (simpler b)
+  | Regex.Seq (a, b) ->
+      (a :: b :: List.map (fun a' -> Regex.seq a' b) (simpler a))
+      @ List.map (fun b' -> Regex.seq a b') (simpler b)
+  | Regex.Star a ->
+      (Regex.eps :: a :: List.map Regex.star (simpler a))
+
+let minimize ?(budget = 600) ~fails c0 =
+  let evals = ref 0 in
+  let fails c =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      match fails c with ok -> ok | exception _ -> false
+    end
+  in
+  let cur = ref c0 in
+  let try_candidate c = if fails c then (cur := c; true) else false in
+
+  (* 1. ddmin-style input reduction: remove windows of shrinking size *)
+  let shrink_input () =
+    let changed = ref false in
+    let k = ref (max 1 (String.length !cur.input / 2)) in
+    while !k >= 1 do
+      let i = ref 0 in
+      while !i + !k <= String.length !cur.input do
+        let s = !cur.input in
+        let n = String.length s in
+        let cand =
+          { !cur with input = String.sub s 0 !i ^ String.sub s (!i + !k) (n - !i - !k) }
+        in
+        if try_candidate cand then changed := true else incr i
+      done;
+      k := !k / 2
+    done;
+    !changed
+  in
+
+  (* 2. drop whole rules *)
+  let shrink_rules () =
+    let changed = ref false in
+    let i = ref 0 in
+    while !i < List.length !cur.rules do
+      if List.length !cur.rules > 1 then begin
+        let cand =
+          { !cur with rules = List.filteri (fun j _ -> j <> !i) !cur.rules }
+        in
+        if try_candidate cand then changed := true else incr i
+      end
+      else i := List.length !cur.rules
+    done;
+    !changed
+  in
+
+  (* 3. structurally shrink each rule's regex *)
+  let shrink_regexes () =
+    let changed = ref false in
+    let i = ref 0 in
+    while !i < List.length !cur.rules do
+      let r = List.nth !cur.rules !i in
+      let replaced =
+        List.exists
+          (fun r' ->
+            try_candidate
+              { !cur with rules = List.mapi (fun j x -> if j = !i then r' else x) !cur.rules })
+          (simpler r)
+      in
+      if replaced then changed := true else incr i
+    done;
+    !changed
+  in
+
+  (* 4. canonicalize surviving input bytes to 'a' *)
+  let canonicalize () =
+    let changed = ref false in
+    let snapshot = !cur.input in
+    String.iteri
+      (fun i c ->
+        if c <> 'a' then begin
+          (* byte replacement keeps the length, so [i] stays valid *)
+          let b = Bytes.of_string !cur.input in
+          Bytes.set b i 'a';
+          if try_candidate { !cur with input = Bytes.to_string b } then
+            changed := true
+        end)
+      snapshot;
+    !changed
+  in
+
+  let progress = ref true in
+  while !progress && !evals < budget do
+    progress := false;
+    if shrink_input () then progress := true;
+    if shrink_rules () then progress := true;
+    if shrink_regexes () then progress := true;
+    if shrink_input () then progress := true
+  done;
+  ignore (canonicalize ());
+  (!cur, !evals)

@@ -1,0 +1,28 @@
+(** Mismatch minimization: reduce a failing (grammar, input) pair to a
+    small replayable repro.
+
+    The predicate [fails] closes over the chunk strategies / injection the
+    driver used, and must return [true] while the mismatch persists. The
+    shrinker interleaves four passes to a (budgeted) fixpoint:
+
+    + input delta-debugging — remove halves, quarters, … down to single
+      bytes;
+    + rule dropping — a mismatch rarely needs every rule;
+    + structural regex shrinking — replace an [Alt]/[Seq] by a branch,
+      [Star r] by [ε] or [r], shrink multi-character classes to their least
+      member;
+    + byte canonicalization — rewrite surviving input bytes to ['a'] where
+      the mismatch allows, so repros stay printable.
+
+    A predicate that raises is treated as "does not fail" (a shrink
+    candidate may be degenerate, e.g. an empty-language grammar). *)
+
+open St_regex
+
+type candidate = { rules : Regex.t list; input : string }
+
+(** [minimize ~fails c] requires [fails c = true]; returns the minimized
+    candidate (still failing) and the number of predicate evaluations
+    spent. [budget] (default 600) bounds the evaluations. *)
+val minimize :
+  ?budget:int -> fails:(candidate -> bool) -> candidate -> candidate * int

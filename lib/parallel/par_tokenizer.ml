@@ -62,14 +62,14 @@ let find_span seg target =
   done;
   !found
 
-let tokenize ?num_domains engine s ~emit =
+let tokenize ?num_domains ?(min_input_bytes = 4096) engine s ~emit =
   let n = String.length s in
   let p =
     match num_domains with
     | Some p -> max 1 p
     | None -> min 8 (Domain.recommended_domain_count ())
   in
-  if p = 1 || n < 4096 then begin
+  if p = 1 || n < max 1 min_input_bytes then begin
     (* not worth cutting; still report stats *)
     let count = ref 0 in
     let outcome =
@@ -210,13 +210,14 @@ let tokenize ?num_domains engine s ~emit =
 (* Instrumented wrapper: the splice pass already emits every token exactly
    once and in order, so wrapping [emit] there is enough; the speculative
    workers run the plain engine untouched. *)
-let tokenize_instrumented ?num_domains engine s ~stats ~emit =
+let tokenize_instrumented ?num_domains ?min_input_bytes engine s ~stats ~emit =
   let emit ~pos ~len ~rule =
     Run_stats.record_token stats ~rule ~len;
     emit ~pos ~len ~rule
   in
   let (outcome, st), dt =
-    St_util.Timer.time_it (fun () -> tokenize ?num_domains engine s ~emit)
+    St_util.Timer.time_it (fun () ->
+        tokenize ?num_domains ?min_input_bytes engine s ~emit)
   in
   Run_stats.add_run_seconds stats dt;
   Run_stats.add_chunk stats (String.length s);

@@ -45,9 +45,16 @@ type stats = {
 
 (** [tokenize ?num_domains engine input ~emit] — tokens are emitted in
     stream order from the splice pass. [num_domains] defaults to the
-    runtime's recommended domain count, capped at 8. *)
+    runtime's recommended domain count, capped at 8.
+
+    [min_input_bytes] (default 4096) is the smallest input that is worth
+    cutting into segments; shorter inputs run the sequential engine.
+    The fuzz harness lowers it to force segmentation — and hence splice /
+    catch-up decisions at adversarial boundaries — on inputs of a few
+    dozen bytes. *)
 val tokenize :
   ?num_domains:int ->
+  ?min_input_bytes:int ->
   Engine.t ->
   string ->
   emit:(pos:int -> len:int -> rule:int -> unit) ->
@@ -60,6 +67,7 @@ val tokenize :
     sequential splice pass records; workers stay uninstrumented. *)
 val tokenize_instrumented :
   ?num_domains:int ->
+  ?min_input_bytes:int ->
   Engine.t ->
   string ->
   stats:Run_stats.t ->

@@ -137,9 +137,12 @@ let render_body buf t =
 
 let to_string t =
   let buf = Buffer.create 16 in
-  let negated = cardinal t > 128 in
+  let n = cardinal t in
   Buffer.add_char buf '[';
-  if negated then begin
+  (* the full and empty sets would render with an empty body ("[^]"/"[]"),
+     which the parser rightly rejects — render the other polarity instead *)
+  if n = 256 then render_body buf t
+  else if n > 128 || n = 0 then begin
     Buffer.add_char buf '^';
     render_body buf (negate t)
   end

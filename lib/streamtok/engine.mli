@@ -79,6 +79,13 @@ val footprint_bytes : t -> int
     to report. *)
 type outcome = Finished | Failed of { offset : int; pending : string }
 
+(** Structural equality, including the pending tail — the fuzz harness and
+    the differential suites compare failure positions byte-for-byte. *)
+val outcome_equal : outcome -> outcome -> bool
+
+(** Compact rendering for mismatch reports. *)
+val outcome_to_string : outcome -> string
+
 (** [run_string e s ~emit] tokenizes an in-memory string, calling
     [emit ~pos ~len ~rule] for every maximal token, in order. Single
     left-to-right pass, no backtracking. [from] (default 0) starts

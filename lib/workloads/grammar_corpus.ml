@@ -83,6 +83,81 @@ let rand_grammar rng =
   | [] -> [ Regex.chr 'a' ]
   | rs -> rs
 
+let sample rng = rand_grammar rng
+
+(* ---- corpus-grammar mutation (fuzzing) ----
+
+   Small structural edits that keep a grammar "realistic" while exploring
+   its neighborhood: maximal-munch edge cases cluster around grammars that
+   differ by one rule or one operator, so the fuzzer spends part of its
+   budget near known-interesting grammars instead of only sampling fresh
+   ones. *)
+
+let tweak_class rng c =
+  let b = Char.chr (Prng.int rng 256) in
+  let c' =
+    if Prng.bool rng then Charset.union c (Charset.singleton b)
+    else Charset.diff c (Charset.singleton b)
+  in
+  if Charset.is_empty c' then c else c'
+
+let rec mutate_regex rng r =
+  if Prng.chance rng 0.3 then
+    (* rewrite at this node *)
+    match Prng.int rng 6 with
+    | 0 -> Regex.star r
+    | 1 -> Regex.opt r
+    | 2 -> Regex.plus r
+    | 3 -> rand_leaf rng
+    | 4 -> Regex.seq r (rand_leaf rng)
+    | _ -> Regex.alt r (rand_leaf rng)
+  else
+    (* descend *)
+    match r with
+    | Regex.Alt (a, b) ->
+        if Prng.bool rng then Regex.alt (mutate_regex rng a) b
+        else Regex.alt a (mutate_regex rng b)
+    | Regex.Seq (a, b) ->
+        if Prng.bool rng then Regex.seq (mutate_regex rng a) b
+        else Regex.seq a (mutate_regex rng b)
+    | Regex.Star a -> Regex.star (mutate_regex rng a)
+    | Regex.Cls c -> Regex.cls (tweak_class rng c)
+    | Regex.Eps -> rand_leaf rng
+
+let nonempty rules =
+  match List.filter (fun r -> not (Regex.is_empty_lang r)) rules with
+  | [] -> [ Regex.chr 'a' ]
+  | rs -> rs
+
+let mutate rng rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let rules' =
+    match Prng.int rng 8 with
+    | 0 when n > 1 ->
+        (* drop a rule *)
+        let k = Prng.int rng n in
+        Array.to_list arr |> List.filteri (fun i _ -> i <> k)
+    | 1 ->
+        (* insert a fresh rule at a random priority *)
+        let k = Prng.int rng (n + 1) in
+        let fresh = rand_rule rng (1 + Prng.int rng 8) in
+        Array.to_list (Array.sub arr 0 k)
+        @ (fresh :: Array.to_list (Array.sub arr k (n - k)))
+    | 2 when n > 1 ->
+        (* swap two priorities: exercises the least-rule-index tie break *)
+        let i = Prng.int rng n and j = Prng.int rng n in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp;
+        Array.to_list arr
+    | _ ->
+        let k = Prng.int rng n in
+        arr.(k) <- mutate_regex rng arr.(k);
+        Array.to_list arr
+  in
+  nonempty rules'
+
 let default_count = 2669
 
 let generate ?(seed = 0xC0DEDL) ~count () =

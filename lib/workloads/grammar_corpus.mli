@@ -13,5 +13,19 @@ open St_regex
     nonempty rule list). *)
 val generate : ?seed:int64 -> count:int -> unit -> Regex.t list array
 
+(** [sample rng] draws one grammar from the corpus distribution — the
+    fuzz harness uses this to get realistic grammars one at a time without
+    materializing (and deduplicating) a whole corpus. *)
+val sample : St_util.Prng.t -> Regex.t list
+
+(** [mutate rng rules] applies one small structural edit: drop / insert /
+    priority-swap a rule, or rewrite one node of one rule's regex (wrap in
+    [* + ?], splice a fresh leaf, tweak a character class). Maximal-munch
+    edge cases cluster around grammars one edit apart, so the fuzzer
+    explores the neighborhood of interesting grammars rather than only
+    sampling fresh ones. Never returns an empty or empty-language-only rule
+    list. *)
+val mutate : St_util.Prng.t -> Regex.t list -> Regex.t list
+
 (** Default corpus size, matching the paper. *)
 val default_count : int

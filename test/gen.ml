@@ -1,69 +1,6 @@
-(* QCheck generators for random regexes, grammars and inputs over a small
-   alphabet — shared by the differential test suites. *)
+(* Thin shim: the generators grew into the fuzzing subsystem
+   ([lib/fuzz]); this keeps the historical [Gen.*] names used throughout
+   the differential suites. New tests should use [Streamtok.Fuzz.Qgen]
+   (qcheck wrappers) or [Streamtok.Fuzz.Gen] (seeded) directly. *)
 
-open Streamtok
-
-let small_alphabet = [ 'a'; 'b'; 'c' ]
-
-let charset_gen =
-  QCheck.Gen.(
-    oneof
-      [
-        map (fun c -> Charset.singleton c) (oneofl small_alphabet);
-        return (Charset.of_string "ab");
-        return (Charset.of_string "bc");
-        return (Charset.of_string "abc");
-        return (Charset.negate (Charset.of_string "ab"));
-      ])
-
-let regex_gen =
-  QCheck.Gen.(
-    sized_size (int_range 1 8)
-    @@ fix (fun self n ->
-        if n <= 1 then
-          oneof [ map Regex.cls charset_gen; return Regex.eps ]
-        else
-          frequency
-            [
-              (3, map Regex.cls charset_gen);
-              (3, map2 Regex.seq (self (n / 2)) (self (n / 2)));
-              (2, map2 Regex.alt (self (n / 2)) (self (n / 2)));
-              (1, map Regex.star (self (n / 2)));
-              (1, map Regex.plus (self (n / 2)));
-              (1, map Regex.opt (self (n / 2)));
-            ]))
-
-let grammar_gen =
-  QCheck.Gen.(
-    list_size (int_range 1 4) (regex_gen |> map (fun r -> r))
-    |> map (fun rules ->
-           match List.filter (fun r -> not (Regex.is_empty_lang r)) rules with
-           | [] -> [ Regex.chr 'a' ]
-           | rs -> rs))
-
-let input_gen =
-  QCheck.Gen.(
-    string_size ~gen:(oneofl small_alphabet) (int_range 0 24))
-
-let regex_arb =
-  QCheck.make regex_gen ~print:Regex.to_string
-
-let grammar_arb =
-  QCheck.make grammar_gen
-    ~print:(fun rules -> String.concat " | " (List.map Regex.to_string rules))
-
-let grammar_input_arb =
-  QCheck.make
-    QCheck.Gen.(pair grammar_gen input_gen)
-    ~print:(fun (rules, s) ->
-      Printf.sprintf "grammar: %s\ninput: %S"
-        (String.concat " | " (List.map Regex.to_string rules))
-        s)
-
-(* Tokens-equality helper: (lexeme, rule) lists. *)
-let same_tokens a b =
-  List.length a = List.length b
-  && List.for_all2 (fun (x, i) (y, j) -> x = y && i = j) a b
-
-let show_tokens toks =
-  String.concat ";" (List.map (fun (s, r) -> Printf.sprintf "%S/%d" s r) toks)
+include Streamtok.Fuzz.Qgen

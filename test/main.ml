@@ -19,4 +19,5 @@ let () =
       ("stream", Test_stream.suite);
       ("apps", Test_apps.suite);
       ("combinator", Test_combinator.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

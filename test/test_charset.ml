@@ -82,6 +82,10 @@ let test_roundtrip_print_parse () =
       Charset.of_string "a-c]^\\";
       Charset.of_string "\x00\x01\xfe\xff";
       Charset.range ' ' '~';
+      (* fuzzer-found: the full and empty sets used to print as "[^]"/"[]",
+         which the parser rejects *)
+      Charset.negate Charset.empty;
+      Charset.empty;
     ]
   in
   List.iter

@@ -1,0 +1,236 @@
+(* The fuzzing subsystem's own suite: chunking algebra, the
+   streaming-equivalence property under arbitrary partitions, corpus
+   regression replay, repro round-trips, the shrinker, and driver
+   determinism. *)
+
+open Streamtok
+module Chunking = Fuzz.Chunking
+module Differential = Fuzz.Differential
+module Shrink = Fuzz.Shrink
+module Repro = Fuzz.Repro
+module Driver = Fuzz.Driver
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- chunking ---- *)
+
+let test_chunking () =
+  check "whole is partition" true (Chunking.is_partition (Chunking.whole 7) 7);
+  check_int "whole 0" 0 (List.length (Chunking.whole 0));
+  Alcotest.(check (list int)) "bytes" [ 3; 3; 1 ] (Chunking.bytes 3 7);
+  Alcotest.(check (list int)) "at_cuts" [ 2; 3; 2 ] (Chunking.at_cuts [ 2; 5 ] 7);
+  Alcotest.(check (list int))
+    "at_cuts ignores bad" [ 2; 5 ]
+    (Chunking.at_cuts [ 0; 2; 2; 9 ] 7);
+  Alcotest.(check (list int))
+    "straddle shift" [ 1; 3; 3 ]
+    (Chunking.straddle ~token_ends:[ 2; 5 ] ~shift:(-1) 7);
+  let rng = Prng.create 11L in
+  for n = 0 to 40 do
+    check "random is partition" true
+      (Chunking.is_partition (Chunking.random rng n) n)
+  done
+
+(* ---- streaming equivalence: ANY partition ≡ batch ---- *)
+
+let behaviour_of_engine (tokens, o) =
+  {
+    Differential.tokens;
+    failure =
+      (match o with
+      | Engine.Finished -> None
+      | Engine.Failed { offset; pending } -> Some (offset, pending));
+  }
+
+let prop_stream_any_partition =
+  QCheck.Test.make ~count:300 ~name:"stream under any partition = batch"
+    Fuzz.Qgen.grammar_input_chunks_arb (fun (rules, input, chunks) ->
+      match Engine.compile_rules rules with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok e ->
+          let batch = behaviour_of_engine (Engine.tokens e input) in
+          let stream = behaviour_of_engine (Chunking.apply e input chunks) in
+          Differential.behaviour_equal_streaming batch stream)
+
+(* the full battery stays clean on random small-alphabet pairs *)
+let prop_differential_clean =
+  QCheck.Test.make ~count:60 ~name:"differential battery has no mismatches"
+    Fuzz.Qgen.grammar_input_arb (fun (rules, input) ->
+      let spec = Differential.spec ~domain_counts:[] rules input in
+      (Differential.check spec).Differential.mismatches = [])
+
+(* ---- corpus replay ---- *)
+
+let corpus_files () =
+  match Sys.readdir "corpus" with
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".repro")
+      |> List.sort compare
+      |> List.map (Filename.concat "corpus")
+  | exception Sys_error _ -> []
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  check "corpus present" true (List.length files >= 6);
+  List.iter
+    (fun path ->
+      match Repro.load path with
+      | Error msg -> Alcotest.failf "%s: %s" path msg
+      | Ok r ->
+          let res = Repro.check r in
+          if res.Differential.mismatches <> [] then
+            Alcotest.failf "%s: %s" path
+              (Differential.show_mismatch
+                 (List.hd res.Differential.mismatches)))
+    files
+
+(* ---- repro round-trip ---- *)
+
+let test_repro_roundtrip () =
+  let rules = [ Parser.parse "[0-9]+(\\.[0-9]+)?"; Parser.parse "\\." ] in
+  let r =
+    Repro.v ~chunks:[ 1; 1; 1; 2 ] ~domains:3 ~note:"round trip" rules "1\x004.5"
+  in
+  match Repro.of_string (Repro.to_string r) with
+  | Error msg -> Alcotest.failf "round trip: %s" msg
+  | Ok r' ->
+      check_string "input" r.Repro.input r'.Repro.input;
+      check "chunks" true (r'.Repro.chunks = Some [ 1; 1; 1; 2 ]);
+      check "domains" true (r'.Repro.domains = Some 3);
+      check "note" true (r'.Repro.note = Some "round trip");
+      check_int "rules" (List.length r.Repro.rules) (List.length r'.Repro.rules);
+      List.iter2
+        (fun a b -> check_string "rule" (Regex.to_string a) (Regex.to_string b))
+        r.Repro.rules r'.Repro.rules
+
+let test_repro_malformed () =
+  let bad s = match Repro.of_string s with Error _ -> true | Ok _ -> false in
+  check "no rules" true (bad "input-hex: 61\n");
+  check "no input" true (bad "rule: a\n");
+  check "odd hex" true (bad "rule: a\ninput-hex: 6\n");
+  check "bad hex digit" true (bad "rule: a\ninput-hex: 6z\n");
+  check "bad chunks" true (bad "rule: a\ninput-hex: 6161\nchunks: 1\n");
+  check "unknown key" true (bad "rule: a\ninput-hex: 61\nwhat: 1\n");
+  check "bad rule" true (bad "rule: [\ninput-hex: 61\n")
+
+(* ---- shrinker ---- *)
+
+let test_shrink_injected_bug () =
+  (* the injected engine bug (last token dropped) fails on any input with
+     >= 1 token; the shrinker must reach a near-minimal repro *)
+  let fails (c : Shrink.candidate) =
+    let spec =
+      Differential.spec ~domain_counts:[] ~inject_bug:true c.Shrink.rules
+        c.Shrink.input
+    in
+    (Differential.check spec).Differential.mismatches <> []
+  in
+  let c0 =
+    {
+      Shrink.rules =
+        [ Parser.parse "[a-z]+"; Parser.parse "[0-9]+"; Parser.parse " " ];
+      input = "hello 42 worlds 777 end";
+    }
+  in
+  check "starts failing" true (fails c0);
+  let cmin, evals = Shrink.minimize ~fails c0 in
+  check "still fails" true (fails cmin);
+  check "input minimized" true (String.length cmin.Shrink.input <= 2);
+  check "rules minimized" true (List.length cmin.Shrink.rules = 1);
+  check "spent evals" true (evals > 0)
+
+let test_shrink_preserves_failure () =
+  (* a predicate pinning a specific failure offset keeps that offset *)
+  let fails (c : Shrink.candidate) =
+    let d = Dfa.of_rules c.Shrink.rules in
+    match Backtracking.tokens d c.Shrink.input with
+    | _, Backtracking.Failed { offset = 2; _ } -> true
+    | _ -> false
+  in
+  let c0 =
+    { Shrink.rules = [ Parser.parse "[0-9]+"; Parser.parse "@" ]; input = "12&&&&" }
+  in
+  check "starts failing" true (fails c0);
+  let cmin, _ = Shrink.minimize ~fails c0 in
+  check "still fails" true (fails cmin);
+  check "shorter or equal" true
+    (String.length cmin.Shrink.input <= String.length c0.Shrink.input)
+
+(* ---- driver ---- *)
+
+let small_config =
+  {
+    Driver.default with
+    Driver.seed = 5;
+    max_iters = 12;
+    max_seconds = 0.;
+    max_input_bytes = 48;
+    parallel_fraction = 0.;
+  }
+
+let test_driver_deterministic () =
+  let r1 = Driver.run small_config in
+  let r2 = Driver.run small_config in
+  check_string "summary" (Driver.summary r1) (Driver.summary r2);
+  check_int "iterations" small_config.Driver.max_iters r1.Driver.iterations;
+  check_int "found" 0 (List.length r1.Driver.found);
+  check "did work" true (r1.Driver.checks > 0)
+
+let test_driver_injected_bug_caught () =
+  let tmp = Filename.temp_file "fuzz" ".d" in
+  Sys.remove tmp;
+  let config =
+    { small_config with Driver.inject_bug = true; corpus_dir = Some tmp }
+  in
+  let r = Driver.run config in
+  check "found mismatches" true (r.Driver.found <> []);
+  List.iter
+    (fun (f : Driver.found) ->
+      check_string "subject" "engine" f.Driver.subject;
+      check "tiny repro" true (String.length f.Driver.input <= 64);
+      match f.Driver.repro_path with
+      | None -> Alcotest.fail "no repro written"
+      | Some path -> (
+          match Repro.load path with
+          | Error msg -> Alcotest.failf "%s: %s" path msg
+          | Ok repro ->
+              let res = Repro.check ~inject_bug:true repro in
+              check "repro replays the bug" true
+                (res.Differential.mismatches <> [])))
+    r.Driver.found;
+  (* cleanup *)
+  Array.iter (fun f -> Sys.remove (Filename.concat tmp f)) (Sys.readdir tmp);
+  Sys.rmdir tmp
+
+let test_report_json () =
+  let r = Driver.run small_config in
+  let doc = Obs.Json.to_string (Driver.report_to_json r) in
+  check "schema tagged" true
+    (String.length doc > 0
+    &&
+    let sub = {|"schema":"streamtok/fuzz-report/v1"|} in
+    let rec find i =
+      i + String.length sub <= String.length doc
+      && (String.sub doc i (String.length sub) = sub || find (i + 1))
+    in
+    find 0)
+
+let suite =
+  [
+    Alcotest.test_case "chunking algebra" `Quick test_chunking;
+    QCheck_alcotest.to_alcotest prop_stream_any_partition;
+    QCheck_alcotest.to_alcotest prop_differential_clean;
+    Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+    Alcotest.test_case "repro round-trip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "repro malformed" `Quick test_repro_malformed;
+    Alcotest.test_case "shrink injected bug" `Quick test_shrink_injected_bug;
+    Alcotest.test_case "shrink preserves failure" `Quick
+      test_shrink_preserves_failure;
+    Alcotest.test_case "driver deterministic" `Quick test_driver_deterministic;
+    Alcotest.test_case "driver catches injected bug" `Quick
+      test_driver_injected_bug_caught;
+    Alcotest.test_case "report json" `Quick test_report_json;
+  ]
