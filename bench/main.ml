@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|smoke|quick|all]";
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -25,6 +25,7 @@ let all ~quick =
   Rq6.run ?size_mb:(if quick then Some 8 else None) ();
   Ablation.run ();
   Parallel_bench.run ?size_mb:(if quick then Some 4 else None) ();
+  Serve_bench.run ?size_mb:(if quick then Some 2 else None) ();
   Micro.run ()
 
 let () =
@@ -40,6 +41,7 @@ let () =
   | "parallel" -> Parallel_bench.run ()
   | "micro" -> Micro.run ()
   | "fuzz" -> Fuzz_bench.run ()
+  | "serve" -> Serve_bench.run ()
   | "smoke" -> Micro.smoke ()
   | "all" -> all ~quick:false
   | "quick" -> all ~quick:true

@@ -1,0 +1,109 @@
+(* Serving-layer throughput: the same document pushed through (a) a bare
+   Stream_tokenizer and (b) the full serve stack over the loopback
+   transport — FEED frame encode, server event loop, session dispatch,
+   TOKENS frame encode, client-side decode. The gap between the two is
+   the whole per-byte cost of daemon mode; the engine work is identical,
+   so the ratio is a stable regression signal (recorded via
+   STREAMTOK_BENCH_STATS into BENCH_serve.json). *)
+
+open Streamtok
+module W = Serve.Wire
+module LB = Serve.Loopback
+
+let chunk = 65536
+
+let direct engine input =
+  let count = ref 0 in
+  let tok = Stream_tokenizer.create engine ~emit:(fun _ _ -> incr count) in
+  let t0 = Unix.gettimeofday () in
+  let pos = ref 0 in
+  let n = String.length input in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Stream_tokenizer.feed tok input !pos len;
+    pos := !pos + len
+  done;
+  (match Stream_tokenizer.finish tok with
+  | Engine.Finished -> ()
+  | Engine.Failed _ -> failwith "serve bench: workload must tokenize");
+  (Unix.gettimeofday () -. t0, !count)
+
+let loopback input =
+  let lb = LB.create () in
+  let c = LB.connect lb in
+  let count = ref 0 in
+  let drain () =
+    List.iter
+      (function
+        | W.Tokens toks -> count := !count + List.length toks
+        | W.Error { message; _ } -> failwith ("serve bench: " ^ message)
+        | _ -> ())
+      (LB.replies c)
+  in
+  let t0 = Unix.gettimeofday () in
+  LB.send c (W.Open "json");
+  let pos = ref 0 in
+  let n = String.length input in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    LB.send c (W.Feed (String.sub input !pos len));
+    pos := !pos + len;
+    LB.run lb;
+    drain ()
+  done;
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  drain ();
+  (Unix.gettimeofday () -. t0, !count)
+
+let best_of rounds f x =
+  let best_dt = ref infinity and result = ref 0 in
+  for _ = 1 to rounds do
+    let dt, r = f x in
+    if dt < !best_dt then begin
+      best_dt := dt;
+      result := r
+    end
+  done;
+  (!best_dt, !result)
+
+let run ?(size_mb = 8) () =
+  Bench_common.pp_header
+    (Printf.sprintf
+       "Serve: loopback daemon stack vs direct Stream_tokenizer (json, %d MB)"
+       size_mb);
+  let input =
+    Gen_data.json ~seed:Bench_common.seed_data
+      ~target_bytes:(size_mb * 1024 * 1024) ()
+  in
+  let engine =
+    match Engine.compile (Grammar.dfa Formats.json) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let mb = float_of_int (String.length input) /. (1024. *. 1024.) in
+  let direct_dt, direct_tokens = best_of 3 (direct engine) input in
+  let loop_dt, loop_tokens = best_of 3 loopback input in
+  if direct_tokens <> loop_tokens then begin
+    Printf.eprintf "serve bench: token counts differ (direct %d, loopback %d)\n"
+      direct_tokens loop_tokens;
+    exit 1
+  end;
+  let direct_mbps = mb /. direct_dt in
+  let loop_mbps = mb /. loop_dt in
+  let overhead = (direct_mbps /. loop_mbps -. 1.) *. 100. in
+  Printf.printf "  direct   %8.1f MB/s  (%d tokens)\n" direct_mbps
+    direct_tokens;
+  Printf.printf "  loopback %8.1f MB/s  (wire + event loop + session)\n"
+    loop_mbps;
+  Printf.printf "  serving overhead: %.1f%%\n" overhead;
+  let record name v =
+    Bench_common.record_result ~experiment:"serve" ~name
+      ~labels:[ ("grammar", "json") ]
+      v
+  in
+  record "direct_mb_s" direct_mbps;
+  record "loopback_mb_s" loop_mbps;
+  record "overhead_pct" overhead;
+  record "tokens" (float_of_int direct_tokens)

@@ -39,4 +39,105 @@ for f in "$tmpd"/*.repro; do
 done
 rm -rf "$tmpd"
 
+echo "== serve smoke (daemon parity, engine cache, client abort, SIGTERM drain)"
+# Use the installed binary directly: the daemon and clients run
+# concurrently, and parallel `dune exec` invocations would fight over the
+# build lock.
+BIN=_build/install/default/bin/streamtok
+tmpd=$(mktemp -d)
+sock="$tmpd/st.sock"
+"$BIN" serve --socket "$sock" --idle-timeout 30 > "$tmpd/serve.log" 2>&1 &
+srv=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve smoke FAILED: daemon did not come up"
+    cat "$tmpd/serve.log"
+    rm -rf "$tmpd"
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$BIN" gen json --bytes 200000 --seed 9 > "$tmpd/in.json"
+"$BIN" tokenize json "$tmpd/in.json" > "$tmpd/ref.out"
+
+# 3 concurrent same-grammar sessions, each byte-for-byte identical to
+# batch tokenize
+"$BIN" client --socket "$sock" json "$tmpd/in.json" > "$tmpd/out.1" &
+c1=$!
+"$BIN" client --socket "$sock" json "$tmpd/in.json" > "$tmpd/out.2" &
+c2=$!
+"$BIN" client --socket "$sock" json "$tmpd/in.json" > "$tmpd/out.3" &
+c3=$!
+clients_failed=0
+for job in "$c1" "$c2" "$c3"; do
+  wait "$job" || clients_failed=1
+done
+if [ "$clients_failed" -ne 0 ]; then
+  echo "serve smoke FAILED: a client exited non-zero"
+  rm -rf "$tmpd"
+  exit 1
+fi
+for n in 1 2 3; do
+  if ! cmp -s "$tmpd/ref.out" "$tmpd/out.$n"; then
+    echo "serve smoke FAILED: client $n output differs from tokenize"
+    rm -rf "$tmpd"
+    exit 1
+  fi
+done
+
+# kill a client mid-stream: the daemon must stay up and drop the session
+fifo="$tmpd/fifo"
+mkfifo "$fifo"
+"$BIN" client --socket "$sock" json < "$fifo" > /dev/null 2>&1 &
+cpid=$!
+exec 9> "$fifo"
+head -c 1000 "$tmpd/in.json" >&9
+sleep 0.3
+kill -9 "$cpid" 2> /dev/null || true
+exec 9>&-
+wait "$cpid" 2> /dev/null || true
+sleep 0.3
+if ! kill -0 "$srv" 2> /dev/null; then
+  echo "serve smoke FAILED: daemon died after client abort"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+# one STATS probe: the aborted session must be evicted (only the probe's
+# own session is live) and N same-grammar sessions must have cost exactly
+# one engine compile
+"$BIN" client --socket "$sock" json "$tmpd/in.json" --stats \
+  > /dev/null 2> "$tmpd/stats.json"
+if ! grep -q '"name":"engine_cache_compiles","type":"counter","value":1[,}]' \
+  "$tmpd/stats.json"; then
+  echo "serve smoke FAILED: expected exactly one engine compile"
+  cat "$tmpd/stats.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
+if ! grep -q '"name":"sessions","type":"gauge","value":1[,}]' \
+  "$tmpd/stats.json"; then
+  echo "serve smoke FAILED: aborted session not evicted"
+  cat "$tmpd/stats.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+# SIGTERM: drain and exit 0, unlinking the socket
+kill -TERM "$srv"
+if ! wait "$srv"; then
+  echo "serve smoke FAILED: daemon did not exit 0 on SIGTERM"
+  rm -rf "$tmpd"
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "serve smoke FAILED: socket file left behind"
+  rm -rf "$tmpd"
+  exit 1
+fi
+rm -rf "$tmpd"
+
 echo "== check.sh OK"

@@ -36,55 +36,23 @@ let read_input = function
       close_in ic;
       s
 
-(* A grammar argument is a built-in name, or an inline grammar prefixed
-   with '@' (rules separated by ';'), or a path to a grammar file. *)
+(* A grammar argument is a built-in name, an inline grammar prefixed with
+   '@' (rules separated by top-level ';' — a ';' inside a character class
+   stays in its rule), or a path to a grammar file. Names, inline bodies
+   and ad-hoc sources go through Registry.resolve / Grammar.of_* — the
+   same validated parse path the serve OPEN frame uses — so a malformed
+   rule is always an Error naming it. Only the file lookup is CLI-local. *)
 let resolve_grammar spec =
   match Registry.find spec with
   | Some g -> Ok g
   | None ->
-      if String.length spec > 0 && spec.[0] = '@' then
-        let body = String.sub spec 1 (String.length spec - 1) in
-        let src = String.concat "\n" (String.split_on_char ';' body) in
-        Ok
-          {
-            Grammar.name = "inline";
-            description = "inline grammar";
-            rules =
-              List.mapi
-                (fun i r -> (Printf.sprintf "rule%d" i, r))
-                (String.split_on_char ';' body |> List.filter (fun s -> s <> ""));
-          }
-          |> fun g ->
-          (* validate by parsing *)
-          (try
-             ignore (Parser.parse_grammar src);
-             g
-           with Parser.Error (msg, pos) ->
-             Error (Printf.sprintf "parse error at %d: %s" pos msg))
-      else if Sys.file_exists spec then begin
-        let src = read_input (Some spec) in
-        try
-          ignore (Parser.parse_grammar src);
-          Ok
-            {
-              Grammar.name = Filename.basename spec;
-              description = "grammar file " ^ spec;
-              rules =
-                String.split_on_char '\n' src
-                |> List.filter (fun l ->
-                       let l = String.trim l in
-                       l <> "" && l.[0] <> '#')
-                |> List.mapi (fun i r -> (Printf.sprintf "rule%d" i, r));
-            }
-        with Parser.Error (msg, pos) ->
-          Error (Printf.sprintf "%s: parse error at %d: %s" spec pos msg)
-      end
-      else
-        Error
-          (Printf.sprintf
-             "unknown grammar %S (use `streamtok list`, a file path, or \
-              '@rule;rule;...')"
-             spec)
+      if (String.length spec = 0 || spec.[0] <> '@') && Sys.file_exists spec
+      then
+        read_input (Some spec)
+        |> Grammar.of_source ~name:(Filename.basename spec)
+             ~description:("grammar file " ^ spec)
+        |> Result.map_error (fun e -> spec ^ ": " ^ e)
+      else Registry.resolve spec
 
 let grammar_conv =
   let parse spec =
@@ -613,6 +581,108 @@ let fuzz_cmd =
       const run $ files $ iters $ seconds $ seed $ max_input $ corpus_dir
       $ smoke $ inject_bug $ report)
 
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let max_sessions =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Session-table capacity; above it new connections get a \
+             retryable capacity error.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"S"
+          ~doc:"Evict sessions idle for more than $(docv) seconds (0: never).")
+  in
+  let run socket max_sessions idle_timeout =
+    let config =
+      { Serve.Server.default_config with max_sessions; idle_timeout }
+    in
+    match
+      Serve.Io_loop.serve ~config
+        ~on_listening:(fun () ->
+          Printf.printf "listening on %s\n%!" socket)
+        ~socket ()
+    with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: %s: %s\n" arg (Unix.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tokenization daemon: one session per connection, engines \
+          shared across same-grammar sessions, SIGTERM drains and exits")
+    Term.(const run $ socket_arg $ max_sessions $ idle_timeout)
+
+let client_cmd =
+  let grammar_spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAMMAR"
+          ~doc:
+            "Built-in grammar name, grammar file, or '@rule;rule' — files \
+             are read here and sent to the daemon as grammar source.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Input file (default: stream from stdin).")
+  in
+  let run socket spec file stats_dest stats_format =
+    (* The daemon never touches client paths: resolve files to source
+       locally, everything else is sent verbatim for Registry.resolve. *)
+    let grammar =
+      if Registry.find spec <> None then spec
+      else if (String.length spec = 0 || spec.[0] <> '@') && Sys.file_exists spec
+      then begin
+        let src = read_input (Some spec) in
+        if String.contains src '\n' then src else src ^ "\n"
+      end
+      else spec
+    in
+    let input =
+      match file with
+      | None -> `Fd Unix.stdin
+      | Some path -> `String (read_input (Some path))
+    in
+    let stats =
+      Option.map
+        (fun _ ->
+          match stats_format with
+          | `Json -> Serve.Wire.Json
+          | `Prom -> Serve.Wire.Prom)
+        stats_dest
+    in
+    let stats_dest =
+      match stats_dest with Some "-" | None -> None | Some path -> Some path
+    in
+    let outcome = Serve.Client.run ~socket ~grammar ~input ?stats ?stats_dest () in
+    if outcome.Serve.Client.exit_code <> 0 then exit outcome.Serve.Client.exit_code
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Tokenize through a running daemon (same output as $(b,tokenize))")
+    Term.(
+      const run $ socket_arg $ grammar_spec $ file $ stats_dest_arg
+      $ stats_format_arg)
+
 (* ---- convert ---- *)
 
 let convert_cmd =
@@ -746,5 +816,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
-            validate_cmd; gen_cmd; fuzz_cmd; convert_cmd;
+            validate_cmd; gen_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            convert_cmd;
           ]))

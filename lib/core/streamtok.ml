@@ -37,6 +37,7 @@ module Reduction = St_analysis.Reduction
 module Engine = St_streamtok.Engine
 module Par_tokenizer = St_parallel.Par_tokenizer
 module Stream_tokenizer = St_streamtok.Stream_tokenizer
+module Engine_cache = St_streamtok.Engine_cache
 module Engine_io = St_streamtok.Engine_io
 module Te_dfa = St_streamtok.Te_dfa
 
@@ -88,6 +89,16 @@ module Grammar_corpus = St_workloads.Grammar_corpus
 module Source = St_stream.Source
 module Buffered = St_stream.Buffered
 module Sink = St_stream.Sink
+
+(** {1 Serving}
+
+    The daemon mode: a framed wire protocol ([streamtok/wire/v1]) over
+    Unix-domain sockets, one incremental tokenizer per session, engines
+    shared across same-grammar sessions through {!Engine_cache}. [Serve]
+    is the whole subsystem; the transport-free core ({!Serve.Server},
+    {!Serve.Session}, {!Serve.Loopback}) is what the tests drive. *)
+
+module Serve = St_serve
 
 (** {1 Applications (paper RQ5)} *)
 

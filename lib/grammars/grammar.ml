@@ -21,3 +21,81 @@ let num_rules g = List.length g.rules
 let nfa_size g = (Nfa.of_rules (rules g)).Nfa.num_states
 let dfa g = Dfa.of_rules (rules g)
 let tnd g = St_analysis.Tnd.max_tnd (dfa g)
+
+(* Split an inline rule list on ';', but only at top level: a ';' that is
+   escaped or inside a character class (where it is an ordinary set member,
+   e.g. "[;]+") belongs to its rule. Class tracking mirrors the parser: ']'
+   immediately after '[' or '[^' is a literal and does not close the class. *)
+let split_rules s =
+  let pieces = ref [] in
+  let cur = Buffer.create 16 in
+  let flush () =
+    if Buffer.length cur > 0 then begin
+      pieces := Buffer.contents cur :: !pieces;
+      Buffer.clear cur
+    end
+  in
+  let n = String.length s in
+  let in_class = ref false in
+  (* where we are in the class: 0 = right after '[', 1 = right after '[^'
+     (']' is a literal member in both), 2 = in the body (']' closes) *)
+  let class_pos = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '\\' when !i + 1 < n ->
+        Buffer.add_char cur c;
+        Buffer.add_char cur s.[!i + 1];
+        incr i;
+        if !in_class then class_pos := 2
+    | '[' when not !in_class ->
+        Buffer.add_char cur c;
+        in_class := true;
+        class_pos := 0
+    | '^' when !in_class && !class_pos = 0 ->
+        Buffer.add_char cur c;
+        class_pos := 1
+    | ']' when !in_class && !class_pos > 1 ->
+        Buffer.add_char cur c;
+        in_class := false
+    | ';' when not !in_class -> flush ()
+    | c ->
+        Buffer.add_char cur c;
+        if !in_class then class_pos := 2);
+    incr i
+  done;
+  flush ();
+  List.rev !pieces
+
+(* The single validated construction path shared by inline and file
+   grammars (and the serve OPEN frame): every rule must parse, and the
+   failure is an [Error] naming the offending rule. *)
+let of_rules ~name ?(description = "") rules =
+  let rec validate = function
+    | [] -> Ok ()
+    | (rule_name, src) :: rest -> (
+        match Parser.parse src with
+        | _ -> validate rest
+        | exception Parser.Error (msg, pos) ->
+            Error
+              (Printf.sprintf "rule %s (%S): parse error at %d: %s" rule_name
+                 src pos msg))
+  in
+  if rules = [] then Error "grammar has no rules"
+  else
+    match validate rules with
+    | Ok () -> Ok { name; description; rules }
+    | Error _ as e -> e
+
+let numbered rules = List.mapi (fun i r -> (Printf.sprintf "rule%d" i, r)) rules
+
+let of_inline ~name ?description body =
+  of_rules ~name ?description (numbered (split_rules body))
+
+let of_source ~name ?description src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then None else Some l)
+  |> fun rules -> of_rules ~name ?description (numbered rules)

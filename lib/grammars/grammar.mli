@@ -32,3 +32,32 @@ val dfa : t -> Dfa.t
 
 (** Max-TND of the grammar (runs the static analysis). *)
 val tnd : t -> St_analysis.Tnd.result
+
+(** {1 Construction from user-supplied sources}
+
+    One validated parse path for every way a grammar reaches the system
+    (CLI inline/file arguments, the serve OPEN frame): each rule is parsed
+    up front and a malformed rule is an [Error] naming it — no grammar
+    object with unparseable rules ever escapes. *)
+
+(** Split an inline [rule;rule;...] list on [';'] separators. A ';' that
+    is escaped or inside a character class (where it is an ordinary member,
+    e.g. ["[;]+"]) stays part of its rule. Empty pieces are dropped. *)
+val split_rules : string -> string list
+
+(** [of_rules ~name rules] validates named rules (priority = list order). *)
+val of_rules :
+  name:string ->
+  ?description:string ->
+  (string * string) list ->
+  (t, string) result
+
+(** [of_inline ~name body] — inline syntax: rules separated by [';'] (per
+    {!split_rules}), auto-named [rule0], [rule1], … *)
+val of_inline :
+  name:string -> ?description:string -> string -> (t, string) result
+
+(** [of_source ~name src] — grammar-file syntax: one rule per line, blank
+    lines and [#] comments ignored, auto-named in order. *)
+val of_source :
+  name:string -> ?description:string -> string -> (t, string) result

@@ -5,3 +5,20 @@ let find name =
   List.find_opt (fun g -> g.Grammar.name = name) all
 
 let names () = List.map (fun g -> g.Grammar.name) all
+
+let resolve spec =
+  match find spec with
+  | Some g -> Ok g
+  | None ->
+      if String.length spec > 0 && spec.[0] = '@' then
+        Grammar.of_inline ~name:"inline" ~description:"inline grammar"
+          (String.sub spec 1 (String.length spec - 1))
+      else if String.contains spec '\n' then
+        Grammar.of_source ~name:"adhoc" ~description:"ad-hoc grammar source"
+          spec
+      else
+        Error
+          (Printf.sprintf
+             "unknown grammar %S (use a built-in name, '@rule;rule;...', or \
+              grammar source with one rule per line)"
+             spec)

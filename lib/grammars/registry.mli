@@ -6,3 +6,11 @@ val all : Grammar.t list
 val find : string -> Grammar.t option
 
 val names : unit -> string list
+
+(** Resolve a grammar spec as it arrives over a wire or a command line: a
+    built-in name, an inline ['@rule;rule'] list, or multi-line grammar
+    source (one rule per line). File paths are the caller's business —
+    read the file and pass its contents. All rules are parse-validated
+    ({!Grammar.of_rules}); malformed specs are an [Error], never an
+    exception. *)
+val resolve : string -> (Grammar.t, string) result

@@ -47,6 +47,9 @@ module Histogram = struct
   let sum h = h.sum
   let max_value h = h.max_value
 
+  let observe_seconds h dt =
+    observe h (if dt <= 0.0 then 0 else int_of_float (dt *. 1e9))
+
   let buckets h =
     let hi = ref (-1) in
     Array.iteri (fun i c -> if c > 0 then hi := i) h.buckets;

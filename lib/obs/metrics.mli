@@ -46,6 +46,13 @@ module Histogram : sig
 
   val create : unit -> t
   val observe : t -> int -> unit
+
+  (** [observe_seconds h dt] records a wall-clock duration as integer
+      nanoseconds, so log2 buckets double from 1 ns up — the latency
+      histogram used by the serving layer's per-FEED timings. Negative
+      durations (clock steps) land in bucket 0. *)
+  val observe_seconds : t -> float -> unit
+
   val count : t -> int
   val sum : t -> int
   val max_value : t -> int

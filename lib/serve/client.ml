@@ -1,0 +1,179 @@
+type outcome = { exit_code : int; tokens : int }
+
+let chunk_size = 65536
+
+(* Keep roughly this much encoded output in flight; more input is pulled
+   only when the queue drops below it, so `Fd input streams in O(1). *)
+let out_budget = 2 * chunk_size
+
+let rec select_eintr r w e timeout =
+  try Unix.select r w e timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_eintr r w e timeout
+
+let rec read_eintr fd buf pos len =
+  try Unix.read fd buf pos len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_eintr fd buf pos len
+
+let make_reader input =
+  match input with
+  | `String s ->
+      let pos = ref 0 in
+      fun () ->
+        if !pos >= String.length s then None
+        else begin
+          let n = min chunk_size (String.length s - !pos) in
+          let c = String.sub s !pos n in
+          pos := !pos + n;
+          Some c
+        end
+  | `Fd ifd ->
+      let buf = Bytes.create chunk_size in
+      fun () ->
+        (match read_eintr ifd buf 0 chunk_size with
+        | 0 -> None
+        | n -> Some (Bytes.sub_string buf 0 n))
+
+let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
+    ?stats_dest () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Printf.fprintf err "error: cannot connect to %s: %s\n" socket
+        (Unix.error_message e);
+      { exit_code = 2; tokens = 0 }
+  | () ->
+      Unix.set_nonblock fd;
+      let pend = Buffer.create (2 * chunk_size) in
+      let sent = ref 0 in
+      let pending_len () = Buffer.length pend - !sent in
+      let enqueue req = Wire.encode_request pend req in
+      let next_chunk = make_reader input in
+      let input_done = ref false in
+      enqueue (Wire.Open grammar);
+      let refill () =
+        while (not !input_done) && pending_len () < out_budget do
+          match next_chunk () with
+          | Some c -> enqueue (Wire.Feed c)
+          | None ->
+              input_done := true;
+              enqueue Wire.Flush;
+              (match stats with
+              | Some fmt -> enqueue (Wire.Stats fmt)
+              | None -> ());
+              enqueue Wire.Close
+        done
+      in
+      let dec = Wire.Decoder.create () in
+      let rbuf = Bytes.create chunk_size in
+      let rule_names = ref [||] in
+      let rule_name r =
+        if r >= 0 && r < Array.length !rule_names then !rule_names.(r)
+        else Printf.sprintf "rule%d" r
+      in
+      let code = ref 0 in
+      let tokens = ref 0 in
+      let finished = ref false in
+      let fail c = if !code = 0 then code := c in
+      let write_stats_body body =
+        match stats_dest with
+        | None -> output_string err body
+        | Some path ->
+            let oc = open_out path in
+            output_string oc body;
+            close_out oc
+      in
+      let handle_reply = function
+        | Wire.Opened { rules; _ } -> rule_names := Array.of_list rules
+        | Wire.Tokens toks ->
+            List.iter
+              (fun (lexeme, rule) ->
+                incr tokens;
+                Printf.fprintf out "%-12s %S\n" (rule_name rule) lexeme)
+              toks
+        | Wire.Pending { ok = true; _ } -> ()
+        | Wire.Pending { ok = false; offset; pending } ->
+            if !code = 0 then begin
+              Printf.fprintf err
+                "error: untokenizable input at offset %d\npending (%d \
+                 bytes): %S\n"
+                offset (String.length pending)
+                (if String.length pending <= 32 then pending
+                 else String.sub pending 0 32);
+              code := 1
+            end
+        | Wire.Error { code = _; retryable; message } ->
+            Printf.fprintf err "error: %s%s\n" message
+              (if retryable then " (retryable)" else "");
+            fail 1
+        | Wire.Metrics { body; _ } -> write_stats_body body
+      in
+      let drain_decoder () =
+        let continue = ref true in
+        while !continue do
+          match Wire.Decoder.next dec with
+          | Wire.Decoder.Need_more -> continue := false
+          | Wire.Decoder.Corrupt msg ->
+              Printf.fprintf err "error: corrupt reply stream: %s\n" msg;
+              fail 2;
+              finished := true;
+              continue := false
+          | Wire.Decoder.Frame f -> (
+              match Wire.reply_of_frame f with
+              | Ok r -> handle_reply r
+              | Error msg ->
+                  Printf.fprintf err "error: bad reply frame: %s\n" msg;
+                  fail 2;
+                  finished := true;
+                  continue := false)
+        done
+      in
+      while not !finished do
+        refill ();
+        let want_write = pending_len () > 0 in
+        let readable, writable, _ =
+          select_eintr [ fd ] (if want_write then [ fd ] else []) [] 1.0
+        in
+        if readable <> [] then begin
+          match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+          | 0 ->
+              drain_decoder ();
+              finished := true
+          | n ->
+              Wire.Decoder.feed dec (Bytes.sub_string rbuf 0 n) ~pos:0 ~len:n;
+              drain_decoder ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              fail 2;
+              finished := true
+        end;
+        if (not !finished) && writable <> [] then begin
+          match
+            Unix.write_substring fd (Buffer.contents pend) !sent
+              (pending_len ())
+          with
+          | n ->
+              sent := !sent + n;
+              if !sent = Buffer.length pend then begin
+                Buffer.clear pend;
+                sent := 0
+              end
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              if !code = 0 then begin
+                Printf.fprintf err "error: connection reset by server\n";
+                code := 2
+              end;
+              finished := true
+        end
+      done;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      flush out;
+      flush err;
+      { exit_code = !code; tokens = !tokens }

@@ -1,0 +1,35 @@
+(** Line client for the daemon: connect, OPEN, stream FEEDs, FLUSH,
+    optionally STATS, CLOSE — printing tokens exactly as
+    [streamtok tokenize] does, so the serve smoke test can diff the two
+    byte-for-byte.
+
+    The socket is non-blocking and reads/writes are interleaved through
+    [Unix.select]: the server stops reading a session whose reply queue
+    is over budget, so a client that only wrote and never read could
+    deadlock against its own unread tokens. *)
+
+type outcome = {
+  exit_code : int;
+      (** 0 ok; 1 lexical failure or server error; 2 connection/protocol
+          failure *)
+  tokens : int;
+}
+
+(** [run ~socket ~grammar ~input ()] tokenizes [input] (a whole document
+    or a stream read incrementally from [input_fd]) through the daemon.
+
+    [grammar] is the usual spec: built-in name, [@inline] rules, or
+    grammar source (the caller resolves file paths to source). Tokens go
+    to [out] as ["%-12s %S\n" rule_name lexeme]; diagnostics go to [err].
+    [stats], if given, requests a STATS document after FLUSH and prints
+    the body to [err] (or the file given by [stats_dest]). *)
+val run :
+  socket:string ->
+  grammar:string ->
+  input:[ `String of string | `Fd of Unix.file_descr ] ->
+  ?out:out_channel ->
+  ?err:out_channel ->
+  ?stats:Wire.format ->
+  ?stats_dest:string ->
+  unit ->
+  outcome

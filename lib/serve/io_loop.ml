@@ -1,0 +1,157 @@
+let stop = ref false
+
+let install_signal_handlers () =
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  (* A client killed mid-write must not take the daemon down. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let rec select_eintr r w e timeout =
+  try Unix.select r w e timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_eintr r w e timeout
+
+let serve ?config ?(on_listening = fun () -> ()) ~socket () =
+  stop := false;
+  let srv =
+    match config with
+    | None -> Server.create ()
+    | Some config -> Server.create ~config ()
+  in
+  let cfg = Server.config srv in
+  install_signal_handlers ();
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+     (* A previous daemon's socket file. Refuse to steal a live one. *)
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let live =
+       try
+         Unix.connect probe (Unix.ADDR_UNIX socket);
+         Unix.close probe;
+         true
+       with Unix.Unix_error _ ->
+         Unix.close probe;
+         false
+     in
+     if live then begin
+       Unix.close listen_fd;
+       raise
+         (Unix.Unix_error (Unix.EADDRINUSE, "bind", socket))
+     end
+     else begin
+       Unix.unlink socket;
+       Unix.bind listen_fd (Unix.ADDR_UNIX socket)
+     end);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  on_listening ();
+  (* conn_id <-> fd, in both directions *)
+  let fd_of_id : (Server.conn_id, Unix.file_descr) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let id_of_fd : (Unix.file_descr, Server.conn_id) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let rbuf = Bytes.create 65536 in
+  let drop_conn ~eof id =
+    match Hashtbl.find_opt fd_of_id id with
+    | None -> ()
+    | Some fd ->
+        Hashtbl.remove fd_of_id id;
+        Hashtbl.remove id_of_fd fd;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if eof then Server.on_eof srv id else Server.on_closed srv id
+  in
+  let accept_new () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let id = Server.on_connect srv in
+          Hashtbl.replace fd_of_id id fd;
+          Hashtbl.replace id_of_fd fd id
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EPERM), _, _) ->
+          ()
+    done
+  in
+  let read_conn fd id =
+    match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+    | 0 -> drop_conn ~eof:true id
+    | n -> Server.on_data srv id (Bytes.sub_string rbuf 0 n) ~pos:0 ~len:n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop_conn ~eof:true id
+  in
+  let write_conn fd id =
+    let buf, pos, len = Server.out_view srv id in
+    if len > 0 then
+      match Unix.write fd buf pos len with
+      | n -> Server.out_consume srv id n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          drop_conn ~eof:true id
+  in
+  let listening = ref true in
+  let finished = ref false in
+  while not !finished do
+    if !stop && not (Server.draining srv) then Server.drain srv;
+    if Server.draining srv && !listening then begin
+      listening := false;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ())
+    end;
+    if Server.draining srv && Server.live_conns srv = 0 then finished := true
+    else begin
+      let reads = ref (if !listening then [ listen_fd ] else []) in
+      let writes = ref [] in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt fd_of_id id with
+          | None -> ()
+          | Some fd ->
+              if Server.wants_read srv id then reads := fd :: !reads;
+              if Server.out_pending srv id > 0 then writes := fd :: !writes)
+        (Server.conn_ids srv);
+      let timeout =
+        let now = cfg.Server.clock () in
+        match Server.next_deadline srv with
+        | Some dl -> Float.max 0.01 (Float.min 1.0 (dl -. now))
+        | None -> 1.0
+      in
+      let readable, writable, _ = select_eintr !reads !writes [] timeout in
+      if !listening && List.memq listen_fd readable then accept_new ();
+      List.iter
+        (fun fd ->
+          if fd != listen_fd then
+            match Hashtbl.find_opt id_of_fd fd with
+            | Some id -> read_conn fd id
+            | None -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt id_of_fd fd with
+          | Some id -> if Hashtbl.mem fd_of_id id then write_conn fd id
+          | None -> ())
+        writable;
+      (* complete drain-closes whose output queues emptied *)
+      List.iter
+        (fun id ->
+          if Hashtbl.mem fd_of_id id && Server.should_close srv id then
+            drop_conn ~eof:false id)
+        (Server.conn_ids srv);
+      Server.on_tick srv
+    end
+  done;
+  if !listening then begin
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ()
+  end

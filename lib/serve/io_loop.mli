@@ -1,0 +1,20 @@
+(** The Unix-domain-socket daemon: a single-threaded [Unix.select] loop
+    over non-blocking sockets, driving {!Server}.
+
+    All byte movement and fd lifecycle lives here; protocol and policy
+    live in {!Server}/{!Session}, which is why the rest of the subsystem
+    never needs a real socket to be tested.
+
+    Shutdown: SIGTERM/SIGINT set a flag; the loop then calls
+    {!Server.drain} (live sessions get a retryable [Shutting_down]
+    error), stops accepting, flushes every connection's queued replies,
+    and returns once the last connection closes. The socket file is
+    unlinked on exit. *)
+
+(** [serve ~socket ()] binds [socket], listens, and runs until drained
+    after a termination signal. [on_listening] fires once the socket is
+    accepting (the CLI prints its ready line from it). Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
+val serve :
+  ?config:Server.config -> ?on_listening:(unit -> unit) -> socket:string ->
+  unit -> unit

@@ -1,0 +1,114 @@
+type conn = {
+  lb : t;
+  id : Server.conn_id;
+  to_server : Buffer.t;
+  mutable sent : int;  (* prefix of [to_server] already delivered *)
+  dec : Wire.Decoder.t;  (* client-side reply decoder *)
+  mutable closed : bool;
+  mutable hung_up : bool;
+}
+
+and t = { srv : Server.t; mutable conns : conn list }
+
+let create ?config () =
+  let srv =
+    match config with
+    | None -> Server.create ()
+    | Some config -> Server.create ~config ()
+  in
+  { srv; conns = [] }
+
+let server t = t.srv
+
+let connect t =
+  let id = Server.on_connect t.srv in
+  let c =
+    {
+      lb = t;
+      id;
+      to_server = Buffer.create 256;
+      sent = 0;
+      dec = Wire.Decoder.create ();
+      closed = false;
+      hung_up = false;
+    }
+  in
+  t.conns <- t.conns @ [ c ];
+  c
+
+let conn_id c = c.id
+
+let send c req =
+  if c.hung_up then invalid_arg "Loopback.send: connection hung up";
+  Wire.encode_request c.to_server req
+
+let send_raw c s =
+  if c.hung_up then invalid_arg "Loopback.send_raw: connection hung up";
+  Buffer.add_string c.to_server s
+
+let unsent c = Buffer.length c.to_server - c.sent
+
+let hangup c =
+  if not (c.closed || c.hung_up) then begin
+    c.hung_up <- true;
+    Server.on_eof c.lb.srv c.id;
+    c.closed <- true
+  end
+
+let step_conn ~chunk t c =
+  if c.closed then false
+  else begin
+    let moved = ref false in
+    (* client -> server, gated by backpressure *)
+    let avail = unsent c in
+    if avail > 0 && Server.wants_read t.srv c.id then begin
+      let n = min chunk avail in
+      Server.on_data t.srv c.id (Buffer.contents c.to_server) ~pos:c.sent
+        ~len:n;
+      c.sent <- c.sent + n;
+      if c.sent = Buffer.length c.to_server then begin
+        Buffer.clear c.to_server;
+        c.sent <- 0
+      end;
+      moved := true
+    end;
+    (* server -> client *)
+    let buf, pos, len = Server.out_view t.srv c.id in
+    if len > 0 then begin
+      let n = min chunk len in
+      Wire.Decoder.feed c.dec (Bytes.sub_string buf pos n) ~pos:0 ~len:n;
+      Server.out_consume t.srv c.id n;
+      moved := true
+    end;
+    if Server.should_close t.srv c.id then begin
+      Server.on_closed t.srv c.id;
+      c.closed <- true;
+      moved := true
+    end;
+    !moved
+  end
+
+let step ?(chunk = max_int) t =
+  List.fold_left (fun acc c -> step_conn ~chunk t c || acc) false t.conns
+
+let run ?chunk t =
+  while step ?chunk t do
+    ()
+  done
+
+let tick t = Server.on_tick t.srv
+
+let replies c =
+  let rec go acc =
+    match Wire.Decoder.next c.dec with
+    | Wire.Decoder.Need_more -> List.rev acc
+    | Wire.Decoder.Corrupt msg ->
+        failwith ("Loopback.replies: corrupt reply stream: " ^ msg)
+    | Wire.Decoder.Frame f -> (
+        match Wire.reply_of_frame f with
+        | Ok r -> go (r :: acc)
+        | Error msg -> failwith ("Loopback.replies: bad reply frame: " ^ msg))
+  in
+  go []
+
+let closed c = c.closed

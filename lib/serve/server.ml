@@ -1,0 +1,385 @@
+open St_obs
+open St_streamtok
+
+type config = {
+  max_sessions : int;
+  idle_timeout : float;
+  max_out_bytes : int;
+  cache_entries : int;
+  clock : unit -> float;
+}
+
+let default_config =
+  {
+    max_sessions = 64;
+    idle_timeout = 300.0;
+    max_out_bytes = 1 lsl 20;
+    cache_entries = 64;
+    clock = Unix.gettimeofday;
+  }
+
+(* A flat byte queue for per-connection output, compacted when the dead
+   prefix dominates so long-lived connections stay bounded. *)
+module Outbuf = struct
+  type t = { mutable buf : Bytes.t; mutable pos : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; pos = 0; len = 0 }
+  let length t = t.len - t.pos
+
+  let ensure_room t extra =
+    if t.len + extra > Bytes.length t.buf then begin
+      let live = length t in
+      if live + extra <= Bytes.length t.buf / 2 then begin
+        Bytes.blit t.buf t.pos t.buf 0 live;
+        t.pos <- 0;
+        t.len <- live
+      end
+      else begin
+        let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
+        while live + extra > !cap do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf t.pos nb 0 live;
+        t.buf <- nb;
+        t.pos <- 0;
+        t.len <- live
+      end
+    end
+
+  let add_buffer t (b : Buffer.t) =
+    let n = Buffer.length b in
+    ensure_room t n;
+    Buffer.blit b 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let view t = (t.buf, t.pos, length t)
+
+  let consume t n =
+    if n < 0 || n > length t then invalid_arg "Outbuf.consume";
+    t.pos <- t.pos + n;
+    if t.pos = t.len then begin
+      t.pos <- 0;
+      t.len <- 0
+    end
+end
+
+type phase = Active | Draining
+
+type conn = {
+  id : int;
+  session : Session.t;
+  dec : Wire.Decoder.t;
+  out : Outbuf.t;
+  mutable last_activity : float;
+  mutable phase : phase;
+}
+
+type conn_id = int
+
+type t = {
+  cfg : config;
+  cache : Engine_cache.t;
+  conns : (int, conn) Hashtbl.t;
+  scratch : Buffer.t;
+  started : float;
+  mutable next_id : int;
+  mutable is_draining : bool;
+  (* counters; snapshotted by stats_registry *)
+  mutable opened_total : int;
+  mutable closed_total : int;
+  mutable rejected_total : int;
+  mutable evicted_idle_total : int;
+  mutable proto_errors_total : int;
+  mutable lexical_errors_total : int;
+  mutable bytes_in_total : int;
+  mutable bytes_out_total : int;
+  mutable tokens_total : int;
+  mutable feeds_total : int;
+  mutable flushes_total : int;
+  mutable peak_sessions : int;
+  feed_ns : Metrics.Histogram.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Engine_cache.create ~max_entries:config.cache_entries ();
+    conns = Hashtbl.create 32;
+    scratch = Buffer.create 4096;
+    started = config.clock ();
+    next_id = 0;
+    is_draining = false;
+    opened_total = 0;
+    closed_total = 0;
+    rejected_total = 0;
+    evicted_idle_total = 0;
+    proto_errors_total = 0;
+    lexical_errors_total = 0;
+    bytes_in_total = 0;
+    bytes_out_total = 0;
+    tokens_total = 0;
+    feeds_total = 0;
+    flushes_total = 0;
+    peak_sessions = 0;
+    feed_ns = Metrics.Histogram.create ();
+  }
+
+let config t = t.cfg
+let cache t = t.cache
+
+let conn t id =
+  match Hashtbl.find_opt t.conns id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Server: unknown conn %d" id)
+
+let sessions t =
+  Hashtbl.fold (fun _ c n -> if c.phase = Active then n + 1 else n) t.conns 0
+
+let enqueue t c reply =
+  Buffer.clear t.scratch;
+  Wire.encode_reply t.scratch reply;
+  t.bytes_out_total <- t.bytes_out_total + Buffer.length t.scratch;
+  Outbuf.add_buffer c.out t.scratch
+
+let resolve_spec spec = St_grammars.Registry.resolve spec
+
+(* ---- events ---- *)
+
+let on_connect t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let c =
+    {
+      id;
+      session = Session.create { cache = t.cache; resolve = resolve_spec };
+      dec = Wire.Decoder.create ();
+      out = Outbuf.create ();
+      last_activity = t.cfg.clock ();
+      phase = Active;
+    }
+  in
+  Hashtbl.replace t.conns id c;
+  if t.is_draining then begin
+    c.phase <- Draining;
+    t.rejected_total <- t.rejected_total + 1;
+    enqueue t c
+      (Wire.Error
+         {
+           code = Wire.Shutting_down;
+           retryable = true;
+           message = "server is draining; retry elsewhere";
+         })
+  end
+  else if sessions t > t.cfg.max_sessions then begin
+    c.phase <- Draining;
+    t.rejected_total <- t.rejected_total + 1;
+    enqueue t c
+      (Wire.Error
+         {
+           code = Wire.Capacity;
+           retryable = true;
+           message =
+             Printf.sprintf "session table full (%d); retry later"
+               t.cfg.max_sessions;
+         })
+  end
+  else begin
+    t.opened_total <- t.opened_total + 1;
+    let live = sessions t in
+    if live > t.peak_sessions then t.peak_sessions <- live
+  end;
+  id
+
+let fatal_reply = function
+  | Wire.Error { code = Wire.Protocol | Wire.Bad_grammar; _ } -> true
+  | _ -> false
+
+let count_replies t replies =
+  List.iter
+    (fun r ->
+      match r with
+      | Wire.Tokens toks -> t.tokens_total <- t.tokens_total + List.length toks
+      | Wire.Error { code = Wire.Lexical; _ } ->
+          t.lexical_errors_total <- t.lexical_errors_total + 1
+      | Wire.Error { code = Wire.Protocol; _ } ->
+          t.proto_errors_total <- t.proto_errors_total + 1
+      | _ -> ())
+    replies
+
+let stats_registry_impl t =
+  let r = Metrics.Registry.create () in
+  let gauge name help v =
+    Metrics.Gauge.set (Metrics.Registry.gauge r ~help name) v
+  in
+  let counter name help v =
+    Metrics.Counter.add (Metrics.Registry.counter r ~help name) v
+  in
+  gauge "sessions" "active sessions" (float_of_int (sessions t));
+  gauge "sessions_peak" "peak concurrent sessions"
+    (float_of_int t.peak_sessions);
+  counter "sessions_opened" "connections accepted as sessions" t.opened_total;
+  counter "sessions_closed" "sessions ended (any reason)" t.closed_total;
+  counter "sessions_rejected" "connections rejected at capacity or drain"
+    t.rejected_total;
+  counter "sessions_evicted_idle" "sessions evicted by the idle timeout"
+    t.evicted_idle_total;
+  counter "bytes_in" "FEED payload bytes" t.bytes_in_total;
+  counter "bytes_out" "reply frame bytes enqueued" t.bytes_out_total;
+  counter "tokens" "tokens emitted" t.tokens_total;
+  counter "feeds" "FEED frames processed" t.feeds_total;
+  counter "flushes" "FLUSH frames processed" t.flushes_total;
+  counter "protocol_errors" "fatal protocol errors" t.proto_errors_total;
+  counter "lexical_errors" "streams that stopped tokenizing"
+    t.lexical_errors_total;
+  Metrics.Registry.add r
+    {
+      Metrics.name = "feed_latency_ns";
+      help = "per-FEED handling latency, nanoseconds (log2 buckets)";
+      labels = [];
+      kind = Metrics.Histogram t.feed_ns;
+    };
+  counter "engine_cache_compiles" "grammar compiles (cache misses)"
+    (Engine_cache.compiles t.cache);
+  counter "engine_cache_hits" "engine cache hits" (Engine_cache.hits t.cache);
+  counter "engine_cache_evictions" "engines evicted from the cache"
+    (Engine_cache.evictions t.cache);
+  gauge "engine_cache_entries" "resident compiled engines"
+    (float_of_int (Engine_cache.size t.cache));
+  gauge "uptime_seconds" "seconds since server start"
+    (t.cfg.clock () -. t.started);
+  r
+
+let dispatch t c (req : Wire.request) =
+  match req with
+  | Wire.Stats fmt ->
+      let registry = stats_registry_impl t in
+      let body =
+        match fmt with
+        | Wire.Json -> Export.to_json_string registry
+        | Wire.Prom -> Export.to_prometheus registry
+      in
+      enqueue t c (Wire.Metrics { format = fmt; body })
+  | Wire.Close -> c.phase <- Draining
+  | Wire.Feed payload ->
+      t.feeds_total <- t.feeds_total + 1;
+      t.bytes_in_total <- t.bytes_in_total + String.length payload;
+      let t0 = t.cfg.clock () in
+      let replies = Session.handle c.session req in
+      Metrics.Histogram.observe_seconds t.feed_ns (t.cfg.clock () -. t0);
+      count_replies t replies;
+      List.iter (enqueue t c) replies;
+      if List.exists fatal_reply replies then c.phase <- Draining
+  | Wire.Open _ | Wire.Flush ->
+      (match req with
+      | Wire.Flush -> t.flushes_total <- t.flushes_total + 1
+      | _ -> ());
+      let replies = Session.handle c.session req in
+      count_replies t replies;
+      List.iter (enqueue t c) replies;
+      if List.exists fatal_reply replies then c.phase <- Draining
+
+let on_data t id s ~pos ~len =
+  let c = conn t id in
+  if c.phase = Active then begin
+    c.last_activity <- t.cfg.clock ();
+    Wire.Decoder.feed c.dec s ~pos ~len;
+    let continue = ref true in
+    while !continue && c.phase = Active do
+      match Wire.Decoder.next c.dec with
+      | Wire.Decoder.Need_more -> continue := false
+      | Wire.Decoder.Corrupt msg ->
+          t.proto_errors_total <- t.proto_errors_total + 1;
+          enqueue t c
+            (Wire.Error
+               { code = Wire.Protocol; retryable = false; message = msg });
+          c.phase <- Draining
+      | Wire.Decoder.Frame f -> (
+          match Wire.request_of_frame f with
+          | Error msg ->
+              t.proto_errors_total <- t.proto_errors_total + 1;
+              enqueue t c
+                (Wire.Error
+                   { code = Wire.Protocol; retryable = false; message = msg });
+              c.phase <- Draining
+          | Ok req -> dispatch t c req)
+    done
+  end
+
+let remove t id =
+  if Hashtbl.mem t.conns id then begin
+    Hashtbl.remove t.conns id;
+    t.closed_total <- t.closed_total + 1
+  end
+
+let on_eof t id = remove t id
+let on_closed t id = remove t id
+
+let evict t c ~message =
+  t.evicted_idle_total <- t.evicted_idle_total + 1;
+  enqueue t c
+    (Wire.Error { code = Wire.Shutting_down; retryable = true; message });
+  c.phase <- Draining
+
+let on_tick t =
+  if t.cfg.idle_timeout > 0.0 then begin
+    let now = t.cfg.clock () in
+    Hashtbl.iter
+      (fun _ c ->
+        if c.phase = Active && now -. c.last_activity > t.cfg.idle_timeout
+        then
+          evict t c
+            ~message:
+              (Printf.sprintf "idle for more than %gs; session evicted"
+                 t.cfg.idle_timeout))
+      t.conns
+  end
+
+(* ---- queries ---- *)
+
+let wants_read t id =
+  let c = conn t id in
+  c.phase = Active && Outbuf.length c.out <= t.cfg.max_out_bytes
+
+let out_view t id = Outbuf.view (conn t id).out
+let out_consume t id n = Outbuf.consume (conn t id).out n
+let out_pending t id = Outbuf.length (conn t id).out
+
+let should_close t id =
+  let c = conn t id in
+  c.phase = Draining && Outbuf.length c.out = 0
+
+let conn_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.conns []
+
+let next_deadline t =
+  if t.cfg.idle_timeout <= 0.0 then None
+  else
+    Hashtbl.fold
+      (fun _ c acc ->
+        if c.phase <> Active then acc
+        else
+          let dl = c.last_activity +. t.cfg.idle_timeout in
+          match acc with Some d when d <= dl -> acc | _ -> Some dl)
+      t.conns None
+
+let drain t =
+  if not t.is_draining then begin
+    t.is_draining <- true;
+    Hashtbl.iter
+      (fun _ c ->
+        if c.phase = Active then begin
+          enqueue t c
+            (Wire.Error
+               {
+                 code = Wire.Shutting_down;
+                 retryable = true;
+                 message = "server shutting down";
+               });
+          c.phase <- Draining
+        end)
+      t.conns
+  end
+
+let draining t = t.is_draining
+let live_conns t = Hashtbl.length t.conns
+let stats_registry t = stats_registry_impl t

@@ -1,0 +1,105 @@
+(** The transport-agnostic serving core.
+
+    One {!t} holds the session table, the shared
+    {!St_streamtok.Engine_cache}, per-connection frame decoders and
+    bounded output queues, and the server-wide metrics. A transport (the
+    [Unix.select] daemon in {!Io_loop}, the in-memory {!Loopback} in
+    tests and benchmarks) owns the actual byte movement and drives this
+    module through a small event/query interface:
+
+    - events in: {!on_connect}, {!on_data}, {!on_eof}, {!on_closed},
+      {!on_tick};
+    - queries out: {!wants_read} (backpressure: [false] while a
+      connection's output queue is over budget — stop reading its socket),
+      {!out_view}/{!out_consume} (pending output), {!should_close}
+      (drain-then-close handshake).
+
+    Time enters only through [config.clock], so a fake clock makes idle
+    eviction and latency recording fully deterministic under loopback. *)
+
+open St_obs
+
+type config = {
+  max_sessions : int;  (** beyond this, new connections get a retryable
+                           [Capacity] error *)
+  idle_timeout : float;  (** seconds; [0.] disables idle eviction *)
+  max_out_bytes : int;
+      (** per-connection output-queue budget; above it the server stops
+          reading that connection until the client drains replies *)
+  cache_entries : int;  (** engine-cache capacity *)
+  clock : unit -> float;
+}
+
+val default_config : config
+
+type t
+type conn_id = int
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+(** {1 Events (transport → server)} *)
+
+(** A connection arrived. Always returns an id — over-capacity or
+    mid-drain connections are answered with a retryable error frame and
+    marked for drain-close, which the transport observes via
+    {!should_close}. *)
+val on_connect : t -> conn_id
+
+(** Bytes read from the connection's socket. *)
+val on_data : t -> conn_id -> string -> pos:int -> len:int -> unit
+
+(** The peer hung up (EOF, reset): the session is discarded immediately. *)
+val on_eof : t -> conn_id -> unit
+
+(** The transport finished closing a connection {!should_close} asked for. *)
+val on_closed : t -> conn_id -> unit
+
+(** Periodic housekeeping: idle eviction. Call about once a second (or
+    whenever {!next_deadline} expires). *)
+val on_tick : t -> unit
+
+(** {1 Queries (server → transport)} *)
+
+(** Backpressure: read from this connection's socket only while [true]. *)
+val wants_read : t -> conn_id -> bool
+
+(** Pending output as [(buf, pos, len)]; write some prefix, then
+    {!out_consume} what was written. The view is invalidated by any other
+    call on [t]. *)
+val out_view : t -> conn_id -> Bytes.t * int * int
+
+val out_consume : t -> conn_id -> int -> unit
+val out_pending : t -> conn_id -> int
+
+(** The connection should be closed once its output queue is empty. *)
+val should_close : t -> conn_id -> bool
+
+val conn_ids : t -> conn_id list
+
+(** Earliest idle-eviction deadline among live sessions, for the select
+    timeout. *)
+val next_deadline : t -> float option
+
+(** {1 Drain}
+
+    {!drain} stops new sessions (they get a retryable [Shutting_down]
+    error), sends every live session a [Shutting_down] error and marks it
+    for drain-close. The transport exits once {!live_conns} reaches 0. *)
+
+val drain : t -> unit
+val draining : t -> bool
+val live_conns : t -> int
+
+(** {1 Observability} *)
+
+(** Currently active sessions. *)
+val sessions : t -> int
+
+val cache : t -> St_streamtok.Engine_cache.t
+
+(** Fresh snapshot of the server metrics (sessions gauge + peak,
+    open/close/reject/evict counters, bytes and token counters, the
+    per-FEED latency log2 histogram in nanoseconds, engine-cache
+    compile/hit counters, uptime). *)
+val stats_registry : t -> Metrics.Registry.t

@@ -1,0 +1,143 @@
+open St_streamtok
+open St_grammars
+
+type deps = {
+  cache : Engine_cache.t;
+  resolve : string -> (Grammar.t, string) result;
+}
+
+type opened_state = {
+  engine : Engine.t;
+  grammar_name : string;
+  rule_names : string list;
+  batch : (string * int) list ref;  (* reversed; shared with the emit closure *)
+  mutable tok : Stream_tokenizer.t;
+  mutable outcome : Engine.outcome option;
+      (* set as soon as the current stream fails; FLUSH reports and clears *)
+}
+
+type state = Awaiting_open | Opened_ of opened_state
+
+type t = { deps : deps; mutable state : state }
+
+let create deps = { deps; state = Awaiting_open }
+let opened t = match t.state with Opened_ _ -> true | Awaiting_open -> false
+
+let new_tokenizer engine batch =
+  Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
+      batch := (lexeme, rule) :: !batch)
+
+let take_batch os =
+  match !(os.batch) with
+  | [] -> []
+  | toks ->
+      os.batch := [];
+      [ Wire.Tokens (List.rev toks) ]
+
+let protocol_error message =
+  [ Wire.Error { code = Wire.Protocol; retryable = false; message } ]
+
+let handle_open t spec =
+  match t.state with
+  | Opened_ _ -> protocol_error "session already OPENed"
+  | Awaiting_open -> (
+      match t.deps.resolve spec with
+      | Error msg ->
+          [ Wire.Error { code = Wire.Bad_grammar; retryable = false; message = msg } ]
+      | Ok g -> (
+          let rules = Grammar.rules g in
+          let cached = Engine_cache.mem t.deps.cache rules in
+          match Engine_cache.find_or_compile t.deps.cache rules with
+          | Error Engine.Unbounded_tnd ->
+              [
+                Wire.Error
+                  {
+                    code = Wire.Bad_grammar;
+                    retryable = false;
+                    message =
+                      Printf.sprintf
+                        "grammar %s has unbounded max-TND; no bounded-memory \
+                         streaming tokenizer exists"
+                        g.Grammar.name;
+                  };
+              ]
+          | Ok engine ->
+              let batch = ref [] in
+              let os =
+                {
+                  engine;
+                  grammar_name = g.Grammar.name;
+                  rule_names = List.map fst g.Grammar.rules;
+                  batch;
+                  tok = new_tokenizer engine batch;
+                  outcome = None;
+                }
+              in
+              t.state <- Opened_ os;
+              [
+                Wire.Opened
+                  {
+                    grammar = os.grammar_name;
+                    k = Engine.k engine;
+                    cached;
+                    rules = os.rule_names;
+                  };
+              ]))
+
+let handle_feed t bytes =
+  match t.state with
+  | Awaiting_open -> protocol_error "FEED before OPEN"
+  | Opened_ os -> (
+      match os.outcome with
+      | Some _ -> []  (* stream already failed; drop by contract *)
+      | None ->
+          Stream_tokenizer.feed_string os.tok bytes;
+          let replies = take_batch os in
+          if Stream_tokenizer.failed os.tok then begin
+            (* Drain now so the failure offset is exact; the outcome is
+               replayed by the next FLUSH. *)
+            let outcome = Stream_tokenizer.finish os.tok in
+            os.outcome <- Some outcome;
+            let tail = take_batch os in
+            let message =
+              match outcome with
+              | Engine.Failed { offset; pending } ->
+                  Printf.sprintf
+                    "untokenizable input at offset %d (%d pending bytes); \
+                     FLUSH for the outcome"
+                    offset (String.length pending)
+              | Engine.Finished -> "stream failed"
+            in
+            replies @ tail
+            @ [ Wire.Error { code = Wire.Lexical; retryable = false; message } ]
+          end
+          else replies)
+
+let handle_flush t =
+  match t.state with
+  | Awaiting_open -> protocol_error "FLUSH before OPEN"
+  | Opened_ os ->
+      let outcome =
+        match os.outcome with
+        | Some o -> o
+        | None -> Stream_tokenizer.finish os.tok
+      in
+      let replies = take_batch os in
+      let pending_reply =
+        match outcome with
+        | Engine.Finished ->
+            Wire.Pending
+              { ok = true; offset = Stream_tokenizer.bytes_fed os.tok; pending = "" }
+        | Engine.Failed { offset; pending } ->
+            Wire.Pending { ok = false; offset; pending }
+      in
+      (* Reset for the next stream on the same engine. *)
+      os.tok <- new_tokenizer os.engine os.batch;
+      os.outcome <- None;
+      replies @ [ pending_reply ]
+
+let handle t = function
+  | Wire.Open spec -> handle_open t spec
+  | Wire.Feed bytes -> handle_feed t bytes
+  | Wire.Flush -> handle_flush t
+  | Wire.Close | Wire.Stats _ -> []  (* handled by Server *)

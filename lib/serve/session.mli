@@ -1,0 +1,36 @@
+(** Per-session protocol state machine.
+
+    A session is the server half of one connection: [Awaiting_open] until
+    a valid OPEN resolves and compiles (through the shared
+    {!St_streamtok.Engine_cache}), then a live incremental
+    {!St_streamtok.Stream_tokenizer} that FEED advances and FLUSH drains.
+    FLUSH ends the {e stream} but not the {e session}: the engine is kept
+    and the next FEED starts a fresh stream, so a connection can tokenize
+    many documents without re-OPENing.
+
+    The module is transport-free — requests in, replies out — which is
+    what lets the loopback transport drive the whole server
+    deterministically in tests. CLOSE and STATS are connection/server
+    concerns and are handled by {!Server}, not here. *)
+
+open St_streamtok
+open St_grammars
+
+type deps = {
+  cache : Engine_cache.t;
+  resolve : string -> (Grammar.t, string) result;
+}
+
+type t
+
+val create : deps -> t
+
+(** Has a valid OPEN been processed? *)
+val opened : t -> bool
+
+(** Process one request; returns the replies to enqueue, in order. A reply
+    [Error { code = Protocol | Bad_grammar; _ }] is fatal to the session —
+    the caller should drain-and-close the connection. A [Lexical] error is
+    not: the stream is failed (further FEEDs are dropped by contract) until
+    FLUSH reports the outcome and resets it. *)
+val handle : t -> Wire.request -> Wire.reply list

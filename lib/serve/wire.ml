@@ -1,0 +1,343 @@
+let max_payload = 16 * 1024 * 1024
+
+type format = Json | Prom
+
+type error_code = Protocol | Bad_grammar | Capacity | Lexical | Shutting_down
+
+let error_code_to_int = function
+  | Protocol -> 1
+  | Bad_grammar -> 2
+  | Capacity -> 3
+  | Lexical -> 4
+  | Shutting_down -> 5
+
+let error_code_of_int = function
+  | 1 -> Some Protocol
+  | 2 -> Some Bad_grammar
+  | 3 -> Some Capacity
+  | 4 -> Some Lexical
+  | 5 -> Some Shutting_down
+  | _ -> None
+
+let error_code_to_string = function
+  | Protocol -> "protocol"
+  | Bad_grammar -> "bad-grammar"
+  | Capacity -> "capacity"
+  | Lexical -> "lexical"
+  | Shutting_down -> "shutting-down"
+
+type request =
+  | Open of string
+  | Feed of string
+  | Flush
+  | Close
+  | Stats of format
+
+type reply =
+  | Opened of { grammar : string; k : int; cached : bool; rules : string list }
+  | Tokens of (string * int) list
+  | Pending of { ok : bool; offset : int; pending : string }
+  | Error of { code : error_code; retryable : bool; message : string }
+  | Metrics of { format : format; body : string }
+
+(* ---- tags ---- *)
+
+let tag_open = 0x01
+let tag_feed = 0x02
+let tag_flush = 0x03
+let tag_close = 0x04
+let tag_stats = 0x05
+let tag_opened = 0x81
+let tag_tokens = 0x82
+let tag_pending = 0x83
+let tag_error = 0x84
+let tag_metrics = 0x85
+
+(* ---- primitive encoders ---- *)
+
+type frame = { tag : int; payload : string }
+
+let add_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u64 b v =
+  add_u32 b ((v lsr 32) land 0xffffffff);
+  add_u32 b (v land 0xffffffff)
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let get_u64 s pos = (get_u32 s pos lsl 32) lor get_u32 s (pos + 4)
+
+let encode_frame b { tag; payload } =
+  add_u32 b (String.length payload);
+  Buffer.add_char b (Char.chr (tag land 0xff));
+  Buffer.add_string b payload
+
+let format_byte = function Json -> '\x00' | Prom -> '\x01'
+
+let format_of_byte = function
+  | '\x00' -> Some Json
+  | '\x01' -> Some Prom
+  | _ -> None
+
+let request_to_frame = function
+  | Open spec -> { tag = tag_open; payload = spec }
+  | Feed bytes -> { tag = tag_feed; payload = bytes }
+  | Flush -> { tag = tag_flush; payload = "" }
+  | Close -> { tag = tag_close; payload = "" }
+  | Stats fmt -> { tag = tag_stats; payload = String.make 1 (format_byte fmt) }
+
+let reply_to_frame = function
+  | Opened { grammar; k; cached; rules } ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "grammar %s\n" grammar);
+      Buffer.add_string b (Printf.sprintf "k %d\n" k);
+      Buffer.add_string b (Printf.sprintf "cached %d\n" (Bool.to_int cached));
+      List.iter (fun r -> Buffer.add_string b (Printf.sprintf "rule %s\n" r)) rules;
+      { tag = tag_opened; payload = Buffer.contents b }
+  | Tokens toks ->
+      let b = Buffer.create 256 in
+      List.iter
+        (fun (lexeme, rule) ->
+          add_u32 b rule;
+          add_u32 b (String.length lexeme);
+          Buffer.add_string b lexeme)
+        toks;
+      { tag = tag_tokens; payload = Buffer.contents b }
+  | Pending { ok; offset; pending } ->
+      let b = Buffer.create (9 + String.length pending) in
+      Buffer.add_char b (if ok then '\x01' else '\x00');
+      add_u64 b offset;
+      Buffer.add_string b pending;
+      { tag = tag_pending; payload = Buffer.contents b }
+  | Error { code; retryable; message } ->
+      let b = Buffer.create (2 + String.length message) in
+      Buffer.add_char b (Char.chr (error_code_to_int code));
+      Buffer.add_char b (if retryable then '\x01' else '\x00');
+      Buffer.add_string b message;
+      { tag = tag_error; payload = Buffer.contents b }
+  | Metrics { format; body } ->
+      { tag = tag_metrics; payload = String.make 1 (format_byte format) ^ body }
+
+let encode_request b r = encode_frame b (request_to_frame r)
+
+(* TOKENS frames carry the bulk of a session's reply bytes; encode them
+   straight into the output buffer instead of through an intermediate
+   payload string. *)
+let encode_reply b = function
+  | Tokens toks ->
+      let plen =
+        List.fold_left (fun a (lexeme, _) -> a + 8 + String.length lexeme) 0
+          toks
+      in
+      add_u32 b plen;
+      Buffer.add_char b (Char.chr tag_tokens);
+      List.iter
+        (fun (lexeme, rule) ->
+          add_u32 b rule;
+          add_u32 b (String.length lexeme);
+          Buffer.add_string b lexeme)
+        toks
+  | r -> encode_frame b (reply_to_frame r)
+
+(* ---- typed decoding ---- *)
+
+let request_of_frame { tag; payload } =
+  if tag = tag_open then Ok (Open payload)
+  else if tag = tag_feed then Ok (Feed payload)
+  else if tag = tag_flush then
+    if payload = "" then Ok Flush else Result.Error "FLUSH payload not empty"
+  else if tag = tag_close then
+    if payload = "" then Ok Close else Result.Error "CLOSE payload not empty"
+  else if tag = tag_stats then
+    if String.length payload <> 1 then Result.Error "STATS payload not 1 byte"
+    else
+      match format_of_byte payload.[0] with
+      | Some fmt -> Ok (Stats fmt)
+      | None -> Result.Error "STATS: unknown format byte"
+  else Result.Error (Printf.sprintf "unknown request tag 0x%02x" tag)
+
+let reply_of_frame { tag; payload } =
+  let len = String.length payload in
+  if tag = tag_opened then begin
+    let grammar = ref "" and k = ref (-1) and cached = ref false in
+    let rules = ref [] in
+    let ok = ref true in
+    String.split_on_char '\n' payload
+    |> List.iter (fun line ->
+           if line <> "" then
+             match String.index_opt line ' ' with
+             | None -> ok := false
+             | Some i -> (
+                 let key = String.sub line 0 i in
+                 let value = String.sub line (i + 1) (String.length line - i - 1) in
+                 match key with
+                 | "grammar" -> grammar := value
+                 | "k" -> ( match int_of_string_opt value with Some n -> k := n | None -> ok := false)
+                 | "cached" -> cached := value = "1"
+                 | "rule" -> rules := value :: !rules
+                 | _ -> ok := false));
+    if !ok && !k >= 0 then
+      Ok (Opened { grammar = !grammar; k = !k; cached = !cached; rules = List.rev !rules })
+    else Result.Error "malformed OPENED payload"
+  end
+  else if tag = tag_tokens then begin
+    let toks = ref [] in
+    let pos = ref 0 in
+    let ok = ref true in
+    while !ok && !pos < len do
+      if len - !pos < 8 then ok := false
+      else begin
+        let rule = get_u32 payload !pos in
+        let n = get_u32 payload (!pos + 4) in
+        if len - !pos - 8 < n then ok := false
+        else begin
+          toks := (String.sub payload (!pos + 8) n, rule) :: !toks;
+          pos := !pos + 8 + n
+        end
+      end
+    done;
+    if !ok then Ok (Tokens (List.rev !toks))
+    else Result.Error "malformed TOKENS payload"
+  end
+  else if tag = tag_pending then begin
+    if len < 9 then Result.Error "malformed PENDING payload"
+    else
+      Ok
+        (Pending
+           {
+             ok = payload.[0] = '\x01';
+             offset = get_u64 payload 1;
+             pending = String.sub payload 9 (len - 9);
+           })
+  end
+  else if tag = tag_error then begin
+    if len < 2 then Result.Error "malformed ERROR payload"
+    else
+      match error_code_of_int (Char.code payload.[0]) with
+      | None -> Result.Error "ERROR: unknown code"
+      | Some code ->
+          Ok
+            (Error
+               {
+                 code;
+                 retryable = payload.[1] = '\x01';
+                 message = String.sub payload 2 (len - 2);
+               })
+  end
+  else if tag = tag_metrics then begin
+    if len < 1 then Result.Error "malformed METRICS payload"
+    else
+      match format_of_byte payload.[0] with
+      | None -> Result.Error "METRICS: unknown format byte"
+      | Some format ->
+          Ok (Metrics { format; body = String.sub payload 1 (len - 1) })
+  end
+  else Result.Error (Printf.sprintf "unknown reply tag 0x%02x" tag)
+
+(* ---- incremental decoder ---- *)
+
+module Decoder = struct
+  (* A flat byte queue: bytes [pos, len) of [buf] are pending. Compacted
+     when the dead prefix dominates, so long-lived connections do not
+     accrete memory. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable pos : int;
+    mutable len : int;  (* exclusive end *)
+    mutable corrupt : string option;
+  }
+
+  let create () =
+    { buf = Bytes.create 4096; pos = 0; len = 0; corrupt = None }
+
+  let buffered t = t.len - t.pos
+
+  let ensure_room t extra =
+    if t.len + extra > Bytes.length t.buf then begin
+      let live = buffered t in
+      if live + extra <= Bytes.length t.buf / 2 then begin
+        (* compact in place *)
+        Bytes.blit t.buf t.pos t.buf 0 live;
+        t.pos <- 0;
+        t.len <- live
+      end
+      else begin
+        let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
+        while live + extra > !cap do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf t.pos nb 0 live;
+        t.buf <- nb;
+        t.pos <- 0;
+        t.len <- live
+      end
+    end
+
+  let feed t s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Wire.Decoder.feed";
+    ensure_room t len;
+    Bytes.blit_string s pos t.buf t.len len;
+    t.len <- t.len + len
+
+  let feed_string t s = feed t s ~pos:0 ~len:(String.length s)
+
+  type result = Frame of frame | Need_more | Corrupt of string
+
+  let next t =
+    match t.corrupt with
+    | Some msg -> Corrupt msg
+    | None ->
+        if buffered t < 5 then Need_more
+        else begin
+          let b = t.buf in
+          let p = t.pos in
+          let plen =
+            (Char.code (Bytes.get b p) lsl 24)
+            lor (Char.code (Bytes.get b (p + 1)) lsl 16)
+            lor (Char.code (Bytes.get b (p + 2)) lsl 8)
+            lor Char.code (Bytes.get b (p + 3))
+          in
+          if plen > max_payload then begin
+            let msg =
+              Printf.sprintf "frame payload %d exceeds limit %d" plen
+                max_payload
+            in
+            t.corrupt <- Some msg;
+            Corrupt msg
+          end
+          else if buffered t < 5 + plen then Need_more
+          else begin
+            let tag = Char.code (Bytes.get b (p + 4)) in
+            let payload = Bytes.sub_string b (p + 5) plen in
+            t.pos <- p + 5 + plen;
+            if t.pos = t.len then begin
+              t.pos <- 0;
+              t.len <- 0
+            end;
+            Frame { tag; payload }
+          end
+        end
+end
+
+let decode_all s =
+  let d = Decoder.create () in
+  Decoder.feed_string d s;
+  let rec go acc =
+    match Decoder.next d with
+    | Decoder.Frame f -> go (f :: acc)
+    | Decoder.Need_more ->
+        if Decoder.buffered d = 0 then Ok (List.rev acc)
+        else Result.Error "trailing bytes: truncated frame"
+    | Decoder.Corrupt msg -> Result.Error msg
+  in
+  go []

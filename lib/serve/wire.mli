@@ -1,0 +1,97 @@
+(** The [streamtok/wire/v1] framed protocol.
+
+    Every message is one frame: a 4-byte big-endian payload length, a
+    1-byte tag, then the payload. Frames never straddle a meaning boundary
+    — one request or reply per frame — but the {e byte stream} may be
+    split arbitrarily by the transport; {!Decoder} reassembles frames from
+    any chunking (the fuzz suite feeds it adversarial splits).
+
+    Requests (client → server):
+    - [OPEN 0x01] — payload: grammar spec ({!St_grammars.Registry.resolve}
+      syntax: built-in name, ['@rule;rule'], or rules source).
+    - [FEED 0x02] — payload: raw input bytes.
+    - [FLUSH 0x03] — end the current stream: drain the lookahead window,
+      report the outcome; the session (and its engine) stays open and the
+      next FEED starts a fresh stream.
+    - [CLOSE 0x04] — close the session; the server drains its output queue
+      and hangs up.
+    - [STATS 0x05] — payload: 1 byte, [0] = JSON, [1] = Prometheus text.
+
+    Replies (server → client):
+    - [OPENED 0x81] — line-oriented text: [grammar NAME], [k K],
+      [cached 0|1], then one [rule NAME] line per rule in priority order
+      (so clients can print rule names without a JSON parser).
+    - [TOKENS 0x82] — repeated records: [u32 rule], [u32 len], [len]
+      lexeme bytes. One TOKENS frame batches everything a FEED emitted.
+    - [PENDING 0x83] — the outcome after FLUSH: [u8 ok], [u64 offset],
+      then the pending (untokenizable) tail bytes; [ok = 1] means the
+      stream finished cleanly (offset = total bytes, empty tail).
+    - [ERROR 0x84] — [u8 code], [u8 retryable], then a UTF-8 message.
+    - [METRICS 0x85] — [u8 format] then the serialized registry. *)
+
+(** Hard cap on payload size (16 MiB): a length prefix beyond it is a
+    protocol error, not an allocation. *)
+val max_payload : int
+
+type format = Json | Prom
+
+type error_code =
+  | Protocol  (** malformed frame or request out of order; fatal *)
+  | Bad_grammar  (** OPEN spec failed to resolve or has unbounded max-TND *)
+  | Capacity  (** session table full; retryable *)
+  | Lexical  (** the stream stopped tokenizing; FLUSH for the outcome *)
+  | Shutting_down  (** server drain (SIGTERM) or idle eviction *)
+
+val error_code_to_int : error_code -> int
+val error_code_of_int : int -> error_code option
+val error_code_to_string : error_code -> string
+
+type request =
+  | Open of string
+  | Feed of string
+  | Flush
+  | Close
+  | Stats of format
+
+type reply =
+  | Opened of { grammar : string; k : int; cached : bool; rules : string list }
+  | Tokens of (string * int) list  (** (lexeme, rule) in stream order *)
+  | Pending of { ok : bool; offset : int; pending : string }
+  | Error of { code : error_code; retryable : bool; message : string }
+  | Metrics of { format : format; body : string }
+
+(** {1 Encoding} *)
+
+type frame = { tag : int; payload : string }
+
+val encode_frame : Buffer.t -> frame -> unit
+val request_to_frame : request -> frame
+val reply_to_frame : reply -> frame
+val encode_request : Buffer.t -> request -> unit
+val encode_reply : Buffer.t -> reply -> unit
+
+(** {1 Decoding} *)
+
+val request_of_frame : frame -> (request, string) result
+val reply_of_frame : frame -> (reply, string) result
+
+(** Incremental frame reassembly. After a [Corrupt] result the decoder is
+    poisoned — the stream has no recoverable framing — and every further
+    {!next} returns the same error. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> pos:int -> len:int -> unit
+  val feed_string : t -> string -> unit
+
+  type result = Frame of frame | Need_more | Corrupt of string
+
+  val next : t -> result
+
+  (** Bytes buffered but not yet consumed by complete frames. *)
+  val buffered : t -> int
+end
+
+(** Decode every frame of a complete byte string (test helper). *)
+val decode_all : string -> (frame list, string) result

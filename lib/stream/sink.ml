@@ -15,6 +15,33 @@ let collector () = { items = [] }
 let collect_emit c lexeme rule = c.items <- (lexeme, rule) :: c.items
 let collected c = List.rev c.items
 
+type fd_writer = { fd : Unix.file_descr; mutable written : int }
+
+let of_fd fd = { fd; written = 0 }
+
+let rec wait_writable fd =
+  match Unix.select [] [ fd ] [] (-1.0) with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable fd
+
+let write w s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sink.write";
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    match Unix.write_substring w.fd s !off !left with
+    | n ->
+        off := !off + n;
+        left := !left - n;
+        w.written <- w.written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_writable w.fd
+  done
+
+let write_string w s = write w s ~pos:0 ~len:(String.length s)
+let bytes_written w = w.written
+
 type blackhole = { mutable acc : int }
 
 let blackhole () = { acc = 0 }

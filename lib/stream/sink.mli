@@ -1,4 +1,22 @@
-(** Token sinks: consumers for the [(lexeme, rule)] stream. *)
+(** Token sinks: consumers for the [(lexeme, rule)] stream — plus a byte
+    sink over a file descriptor for the streaming clients. *)
+
+(** Byte sink over a file descriptor: complete writes in the face of
+    partial [write(2)] returns, [EINTR] (retried) and
+    [EAGAIN]/[EWOULDBLOCK] (waits for writability with [select]), so it
+    behaves identically over blocking and non-blocking fds. *)
+type fd_writer
+
+val of_fd : Unix.file_descr -> fd_writer
+
+(** [write w s ~pos ~len] writes the whole range; raises [Invalid_argument]
+    on bad bounds and [Unix.Unix_error] on real I/O errors (e.g. [EPIPE]). *)
+val write : fd_writer -> string -> pos:int -> len:int -> unit
+
+val write_string : fd_writer -> string -> unit
+
+(** Total bytes successfully written. *)
+val bytes_written : fd_writer -> int
 
 (** Counts tokens per rule. *)
 type counter

@@ -25,5 +25,22 @@ let of_string ?max_per_read s =
       end)
 
 let of_channel ic = of_fun (fun buf ~pos ~len -> input ic buf pos len)
+
+let rec wait_readable fd =
+  match Unix.select [ fd ] [] [] (-1.0) with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd
+
+let of_fd fd =
+  of_fun (fun buf ~pos ~len ->
+      let rec go () =
+        match Unix.read fd buf pos len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            wait_readable fd;
+            go ()
+      in
+      go ())
 let reads t = t.reads
 let bytes_read t = t.bytes_read

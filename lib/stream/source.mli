@@ -17,6 +17,12 @@ val of_string : ?max_per_read:int -> string -> t
 (** Reads from an input channel. *)
 val of_channel : in_channel -> t
 
+(** Reads from a file descriptor with [read(2)]. [EINTR] is retried and
+    [EAGAIN]/[EWOULDBLOCK] waits for readability with [select] before
+    retrying, so the source behaves identically over blocking and
+    non-blocking fds (pipes, sockets). End-of-stream is still a 0 return. *)
+val of_fd : Unix.file_descr -> t
+
 (** [of_fun f] wraps a raw read function. *)
 val of_fun : (bytes -> pos:int -> len:int -> int) -> t
 

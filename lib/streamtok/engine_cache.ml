@@ -1,0 +1,67 @@
+open St_regex
+
+type entry = {
+  result : (Engine.t, Engine.error) result;
+  mutable last_used : int;  (* logical clock for LRU eviction *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  max_entries : int;
+  mutable clock : int;
+  mutable compiles : int;
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+let create ?(max_entries = 64) () =
+  {
+    table = Hashtbl.create 16;
+    max_entries = max 1 max_entries;
+    clock = 0;
+    compiles = 0;
+    hits = 0;
+    evictions = 0;
+  }
+
+let key_of_rules rules =
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map Regex.to_string rules)))
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, age) when age <= e.last_used -> ()
+      | _ -> victim := Some (key, e.last_used))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+
+let find_or_compile t rules =
+  let key = key_of_rules rules in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.last_used <- tick t;
+      e.result
+  | None ->
+      let result = Engine.compile_rules rules in
+      t.compiles <- t.compiles + 1;
+      if Hashtbl.length t.table >= t.max_entries then evict_lru t;
+      Hashtbl.add t.table key { result; last_used = tick t };
+      result
+
+let mem t rules = Hashtbl.mem t.table (key_of_rules rules)
+let compiles t = t.compiles
+let hits t = t.hits
+let evictions t = t.evictions
+let size t = Hashtbl.length t.table

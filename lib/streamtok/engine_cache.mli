@@ -1,0 +1,45 @@
+(** Shared compile cache for StreamTok engines.
+
+    Compiling a grammar (subset construction, Moore minimization, max-TND
+    analysis, engine tables) is the expensive part of serving a new
+    session; the result is immutable and reusable. The serving layer keys
+    sessions by a canonical grammar hash and compiles each distinct grammar
+    once — N clients of the same grammar share one engine.
+
+    Entries are keyed by {!key_of_rules}: the hash of the parsed rules'
+    canonical printed form, so two grammar sources that parse to the same
+    rule list (whitespace, redundant escapes, inline vs. file form) share
+    an entry. Compile {e failures} (unbounded max-TND) are cached too:
+    repeatedly OPENing a non-streamable grammar costs one analysis total.
+
+    Not thread-safe — one cache per single-threaded server loop. *)
+
+open St_regex
+
+type t
+
+(** [create ?max_entries ()] — [max_entries] (default 64) bounds the
+    resident engines; least-recently-used entries are evicted beyond it. *)
+val create : ?max_entries:int -> unit -> t
+
+(** Canonical cache key: MD5 of the canonically printed rules, newline
+    separated, in priority order. *)
+val key_of_rules : Regex.t list -> string
+
+(** [find_or_compile t rules] returns the cached engine (or cached compile
+    error) for [rules], compiling on first use. *)
+val find_or_compile : t -> Regex.t list -> (Engine.t, Engine.error) result
+
+(** [mem t rules] — is the grammar resident (no compile, no counter bump)? *)
+val mem : t -> Regex.t list -> bool
+
+(** {1 Counters} *)
+
+(** Number of compiles performed (= cache misses). *)
+val compiles : t -> int
+
+val hits : t -> int
+val evictions : t -> int
+
+(** Resident entries. *)
+val size : t -> int

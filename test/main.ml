@@ -17,6 +17,7 @@ let () =
       ("grammars", Test_grammars.suite);
       ("workloads", Test_workloads.suite);
       ("stream", Test_stream.suite);
+      ("serve", Test_serve.suite);
       ("apps", Test_apps.suite);
       ("combinator", Test_combinator.suite);
       ("fuzz", Test_fuzz.suite);

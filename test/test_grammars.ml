@@ -178,9 +178,44 @@ let test_xml_comment_boundaries () =
   check "finishes" true (o = Backtracking.Finished);
   check_int "token count" 6 (List.length toks)
 
+let test_split_rules () =
+  let eq = Alcotest.(check (list string)) in
+  eq "plain split" [ "[0-9]+"; "[a-z]+" ] (Grammar.split_rules "[0-9]+;[a-z]+");
+  eq "';' inside a class stays" [ "[;]+"; "[ab]+" ]
+    (Grammar.split_rules "[;]+;[ab]+");
+  eq "negated class" [ "[^;]+"; "x" ] (Grammar.split_rules "[^;]+;x");
+  eq "literal ']' after '['" [ "[]x-z]+"; "q" ]
+    (Grammar.split_rules "[]x-z]+;q");
+  eq "literal ']' after '[^'" [ "[^]]+" ] (Grammar.split_rules "[^]]+");
+  eq "escaped ';'" [ "a\\;b"; "c" ] (Grammar.split_rules "a\\;b;c");
+  eq "empty pieces dropped" [ "a"; "b" ] (Grammar.split_rules ";a;;b;")
+
+let test_of_rules_validation () =
+  (match Grammar.of_inline ~name:"g" "[0-9" with
+  | Error msg ->
+      check "error names the rule" true
+        (String.length msg > 0
+        && String.sub msg 0 10 = "rule rule0")
+  | Ok _ -> Alcotest.fail "unterminated class must not validate");
+  check "empty grammar rejected" true
+    (Grammar.of_inline ~name:"g" ";" = Error "grammar has no rules");
+  (match Registry.resolve "@[;]+;[ab]+" with
+  | Ok g -> check_int "inline rules via resolve" 2 (Grammar.num_rules g)
+  | Error e -> Alcotest.fail e);
+  (match Registry.resolve "json" with
+  | Ok g -> check "builtin via resolve" true (g.Grammar.name = "json")
+  | Error e -> Alcotest.fail e);
+  (match Registry.resolve "[0-9]+\n# comment\n[a-z]+\n" with
+  | Ok g -> check_int "source via resolve" 2 (Grammar.num_rules g)
+  | Error e -> Alcotest.fail e);
+  check "unknown name is an error" true
+    (Result.is_error (Registry.resolve "no-such-grammar"))
+
 let suite =
   [
     Alcotest.test_case "all grammars parse" `Quick test_all_grammars_parse;
+    Alcotest.test_case "split_rules class-aware" `Quick test_split_rules;
+    Alcotest.test_case "of_rules validation" `Quick test_of_rules_validation;
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "Table 1 TND values" `Quick test_expected_tnd;
     Alcotest.test_case "log grammars bounded" `Quick test_log_grammars_bounded;

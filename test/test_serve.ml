@@ -1,0 +1,373 @@
+(* The serving subsystem, tested without a single real socket: wire
+   round-trips and adversarial re-chunking at the frame layer, then full
+   session lifecycles (parity with the batch engine, cache sharing, idle
+   eviction, capacity rejection, backpressure, FLUSH reset, lexical and
+   protocol failures) driven through the deterministic loopback
+   transport. *)
+
+open Streamtok
+module W = Serve.Wire
+module SV = Serve.Server
+module LB = Serve.Loopback
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- wire round-trips ---- *)
+
+let gen_bytes = QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 200))
+
+(* OPENED payload values are line-oriented: anything but '\n'. *)
+let gen_line =
+  QCheck.Gen.(
+    string_size
+      ~gen:(map (fun c -> if c = '\n' then ' ' else c) printable)
+      (int_bound 30))
+
+let gen_format = QCheck.Gen.oneofl [ W.Json; W.Prom ]
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> W.Open s) gen_bytes;
+        map (fun s -> W.Feed s) gen_bytes;
+        return W.Flush;
+        return W.Close;
+        map (fun f -> W.Stats f) gen_format;
+      ])
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun grammar k rules -> W.Opened { grammar; k; cached = k mod 2 = 0; rules })
+          gen_line (int_bound 40)
+          (list_size (int_bound 6) gen_line);
+        map
+          (fun toks -> W.Tokens toks)
+          (list_size (int_bound 8) (pair gen_bytes (int_bound 100)));
+        map3
+          (fun ok offset pending -> W.Pending { ok; offset; pending })
+          bool (int_bound 1_000_000) gen_bytes;
+        map3
+          (fun code retryable message -> W.Error { code; retryable; message })
+          (oneofl [ W.Protocol; W.Bad_grammar; W.Capacity; W.Lexical; W.Shutting_down ])
+          bool gen_bytes;
+        map2 (fun format body -> W.Metrics { format; body }) gen_format gen_bytes;
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: request frame round-trip"
+    (QCheck.make gen_request) (fun req ->
+      let b = Buffer.create 64 in
+      W.encode_request b req;
+      match W.decode_all (Buffer.contents b) with
+      | Ok [ f ] -> W.request_of_frame f = Ok req
+      | _ -> false)
+
+let prop_reply_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: reply frame round-trip"
+    (QCheck.make gen_reply) (fun reply ->
+      let b = Buffer.create 64 in
+      W.encode_reply b reply;
+      match W.decode_all (Buffer.contents b) with
+      | Ok [ f ] -> W.reply_of_frame f = Ok reply
+      | _ -> false)
+
+(* A frame stream split at adversarial byte boundaries (reusing the fuzz
+   chunking strategies) must decode to exactly the same frames. *)
+let prop_chunked_decode =
+  QCheck.Test.make ~count:100 ~name:"wire: chunk-split decode identity"
+    QCheck.(
+      make
+        Gen.(
+          pair (list_size (int_range 1 10) gen_request) (int_range 0 9999)))
+    (fun (reqs, seed) ->
+      let b = Buffer.create 256 in
+      List.iter (W.encode_request b) reqs;
+      let stream = Buffer.contents b in
+      let reference =
+        match W.decode_all stream with Ok fs -> fs | Error _ -> assert false
+      in
+      let rng = Prng.create (Int64.of_int seed) in
+      List.for_all
+        (fun (_name, chunking) ->
+          let d = W.Decoder.create () in
+          let frames = ref [] in
+          let ok = ref true in
+          let pos = ref 0 in
+          List.iter
+            (fun n ->
+              W.Decoder.feed d stream ~pos:!pos ~len:n;
+              pos := !pos + n;
+              let continue = ref true in
+              while !continue do
+                match W.Decoder.next d with
+                | W.Decoder.Frame f -> frames := f :: !frames
+                | W.Decoder.Need_more -> continue := false
+                | W.Decoder.Corrupt _ ->
+                    ok := false;
+                    continue := false
+              done)
+            chunking;
+          !ok && List.rev !frames = reference)
+        (Fuzz.Chunking.standard ~rng ~delay:5 (String.length stream)))
+
+(* ---- loopback session lifecycles ---- *)
+
+let fake_clock start =
+  let now = ref start in
+  ((fun () -> !now), fun t -> now := t)
+
+let config ?(max_sessions = 8) ?(idle_timeout = 0.) ?(max_out_bytes = 1 lsl 20)
+    clock =
+  { SV.default_config with max_sessions; idle_timeout; max_out_bytes; clock }
+
+let tokens_of replies =
+  List.concat_map (function W.Tokens ts -> ts | _ -> []) replies
+
+let json_engine =
+  lazy
+    (match Engine.compile (Grammar.dfa Formats.json) with
+    | Ok e -> e
+    | Error _ -> assert false)
+
+let test_lifecycle_parity () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let input = Gen_data.json ~seed:11L ~target_bytes:4000 () in
+  let c = LB.connect lb in
+  LB.send c (W.Open "json");
+  (* odd-sized FEEDs, token boundaries nowhere near chunk edges *)
+  let pos = ref 0 in
+  while !pos < String.length input do
+    let n = min 37 (String.length input - !pos) in
+    LB.send c (W.Feed (String.sub input !pos n));
+    pos := !pos + n
+  done;
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  let replies = LB.replies c in
+  (match replies with
+  | W.Opened { grammar; cached; k; _ } :: _ ->
+      check "grammar echoed" true (grammar = "json");
+      check "first open not cached" false cached;
+      check_int "k" (Engine.k (Lazy.force json_engine)) k
+  | _ -> Alcotest.fail "expected OPENED first");
+  (match List.rev replies with
+  | W.Pending { ok; offset; pending } :: _ ->
+      check "clean flush" true (ok && pending = "");
+      check_int "offset = bytes fed" (String.length input) offset
+  | _ -> Alcotest.fail "expected PENDING last");
+  let reference, outcome = Engine.tokens (Lazy.force json_engine) input in
+  check "batch outcome finished" true (outcome = Engine.Finished);
+  check "tokens ≡ batch engine" true (tokens_of replies = reference);
+  check "connection closed after CLOSE" true (LB.closed c)
+
+let test_engine_cache_sharing () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let open_one () =
+    let c = LB.connect lb in
+    LB.send c (W.Open "json");
+    LB.run lb;
+    match LB.replies c with
+    | [ W.Opened { cached; _ } ] -> cached
+    | _ -> Alcotest.fail "expected OPENED"
+  in
+  check "first compile not cached" false (open_one ());
+  check "second session shares engine" true (open_one ());
+  check "third session shares engine" true (open_one ());
+  let cache = SV.cache (LB.server lb) in
+  check_int "exactly one compile for N sessions" 1 (Engine_cache.compiles cache);
+  check_int "two hits" 2 (Engine_cache.hits cache);
+  check_int "three live sessions" 3 (SV.sessions (LB.server lb))
+
+let test_idle_eviction () =
+  let clock, set = fake_clock 0. in
+  let lb = LB.create ~config:(config ~idle_timeout:30. clock) () in
+  let busy = LB.connect lb in
+  let idle = LB.connect lb in
+  LB.send busy (W.Open "json");
+  LB.send idle (W.Open "json");
+  LB.run lb;
+  ignore (LB.replies busy);
+  ignore (LB.replies idle);
+  set 29.;
+  LB.send busy (W.Feed "{}");
+  LB.run lb;
+  set 45.;
+  (* busy fed at t=29 (idle 16s), idle last active at t=0 (idle 45s) *)
+  LB.tick lb;
+  LB.run lb;
+  check "idle session evicted" true (LB.closed idle);
+  check "busy session survives" false (LB.closed busy);
+  (match LB.replies idle with
+  | [ W.Error { code = W.Shutting_down; retryable; _ } ] ->
+      check "eviction is retryable" true retryable
+  | _ -> Alcotest.fail "expected retryable eviction error");
+  check_int "one live session left" 1 (SV.sessions (LB.server lb))
+
+let test_capacity_rejection () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config ~max_sessions:1 clock) () in
+  let a = LB.connect lb in
+  LB.send a (W.Open "json");
+  LB.run lb;
+  let b = LB.connect lb in
+  LB.run lb;
+  check "over-capacity connection closed" true (LB.closed b);
+  (match LB.replies b with
+  | [ W.Error { code = W.Capacity; retryable; _ } ] ->
+      check "capacity rejection is retryable" true retryable
+  | _ -> Alcotest.fail "expected retryable capacity error");
+  (* a slot frees up once a session closes *)
+  LB.send a W.Close;
+  LB.run lb;
+  let c = LB.connect lb in
+  LB.send c (W.Open "json");
+  LB.run lb;
+  check "slot reusable after close" true
+    (match LB.replies c with [ W.Opened _ ] -> true | _ -> false)
+
+let test_backpressure () =
+  (* Direct Server contract: with a tiny output budget, an unread reply
+     queue must turn off wants_read, and reading resumes once the
+     transport drains it. *)
+  let clock, _ = fake_clock 0. in
+  let srv = SV.create ~config:(config ~max_out_bytes:256 clock) () in
+  let id = SV.on_connect srv in
+  let b = Buffer.create 4096 in
+  W.encode_request b (W.Open "@[0-9];[ ]+");
+  (* every digit is its own token: plenty of reply bytes *)
+  W.encode_request b (W.Feed (String.concat " " (List.init 300 (fun _ -> "7"))));
+  W.encode_request b (W.Flush);
+  let s = Buffer.contents b in
+  SV.on_data srv id s ~pos:0 ~len:(String.length s);
+  check "queue over budget" true (SV.out_pending srv id > 256);
+  check "backpressure: reading off" false (SV.wants_read srv id);
+  while SV.out_pending srv id > 0 do
+    let _, _, len = SV.out_view srv id in
+    SV.out_consume srv id (min 64 len)
+  done;
+  check "reading resumes when drained" true (SV.wants_read srv id)
+
+let test_flush_resets_stream () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let c = LB.connect lb in
+  LB.send c (W.Open "@[a-z]+;[ ]+");
+  LB.send c (W.Feed "foo bar");
+  LB.send c W.Flush;
+  LB.send c (W.Feed "baz");
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  let replies = LB.replies c in
+  check "two streams, one session" true
+    (tokens_of replies = [ ("foo", 0); (" ", 1); ("bar", 0); ("baz", 0) ]);
+  let pendings =
+    List.filter_map
+      (function W.Pending { ok; offset; _ } -> Some (ok, offset) | _ -> None)
+      replies
+  in
+  (* second stream's offset counts from its own start *)
+  check "offsets restart per stream" true (pendings = [ (true, 7); (true, 3) ])
+
+let test_lexical_failure () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let c = LB.connect lb in
+  LB.send c (W.Open "@[a-z]+");
+  LB.send c (W.Feed "abc123");
+  LB.send c (W.Feed "more-after-failure");
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  let replies = LB.replies c in
+  check "lexical error reported, not fatal" true
+    (List.exists
+       (function
+         | W.Error { code = W.Lexical; retryable = false; _ } -> true
+         | _ -> false)
+       replies);
+  (match
+     List.find_opt (function W.Pending _ -> true | _ -> false) replies
+   with
+  | Some (W.Pending { ok; offset; _ }) ->
+      check "flush reports failure" false ok;
+      check_int "failure offset" 3 offset
+  | _ -> Alcotest.fail "expected PENDING");
+  check "feeds after failure dropped" true
+    (List.length
+       (List.filter (function W.Tokens _ -> true | _ -> false) replies)
+    <= 1);
+  check "session closed via CLOSE" true (LB.closed c)
+
+let test_protocol_errors () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  (* FEED before OPEN is fatal *)
+  let a = LB.connect lb in
+  LB.send a (W.Feed "x");
+  LB.run lb;
+  check "feed-before-open closes" true (LB.closed a);
+  (match LB.replies a with
+  | [ W.Error { code = W.Protocol; retryable = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected fatal protocol error");
+  (* an oversize length prefix is corrupt before any allocation *)
+  let b = LB.connect lb in
+  LB.send_raw b "\xff\xff\xff\xff\x01";
+  LB.run lb;
+  check "corrupt frame closes" true (LB.closed b);
+  (* a bad grammar is rejected with the resolver's message *)
+  let c = LB.connect lb in
+  LB.send c (W.Open "@[a-z");
+  LB.run lb;
+  check "bad grammar closes" true (LB.closed c);
+  (match LB.replies c with
+  | [ W.Error { code = W.Bad_grammar; _ } ] -> ()
+  | _ -> Alcotest.fail "expected bad-grammar error");
+  (* the daemon itself is still healthy *)
+  let d = LB.connect lb in
+  LB.send d (W.Open "json");
+  LB.run lb;
+  check "server healthy after errors" true
+    (match LB.replies d with [ W.Opened _ ] -> true | _ -> false)
+
+let test_drain () =
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let a = LB.connect lb in
+  LB.send a (W.Open "json");
+  LB.run lb;
+  ignore (LB.replies a);
+  SV.drain (LB.server lb);
+  LB.run lb;
+  check "live session drained" true (LB.closed a);
+  (match LB.replies a with
+  | [ W.Error { code = W.Shutting_down; retryable = true; _ } ] -> ()
+  | _ -> Alcotest.fail "expected retryable shutdown error");
+  let b = LB.connect lb in
+  LB.run lb;
+  check "new connections rejected while draining" true (LB.closed b);
+  check_int "no live conns left" 0 (SV.live_conns (LB.server lb))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_reply_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chunked_decode;
+    Alcotest.test_case "lifecycle ≡ batch engine" `Quick test_lifecycle_parity;
+    Alcotest.test_case "engine cache sharing" `Quick test_engine_cache_sharing;
+    Alcotest.test_case "idle eviction" `Quick test_idle_eviction;
+    Alcotest.test_case "capacity rejection" `Quick test_capacity_rejection;
+    Alcotest.test_case "backpressure" `Quick test_backpressure;
+    Alcotest.test_case "flush resets stream" `Quick test_flush_resets_stream;
+    Alcotest.test_case "lexical failure" `Quick test_lexical_failure;
+    Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
+    Alcotest.test_case "drain" `Quick test_drain;
+  ]

@@ -60,6 +60,94 @@ let test_buffered_streamtok () =
         && Gen.same_tokens reference (List.rev !acc)))
     [ 13; 256; 65536 ]
 
+(* ---- fd source/sink: EINTR/EAGAIN tolerance on non-blocking fds ----
+
+   The peer runs in a thread (Unix.fork is unavailable once the parallel
+   tests have spawned domains); sleeps on the peer side make the main
+   side actually hit EAGAIN on its non-blocking fd. *)
+
+let fd_payload = String.init 100_000 (fun i -> Char.chr (i land 0xff))
+
+let drain_source s =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create (String.length fd_payload) in
+  let rec go () =
+    let n = Source.read s buf ~pos:0 ~len:4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes acc buf 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents acc
+
+let spawn_writer ?(delay = 0.) w =
+  Thread.create
+    (fun () ->
+      let pos = ref 0 in
+      while !pos < String.length fd_payload do
+        let n = min 16384 (String.length fd_payload - !pos) in
+        pos := !pos + Unix.write_substring w fd_payload !pos n;
+        if delay > 0. then Thread.delay delay
+      done;
+      Unix.close w)
+    ()
+
+let test_source_of_fd_pipe () =
+  (* Blocking pipe: plain correctness. *)
+  let r, w = Unix.pipe () in
+  let writer = spawn_writer w in
+  let got = drain_source (Source.of_fd r) in
+  Unix.close r;
+  Thread.join writer;
+  check "pipe content intact" true (got = fd_payload)
+
+let test_source_of_fd_nonblocking () =
+  (* Slow writer + non-blocking reader: of_fd must absorb EAGAIN instead
+     of returning a spurious 0 (= EOF). *)
+  let r, w = Unix.pipe () in
+  let writer = spawn_writer ~delay:0.002 w in
+  Unix.set_nonblock r;
+  let got = drain_source (Source.of_fd r) in
+  Unix.close r;
+  Thread.join writer;
+  check "nonblocking content intact" true (got = fd_payload)
+
+let test_sink_of_fd_nonblocking () =
+  (* Slow reader + non-blocking writer: Sink.write must complete partial
+     writes across EAGAIN (a socketpair buffer is far smaller than the
+     512 KiB written). *)
+  let rd, wr = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let total_bytes = 8 * 65536 in
+  let total = ref 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 4096 in
+        let rec slurp () =
+          let n = Unix.read rd buf 0 4096 in
+          if n > 0 then begin
+            total := !total + n;
+            Thread.delay 0.0005;
+            slurp ()
+          end
+        in
+        slurp ();
+        Unix.close rd)
+      ()
+  in
+  Unix.set_nonblock wr;
+  let sink = Sink.of_fd wr in
+  let chunk = String.make 65536 'z' in
+  for _ = 1 to 8 do
+    Sink.write_string sink chunk
+  done;
+  check_int "bytes_written" total_bytes (Sink.bytes_written sink);
+  Unix.shutdown wr Unix.SHUTDOWN_SEND;
+  Thread.join reader;
+  Unix.close wr;
+  check_int "reader saw every byte" total_bytes !total
+
 let test_counter_sink () =
   let c = Sink.counter ~num_rules:3 in
   Sink.count_emit c "a" 0;
@@ -90,6 +178,11 @@ let suite =
     Alcotest.test_case "source max_per_read" `Quick test_source_max_per_read;
     Alcotest.test_case "buffered iter" `Quick test_buffered_iter;
     Alcotest.test_case "buffered streamtok" `Quick test_buffered_streamtok;
+    Alcotest.test_case "source of_fd pipe" `Quick test_source_of_fd_pipe;
+    Alcotest.test_case "source of_fd nonblocking" `Quick
+      test_source_of_fd_nonblocking;
+    Alcotest.test_case "sink of_fd nonblocking" `Quick
+      test_sink_of_fd_nonblocking;
     Alcotest.test_case "counter sink" `Quick test_counter_sink;
     Alcotest.test_case "collector sink" `Quick test_collector_sink;
     Alcotest.test_case "blackhole sink" `Quick test_blackhole_sink;
