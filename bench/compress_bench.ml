@@ -1,0 +1,121 @@
+(* Alphabet equivalence-class compression: per-grammar table-size and
+   throughput comparison between the classed build (the default) and the
+   dense 256-column reference build ([~classes:false]) of the same rules.
+
+   Hard checks, not just reporting: both builds must produce the same
+   minimal automaton size and byte-identical token streams on generated
+   workload data, and the classed tables must never be larger than the
+   dense ones. Scalars are recorded via STREAMTOK_BENCH_STATS into
+   BENCH_compress.json for cross-PR diffing. *)
+
+open Streamtok
+
+let corpus = Formats.all @ Languages.all
+
+(* Dense tables are 256 ints per state; classed ones are [num_classes]
+   ints per state plus the shared 256-byte classmap. *)
+let classed_table_bytes d =
+  (Array.length d.Dfa.trans * 8) + 256
+
+let input_for g dfa =
+  match Gen_data.by_name g.Grammar.name with
+  | Some gen ->
+      gen ~seed:Bench_common.seed_data ~target_bytes:(256 * 1024) ()
+  | None ->
+      Fuzz.Gen.token_dense
+        (Prng.create Bench_common.seed_data)
+        dfa ~target_len:(256 * 1024)
+
+let time_run e input =
+  let t0 = Unix.gettimeofday () in
+  ignore (Engine.run_string e input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()));
+  Unix.gettimeofday () -. t0
+
+let best_of rounds f x =
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    let dt = f x in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let run ?(throughput = true) () =
+  Bench_common.pp_header
+    "Compress: equivalence-class tables vs dense 256-column reference";
+  Printf.printf "  %-12s %7s %12s %12s %7s %10s %10s\n" "grammar" "classes"
+    "classed B" "dense B" "ratio" "classed" "dense";
+  let worst_ratio = ref infinity in
+  List.iter
+    (fun g ->
+      let name = g.Grammar.name in
+      let rules = Grammar.rules g in
+      let classed_dfa = Dfa.of_rules rules in
+      let dense_dfa = Dfa.of_rules ~classes:false rules in
+      if Dfa.size classed_dfa <> Dfa.size dense_dfa then begin
+        Printf.eprintf
+          "compress bench: %s: classed and dense minimal sizes differ\n" name;
+        exit 1
+      end;
+      let cb = classed_table_bytes classed_dfa in
+      let db = Array.length dense_dfa.Dfa.trans * 8 in
+      if cb > db then begin
+        Printf.eprintf "compress bench: %s: classed tables exceed dense\n" name;
+        exit 1
+      end;
+      let ratio = float_of_int db /. float_of_int cb in
+      (match (Engine.compile classed_dfa, Engine.compile dense_dfa) with
+      | Ok ec, Ok ed ->
+          let input = input_for g classed_dfa in
+          if
+            not
+              (let tc, oc = Engine.tokens ec input
+               and td, od = Engine.tokens ed input in
+               tc = td && Engine.outcome_equal oc od)
+          then begin
+            Printf.eprintf "compress bench: %s: classed/dense mismatch\n" name;
+            exit 1
+          end;
+          let mb = float_of_int (String.length input) /. (1024. *. 1024.) in
+          let cmbps, dmbps =
+            if throughput then
+              ( mb /. best_of 3 (time_run ec) input,
+                mb /. best_of 3 (time_run ed) input )
+            else (0., 0.)
+          in
+          worst_ratio := min !worst_ratio ratio;
+          Printf.printf
+            "  %-12s %7d %12d %12d %6.1fx %8.1f MB/s %6.1f MB/s\n" name
+            (Dfa.num_classes classed_dfa)
+            cb db ratio cmbps dmbps;
+          let record n v =
+            Bench_common.record_result ~experiment:"compress" ~name:n
+              ~labels:[ ("grammar", name) ]
+              v
+          in
+          record "num_classes" (float_of_int (Dfa.num_classes classed_dfa));
+          record "classed_bytes" (float_of_int cb);
+          record "dense_bytes" (float_of_int db);
+          record "ratio" ratio;
+          if throughput then begin
+            record "classed_mb_s" cmbps;
+            record "dense_mb_s" dmbps
+          end
+      | Error Engine.Unbounded_tnd, Error Engine.Unbounded_tnd ->
+          (* table comparison still holds; nothing to run *)
+          worst_ratio := min !worst_ratio ratio;
+          Printf.printf "  %-12s %7d %12d %12d %6.1fx %10s %10s\n" name
+            (Dfa.num_classes classed_dfa)
+            cb db ratio "-" "-"
+      | _ ->
+          Printf.eprintf
+            "compress bench: %s: builds disagree on boundedness\n" name;
+          exit 1))
+    corpus;
+  Printf.printf "  worst byte reduction across corpus: %.1fx\n" !worst_ratio;
+  Bench_common.record_result ~experiment:"compress" ~name:"worst_ratio"
+    !worst_ratio;
+  (* the corpus is ASCII-heavy throughout; the ISSUE floor is 4x *)
+  if !worst_ratio < 4.0 then begin
+    Printf.eprintf "compress bench: byte reduction below the 4x floor\n";
+    exit 1
+  end

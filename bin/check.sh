@@ -18,6 +18,13 @@ dune runtest
 echo "== bench smoke (instrumented-runner parity + overhead)"
 dune exec bench/main.exe -- smoke
 
+echo "== compress gate (classed/dense parity + classed tables <= dense bytes)"
+# Hard checks live inside the bench: same minimal DFA size, byte-identical
+# token streams on workload data, classed <= dense bytes per grammar, and
+# the >=4x corpus-wide byte-reduction floor. Throughput timing is skipped
+# here to keep the gate fast and CI-noise-free.
+dune exec bench/main.exe -- compress-check
+
 echo "== fuzz smoke (differential battery, seeded + deterministic)"
 dune exec -- streamtok fuzz --smoke --seed 42
 

@@ -18,12 +18,15 @@ let initial_frontier d =
   Bits.iter (fun q -> if Dfa.is_final d q then Bits.add s q) reach_ne;
   s
 
+(* Successor states over the class alphabet: every byte is in some class,
+   so stepping once per class covers exactly the byte successors. *)
 let successors d s =
+  let nc = Dfa.num_classes d in
   let t = Bits.create d.Dfa.num_states in
   Bits.iter
     (fun q ->
-      for c = 0 to 255 do
-        Bits.add t (Dfa.step d q (Char.chr c))
+      for c = 0 to nc - 1 do
+        Bits.add t (Dfa.step_class d q c)
       done)
     s;
   t

@@ -4,11 +4,19 @@ module Bits = St_util.Bits
 type t = {
   num_states : int;
   start : int;
+  num_classes : int;
+  classmap : string;
   trans : int array;
   accept : int array;
 }
 
-let step d q c = d.trans.((q lsl 8) lor Char.code c)
+let step d q c =
+  d.trans.((q * d.num_classes) + Char.code (String.unsafe_get d.classmap (Char.code c)))
+
+let step_class d q cls = d.trans.((q * d.num_classes) + cls)
+let class_of d c = Char.code (String.unsafe_get d.classmap (Char.code c))
+let class_of_byte d b = Char.code (String.unsafe_get d.classmap b)
+let num_classes d = d.num_classes
 let is_final d q = d.accept.(q) >= 0
 let accept_rule d q = d.accept.(q)
 let size d = d.num_states
@@ -18,6 +26,53 @@ let run d s =
   String.iter (fun c -> q := step d !q c) s;
   !q
 
+let identity_classmap = String.init 256 Char.chr
+
+(* The coarsest partition of 0–255 that every charset label of the NFA
+   respects: two bytes land in the same class iff every labeled edge either
+   contains both or neither, so they are indistinguishable to the subset
+   construction (and hence to the DFA). Classic flex [yy_ec] refinement:
+   start from one block and split by membership, one charset at a time.
+   Classes are numbered by first byte occurrence, so the result is
+   deterministic for a given NFA. *)
+let equiv_classes (nfa : Nfa.t) =
+  let cls = Array.make 256 0 in
+  let num = ref 1 in
+  let split cs =
+    (* map (old class, membership) -> new class id *)
+    let seen = Hashtbl.create 16 in
+    let next = ref 0 in
+    let nc = Array.make 256 0 in
+    for b = 0 to 255 do
+      let key = (cls.(b), Charset.mem cs (Char.chr b)) in
+      match Hashtbl.find_opt seen key with
+      | Some id -> nc.(b) <- id
+      | None ->
+          Hashtbl.add seen key !next;
+          nc.(b) <- !next;
+          incr next
+    done;
+    if !next <> !num then begin
+      num := !next;
+      Array.blit nc 0 cls 0 256
+    end
+  in
+  Array.iter (fun edges -> List.iter (fun (cs, _) -> split cs) edges) nfa.Nfa.trans;
+  (String.init 256 (fun b -> Char.chr cls.(b)), !num)
+
+(* One representative byte per class, in class order. *)
+let class_reps classmap num_classes =
+  let reps = Array.make num_classes 0 in
+  let seen = Array.make num_classes false in
+  for b = 0 to 255 do
+    let c = Char.code classmap.[b] in
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      reps.(c) <- b
+    end
+  done;
+  reps
+
 module Set_tbl = Hashtbl.Make (struct
   type t = Bits.t
 
@@ -25,7 +80,11 @@ module Set_tbl = Hashtbl.Make (struct
   let hash = Bits.hash
 end)
 
-let of_nfa (nfa : Nfa.t) =
+let of_nfa ?(classes = true) (nfa : Nfa.t) =
+  let classmap, nc =
+    if classes then equiv_classes nfa else (identity_classmap, 256)
+  in
+  let reps = class_reps classmap nc in
   let init = Bits.create nfa.num_states in
   Bits.add init nfa.start;
   Nfa.eps_closure nfa init;
@@ -49,24 +108,33 @@ let of_nfa (nfa : Nfa.t) =
   let scratch = Bits.create nfa.num_states in
   while not (Queue.is_empty worklist) do
     let set, _id = Queue.pop worklist in
-    let row = Array.make 256 0 in
-    for c = 0 to 255 do
-      Nfa.step nfa set (Char.chr c) scratch;
+    let row = Array.make nc 0 in
+    for c = 0 to nc - 1 do
+      Nfa.step nfa set (Char.chr reps.(c)) scratch;
       row.(c) <- intern (Bits.copy scratch)
     done;
     trans_rows := row :: !trans_rows
   done;
   let rows = Array.of_list (List.rev !trans_rows) in
   let n = !count in
-  let trans = Array.make (n * 256) 0 in
-  Array.iteri (fun q row -> Array.blit row 0 trans (q * 256) 256) rows;
-  { num_states = n; start = start_id; trans; accept = St_util.Int_vec.to_array accept }
+  let trans = Array.make (n * nc) 0 in
+  Array.iteri (fun q row -> Array.blit row 0 trans (q * nc) nc) rows;
+  {
+    num_states = n;
+    start = start_id;
+    num_classes = nc;
+    classmap;
+    trans;
+    accept = St_util.Int_vec.to_array accept;
+  }
 
-(* Moore minimization. The initial partition separates states by Λ (so
-   distinct token ids are never merged); refinement splits blocks whose
-   members disagree on the block of some successor. *)
+(* Moore minimization, in class space. The initial partition separates
+   states by Λ (so distinct token ids are never merged); refinement splits
+   blocks whose members disagree on the block of some successor. The
+   classmap is unchanged: merging states never coarsens the alphabet. *)
 let minimize_dfa d =
   let n = d.num_states in
+  let nc = d.num_classes in
   let block = Array.make n 0 in
   (* initial blocks by accept label *)
   let label_tbl = Hashtbl.create 8 in
@@ -88,10 +156,10 @@ let minimize_dfa d =
     let new_block = Array.make n 0 in
     let count = ref 0 in
     for q = 0 to n - 1 do
-      let key = Array.make 257 0 in
+      let key = Array.make (nc + 1) 0 in
       key.(0) <- block.(q);
-      for c = 0 to 255 do
-        key.(c + 1) <- block.(d.trans.((q lsl 8) lor c))
+      for c = 0 to nc - 1 do
+        key.(c + 1) <- block.(d.trans.((q * nc) + c))
       done;
       match Hashtbl.find_opt sig_tbl key with
       | Some b -> new_block.(q) <- b
@@ -107,33 +175,44 @@ let minimize_dfa d =
     end
   done;
   let m = !next_block in
-  let trans = Array.make (m * 256) 0 in
+  let trans = Array.make (m * nc) 0 in
   let accept = Array.make m (-1) in
   for q = 0 to n - 1 do
     let b = block.(q) in
     accept.(b) <- d.accept.(q);
-    for c = 0 to 255 do
-      trans.((b lsl 8) lor c) <- block.(d.trans.((q lsl 8) lor c))
+    for c = 0 to nc - 1 do
+      trans.((b * nc) + c) <- block.(d.trans.((q * nc) + c))
     done
   done;
   (* Re-number so that only states reachable from start remain (merging can
      leave none unreachable, but keep the invariant explicit). *)
-  let dm = { num_states = m; start = block.(d.start); trans; accept } in
+  let dm =
+    {
+      num_states = m;
+      start = block.(d.start);
+      num_classes = nc;
+      classmap = d.classmap;
+      trans;
+      accept;
+    }
+  in
   dm
 
-let of_rules ?(minimize = true) rules =
-  let d = of_nfa (Nfa.of_rules rules) in
+let of_rules ?(minimize = true) ?classes rules =
+  let d = of_nfa ?classes (Nfa.of_rules rules) in
   if minimize then minimize_dfa d else d
 
-let of_grammar ?minimize src = of_rules ?minimize (Parser.parse_grammar src)
+let of_grammar ?minimize ?classes src =
+  of_rules ?minimize ?classes (Parser.parse_grammar src)
 
 let co_accessible d =
   let n = d.num_states in
+  let nc = d.num_classes in
   (* reverse adjacency *)
   let preds = Array.make n [] in
   for q = 0 to n - 1 do
-    for c = 0 to 255 do
-      let q' = d.trans.((q lsl 8) lor c) in
+    for c = 0 to nc - 1 do
+      let q' = d.trans.((q * nc) + c) in
       preds.(q') <- q :: preds.(q')
     done
   done;
@@ -162,6 +241,7 @@ let co_accessible d =
 
 let reachable_nonempty d =
   let n = d.num_states in
+  let nc = d.num_classes in
   (* reachable-from-start set (start reachable via ε) *)
   let reach = Bits.create n in
   Bits.add reach d.start;
@@ -171,8 +251,8 @@ let reachable_nonempty d =
     | [] -> ()
     | q :: rest ->
         stack := rest;
-        for c = 0 to 255 do
-          let q' = d.trans.((q lsl 8) lor c) in
+        for c = 0 to nc - 1 do
+          let q' = d.trans.((q * nc) + c) in
           if not (Bits.mem reach q') then begin
             Bits.add reach q';
             stack := q' :: !stack
@@ -184,8 +264,8 @@ let reachable_nonempty d =
   let seen = Bits.create n in
   Bits.iter
     (fun q ->
-      for c = 0 to 255 do
-        Bits.add seen d.trans.((q lsl 8) lor c)
+      for c = 0 to nc - 1 do
+        Bits.add seen d.trans.((q * nc) + c)
       done)
     reach;
   seen
@@ -193,11 +273,13 @@ let reachable_nonempty d =
 let is_reject _d coacc q = not (Bits.mem coacc q)
 
 let equal (a : t) b =
-  a.num_states = b.num_states && a.start = b.start && a.trans = b.trans
-  && a.accept = b.accept
+  a.num_states = b.num_states && a.start = b.start
+  && a.num_classes = b.num_classes
+  && a.classmap = b.classmap && a.trans = b.trans && a.accept = b.accept
 
 let pp fmt d =
-  Format.fprintf fmt "dfa: %d states, start %d@." d.num_states d.start;
+  Format.fprintf fmt "dfa: %d states, start %d, %d classes@." d.num_states
+    d.start d.num_classes;
   for q = 0 to d.num_states - 1 do
     let rule = d.accept.(q) in
     Format.fprintf fmt "  %d%s:" q
@@ -205,9 +287,9 @@ let pp fmt d =
     (* group target states by contiguous byte ranges *)
     let c = ref 0 in
     while !c <= 255 do
-      let tgt = d.trans.((q lsl 8) lor !c) in
+      let tgt = step d q (Char.chr !c) in
       let j = ref !c in
-      while !j < 255 && d.trans.((q lsl 8) lor (!j + 1)) = tgt do
+      while !j < 255 && step d q (Char.chr (!j + 1)) = tgt do
         incr j
       done;
       if !j > !c then Format.fprintf fmt " %02x-%02x->%d" !c !j tgt

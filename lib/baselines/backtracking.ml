@@ -24,6 +24,7 @@ let fail s startP =
 let run d s ~emit =
   let coacc = Dfa.co_accessible d in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let n = String.length s in
   let steps = ref 0 in
   let startP = ref 0 in
@@ -35,7 +36,11 @@ let run d s ~emit =
     let tk_len = ref 0 and tk_rule = ref (-1) in
     let scanning = ref true in
     while !scanning && !pos < n do
-      q := trans.((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+      q :=
+        trans.((!q * nc)
+               + Char.code
+                   (String.unsafe_get cmap
+                      (Char.code (String.unsafe_get s !pos))));
       incr pos;
       incr steps;
       let rule = accept.(!q) in

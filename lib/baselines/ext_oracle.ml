@@ -27,21 +27,24 @@ type result = {
 
 type oracle = {
   dfa : Dfa.t;
+  nc : int;  (* byte equivalence classes of [dfa] *)
   mutable num_states : int;
   mutable capacity : int;
-  mutable trans : int array;  (* capacity × 256; -1 = not built *)
+  mutable trans : int array;  (* capacity × nc; -1 = not built *)
   mutable sets : Bits.t array;
   tbl : (Bits.t, int) Hashtbl.t;
 }
 
 let oracle_create dfa =
   let capacity = 16 in
+  let nc = Dfa.num_classes dfa in
   let o =
     {
       dfa;
+      nc;
       num_states = 0;
       capacity;
-      trans = Array.make (capacity * 256) (-1);
+      trans = Array.make (capacity * nc) (-1);
       sets = Array.make capacity (Bits.create 0);
       tbl = Hashtbl.create 64;
     }
@@ -54,8 +57,8 @@ let oracle_intern o set =
   | None ->
       if o.num_states = o.capacity then begin
         let cap = 2 * o.capacity in
-        let trans = Array.make (cap * 256) (-1) in
-        Array.blit o.trans 0 trans 0 (o.num_states * 256);
+        let trans = Array.make (cap * o.nc) (-1) in
+        Array.blit o.trans 0 trans 0 (o.num_states * o.nc);
         o.trans <- trans;
         let sets = Array.make cap (Bits.create 0) in
         Array.blit o.sets 0 sets 0 o.num_states;
@@ -68,8 +71,11 @@ let oracle_intern o set =
       o.sets.(id) <- set;
       id
 
+(* f_c depends on the DFA transitions on [c] only, so it factors through
+   the byte equivalence classes: one memoized column per class suffices. *)
 let oracle_step o id c =
-  let tgt = o.trans.((id * 256) + c) in
+  let cls = Dfa.class_of_byte o.dfa c in
+  let tgt = o.trans.((id * o.nc) + cls) in
   if tgt >= 0 then tgt
   else begin
     let d = o.dfa in
@@ -77,11 +83,11 @@ let oracle_step o id c =
     let set = o.sets.(id) in
     let next = Bits.create m in
     for q = 0 to m - 1 do
-      let q' = d.Dfa.trans.((q lsl 8) lor c) in
+      let q' = Dfa.step_class d q cls in
       if d.Dfa.accept.(q') >= 0 || Bits.mem set q' then Bits.add next q
     done;
     let tgt = oracle_intern o (Bits.copy next) in
-    o.trans.((id * 256) + c) <- tgt;
+    o.trans.((id * o.nc) + cls) <- tgt;
     tgt
   end
 
@@ -89,6 +95,7 @@ let run d s ~emit =
   let n = String.length s in
   let m = Dfa.size d in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let o = oracle_create d in
   let empty_id = oracle_intern o (Bits.create m) in
   (* backward pass: tape.(i) = oracle-state id of R_i; byte-wide ids with
@@ -128,7 +135,10 @@ let run d s ~emit =
   let pos = ref 0 in
   let outcome = ref None in
   while !outcome = None && !pos < n do
-    q := trans.((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    q :=
+      trans.((!q * nc)
+             + Char.code
+                 (String.unsafe_get cmap (Char.code (String.unsafe_get s !pos))));
     incr pos;
     if not (St_util.Bits.mem coacc !q) then
       outcome :=

@@ -33,7 +33,7 @@ let build_equiv_classes d =
   for c = 0 to 255 do
     let buf = Buffer.create (m * 3) in
     for q = 0 to m - 1 do
-      Buffer.add_string buf (string_of_int d.Dfa.trans.((q lsl 8) lor c));
+      Buffer.add_string buf (string_of_int (Dfa.step d q (Char.chr c)));
       Buffer.add_char buf ','
     done;
     let key = Buffer.contents buf in
@@ -52,7 +52,7 @@ let compile d =
   let ec, nc, reps = build_equiv_classes d in
   (* class-indexed rows *)
   let row q =
-    List.map (fun (cls, c) -> (cls, d.Dfa.trans.((q lsl 8) lor c))) reps
+    List.map (fun (cls, c) -> (cls, Dfa.step d q (Char.chr c))) reps
   in
   let rows = Array.init m row in
   (* template: the state with the most frequent row shape (flex uses the

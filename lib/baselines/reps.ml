@@ -10,6 +10,7 @@ type result = {
 let run d s ~emit =
   let coacc = Dfa.co_accessible d in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let n = String.length s in
   let m = Dfa.size d in
   (* failed bit (q * (n+1) + pos): the deterministic run from state q at
@@ -47,7 +48,11 @@ let run d s ~emit =
     while !scanning && !pos < n do
       if memo_mem (key !q !pos) then scanning := false
       else begin
-        q := trans.((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+        q :=
+          trans.((!q * nc)
+                 + Char.code
+                     (String.unsafe_get cmap
+                        (Char.code (String.unsafe_get s !pos))));
         incr pos;
         incr steps;
         St_util.Int_vec.push visited_q !q;

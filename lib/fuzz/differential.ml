@@ -177,6 +177,21 @@ let check ?(on_subject = fun _ -> ()) spec =
         let batch = of_engine (Engine.tokens e input) in
         let batch = if spec.inject_bug then inject batch else batch in
         expect "engine" batch;
+        (* the dense 256-column reference build: the classed hot path the
+           "engine" subject just ran must be byte-identical to it — the
+           alphabet-compression cross-engine arm *)
+        (match Engine.compile (Dfa.of_rules ~classes:false spec.rules) with
+        | Error Engine.Unbounded_tnd ->
+            incr subjects;
+            on_subject "engine-dense";
+            mismatches :=
+              {
+                subject = "engine-dense";
+                expected = reference;
+                got = { tokens = []; failure = Some (0, "dense compile failed") };
+              }
+              :: !mismatches
+        | Ok ed -> expect "engine-dense" (of_engine (Engine.tokens ed input)));
         List.iter
           (fun (name, ch) ->
             expect ~equal:behaviour_equal_streaming ("stream:" ^ name)

@@ -11,7 +11,10 @@
       greedy coincides with maximal munch), the prefix-reconstruction
       invariant otherwise (greedy's divergence on multi-rule grammars is
       documented semantics, not a bug);
-    - when the grammar has bounded max-TND: the batch StreamTok engine,
+    - when the grammar has bounded max-TND: the batch StreamTok engine
+      (classed tables), the [engine-dense] cross-engine arm (the same
+      engine compiled from the dense 256-column reference DFA,
+      [~classes:false] — the alphabet-compression parity check),
       {!St_streamtok.Stream_tokenizer} under every supplied chunking, and
       {!St_parallel.Par_tokenizer} with forced segmentation
       ([min_input_bytes = 1]) for each domain count, so splice points land

@@ -91,7 +91,7 @@ let token_dense rng dfa ~target_len =
     | None ->
         let acc = ref [] in
         for c = 255 downto 0 do
-          let q' = dfa.Dfa.trans.((q lsl 8) lor c) in
+          let q' = Dfa.step dfa q (Char.chr c) in
           if not (Dfa.is_reject dfa coacc q') then acc := Char.chr c :: !acc
         done;
         let a = Array.of_list !acc in

@@ -4,8 +4,9 @@ module Tnd = St_analysis.Tnd
 
 type mode =
   | Table_k1 of Bytes.t
-      (* Fig. 5: [q * 257 + sym] = '\001' iff the token ending at final
-         state [q] is maximal given next symbol [sym] (256 = EOF). *)
+      (* Fig. 5: [q * (num_classes + 1) + class] = '\001' iff the token
+         ending at final state [q] is maximal given a next symbol of that
+         equivalence class (last column = EOF). *)
   | Te of Te_dfa.t (* Fig. 6 *)
 
 type t = { dfa : Dfa.t; k : int; reject : bool array; mode : mode }
@@ -31,28 +32,34 @@ let k1_table_bytes e =
   match e.mode with Table_k1 tbl -> Bytes.length tbl | Te _ -> 0
 
 let footprint_bytes e =
-  let dfa_bytes = (Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8 in
+  (* classed transition table + accept row, plus the 256-byte classmap that
+     every lookup goes through *)
+  let dfa_bytes =
+    ((Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8) + 256
+  in
   let mode_bytes =
     match e.mode with
     | Table_k1 tbl -> Bytes.length tbl
     | Te te ->
         (* materialized powerstates: transition row + emit-bit row each *)
         Te_dfa.num_states te
-        * ((257 * 8) + (((Dfa.size e.dfa + 63) / 64) * 8) + 16)
+        * ((Te_dfa.width te * 8) + (((Dfa.size e.dfa + 63) / 64) * 8) + 16)
   in
   dfa_bytes + mode_bytes + lookahead_buffer_bytes e + 64
 
 let build_k1_table d =
   let n = Dfa.size d in
-  let tbl = Bytes.make (n * 257) '\000' in
+  let nc = Dfa.num_classes d in
+  let kw = nc + 1 in
+  let tbl = Bytes.make (n * kw) '\000' in
   for q = 0 to n - 1 do
     if Dfa.is_final d q then begin
-      for c = 0 to 255 do
-        if not (Dfa.is_final d (Dfa.step d q (Char.chr c))) then
-          Bytes.set tbl ((q * 257) + c) '\001'
+      for c = 0 to nc - 1 do
+        if not (Dfa.is_final d (Dfa.step_class d q c)) then
+          Bytes.set tbl ((q * kw) + c) '\001'
       done;
       (* at EOF nothing can extend the token *)
-      Bytes.set tbl ((q * 257) + 256) '\001'
+      Bytes.set tbl ((q * kw) + nc) '\001'
     end
   done;
   tbl
@@ -138,7 +145,10 @@ let fail s startP =
   Failed
     { offset = startP; pending = String.sub s startP (String.length s - startP) }
 
-(* Fig. 5 specialized runner: one DFA step and one table probe per symbol.
+(* Fig. 5 specialized runner: per symbol, one classmap load, one DFA step
+   and one table probe — the two-load form. The class of the lookahead byte
+   is carried into the next iteration, where the same byte is the one
+   consumed, so each byte is translated exactly once.
 
    There is no per-symbol failure check: once the DFA enters a reject state
    it can never be final again, so no token is ever emitted past that point
@@ -148,38 +158,52 @@ let fail s startP =
 let run_string_k1 ?(from = 0) e tbl s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
   let q = ref start in
   let startP = ref from in
   let pos = ref from in
+  let cls =
+    ref
+      (if from < n then
+         Char.code
+           (String.unsafe_get cmap (Char.code (String.unsafe_get s from)))
+       else nc)
+  in
   while !pos < n do
-    q :=
-      Array.unsafe_get trans
-        ((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    q := Array.unsafe_get trans ((!q * nc) + !cls);
     incr pos;
-    let next_sym =
-      if !pos < n then Char.code (String.unsafe_get s !pos) else 256
+    let next_cls =
+      if !pos < n then
+        Char.code
+          (String.unsafe_get cmap (Char.code (String.unsafe_get s !pos)))
+      else nc
     in
-    if Bytes.unsafe_get tbl ((!q * 257) + next_sym) <> '\000' then begin
+    if Bytes.unsafe_get tbl ((!q * kw) + next_cls) <> '\000' then begin
       emit ~pos:!startP ~len:(!pos - !startP) ~rule:accept.(!q);
       startP := !pos;
       q := start
-    end
+    end;
+    cls := next_cls
   done;
   if !startP < n then fail s !startP else Finished
 
-(* Fig. 6 runner: the token-extension DFA runs K symbols ahead. Three table
-   lookups per symbol (δ_B, δ_A, and the maximality probe); the maximality
-   table T[q][S] is materialized as a packed bit matrix so the per-symbol
-   check is branch + single word read. Failure detection is lazy, as in the
-   K ≤ 1 runner. *)
+(* Fig. 6 runner: the token-extension DFA runs K symbols ahead. Per symbol:
+   two classmap loads (lookahead and consumed byte), δ_B, δ_A, and the
+   maximality probe; the maximality table T[q][S] is materialized as a
+   packed bit matrix so the per-symbol check is branch + single word read.
+   Failure detection is lazy, as in the K ≤ 1 runner. *)
 let run_string_te ?(from = 0) e te s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
+  let tw = Te_dfa.Raw.width te in
+  let eofc = tw - 1 in
   let n = String.length s in
   let q = ref start in
   let st = ref (Te_dfa.start te) in
@@ -188,27 +212,27 @@ let run_string_te ?(from = 0) e te s ~emit =
      materializes a new powerstate (which may reallocate the arrays). *)
   let te_trans = ref (Te_dfa.Raw.trans te) in
   let emit_rows = ref (Te_dfa.Raw.emit_rows te) in
-  let te_step sym =
-    let tgt = Array.unsafe_get !te_trans ((!st * 257) + sym) in
+  let te_step cls =
+    let tgt = Array.unsafe_get !te_trans ((!st * tw) + cls) in
     if tgt >= 0 then st := tgt
     else begin
-      st := Te_dfa.step te !st sym;
+      st := Te_dfa.step_class te !st cls;
       te_trans := Te_dfa.Raw.trans te;
       emit_rows := Te_dfa.Raw.emit_rows te
     end
   in
+  let class_at i =
+    if i < n then
+      Char.code (String.unsafe_get cmap (Char.code (String.unsafe_get s i)))
+    else eofc
+  in
   (* prologue: B consumes the first K symbols (or pads at EOF) *)
   for i = from to from + k - 1 do
-    te_step
-      (if i < n then Char.code (String.unsafe_get s i) else Te_dfa.eof_symbol)
+    te_step (class_at i)
   done;
   for pos = from to n - 1 do
-    te_step
-      (if pos + k < n then Char.code (String.unsafe_get s (pos + k))
-       else Te_dfa.eof_symbol);
-    q :=
-      Array.unsafe_get trans
-        ((!q lsl 8) lor Char.code (String.unsafe_get s pos));
+    te_step (class_at (pos + k));
+    q := Array.unsafe_get trans ((!q * nc) + class_at pos);
     if
       Int64.logand
         (Int64.shift_right_logical
@@ -246,61 +270,75 @@ let tokens e s =
 let run_string_k1_obs ~from e tbl rc s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
   let q = ref start in
   let startP = ref from in
   let pos = ref from in
+  let cls =
+    ref
+      (if from < n then
+         Char.code
+           (String.unsafe_get cmap (Char.code (String.unsafe_get s from)))
+       else nc)
+  in
   while !pos < n do
-    q :=
-      Array.unsafe_get trans
-        ((!q lsl 8) lor Char.code (String.unsafe_get s !pos));
+    q := Array.unsafe_get trans ((!q * nc) + !cls);
     incr pos;
-    let next_sym =
-      if !pos < n then Char.code (String.unsafe_get s !pos) else 256
+    let next_cls =
+      if !pos < n then
+        Char.code
+          (String.unsafe_get cmap (Char.code (String.unsafe_get s !pos)))
+      else nc
     in
-    if Bytes.unsafe_get tbl ((!q * 257) + next_sym) <> '\000' then begin
+    if Bytes.unsafe_get tbl ((!q * kw) + next_cls) <> '\000' then begin
       let rule = Array.unsafe_get accept !q in
       Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
       emit ~pos:!startP ~len:(!pos - !startP) ~rule;
       startP := !pos;
       q := start
-    end
+    end;
+    cls := next_cls
   done;
   if !startP < n then fail s !startP else Finished
 
 let run_string_te_obs ~from e te rc s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
+  let tw = Te_dfa.Raw.width te in
+  let eofc = tw - 1 in
   let n = String.length s in
   let q = ref start in
   let st = ref (Te_dfa.start te) in
   let startP = ref from in
   let te_trans = ref (Te_dfa.Raw.trans te) in
   let emit_rows = ref (Te_dfa.Raw.emit_rows te) in
-  let te_step sym =
-    let tgt = Array.unsafe_get !te_trans ((!st * 257) + sym) in
+  let te_step cls =
+    let tgt = Array.unsafe_get !te_trans ((!st * tw) + cls) in
     if tgt >= 0 then st := tgt
     else begin
-      st := Te_dfa.step te !st sym;
+      st := Te_dfa.step_class te !st cls;
       te_trans := Te_dfa.Raw.trans te;
       emit_rows := Te_dfa.Raw.emit_rows te
     end
   in
+  let class_at i =
+    if i < n then
+      Char.code (String.unsafe_get cmap (Char.code (String.unsafe_get s i)))
+    else eofc
+  in
   for i = from to from + k - 1 do
-    te_step
-      (if i < n then Char.code (String.unsafe_get s i) else Te_dfa.eof_symbol)
+    te_step (class_at i)
   done;
   for pos = from to n - 1 do
-    te_step
-      (if pos + k < n then Char.code (String.unsafe_get s (pos + k))
-       else Te_dfa.eof_symbol);
-    q :=
-      Array.unsafe_get trans
-        ((!q lsl 8) lor Char.code (String.unsafe_get s pos));
+    te_step (class_at (pos + k));
+    q := Array.unsafe_get trans ((!q * nc) + class_at pos);
     if
       Int64.logand
         (Int64.shift_right_logical
@@ -342,7 +380,7 @@ module Internal = struct
   let delay e = max e.k 1
   let is_reject e q = e.reject.(q)
   let dfa_start e = e.dfa.Dfa.start
-  let dfa_step e q byte = e.dfa.Dfa.trans.((q lsl 8) lor byte)
+  let dfa_step e q byte = Dfa.step e.dfa q (Char.unsafe_chr byte)
   let accept e q = e.dfa.Dfa.accept.(q)
 
   let la_start e =
@@ -351,9 +389,14 @@ module Internal = struct
   let la_step e la sym =
     match e.mode with Table_k1 _ -> sym | Te te -> Te_dfa.step te la sym
 
+  (* [la] is byte-level (0..255 or 256 = EOF); translated here so callers
+     stay independent of the class layout *)
   let maximal e q la =
     match e.mode with
-    | Table_k1 tbl -> Bytes.get tbl ((q * 257) + la) = '\001'
+    | Table_k1 tbl ->
+        let nc = Dfa.num_classes e.dfa in
+        let cls = if la = 256 then nc else Dfa.class_of_byte e.dfa la in
+        Bytes.get tbl ((q * (nc + 1)) + cls) = '\001'
     | Te te -> Te_dfa.emit_bit te la q
 
   let k1_table e = match e.mode with Table_k1 tbl -> Some tbl | Te _ -> None

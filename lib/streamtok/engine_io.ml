@@ -1,7 +1,12 @@
 open St_automata
 
 let magic = "STKE"
-let version = 1
+
+(* version 2 added alphabet equivalence classes: a num_classes field plus the
+   raw 256-byte classmap, with the transition table shrunk to
+   num_states × num_classes. Version-1 blobs (dense 256-column) are no
+   longer produced and are rejected on load. *)
+let version = 2
 
 (* little-endian 32-bit ints; table entries are small nonnegative numbers
    (state ids, rule ids ≥ -1 stored +1) *)
@@ -36,6 +41,8 @@ let to_string e =
   put_i32 buf (Engine.k e);
   put_i32 buf d.Dfa.num_states;
   put_i32 buf d.Dfa.start;
+  put_i32 buf d.Dfa.num_classes;
+  Buffer.add_string buf d.Dfa.classmap;
   Array.iter (fun r -> put_i32 buf (r + 1)) d.Dfa.accept;
   Array.iter (fun t -> put_i32 buf t) d.Dfa.trans;
   let s = Bytes.of_string (Buffer.contents buf) in
@@ -48,7 +55,7 @@ let to_string e =
 
 let of_string ?(verify = true) s =
   let err msg = Error ("Engine_io: " ^ msg) in
-  if String.length s < 21 then err "truncated header"
+  if String.length s < 281 then err "truncated header"
   else if String.sub s 0 4 <> magic then err "bad magic"
   else if Char.code s.[4] <> version then
     err (Printf.sprintf "unsupported version %d" (Char.code s.[4]))
@@ -59,37 +66,52 @@ let of_string ?(verify = true) s =
       let k = get_i32 s 9 in
       let num_states = get_i32 s 13 in
       let start = get_i32 s 17 in
-      let need = 21 + (4 * num_states) + (4 * num_states * 256) in
-      if num_states <= 0 || String.length s <> need then err "bad table sizes"
+      let num_classes = get_i32 s 21 in
+      let need = 281 + (4 * num_states) + (4 * num_states * num_classes) in
+      if
+        num_states <= 0 || num_classes <= 0 || num_classes > 256
+        || String.length s <> need
+      then err "bad table sizes"
       else if start < 0 || start >= num_states then err "bad start state"
       else begin
-        let accept =
-          Array.init num_states (fun q -> get_i32 s (21 + (4 * q)) - 1)
-        in
-        let base = 21 + (4 * num_states) in
-        let trans =
-          Array.init (num_states * 256) (fun i -> get_i32 s (base + (4 * i)))
-        in
-        if Array.exists (fun t -> t < 0 || t >= num_states) trans then
-          err "transition out of range"
+        let classmap = String.sub s 25 256 in
+        if
+          String.exists (fun c -> Char.code c >= num_classes) classmap
+        then err "classmap entry out of range"
         else begin
-          let d = { Dfa.num_states; start; trans; accept } in
-          if verify then begin
-            match St_analysis.Tnd.max_tnd d with
-            | St_analysis.Tnd.Finite k' when k' = k -> (
-                match Engine.compile d with
-                | Ok e -> Ok e
-                | Error Engine.Unbounded_tnd -> err "analysis disagreement")
-            | St_analysis.Tnd.Finite k' ->
-                err
-                  (Printf.sprintf "stored max-TND %d but analysis says %d" k k')
-            | St_analysis.Tnd.Infinite ->
-                err "stored DFA has unbounded max-TND"
+          let accept =
+            Array.init num_states (fun q -> get_i32 s (281 + (4 * q)) - 1)
+          in
+          let base = 281 + (4 * num_states) in
+          let trans =
+            Array.init
+              (num_states * num_classes)
+              (fun i -> get_i32 s (base + (4 * i)))
+          in
+          if Array.exists (fun t -> t < 0 || t >= num_states) trans then
+            err "transition out of range"
+          else begin
+            let d =
+              { Dfa.num_states; start; num_classes; classmap; trans; accept }
+            in
+            if verify then begin
+              match St_analysis.Tnd.max_tnd d with
+              | St_analysis.Tnd.Finite k' when k' = k -> (
+                  match Engine.compile d with
+                  | Ok e -> Ok e
+                  | Error Engine.Unbounded_tnd -> err "analysis disagreement")
+              | St_analysis.Tnd.Finite k' ->
+                  err
+                    (Printf.sprintf "stored max-TND %d but analysis says %d" k
+                       k')
+              | St_analysis.Tnd.Infinite ->
+                  err "stored DFA has unbounded max-TND"
+            end
+            else
+              match Engine.compile_trusted d ~k with
+              | e -> Ok e
+              | exception Invalid_argument m -> err m
           end
-          else
-            match Engine.compile_trusted d ~k with
-            | e -> Ok e
-            | exception Invalid_argument m -> err m
         end
       end
     end

@@ -20,6 +20,7 @@ type impl =
       mutable te_trans : int array;  (* cached lazy views *)
       mutable emit_rows : int64 array;
       words : int;
+      twidth : int;  (* TeDFA row width: num_classes + 1, EOF last *)
     }
 
 type t = {
@@ -28,6 +29,8 @@ type t = {
   trans : int array;
   accept : int array;
   reject : bool array;
+  cmap : string;  (* byte → equivalence class, 256 bytes *)
+  nc : int;  (* classes; the k1 table and TeDFA rows are nc+1 wide *)
   dfa_start : int;
   mutable q : int;
   token : Buffer.t;  (* bytes of the unfinished token from earlier chunks *)
@@ -63,6 +66,7 @@ let create ?stats engine ~emit =
             te_trans = Te_dfa.Raw.trans te;
             emit_rows = Te_dfa.Raw.emit_rows te;
             words = Te_dfa.Raw.words te;
+            twidth = Te_dfa.Raw.width te;
           }
   in
   let emit =
@@ -81,6 +85,8 @@ let create ?stats engine ~emit =
     trans = d.St_automata.Dfa.trans;
     accept = d.St_automata.Dfa.accept;
     reject = Array.init (St_automata.Dfa.size d) (fun q -> I.is_reject engine q);
+    cmap = d.St_automata.Dfa.classmap;
+    nc = d.St_automata.Dfa.num_classes;
     dfa_start = d.St_automata.Dfa.start;
     q = d.St_automata.Dfa.start;
     token = Buffer.create 64;
@@ -128,11 +134,16 @@ let emit_token t s seg last =
    (byte or 256); the byte's text is already in t.token or will be handled
    by the caller's segment bookkeeping — here only for the carried byte. *)
 let k1_consume_carried t tbl c la =
-  t.q <- t.trans.((t.q lsl 8) lor c);
+  t.q <- t.trans.((t.q * t.nc) + Char.code (String.unsafe_get t.cmap c));
   Buffer.add_char t.token (Char.chr c);
   if t.reject.(t.q) then fail_with t (Buffer.contents t.token)
-  else if Bytes.unsafe_get tbl ((t.q * 257) + la) <> '\000' then
-    emit_token t "" 0 (-1)
+  else begin
+    let lacls =
+      if la = 256 then t.nc else Char.code (String.unsafe_get t.cmap la)
+    in
+    if Bytes.unsafe_get tbl ((t.q * (t.nc + 1)) + lacls) <> '\000' then
+      emit_token t "" 0 (-1)
+  end
 
 let feed t s pos len =
   if pos < 0 || len < 0 || pos + len > String.length s then
@@ -159,16 +170,25 @@ let feed t s pos len =
         end;
         let seg = ref !i in
         let trans = t.trans and tbl = m.tbl and reject = t.reject in
+        let cmap = t.cmap and nc = t.nc in
+        let kw = nc + 1 in
         while t.state = `Running && !i + 1 < finish do
-          let c = Char.code (String.unsafe_get s !i) in
-          let la = Char.code (String.unsafe_get s (!i + 1)) in
-          t.q <- Array.unsafe_get trans ((t.q lsl 8) lor c);
+          let c =
+            Char.code
+              (String.unsafe_get cmap (Char.code (String.unsafe_get s !i)))
+          in
+          let la =
+            Char.code
+              (String.unsafe_get cmap
+                 (Char.code (String.unsafe_get s (!i + 1))))
+          in
+          t.q <- Array.unsafe_get trans ((t.q * nc) + c);
           if Array.unsafe_get reject t.q then begin
             Buffer.add_substring t.token s !seg (!i - !seg + 1);
             fail_with t (Buffer.contents t.token)
           end
           else begin
-            if Bytes.unsafe_get tbl ((t.q * 257) + la) <> '\000' then begin
+            if Bytes.unsafe_get tbl ((t.q * kw) + la) <> '\000' then begin
               emit_token t s !seg !i;
               seg := !i + 1
             end;
@@ -188,13 +208,17 @@ let feed t s pos len =
         let finish = pos + len in
         let i = ref pos in
         let trans = t.trans and reject = t.reject in
+        let cmap = t.cmap and nc = t.nc in
         while t.state = `Running && !i < finish do
           let c = Char.code (String.unsafe_get s !i) in
+          let ccls =
+            Char.code (String.unsafe_get cmap c)
+          in
           (* B: token-extension DFA step, lazy views refreshed on miss *)
-          let tgt = Array.unsafe_get m.te_trans ((m.st * 257) + c) in
+          let tgt = Array.unsafe_get m.te_trans ((m.st * m.twidth) + ccls) in
           if tgt >= 0 then m.st <- tgt
           else begin
-            m.st <- Te_dfa.step m.te m.st c;
+            m.st <- Te_dfa.step_class m.te m.st ccls;
             m.te_trans <- Te_dfa.Raw.trans m.te;
             m.emit_rows <- Te_dfa.Raw.emit_rows m.te
           end;
@@ -204,7 +228,9 @@ let feed t s pos len =
             m.rd <- (m.rd + 1) land m.mask;
             Bytes.unsafe_set m.ring m.wr (Char.unsafe_chr c);
             m.wr <- (m.wr + 1) land m.mask;
-            t.q <- Array.unsafe_get trans ((t.q lsl 8) lor c');
+            t.q <-
+              Array.unsafe_get trans
+                ((t.q * nc) + Char.code (String.unsafe_get cmap c'));
             Buffer.add_char t.token (Char.unsafe_chr c');
             if Array.unsafe_get reject t.q then
               fail_with t (Buffer.contents t.token)
@@ -254,7 +280,8 @@ let finish t =
               let c' = Char.code (Bytes.unsafe_get m.ring m.rd) in
               m.rd <- (m.rd + 1) land m.mask;
               m.rlen <- m.rlen - 1;
-              t.q <- t.trans.((t.q lsl 8) lor c');
+              t.q <-
+                t.trans.((t.q * t.nc) + Char.code (String.unsafe_get t.cmap c'));
               Buffer.add_char t.token (Char.chr c');
               if t.reject.(t.q) then fail_with t (Buffer.contents t.token)
               else if Te_dfa.emit_bit m.te m.st t.q then emit_token t "" 0 (-1)

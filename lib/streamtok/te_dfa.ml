@@ -9,7 +9,13 @@ module Bits = St_util.Bits
    automaton keeps the O(1) amortized per-symbol cost for arbitrary K.
    This realizes the paper's implementation note that the token-extension
    paths are kept in a compact shared structure from which the TeDFA is
-   built without enumerating paths. *)
+   built without enumerating paths.
+
+   Rows are indexed by the underlying DFA's byte equivalence classes, not
+   raw bytes: bytes the DFA cannot distinguish take identical extension
+   paths, so the powerset step factors through the classmap. A row is
+   [width = num_classes + 1] wide; the last column is the EOF
+   pseudo-symbol. *)
 
 module Set_key = struct
   type t = Bits.t
@@ -23,12 +29,13 @@ module Set_tbl = Hashtbl.Make (Set_key)
 type t = {
   dfa : Dfa.t;
   k : int;
+  width : int;  (* columns per transition row: num_classes + 1 (EOF last) *)
   fidx : int array;
   num_finals : int;
   words : int;  (* int64 words per emit-bit row: ceil(|DFA|/64) *)
   mutable num_states : int;
   mutable capacity : int;
-  mutable trans : int array;  (* capacity × 257; -1 = not yet built *)
+  mutable trans : int array;  (* capacity × width; -1 = not yet built *)
   mutable emit_rows : int64 array;  (* capacity × words *)
   mutable origin_rows : Bits.t array;  (* per state: extendable finals *)
   mutable sets : Bits.t array;  (* per state: the NFA powerset *)
@@ -46,6 +53,8 @@ type t = {
 }
 
 let eof_symbol = 256
+let width t = t.width
+let eof_class t = t.width - 1
 
 (* NFA state encoding, given M = DFA size, F = number of finals, K:
    - Active (f0, q, j), j ∈ 0..K-1:  id = f0*M*K + q*K + j
@@ -57,8 +66,8 @@ let done_ t f0 j = t.active_count + (f0 * t.k) + (j - 1)
 
 let grow t =
   let cap = 2 * t.capacity in
-  let trans = Array.make (cap * 257) (-1) in
-  Array.blit t.trans 0 trans 0 (t.num_states * 257);
+  let trans = Array.make (cap * t.width) (-1) in
+  Array.blit t.trans 0 trans 0 (t.num_states * t.width);
   t.trans <- trans;
   let emit_rows = Array.make (cap * t.words) 0L in
   Array.blit t.emit_rows 0 emit_rows 0 (t.num_states * t.words);
@@ -96,20 +105,21 @@ let intern t set =
       done;
       id
 
-(* one NFA step of the whole powerset on [sym] (byte or EOF); restart
-   injection applied for real symbols only *)
-let step_set t set sym into =
+(* one NFA step of the whole powerset on a symbol class ([eof_class t] for
+   EOF); restart injection applied for real symbols only *)
+let step_set t set cls into =
   Bits.clear into;
   let dfa = t.dfa in
+  let is_eof = cls = eof_class t in
   Bits.iter
     (fun id ->
       if id < t.active_count then begin
-        if sym <> eof_symbol then begin
+        if not is_eof then begin
           let f0 = id / (t.m * t.k) in
           let rem = id mod (t.m * t.k) in
           let q = rem / t.k and j = rem mod t.k in
           let q = if j = 0 then t.final_state.(f0) else q in
-          let q' = Dfa.step dfa q (Char.chr sym) in
+          let q' = Dfa.step_class dfa q cls in
           let j' = j + 1 in
           if Dfa.is_final dfa q' then Bits.add into (done_ t f0 j')
           else if j' < t.k && Bits.mem t.coacc q' then
@@ -123,11 +133,12 @@ let step_set t set sym into =
         if j < t.k then Bits.add into (done_ t f0 (j + 1))
       end)
     set;
-  if sym <> eof_symbol then Bits.union_into ~dst:into t.inject
+  if not is_eof then Bits.union_into ~dst:into t.inject
 
 let build dfa ~k =
   assert (k >= 1);
   let m = Dfa.size dfa in
+  let width = Dfa.num_classes dfa + 1 in
   let fidx = Array.make m (-1) in
   let num_finals = ref 0 in
   for q = 0 to m - 1 do
@@ -153,12 +164,13 @@ let build dfa ~k =
     {
       dfa;
       k;
+      width;
       fidx;
       num_finals = f;
       words;
       num_states = 0;
       capacity;
-      trans = Array.make (capacity * 257) (-1);
+      trans = Array.make (capacity * width) (-1);
       emit_rows = Array.make (capacity * words) 0L;
       origin_rows = Array.make capacity (Bits.create 0);
       sets = Array.make capacity (Bits.create 0);
@@ -178,27 +190,32 @@ let build dfa ~k =
   assert (start = 0);
   t
 
-let materialize t s sym =
+let materialize t s cls =
   (* Multi-domain safety: materialization (which may grow and replace the
      arrays) is serialized; readers race benignly — a stale array read
      yields -1 and falls back here. *)
   Mutex.lock t.lock;
   let id =
-    match t.trans.((s * 257) + sym) with
+    match t.trans.((s * t.width) + cls) with
     | tgt when tgt >= 0 -> tgt
     | _ ->
-        step_set t t.sets.(s) sym t.scratch;
+        step_set t t.sets.(s) cls t.scratch;
         let id = intern t (Bits.copy t.scratch) in
         (* t.trans may have been reallocated by intern/grow: write after *)
-        t.trans.((s * 257) + sym) <- id;
+        t.trans.((s * t.width) + cls) <- id;
         id
   in
   Mutex.unlock t.lock;
   id
 
-let step t s sym =
-  let tgt = t.trans.((s * 257) + sym) in
-  if tgt >= 0 then tgt else materialize t s sym
+let step_class t s cls =
+  let tgt = t.trans.((s * t.width) + cls) in
+  if tgt >= 0 then tgt else materialize t s cls
+
+let class_of_symbol t sym =
+  if sym = eof_symbol then eof_class t else Dfa.class_of_byte t.dfa sym
+
+let step t s sym = step_class t s (class_of_symbol t sym)
 
 let extendable t s q =
   let f0 = t.fidx.(q) in
@@ -223,4 +240,5 @@ module Raw = struct
   let trans t = t.trans
   let emit_rows t = t.emit_rows
   let words t = t.words
+  let width t = t.width
 end

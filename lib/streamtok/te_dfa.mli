@@ -27,13 +27,26 @@
 
     An extra EOF pseudo-symbol kills in-progress paths but advances the
     padding; the engine feeds it [K] times when the stream ends, so
-    maximality checks near end-of-stream are exact. *)
+    maximality checks near end-of-stream are exact.
+
+    Transition rows are indexed by the underlying DFA's byte equivalence
+    classes ([Dfa.num_classes + 1] columns, EOF last): bytes the DFA cannot
+    distinguish take identical extension paths, so class compression is
+    exact here too. The byte-level {!step}/{!eof_symbol} interface is kept
+    (it translates through the classmap); hot loops that already hold a
+    class use {!step_class} with {!eof_class}. *)
 
 open St_automata
 
 type t
 
 val eof_symbol : int
+
+(** Columns per transition row: [Dfa.num_classes + 1]. *)
+val width : t -> int
+
+(** The class-space EOF column: [width - 1]. *)
+val eof_class : t -> int
 
 (** [build dfa ~k] prepares the automaton (only the start state is
     materialized). Requires [k ≥ 1]. *)
@@ -56,6 +69,10 @@ val final_index : t -> int -> int
     target powerstate on first use. *)
 val step : t -> int -> int -> int
 
+(** [step_class te s cls] with [cls] ∈ 0..num_classes-1 or {!eof_class}:
+    the two-load form for callers that already translated the byte. *)
+val step_class : t -> int -> int -> int
+
 (** [extendable te s q] — some token-extension path starting at final DFA
     state [q] matches the (padded) window just consumed, i.e. the token
     ending at [q] is {e not} maximal. *)
@@ -76,4 +93,5 @@ module Raw : sig
   val trans : t -> int array
   val emit_rows : t -> int64 array
   val words : t -> int
+  val width : t -> int
 end

@@ -9,6 +9,7 @@ let () =
       ("reduction", Test_reduction.suite);
       ("te-dfa", Test_te_dfa.suite);
       ("engine", Test_engine.suite);
+      ("compress", Test_compress.suite);
       ("obs", Test_obs.suite);
       ("streaming-extra", Test_streaming_extra.suite);
       ("parallel", Test_parallel.suite);

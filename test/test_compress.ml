@@ -1,0 +1,193 @@
+(* Alphabet equivalence-class compression: classmap well-formedness, the
+   coarsest-partition property against the NFA charset labels, and the
+   golden corpus parity battery — every shipped grammar and every workload
+   generator output tokenized with dense vs. classed engines, batch and
+   under the adversarial chunk splits (token-boundary straddles included). *)
+
+open Streamtok
+module Chunking = Fuzz.Chunking
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let golden_grammars = Formats.all @ Languages.all
+
+(* ---- classmap well-formedness ---- *)
+
+let test_classmap_wellformed () =
+  List.iter
+    (fun g ->
+      let name = g.Grammar.name in
+      let d = Grammar.dfa g in
+      let nc = Dfa.num_classes d in
+      check_int (name ^ ": classmap is 256 bytes") 256
+        (String.length d.Dfa.classmap);
+      check (name ^ ": 1 <= classes <= 256") true (nc >= 1 && nc <= 256);
+      check (name ^ ": entries in range") true
+        (String.for_all (fun c -> Char.code c < nc) d.Dfa.classmap);
+      (* every class id is hit by some byte (numbering is dense) *)
+      let used = Array.make nc false in
+      String.iter (fun c -> used.(Char.code c) <- true) d.Dfa.classmap;
+      check (name ^ ": class numbering surjective") true
+        (Array.for_all Fun.id used);
+      check_int
+        (name ^ ": trans sized states * classes")
+        (Dfa.size d * nc)
+        (Array.length d.Dfa.trans);
+      (* ASCII-heavy formats collapse far below 256 — the point of the
+         compression *)
+      check (name ^ ": compresses the byte alphabet") true (nc < 256))
+    golden_grammars
+
+let test_classmap_deterministic () =
+  List.iter
+    (fun g ->
+      let d1 = Grammar.dfa g in
+      let d2 = Dfa.of_rules (Grammar.rules g) in
+      check (g.Grammar.name ^ ": rebuild is identical") true (Dfa.equal d1 d2))
+    golden_grammars
+
+let test_dense_build_is_identity () =
+  let d = Dfa.of_rules ~classes:false (Grammar.rules Formats.json) in
+  check_int "dense: 256 classes" 256 (Dfa.num_classes d);
+  check "dense: identity classmap" true
+    (String.init 256 Char.chr = d.Dfa.classmap)
+
+(* The partition is the coarsest one respecting the rule charsets: bytes in
+   the same class are indistinguishable to every NFA label, and any two
+   distinct classes are separated by some label. *)
+let test_coarsest_partition () =
+  List.iter
+    (fun g ->
+      let name = g.Grammar.name in
+      let rules = Grammar.rules g in
+      let nfa = Nfa.of_rules rules in
+      let classmap, nc = Dfa.equiv_classes nfa in
+      let labels =
+        Array.to_list nfa.Nfa.trans |> List.concat_map (List.map fst)
+      in
+      let respects cs =
+        (* same class -> same membership *)
+        let verdict = Array.make nc (-1) in
+        let ok = ref true in
+        for b = 0 to 255 do
+          let cls = Char.code classmap.[b] in
+          let m = if Charset.mem cs (Char.chr b) then 1 else 0 in
+          if verdict.(cls) = -1 then verdict.(cls) <- m
+          else if verdict.(cls) <> m then ok := false
+        done;
+        !ok
+      in
+      check (name ^ ": every label respected") true
+        (List.for_all respects labels);
+      let reps = Dfa.class_reps classmap nc in
+      let separated c1 c2 =
+        List.exists
+          (fun cs ->
+            Charset.mem cs (Char.chr reps.(c1))
+            <> Charset.mem cs (Char.chr reps.(c2)))
+          labels
+      in
+      let coarsest = ref true in
+      for c1 = 0 to nc - 1 do
+        for c2 = c1 + 1 to nc - 1 do
+          if not (separated c1 c2) then coarsest := false
+        done
+      done;
+      check (name ^ ": no two classes mergeable") true !coarsest)
+    golden_grammars
+
+(* ---- golden corpus parity: dense vs classed, batch + chunked ---- *)
+
+let engines_of rules =
+  match
+    ( Engine.compile (Dfa.of_rules rules),
+      Engine.compile (Dfa.of_rules ~classes:false rules) )
+  with
+  | Ok classed, Ok dense -> Some (classed, dense)
+  | Error Engine.Unbounded_tnd, Error Engine.Unbounded_tnd -> None
+  | _ -> Alcotest.fail "classed/dense disagree on max-TND boundedness"
+
+let same_run (t1, o1) (t2, o2) = Gen.same_tokens t1 t2 && Engine.outcome_equal o1 o2
+
+let token_ends toks =
+  let pos = ref 0 in
+  List.map
+    (fun (lex, _) ->
+      pos := !pos + String.length lex;
+      !pos)
+    toks
+
+(* Batch dense is the oracle; classed must match it batch-wise and under
+   every adversarial chunking (straddles shift the cut one byte before/on/
+   after each token end, so pending-token + lookahead state always crosses
+   the boundary). Chunked runs only retain O(K) pending bytes on failure,
+   so compare them against the *chunked dense* run — byte-identical. *)
+let check_grammar_on_input name classed dense input =
+  let ref_run = Engine.tokens dense input in
+  let classed_run = Engine.tokens classed input in
+  if not (same_run ref_run classed_run) then
+    Alcotest.failf "%s: batch classed differs from dense" name;
+  let ends = token_ends (fst ref_run) in
+  let rng = Prng.create 0x5EEDL in
+  let delay = max 1 (Engine.k dense) in
+  List.iter
+    (fun (cname, ch) ->
+      let c = Chunking.apply classed input ch in
+      let d = Chunking.apply dense input ch in
+      if not (same_run d c) then
+        Alcotest.failf "%s: chunking %s classed differs from dense" name cname)
+    (Chunking.standard ~rng ~token_ends:ends ~delay (String.length input))
+
+let workload_names =
+  [
+    "json"; "csv"; "tsv"; "xml"; "yaml"; "fasta"; "dns-zone"; "log"; "ini";
+    "toml"; "http-headers";
+  ]
+
+let test_golden_grammars () =
+  List.iter
+    (fun g ->
+      let name = g.Grammar.name in
+      match engines_of (Grammar.rules g) with
+      | None -> ()
+      | Some (classed, dense) ->
+          let input =
+            match Gen_data.by_name name with
+            | Some gen -> gen ~seed:0x60D1DL ~target_bytes:20_000 ()
+            | None ->
+                (* no matching generator: a token-dense DFA walk *)
+                Fuzz.Gen.token_dense
+                  (Prng.create 0xDA7AL)
+                  (Engine.dfa classed) ~target_len:20_000
+          in
+          check_grammar_on_input name classed dense input)
+    golden_grammars
+
+(* Every workload generator's output, including the ones with no matching
+   grammar, pushed through a fixed grammar pair (json: K = 2, TE-mode) —
+   most of these fail to tokenize partway, which is exactly the parity case
+   the batch tests above don't cover at scale. *)
+let test_golden_workloads_cross () =
+  match engines_of (Grammar.rules Formats.json) with
+  | None -> Alcotest.fail "json grammar must stream"
+  | Some (classed, dense) ->
+      List.iter
+        (fun wname ->
+          let gen = Option.get (Gen_data.by_name wname) in
+          let input = gen ~seed:7L ~target_bytes:8_000 () in
+          check_grammar_on_input ("json<-" ^ wname) classed dense input)
+        workload_names
+
+let suite =
+  [
+    Alcotest.test_case "classmap well-formed" `Quick test_classmap_wellformed;
+    Alcotest.test_case "classmap deterministic" `Quick
+      test_classmap_deterministic;
+    Alcotest.test_case "dense build is identity" `Quick
+      test_dense_build_is_identity;
+    Alcotest.test_case "coarsest partition" `Quick test_coarsest_partition;
+    Alcotest.test_case "golden grammars parity" `Quick test_golden_grammars;
+    Alcotest.test_case "workload cross parity" `Quick
+      test_golden_workloads_cross;
+  ]

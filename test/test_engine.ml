@@ -49,9 +49,12 @@ let test_footprint () =
         (Engine.footprint_bytes e1 > Engine.k1_table_bytes e1);
       check_int "snapshot matches accessor" (Engine.footprint_bytes e1)
         cs.Engine.footprint_bytes;
-      check_int "k1_table_bytes = 257 * states"
-        (257 * cs.Engine.dfa_states)
-        (Engine.k1_table_bytes e1));
+      let nc = Dfa.num_classes (Engine.dfa e1) in
+      check_int "k1_table_bytes = (classes + 1) * states"
+        ((nc + 1) * cs.Engine.dfa_states)
+        (Engine.k1_table_bytes e1);
+      check "classed k1 table below the dense 257 * states" true
+        (Engine.k1_table_bytes e1 < 257 * cs.Engine.dfa_states));
   let d3 = Dfa.of_grammar "[0-9]+([eE][+-]?[0-9]+)?\n[ ]+" in
   match Engine.compile d3 with
   | Error _ -> Alcotest.fail "unexpected unbounded"
@@ -246,6 +249,60 @@ let prop_chunked_equals_string =
               o1 = o2
           | _ -> false))
 
+(* Alphabet-compression parity battery (the tentpole's oracle): for seeded
+   random grammars — full-byte random, corpus-sampled and corpus-mutated —
+   the classed engine must be byte-identical to the retained dense
+   reference path ([~classes:false], identity classmap) on token-dense,
+   near-miss and uniform full-byte inputs. Deterministic (SplitMix64
+   seeded), ≥1k grammar×input cases. *)
+let token_dense_input rng dfa =
+  Fuzz.Gen.token_dense rng dfa ~target_len:(1 + Prng.int rng 200)
+
+let test_classed_dense_parity () =
+  let rng = Prng.create 0xC1A55E5L in
+  let cases = ref 0 in
+  let grammars = ref 0 in
+  while !cases < 1000 do
+    let rules =
+      match Prng.int rng 3 with
+      | 0 -> Fuzz.Gen.grammar rng ~cls:Fuzz.Gen.charset_bytes
+      | 1 -> Grammar_corpus.sample rng
+      | _ ->
+          let r = Grammar_corpus.sample rng in
+          Grammar_corpus.mutate rng r
+    in
+    let dc = Dfa.of_rules rules in
+    let dd = Dfa.of_rules ~classes:false rules in
+    check "dense reference keeps 256 columns" true (Dfa.num_classes dd = 256);
+    check "classed has no more columns than dense" true
+      (Dfa.num_classes dc <= 256);
+    match (Engine.compile dc, Engine.compile dd) with
+    | Error Engine.Unbounded_tnd, Error Engine.Unbounded_tnd -> ()
+    | Error _, Ok _ | Ok _, Error _ ->
+        Alcotest.fail "classed/dense disagree on max-TND boundedness"
+    | Ok ec, Ok ed ->
+        incr grammars;
+        check_int "same lookahead k" (Engine.k ed) (Engine.k ec);
+        let dense = token_dense_input rng dc in
+        let inputs =
+          [
+            dense;
+            Fuzz.Gen.near_miss rng dense;
+            Fuzz.Gen.uniform rng ~alphabet:Fuzz.Gen.byte_alphabet ~max_len:200;
+          ]
+        in
+        List.iter
+          (fun input ->
+            let tc, oc = Engine.tokens ec input in
+            let td, od = Engine.tokens ed input in
+            if not (Gen.same_tokens td tc && Engine.outcome_equal od oc) then
+              Alcotest.failf "classed/dense mismatch on %S (grammar #%d)"
+                input !grammars;
+            incr cases)
+          inputs
+  done;
+  check "ran a spread of grammars" true (!grammars >= 100)
+
 (* StreamTok takes exactly one DFA step per input byte: its cost is O(n).
    We verify the linear-time claim structurally: the backtracking runner on
    the worst-case family takes ≥ k/2 × n steps while StreamTok's step count
@@ -313,6 +370,8 @@ let suite =
     Alcotest.test_case "stream failure" `Quick test_stream_failure_stops;
     Alcotest.test_case "bytes_fed" `Quick test_bytes_fed;
     Alcotest.test_case "backtracking blowup" `Quick test_backtracking_blowup;
+    Alcotest.test_case "classed ≡ dense (1k seeded)" `Quick
+      test_classed_dense_parity;
     QCheck_alcotest.to_alcotest prop_streamtok_equals_backtracking;
     QCheck_alcotest.to_alcotest prop_lexemes_reconstruct_input;
     QCheck_alcotest.to_alcotest prop_backtracking_reconstructs;

@@ -246,6 +246,59 @@ let test_stream_tokenizer_stats () =
   check_int "chunks" 3 (Run_stats.chunks st);
   check_int "tokens" (List.length !plain) (Run_stats.tokens_out st)
 
+(* ---- memory footprint under alphabet compression ---- *)
+
+let compile_exn ?classes src =
+  match Engine.compile (Dfa.of_grammar ?classes src) with
+  | Ok e -> e
+  | Error _ -> Alcotest.fail "unexpected unbounded"
+
+(* The K <= 1 footprint is fully determined: classed transition table +
+   accept row + the 256-byte classmap + the classed k1 row + constants.
+   Pin the formula so the classmap can't silently fall out of the
+   accounting. *)
+let test_footprint_accounts_classmap () =
+  let e = compile_exn "[0-9]+\n[ ]+" in
+  let d = Engine.dfa e in
+  let nc = Dfa.num_classes d in
+  check "classed build compresses" true (nc < 256);
+  let dfa_bytes =
+    ((Array.length d.Dfa.trans + Array.length d.Dfa.accept) * 8) + 256
+  in
+  check_int "k1 footprint = tables + classmap + buffers"
+    (dfa_bytes + Engine.k1_table_bytes e + 1 + 64)
+    (Engine.footprint_bytes e);
+  check "classmap term present" true
+    (Engine.footprint_bytes e > Dfa.size d * nc * 8)
+
+(* TE powerstates materialize lazily, so the footprint is monotone in
+   te_states: running input can only grow both, never shrink either. *)
+let test_footprint_monotone_in_te_states () =
+  let e = compile_exn "[0-9]+([eE][+-]?[0-9]+)?\n[ ]+" in
+  check "TE mode" true (Engine.k e > 1);
+  let states0 = Engine.te_states e and fp0 = Engine.footprint_bytes e in
+  ignore (Engine.tokens e "1e+5 27 3e9 400 5e-1 ");
+  let states1 = Engine.te_states e and fp1 = Engine.footprint_bytes e in
+  check "input materializes powerstates" true (states1 > states0);
+  check "footprint grows with te_states" true (fp1 > fp0);
+  check "growth accounts full rows" true
+    (fp1 - fp0 >= (states1 - states0) * Te_dfa.width (Option.get (Engine.Internal.te_dfa e)) * 8)
+
+(* On an ASCII grammar the classed tables must be strictly smaller than the
+   dense 256-column reference build of the same grammar. *)
+let test_footprint_shrinks_vs_dense () =
+  List.iter
+    (fun src ->
+      let classed = compile_exn src in
+      let dense = compile_exn ~classes:false src in
+      check (Printf.sprintf "classed < dense on %S" src) true
+        (Engine.footprint_bytes classed < Engine.footprint_bytes dense))
+    [
+      "[0-9]+\n[ ]+" (* K = 1 table path *);
+      "[0-9]+([eE][+-]?[0-9]+)?\n[ ]+" (* K = 3 TE path *);
+      "[a-z]+\n[0-9]+\n[ \t]+" (* identifiers *);
+    ]
+
 let prop_bytes_in_accounts_for_input =
   QCheck.Test.make ~count:300 ~name:"instrumented bytes_in = input length"
     Gen.grammar_input_arb (fun (rules, input) ->
@@ -278,5 +331,11 @@ let suite =
     Alcotest.test_case "instrumented ≡ plain" `Quick test_instrumented_identical;
     Alcotest.test_case "per-rule tallies" `Quick test_rule_tallies;
     Alcotest.test_case "stream tokenizer stats" `Quick test_stream_tokenizer_stats;
+    Alcotest.test_case "footprint accounts classmap" `Quick
+      test_footprint_accounts_classmap;
+    Alcotest.test_case "footprint monotone in te states" `Quick
+      test_footprint_monotone_in_te_states;
+    Alcotest.test_case "footprint shrinks vs dense" `Quick
+      test_footprint_shrinks_vs_dense;
     QCheck_alcotest.to_alcotest prop_bytes_in_accounts_for_input;
   ]

@@ -89,9 +89,68 @@ let test_non_final_state_never_extendable () =
     (Dfa.is_final d2 q_mid
     || Te_dfa.extendable te2 (Te_dfa.start te2) q_mid)
 
+(* Class-indexed rows: width = num_classes + 1 (EOF column last), the
+   byte-level [step] is exactly [step_class] after classmap translation,
+   and EOF routes to the dedicated class. *)
+let test_class_indexed_rows () =
+  let d, te = build "[0-9]+(\\.[0-9]+)?\n[. ]" 2 in
+  check_int "width = classes + 1" (Dfa.num_classes d + 1) (Te_dfa.width te);
+  check_int "eof class is last column" (Te_dfa.width te - 1)
+    (Te_dfa.eof_class te);
+  let s = ref (Te_dfa.start te) in
+  String.iter
+    (fun c ->
+      let byte = Char.code c in
+      let via_byte = Te_dfa.step te !s byte in
+      let via_class = Te_dfa.step_class te !s (Dfa.class_of d c) in
+      check_int "step = step_class o classmap" via_class via_byte;
+      s := via_byte)
+    "12 34.5 ..9";
+  check_int "eof_symbol routes to eof class"
+    (Te_dfa.step_class te !s (Te_dfa.eof_class te))
+    (Te_dfa.step te !s Te_dfa.eof_symbol)
+
+(* 1k seeded random (grammar, input) cases: the classed Te_dfa walk must
+   agree with itself under byte-level and class-level stepping, across
+   corpus-sampled and fully random grammars with full-byte inputs. *)
+let test_classed_step_parity_seeded () =
+  let rng = Prng.create 0x7EDFAL in
+  let cases = ref 0 in
+  while !cases < 1000 do
+    let rules =
+      match Prng.int rng 2 with
+      | 0 -> Fuzz.Gen.grammar rng ~cls:Fuzz.Gen.charset_bytes
+      | _ -> Grammar_corpus.sample rng
+    in
+    let d = Dfa.of_rules rules in
+    (match Tnd.max_tnd d with
+    | Tnd.Finite k when k >= 1 && k <= 4 ->
+        let te = Te_dfa.build d ~k in
+        let input =
+          Fuzz.Gen.uniform rng ~alphabet:Fuzz.Gen.byte_alphabet ~max_len:64
+        in
+        let s_byte = ref (Te_dfa.start te) in
+        let s_cls = ref (Te_dfa.start te) in
+        String.iter
+          (fun c ->
+            s_byte := Te_dfa.step te !s_byte (Char.code c);
+            s_cls := Te_dfa.step_class te !s_cls (Dfa.class_of d c))
+          input;
+        if !s_byte <> !s_cls then
+          Alcotest.failf "byte/class walk diverged (case %d)" !cases;
+        check_int "eof agrees"
+          (Te_dfa.step te !s_byte Te_dfa.eof_symbol)
+          (Te_dfa.step_class te !s_cls (Te_dfa.eof_class te))
+    | _ -> ());
+    incr cases
+  done
+
 let suite =
   [
     Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "class-indexed rows" `Quick test_class_indexed_rows;
+    Alcotest.test_case "classed step parity (1k seeded)" `Quick
+      test_classed_step_parity_seeded;
     Alcotest.test_case "Example 19 extendability" `Quick
       test_example19_extendability;
     Alcotest.test_case "EOF padding" `Quick test_eof_padding;
