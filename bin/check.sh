@@ -25,6 +25,14 @@ echo "== compress gate (classed/dense parity + classed tables <= dense bytes)"
 # here to keep the gate fast and CI-noise-free.
 dune exec bench/main.exe -- compress-check
 
+echo "== accel gate (skip-loop parity + analysis coverage + skip ratios)"
+# Hard checks live inside the bench: byte-identical accel/noaccel token
+# streams on every corpus grammar and synthetic workload, at least one
+# accelerable state per bounded corpus grammar, and >=50% skip ratio on
+# the run-heavy workloads. Throughput timing (speedup floor, run-poor
+# overhead gate) is skipped here to keep the gate fast and CI-noise-free.
+dune exec bench/main.exe -- accel-check
+
 echo "== fuzz smoke (differential battery, seeded + deterministic)"
 dune exec -- streamtok fuzz --smoke --seed 42
 

@@ -210,6 +210,8 @@ let stats_cmd =
             cs.Engine.k1_table_bytes;
           gauge "footprint_bytes" "run-time tables + lookahead buffer"
             cs.Engine.footprint_bytes;
+          gauge "accel_states" "accelerable self-loop (skip-scan) states"
+            (Engine.accel_states e);
           span "analysis_seconds" "max-TND frontier analysis"
             cs.Engine.analysis_seconds;
           span "build_seconds" "engine table construction"

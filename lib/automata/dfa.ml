@@ -8,6 +8,9 @@ type t = {
   classmap : string;
   trans : int array;
   accept : int array;
+  accel : bool;
+  accel_flags : Bytes.t;
+  accel_stops : int array;
 }
 
 let step d q c =
@@ -27,6 +30,136 @@ let run d s =
   !q
 
 let identity_classmap = String.init 256 Char.chr
+
+(* ---- Self-loop run acceleration ----
+
+   A state that self-loops on most of the alphabet (string bodies, comments,
+   whitespace, identifiers) can consume a run of input without consulting the
+   transition table at all: only its *stop bytes* — those whose class leaves
+   the state — need the classed two-load step. The analysis is static and
+   byte-level: stop bitmaps are expanded from class space through the
+   classmap once at build time, so the skip loop needs no classmap load.
+
+   Representation: [accel_flags] always has [num_states] bytes (all zero for
+   an unaccelerated build, so hot loops may test it unconditionally with
+   [Bytes.unsafe_get]); [accel_stops] packs one 256-bit bitmap per state as
+   8 little-endian 32-bit words held in immediate [int]s (Int64 words would
+   box on non-flambda compilers and turn the skip loop into an allocator),
+   bit b set iff byte b leaves the state. *)
+
+(* Accelerate only states with at least this many self-loop bytes: below it
+   a run can't be long enough to amortize the skip-loop entry. *)
+let accel_min_loop_bytes = 4
+
+let compute_accel ~num_states ~num_classes ~classmap ~trans =
+  let flags = Bytes.make num_states '\000' in
+  let stops = Array.make (num_states * 8) 0 in
+  for q = 0 to num_states - 1 do
+    let row = q * num_classes in
+    let base = q * 8 in
+    let loop_bytes = ref 0 in
+    for b = 0 to 255 do
+      let cls = Char.code (String.unsafe_get classmap b) in
+      if trans.(row + cls) = q then incr loop_bytes
+      else
+        stops.(base + (b lsr 5)) <-
+          stops.(base + (b lsr 5)) lor (1 lsl (b land 31))
+    done;
+    if !loop_bytes >= accel_min_loop_bytes then Bytes.set flags q '\001'
+  done;
+  (flags, stops)
+
+let attach_accel ~enabled d =
+  if enabled then
+    let flags, stops =
+      compute_accel ~num_states:d.num_states ~num_classes:d.num_classes
+        ~classmap:d.classmap ~trans:d.trans
+    in
+    { d with accel = true; accel_flags = flags; accel_stops = stops }
+  else
+    {
+      d with
+      accel = false;
+      accel_flags = Bytes.make d.num_states '\000';
+      accel_stops = [||];
+    }
+
+let accel_enabled d = d.accel
+let is_accel_state d q = Bytes.get d.accel_flags q <> '\000'
+
+let accel_state_count d =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) d.accel_flags;
+  !n
+
+let stop_bit stops base b =
+  (Array.unsafe_get stops (base + (b lsr 5)) lsr (b land 31)) land 1
+
+let accel_stop_byte d q b = d.accel && stop_bit d.accel_stops (q * 8) b <> 0
+let accel_table_bytes d = Bytes.length d.accel_flags + (Array.length d.accel_stops * 4)
+
+(* [skip_run stops q s pos limit]: first index in [pos, limit) holding a
+   stop byte of state [q], or [limit] when the whole range self-loops.
+   8 bytes per iteration on the fast path: the eight bitmap tests are
+   OR-folded so the loop carries a single branch, and every operation is
+   on immediate ints — the loop allocates nothing. *)
+let skip_run stops q s pos limit =
+  let base = q * 8 in
+  let i = ref pos in
+  let scanning = ref true in
+  while !scanning && !i + 8 <= limit do
+    let p = !i in
+    let acc =
+      stop_bit stops base (Char.code (String.unsafe_get s p))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 1)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 2)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 3)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 4)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 5)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 6)))
+      lor stop_bit stops base (Char.code (String.unsafe_get s (p + 7)))
+    in
+    if acc = 0 then i := p + 8 else scanning := false
+  done;
+  while
+    !i < limit
+    && stop_bit stops base (Char.code (String.unsafe_get s !i)) = 0
+  do
+    incr i
+  done;
+  !i
+
+(* [skip_run2 stops_a qa stops_b qb ~off s pos limit]: dual-cursor variant
+   for the TE paths, where a second automaton reads [off] bytes away from
+   the first (off = +k when B leads, -k when A trails). First index in
+   [pos, limit) where either cursor hits a stop byte, or [limit]. The caller
+   guarantees [pos + off >= 0] and [limit + off <= String.length s]. *)
+let skip_run2 stops_a qa stops_b qb ~off s pos limit =
+  let ba = qa * 8 and bb = qb * 8 in
+  let i = ref pos in
+  let scanning = ref true in
+  while !scanning && !i + 4 <= limit do
+    let p = !i and po = !i + off in
+    let acc =
+      stop_bit stops_a ba (Char.code (String.unsafe_get s p))
+      lor stop_bit stops_b bb (Char.code (String.unsafe_get s po))
+      lor stop_bit stops_a ba (Char.code (String.unsafe_get s (p + 1)))
+      lor stop_bit stops_b bb (Char.code (String.unsafe_get s (po + 1)))
+      lor stop_bit stops_a ba (Char.code (String.unsafe_get s (p + 2)))
+      lor stop_bit stops_b bb (Char.code (String.unsafe_get s (po + 2)))
+      lor stop_bit stops_a ba (Char.code (String.unsafe_get s (p + 3)))
+      lor stop_bit stops_b bb (Char.code (String.unsafe_get s (po + 3)))
+    in
+    if acc = 0 then i := p + 4 else scanning := false
+  done;
+  while
+    !i < limit
+    && stop_bit stops_a ba (Char.code (String.unsafe_get s !i)) = 0
+    && stop_bit stops_b bb (Char.code (String.unsafe_get s (!i + off))) = 0
+  do
+    incr i
+  done;
+  !i
 
 (* The coarsest partition of 0–255 that every charset label of the NFA
    respects: two bytes land in the same class iff every labeled edge either
@@ -80,7 +213,7 @@ module Set_tbl = Hashtbl.Make (struct
   let hash = Bits.hash
 end)
 
-let of_nfa ?(classes = true) (nfa : Nfa.t) =
+let of_nfa ?(classes = true) ?(accel = true) (nfa : Nfa.t) =
   let classmap, nc =
     if classes then equiv_classes nfa else (identity_classmap, 256)
   in
@@ -119,14 +252,18 @@ let of_nfa ?(classes = true) (nfa : Nfa.t) =
   let n = !count in
   let trans = Array.make (n * nc) 0 in
   Array.iteri (fun q row -> Array.blit row 0 trans (q * nc) nc) rows;
-  {
-    num_states = n;
-    start = start_id;
-    num_classes = nc;
-    classmap;
-    trans;
-    accept = St_util.Int_vec.to_array accept;
-  }
+  attach_accel ~enabled:accel
+    {
+      num_states = n;
+      start = start_id;
+      num_classes = nc;
+      classmap;
+      trans;
+      accept = St_util.Int_vec.to_array accept;
+      accel = false;
+      accel_flags = Bytes.make n '\000';
+      accel_stops = [||];
+    }
 
 (* Moore minimization, in class space. The initial partition separates
    states by Λ (so distinct token ids are never merged); refinement splits
@@ -185,8 +322,10 @@ let minimize_dfa d =
     done
   done;
   (* Re-number so that only states reachable from start remain (merging can
-     leave none unreachable, but keep the invariant explicit). *)
-  let dm =
+     leave none unreachable, but keep the invariant explicit). Merging
+     renumbers states and rebuilds [trans], so the accel tables are
+     recomputed whenever the input carried them. *)
+  attach_accel ~enabled:d.accel
     {
       num_states = m;
       start = block.(d.start);
@@ -194,16 +333,17 @@ let minimize_dfa d =
       classmap = d.classmap;
       trans;
       accept;
+      accel = false;
+      accel_flags = Bytes.make m '\000';
+      accel_stops = [||];
     }
-  in
-  dm
 
-let of_rules ?(minimize = true) ?classes rules =
-  let d = of_nfa ?classes (Nfa.of_rules rules) in
+let of_rules ?(minimize = true) ?classes ?accel rules =
+  let d = of_nfa ?classes ?accel (Nfa.of_rules rules) in
   if minimize then minimize_dfa d else d
 
-let of_grammar ?minimize ?classes src =
-  of_rules ?minimize ?classes (Parser.parse_grammar src)
+let of_grammar ?minimize ?classes ?accel src =
+  of_rules ?minimize ?classes ?accel (Parser.parse_grammar src)
 
 let co_accessible d =
   let n = d.num_states in
@@ -276,6 +416,9 @@ let equal (a : t) b =
   a.num_states = b.num_states && a.start = b.start
   && a.num_classes = b.num_classes
   && a.classmap = b.classmap && a.trans = b.trans && a.accept = b.accept
+  && a.accel = b.accel
+  && Bytes.equal a.accel_flags b.accel_flags
+  && a.accel_stops = b.accel_stops
 
 let pp fmt d =
   Format.fprintf fmt "dfa: %d states, start %d, %d classes@." d.num_states

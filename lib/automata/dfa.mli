@@ -25,6 +25,20 @@ type t = {
   trans : int array;
       (** [trans.(q * num_classes + class)] is the successor state *)
   accept : int array;  (** Λ(q): rule id of final state [q], or -1 *)
+  accel : bool;  (** whether the acceleration analysis ran at build time *)
+  accel_flags : Bytes.t;
+      (** [num_states] bytes; nonzero marks an accelerable state (one whose
+          self-loop covers at least a few bytes, so a skip loop can pay
+          off). Always allocated — all zero when [accel] is false — so hot
+          loops may probe it unconditionally with [Bytes.unsafe_get]. *)
+  accel_stops : int array;
+      (** Per-state 256-bit stop-byte bitmaps, 8 little-endian 32-bit words
+          per state held in immediate [int]s (Int64 would box without
+          flambda): bit [b land 31] of word [q*8 + b/32] is set iff byte [b]
+          moves state [q] somewhere else (i.e. [step q b <> q]). Rows exist
+          for every state of an
+          accelerated build, flagged or not; [[||]] when [accel] is false —
+          only dereference it behind an [accel_flags] hit. *)
 }
 
 (** [step dfa q c] is δ(q, c): classmap load, then table load. *)
@@ -61,15 +75,70 @@ val class_reps : string -> int -> int array
     states are accessible; a dead (reject) state exists whenever some input
     cannot be extended into any token. [classes] (default true) selects the
     equivalence-classed table layout; [~classes:false] builds the dense
-    256-column reference layout. Both recognize the same languages. *)
-val of_nfa : ?classes:bool -> Nfa.t -> t
+    256-column reference layout. Both recognize the same languages.
+    [accel] (default true) runs the self-loop acceleration analysis;
+    [~accel:false] keeps the unaccelerated build as the differential
+    reference, mirroring [~classes:false]. *)
+val of_nfa : ?classes:bool -> ?accel:bool -> Nfa.t -> t
 
 (** [of_rules rules] = subset construction ∘ Thompson, with Moore
     minimization applied when [minimize] (default true). *)
-val of_rules : ?minimize:bool -> ?classes:bool -> Regex.t list -> t
+val of_rules : ?minimize:bool -> ?classes:bool -> ?accel:bool -> Regex.t list -> t
 
 (** [of_grammar src] parses a newline-separated grammar and builds its DFA. *)
-val of_grammar : ?minimize:bool -> ?classes:bool -> string -> t
+val of_grammar : ?minimize:bool -> ?classes:bool -> ?accel:bool -> string -> t
+
+(** {2 Self-loop run acceleration}
+
+    Static analysis over the classed tables: a state whose self-loop covers
+    all but a small set of byte classes gets a 256-bit {e stop-byte bitmap}
+    (bit set iff the byte leaves the state), expanded through the classmap
+    once at build time. Hot loops enter {!skip_run} after observing a
+    self-loop step on a flagged state and consume the rest of the run
+    without touching the transition table. *)
+
+(** Recompute (or strip, with [~enabled:false]) the acceleration tables of
+    an existing DFA. Used by deserialization and by rebuilds that renumber
+    states. *)
+val attach_accel : enabled:bool -> t -> t
+
+val accel_enabled : t -> bool
+
+(** Number of flagged (accelerable) states. *)
+val accel_state_count : t -> int
+
+val is_accel_state : t -> int -> bool
+
+(** [accel_stop_byte d q b] iff the analysis marks byte [b] as a stop byte
+    of state [q] (false on unaccelerated builds). Test/tool access; hot
+    loops use {!skip_run} directly. *)
+val accel_stop_byte : t -> int -> int -> bool
+
+(** Bytes held by the acceleration tables (flags + bitmaps), for
+    footprint accounting. *)
+val accel_table_bytes : t -> int
+
+(** [stop_bit stops base b]: 1 iff byte [b] is a stop byte of the bitmap
+    row starting at word [base] (= [q * 8]) of [stops]. A handful of int
+    ops, inlined cross-module — hot loops use it as the skip-entry
+    pre-test so {!skip_run} is only called when the next byte actually
+    extends the run (a run-poor stream then never pays the call). *)
+val stop_bit : int array -> int -> int -> int
+
+(** [skip_run stops q s pos limit]: first index in [[pos, limit)] holding a
+    stop byte of state [q] per the bitmaps [stops] (normally
+    [d.accel_stops]), or [limit] when the whole range self-loops. 8 bytes
+    per iteration on the fast path. Callers must only reach this from a
+    flagged state of an accelerated build. *)
+val skip_run : int array -> int -> string -> int -> int -> int
+
+(** Dual-cursor variant for the TE paths: stops when {e either} state hits
+    a stop byte, the second cursor reading [off] bytes away from the first
+    ([off = +k] when the lookahead automaton leads, [-k] when the main
+    automaton trails). Caller guarantees both cursors stay in bounds:
+    [pos + off >= 0] and [limit + off <= String.length s]. *)
+val skip_run2 :
+  int array -> int -> int array -> int -> off:int -> string -> int -> int -> int
 
 (** States from which some final state is reachable (co-accessible,
     paper §4). The complement is the set of reject/failure states. *)

@@ -192,6 +192,28 @@ let check ?(on_subject = fun _ -> ()) spec =
               }
               :: !mismatches
         | Ok ed -> expect "engine-dense" (of_engine (Engine.tokens ed input)));
+        (* the reference build without self-loop acceleration: the skip
+           loops the "engine" subject ran must be behaviour-preserving *)
+        (match Engine.compile (Dfa.of_rules ~accel:false spec.rules) with
+        | Error Engine.Unbounded_tnd ->
+            incr subjects;
+            on_subject "engine-noaccel";
+            mismatches :=
+              {
+                subject = "engine-noaccel";
+                expected = reference;
+                got =
+                  { tokens = []; failure = Some (0, "noaccel compile failed") };
+              }
+              :: !mismatches
+        | Ok ena ->
+            expect "engine-noaccel" (of_engine (Engine.tokens ena input));
+            List.iter
+              (fun (name, ch) ->
+                expect ~equal:behaviour_equal_streaming
+                  ("stream-noaccel:" ^ name)
+                  (of_engine (Chunking.apply ena input ch)))
+              spec.chunkings);
         List.iter
           (fun (name, ch) ->
             expect ~equal:behaviour_equal_streaming ("stream:" ^ name)

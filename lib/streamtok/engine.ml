@@ -33,9 +33,11 @@ let k1_table_bytes e =
 
 let footprint_bytes e =
   (* classed transition table + accept row, plus the 256-byte classmap that
-     every lookup goes through *)
+     every lookup goes through, plus the acceleration flags + stop bitmaps *)
   let dfa_bytes =
-    ((Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8) + 256
+    ((Array.length e.dfa.Dfa.trans + Array.length e.dfa.Dfa.accept) * 8)
+    + 256
+    + Dfa.accel_table_bytes e.dfa
   in
   let mode_bytes =
     match e.mode with
@@ -44,6 +46,7 @@ let footprint_bytes e =
         (* materialized powerstates: transition row + emit-bit row each *)
         Te_dfa.num_states te
         * ((Te_dfa.width te * 8) + (((Dfa.size e.dfa + 63) / 64) * 8) + 16)
+        + Te_dfa.accel_bytes te
   in
   dfa_bytes + mode_bytes + lookahead_buffer_bytes e + 64
 
@@ -122,8 +125,11 @@ let compile_trusted d ~k =
   in
   { dfa = d; k; reject; mode }
 
-let compile_rules rules = compile (Dfa.of_rules rules)
+let compile_rules ?classes ?accel rules =
+  compile (Dfa.of_rules ?classes ?accel rules)
+
 let compile_grammar src = compile (Dfa.of_grammar src)
+let accel_states e = Dfa.accel_state_count e.dfa
 
 type outcome = Finished | Failed of { offset : int; pending : string }
 
@@ -154,11 +160,25 @@ let fail s startP =
    it can never be final again, so no token is ever emitted past that point
    and the trailing [startP < n] test reports the failure with the same
    offset the eager check would (§5 of the paper proves no emission can be
-   pending when the DFA dies). *)
+   pending when the DFA dies).
+
+   Self-loop run acceleration: when two consecutive steps land back in the
+   same state ([!q = prev = prev2]) and that state is flagged accelerable,
+   the run is finished with [Dfa.skip_run] — no table steps, no maximality
+   probes. Skipping the intermediate probes is sound because a self-loop
+   step can never fire the Fig. 5 bit: T[q][c] = 1 needs δ(q,c) non-final
+   while q is final, and δ(q,c) = q during a run. The probe at the stop
+   byte (or EOF) runs as usual once the skip lands. Detecting runs by
+   comparing states costs register compares per byte on run-poor input,
+   where a per-byte bitmap probe would not stay within the no-regression
+   budget; demanding a run of two (plus an inline stop-bit pre-test of the
+   next byte) keeps streams made of 1–2 byte tokens from ever touching the
+   bitmaps or calling [skip_run]. *)
 let run_string_k1 ?(from = 0) e tbl s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
   let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
@@ -172,9 +192,22 @@ let run_string_k1 ?(from = 0) e tbl s ~emit =
            (String.unsafe_get cmap (Char.code (String.unsafe_get s from)))
        else nc)
   in
+  let prev2 = ref (-1) in
   while !pos < n do
+    let prev = !q in
     q := Array.unsafe_get trans ((!q * nc) + !cls);
     incr pos;
+    (* skip-entry trigger: two consecutive self-loop steps. Requiring an
+       observed run of 2 (not 1) keeps streams full of 2-byte tokens off
+       the bitmap probes entirely — their cost is one register compare *)
+    if
+      !q = prev && prev = !prev2
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos < n
+      && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
+         = 0
+    then pos := Dfa.skip_run astops !q s !pos n;
+    prev2 := prev;
     let next_cls =
       if !pos < n then
         Char.code
@@ -194,11 +227,21 @@ let run_string_k1 ?(from = 0) e tbl s ~emit =
    two classmap loads (lookahead and consumed byte), δ_B, δ_A, and the
    maximality probe; the maximality table T[q][S] is materialized as a
    packed bit matrix so the per-symbol check is branch + single word read.
-   Failure detection is lazy, as in the K ≤ 1 runner. *)
+   Failure detection is lazy, as in the K ≤ 1 runner.
+
+   Acceleration must preserve the K-symbol lead: a skipped byte advances
+   BOTH cursors, so an iteration can only be skipped when the consumed byte
+   self-loops A's state [q] AND the byte K ahead self-loops B's powerstate
+   [st] — [Dfa.skip_run2] scans both bitmaps in lockstep, B reading [+k]
+   bytes ahead. The emit bit is a function of the (st, q) pair, which is
+   constant across the run and known 0 at entry, so no probe can be missed;
+   the skip is also bounded to [n - k] so the EOF padding always reenters
+   the normal path. *)
 let run_string_te ?(from = 0) e te s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
@@ -230,9 +273,12 @@ let run_string_te ?(from = 0) e te s ~emit =
   for i = from to from + k - 1 do
     te_step (class_at i)
   done;
-  for pos = from to n - 1 do
-    te_step (class_at (pos + k));
-    q := Array.unsafe_get trans ((!q * nc) + class_at pos);
+  let pos = ref from in
+  let prev2_q = ref (-1) and prev2_st = ref (-1) in
+  while !pos < n do
+    let prev_st = !st and prev_q = !q in
+    te_step (class_at (!pos + k));
+    q := Array.unsafe_get trans ((!q * nc) + class_at !pos);
     if
       Int64.logand
         (Int64.shift_right_logical
@@ -241,10 +287,26 @@ let run_string_te ?(from = 0) e te s ~emit =
         1L
       <> 0L
     then begin
-      emit ~pos:!startP ~len:(pos + 1 - !startP) ~rule:accept.(!q);
-      startP := pos + 1;
-      q := start
+      emit ~pos:!startP ~len:(!pos + 1 - !startP) ~rule:accept.(!q);
+      startP := !pos + 1;
+      q := start;
+      incr pos
     end
+    else if
+      !q = prev_q && prev_q = !prev2_q && !st = prev_st
+      && prev_st = !prev2_st
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos + 1 < n - k
+      && Dfa.stop_bit astops (!q * 8)
+           (Char.code (String.unsafe_get s (!pos + 1)))
+         = 0
+    then
+      pos :=
+        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
+          (!pos + 1) (n - k)
+    else incr pos;
+    prev2_q := prev_q;
+    prev2_st := prev_st
   done;
   if !startP < n then fail s !startP else Finished
 
@@ -267,10 +329,11 @@ let tokens e s =
    `bench/main.exe smoke` gates; everything else Run_stats reports is
    recorded once per call, outside the loop. *)
 
-let run_string_k1_obs ~from e tbl rc s ~emit =
+let run_string_k1_obs ~from e tbl rc sk s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
   let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
@@ -284,9 +347,23 @@ let run_string_k1_obs ~from e tbl rc s ~emit =
            (String.unsafe_get cmap (Char.code (String.unsafe_get s from)))
        else nc)
   in
+  let prev2 = ref (-1) in
   while !pos < n do
+    let prev = !q in
     q := Array.unsafe_get trans ((!q * nc) + !cls);
     incr pos;
+    if
+      !q = prev && prev = !prev2
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos < n
+      && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
+         = 0
+    then begin
+      let j = Dfa.skip_run astops !q s !pos n in
+      sk := !sk + (j - !pos);
+      pos := j
+    end;
+    prev2 := prev;
     let next_cls =
       if !pos < n then
         Char.code
@@ -304,10 +381,11 @@ let run_string_k1_obs ~from e tbl rc s ~emit =
   done;
   if !startP < n then fail s !startP else Finished
 
-let run_string_te_obs ~from e te rc s ~emit =
+let run_string_te_obs ~from e te rc sk s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
@@ -336,9 +414,12 @@ let run_string_te_obs ~from e te rc s ~emit =
   for i = from to from + k - 1 do
     te_step (class_at i)
   done;
-  for pos = from to n - 1 do
-    te_step (class_at (pos + k));
-    q := Array.unsafe_get trans ((!q * nc) + class_at pos);
+  let pos = ref from in
+  let prev2_q = ref (-1) and prev2_st = ref (-1) in
+  while !pos < n do
+    let prev_st = !st and prev_q = !q in
+    te_step (class_at (!pos + k));
+    q := Array.unsafe_get trans ((!q * nc) + class_at !pos);
     if
       Int64.logand
         (Int64.shift_right_logical
@@ -349,10 +430,30 @@ let run_string_te_obs ~from e te rc s ~emit =
     then begin
       let rule = Array.unsafe_get accept !q in
       Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
-      emit ~pos:!startP ~len:(pos + 1 - !startP) ~rule;
-      startP := pos + 1;
-      q := start
+      emit ~pos:!startP ~len:(!pos + 1 - !startP) ~rule;
+      startP := !pos + 1;
+      q := start;
+      incr pos
     end
+    else if
+      !q = prev_q && prev_q = !prev2_q && !st = prev_st
+      && prev_st = !prev2_st
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos + 1 < n - k
+      && Dfa.stop_bit astops (!q * 8)
+           (Char.code (String.unsafe_get s (!pos + 1)))
+         = 0
+    then begin
+      let j =
+        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
+          (!pos + 1) (n - k)
+      in
+      sk := !sk + (j - (!pos + 1));
+      pos := j
+    end
+    else incr pos;
+    prev2_q := prev_q;
+    prev2_st := prev_st
   done;
   if !startP < n then fail s !startP else Finished
 
@@ -360,14 +461,17 @@ let num_rules e = 1 + Array.fold_left max (-1) e.dfa.Dfa.accept
 
 let run_string_instrumented ?(from = 0) e s ~stats ~emit =
   let rc = Run_stats.rule_slots stats (num_rules e) in
+  let sk = ref 0 in
   let outcome, dt =
     St_util.Timer.time_it (fun () ->
         match e.mode with
-        | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc s ~emit
-        | Te te -> run_string_te_obs ~from e te rc s ~emit)
+        | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc sk s ~emit
+        | Te te -> run_string_te_obs ~from e te rc sk s ~emit)
   in
   Run_stats.add_run_seconds stats dt;
   Run_stats.add_chunk stats (String.length s - from);
+  Run_stats.add_accel_skipped stats !sk;
+  Run_stats.set_accel_states stats (accel_states e);
   Run_stats.set_lookahead stats (max e.k 1);
   Run_stats.observe_buffer stats (lookahead_buffer_bytes e);
   Run_stats.set_te_states stats (te_states e);

@@ -46,10 +46,18 @@ val compile_timed : ?force_te:bool -> Dfa.t -> (t * compile_stats, error) result
     whenever [k] is ≥ the true finite distance. *)
 val compile_trusted : Dfa.t -> k:int -> t
 
-(** Convenience wrappers: build the minimized tokenization DFA first. *)
-val compile_rules : Regex.t list -> (t, error) result
+(** Convenience wrappers: build the minimized tokenization DFA first.
+    [classes] / [accel] (both default true) select the table layout and the
+    self-loop acceleration analysis, as in {!Dfa.of_rules} — the reference
+    builds used by the differential batteries. *)
+val compile_rules :
+  ?classes:bool -> ?accel:bool -> Regex.t list -> (t, error) result
 
 val compile_grammar : string -> (t, error) result
+
+(** Number of accelerable (skip-loop) DFA states; 0 on an unaccelerated
+    build. Reported as the [accel_states] gauge. *)
+val accel_states : t -> int
 
 (** The grammar's max-TND; the engine's lookahead window. *)
 val k : t -> int

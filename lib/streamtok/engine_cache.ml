@@ -24,9 +24,15 @@ let create ?(max_entries = 64) () =
     evictions = 0;
   }
 
-let key_of_rules rules =
+let key_of_rules ?(classes = true) ?(accel = true) rules =
+  (* compile flags are part of the identity: a classed+accelerated engine
+     and a reference build of the same grammar are distinct artifacts *)
+  let flags =
+    Printf.sprintf "\nclasses=%b accel=%b" classes accel
+  in
   Digest.to_hex
-    (Digest.string (String.concat "\n" (List.map Regex.to_string rules)))
+    (Digest.string
+       (String.concat "\n" (List.map Regex.to_string rules) ^ flags))
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -46,21 +52,22 @@ let evict_lru t =
       Hashtbl.remove t.table key;
       t.evictions <- t.evictions + 1
 
-let find_or_compile t rules =
-  let key = key_of_rules rules in
+let find_or_compile t ?(classes = true) ?(accel = true) rules =
+  let key = key_of_rules ~classes ~accel rules in
   match Hashtbl.find_opt t.table key with
   | Some e ->
       t.hits <- t.hits + 1;
       e.last_used <- tick t;
       e.result
   | None ->
-      let result = Engine.compile_rules rules in
+      let result = Engine.compile_rules ~classes ~accel rules in
       t.compiles <- t.compiles + 1;
       if Hashtbl.length t.table >= t.max_entries then evict_lru t;
       Hashtbl.add t.table key { result; last_used = tick t };
       result
 
-let mem t rules = Hashtbl.mem t.table (key_of_rules rules)
+let mem t ?(classes = true) ?(accel = true) rules =
+  Hashtbl.mem t.table (key_of_rules ~classes ~accel rules)
 let compiles t = t.compiles
 let hits t = t.hits
 let evictions t = t.evictions

@@ -23,15 +23,25 @@ type t
 val create : ?max_entries:int -> unit -> t
 
 (** Canonical cache key: MD5 of the canonically printed rules, newline
-    separated, in priority order. *)
-val key_of_rules : Regex.t list -> string
+    separated, in priority order, plus the compile flags ([classes],
+    [accel], both default [true]). The same grammar compiled with
+    different flags yields different engines, so the flags are part of
+    the key. *)
+val key_of_rules : ?classes:bool -> ?accel:bool -> Regex.t list -> string
 
 (** [find_or_compile t rules] returns the cached engine (or cached compile
-    error) for [rules], compiling on first use. *)
-val find_or_compile : t -> Regex.t list -> (Engine.t, Engine.error) result
+    error) for [rules] under the given compile flags, compiling on first
+    use. *)
+val find_or_compile :
+  t ->
+  ?classes:bool ->
+  ?accel:bool ->
+  Regex.t list ->
+  (Engine.t, Engine.error) result
 
-(** [mem t rules] — is the grammar resident (no compile, no counter bump)? *)
-val mem : t -> Regex.t list -> bool
+(** [mem t rules] — is the grammar (under these flags) resident (no
+    compile, no counter bump)? *)
+val mem : t -> ?classes:bool -> ?accel:bool -> Regex.t list -> bool
 
 (** {1 Counters} *)
 

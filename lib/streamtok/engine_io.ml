@@ -4,9 +4,13 @@ let magic = "STKE"
 
 (* version 2 added alphabet equivalence classes: a num_classes field plus the
    raw 256-byte classmap, with the transition table shrunk to
-   num_states × num_classes. Version-1 blobs (dense 256-column) are no
-   longer produced and are rejected on load. *)
-let version = 2
+   num_states × num_classes. Version 3 appends the self-loop acceleration
+   tables (one enable byte, then per-state flags and 256-bit stop bitmaps,
+   serialized as 8 little-endian 32-bit words per state,
+   when enabled). Version-2 blobs are still readable — acceleration is
+   derived data, so it is recomputed on load. Version-1 blobs (dense
+   256-column) are no longer produced and are rejected on load. *)
+let version = 3
 
 (* little-endian 32-bit ints; table entries are small nonnegative numbers
    (state ids, rule ids ≥ -1 stored +1) *)
@@ -45,6 +49,11 @@ let to_string e =
   Buffer.add_string buf d.Dfa.classmap;
   Array.iter (fun r -> put_i32 buf (r + 1)) d.Dfa.accept;
   Array.iter (fun t -> put_i32 buf t) d.Dfa.trans;
+  Buffer.add_char buf (if d.Dfa.accel then '\001' else '\000');
+  if d.Dfa.accel then begin
+    Buffer.add_bytes buf d.Dfa.accel_flags;
+    Array.iter (fun w -> put_i32 buf w) d.Dfa.accel_stops
+  end;
   let s = Bytes.of_string (Buffer.contents buf) in
   let c = checksum (Bytes.unsafe_to_string s) 9 in
   Bytes.set s 5 (Char.chr (c land 0xff));
@@ -57,9 +66,10 @@ let of_string ?(verify = true) s =
   let err msg = Error ("Engine_io: " ^ msg) in
   if String.length s < 281 then err "truncated header"
   else if String.sub s 0 4 <> magic then err "bad magic"
-  else if Char.code s.[4] <> version then
+  else if Char.code s.[4] <> 2 && Char.code s.[4] <> version then
     err (Printf.sprintf "unsupported version %d" (Char.code s.[4]))
   else begin
+    let ver = Char.code s.[4] in
     let stored_sum = get_i32 s 5 in
     if checksum s 9 <> stored_sum then err "checksum mismatch"
     else begin
@@ -67,11 +77,22 @@ let of_string ?(verify = true) s =
       let num_states = get_i32 s 13 in
       let start = get_i32 s 17 in
       let num_classes = get_i32 s 21 in
-      let need = 281 + (4 * num_states) + (4 * num_states * num_classes) in
+      let tables_end = 281 + (4 * num_states) + (4 * num_states * num_classes) in
+      (* v3 appends an accel-enable byte, then flags + stop bitmaps when set *)
+      let accel_on =
+        ver = 3
+        && String.length s > tables_end
+        && s.[tables_end] = '\001'
+      in
+      let need =
+        if ver = 2 then tables_end
+        else tables_end + 1 + if accel_on then num_states + (num_states * 32) else 0
+      in
       if
         num_states <= 0 || num_classes <= 0 || num_classes > 256
         || String.length s <> need
       then err "bad table sizes"
+      else if ver = 3 && s.[tables_end] > '\001' then err "bad accel flag byte"
       else if start < 0 || start >= num_states then err "bad start state"
       else begin
         let classmap = String.sub s 25 256 in
@@ -91,26 +112,71 @@ let of_string ?(verify = true) s =
           if Array.exists (fun t -> t < 0 || t >= num_states) trans then
             err "transition out of range"
           else begin
-            let d =
-              { Dfa.num_states; start; num_classes; classmap; trans; accept }
+            let bare =
+              {
+                Dfa.num_states;
+                start;
+                num_classes;
+                classmap;
+                trans;
+                accept;
+                accel = false;
+                accel_flags = Bytes.make num_states '\000';
+                accel_stops = [||];
+              }
             in
-            if verify then begin
-              match St_analysis.Tnd.max_tnd d with
-              | St_analysis.Tnd.Finite k' when k' = k -> (
-                  match Engine.compile d with
-                  | Ok e -> Ok e
-                  | Error Engine.Unbounded_tnd -> err "analysis disagreement")
-              | St_analysis.Tnd.Finite k' ->
-                  err
-                    (Printf.sprintf "stored max-TND %d but analysis says %d" k
-                       k')
-              | St_analysis.Tnd.Infinite ->
-                  err "stored DFA has unbounded max-TND"
-            end
-            else
-              match Engine.compile_trusted d ~k with
-              | e -> Ok e
-              | exception Invalid_argument m -> err m
+            let accel_tables =
+              if not accel_on then Ok None
+              else begin
+                let fbase = tables_end + 1 in
+                let flags = Bytes.of_string (String.sub s fbase num_states) in
+                let sbase = fbase + num_states in
+                let stops =
+                  Array.init (num_states * 8) (fun i ->
+                      get_i32 s (sbase + (4 * i)))
+                in
+                if
+                  Bytes.exists (fun c -> Char.code c > 1) flags
+                then err "bad accel state flag"
+                else Ok (Some (flags, stops))
+              end
+            in
+            match accel_tables with
+            | Error _ as e -> e
+            | Ok tables ->
+                let d =
+                  match tables with
+                  | None ->
+                      (* v2, or a v3 blob serialized from an unaccelerated
+                         build: acceleration is derived data — recompute *)
+                      Dfa.attach_accel ~enabled:(ver = 2) bare
+                  | Some (accel_flags, accel_stops) ->
+                      { bare with Dfa.accel = true; accel_flags; accel_stops }
+                in
+                (* stored accel tables must match what the analysis derives
+                   from the stored transition tables *)
+                if
+                  verify && accel_on
+                  && not (Dfa.equal d (Dfa.attach_accel ~enabled:true bare))
+                then err "accel tables inconsistent with transitions"
+                else if verify then begin
+                  match St_analysis.Tnd.max_tnd d with
+                  | St_analysis.Tnd.Finite k' when k' = k -> (
+                      match Engine.compile d with
+                      | Ok e -> Ok e
+                      | Error Engine.Unbounded_tnd ->
+                          err "analysis disagreement")
+                  | St_analysis.Tnd.Finite k' ->
+                      err
+                        (Printf.sprintf "stored max-TND %d but analysis says %d"
+                           k k')
+                  | St_analysis.Tnd.Infinite ->
+                      err "stored DFA has unbounded max-TND"
+                end
+                else
+                  match Engine.compile_trusted d ~k with
+                  | e -> Ok e
+                  | exception Invalid_argument m -> err m
           end
         end
       end

@@ -10,6 +10,8 @@ type t = {
   mutable segments : int;
   mutable splice_retries : int;
   mutable sync_tokens : int;
+  mutable accel_states : int;
+  mutable accel_skipped : int;
   mutable rule_counts : int array;
   chunk_bytes : Metrics.Histogram.t;
   run_span : Metrics.Span.t;
@@ -26,6 +28,8 @@ let create () =
     segments = 0;
     splice_retries = 0;
     sync_tokens = 0;
+    accel_states = 0;
+    accel_skipped = 0;
     rule_counts = [||];
     chunk_bytes = Metrics.Histogram.create ();
     run_span = Metrics.Span.create ();
@@ -54,6 +58,9 @@ let observe_buffer t n =
 
 let set_lookahead t n = t.lookahead <- n
 let set_te_states t n = t.te_states <- n
+let set_accel_states t n = t.accel_states <- n
+let add_accel_skipped t n = t.accel_skipped <- t.accel_skipped + n
+let accel_skipped t = t.accel_skipped
 let record_failure t = t.failures <- t.failures + 1
 let add_run_seconds t dt = Metrics.Span.add t.run_span dt
 
@@ -100,6 +107,15 @@ let to_registry ?(rule_name = string_of_int) t =
     t.buffer_high_water;
   g "lookahead_bytes" "lookahead window, max(K, 1)" t.lookahead;
   g "te_states" "token-extension powerstates materialized" t.te_states;
+  g "accel_states" "accelerable (skip-loop) DFA states" t.accel_states;
+  c "accel_skipped_bytes" "bytes consumed by skip loops without table steps"
+    t.accel_skipped;
+  if t.bytes_in > 0 then
+    Metrics.Gauge.set
+      (St_obs.Metrics.Registry.gauge r
+         ~help:"fraction of input bytes consumed by skip loops"
+         "accel_skip_ratio")
+      (float_of_int t.accel_skipped /. float_of_int t.bytes_in);
   if t.segments > 0 then begin
     g "segments" "parallel tokenizer segments" t.segments;
     c "splice_retries" "segments whose speculation was discarded"

@@ -21,6 +21,11 @@
       retained across chunk boundaries, high-water mark
     - [lookahead_bytes] (gauge) — the engine's lookahead window, max(K, 1)
     - [te_states] (gauge) — token-extension powerstates materialized so far
+    - [accel_states] (gauge) — accelerable (skip-loop) DFA states
+    - [accel_skipped_bytes] (counter) — bytes consumed by skip loops without
+      table steps
+    - [accel_skip_ratio] (gauge) — [accel_skipped_bytes / bytes_in], the
+      per-run skip ratio (omitted until bytes flow)
     - [segments], [splice_retries], [sync_tokens] (parallel tokenizer)
     - [run_seconds] (span) — wall-clock time inside instrumented runs *)
 
@@ -44,6 +49,8 @@ val add_chunk : t -> int -> unit
 val observe_buffer : t -> int -> unit
 val set_lookahead : t -> int -> unit
 val set_te_states : t -> int -> unit
+val set_accel_states : t -> int -> unit
+val add_accel_skipped : t -> int -> unit
 val record_failure : t -> unit
 val add_run_seconds : t -> float -> unit
 val record_parallel : t -> segments:int -> splice_retries:int -> sync_tokens:int -> unit
@@ -52,6 +59,7 @@ val record_parallel : t -> segments:int -> splice_retries:int -> sync_tokens:int
 
 val bytes_in : t -> int
 val chunks : t -> int
+val accel_skipped : t -> int
 val tokens_out : t -> int
 val failures : t -> int
 val rule_count : t -> int -> int

@@ -31,6 +31,9 @@ type t = {
   reject : bool array;
   cmap : string;  (* byte → equivalence class, 256 bytes *)
   nc : int;  (* classes; the k1 table and TeDFA rows are nc+1 wide *)
+  aflags : Bytes.t;  (* accelerable-state flags (all zero when disabled) *)
+  astops : int array;  (* per-state stop-byte bitmaps *)
+  mutable skipped : int;  (* bytes consumed by skip loops, across chunks *)
   dfa_start : int;
   mutable q : int;
   token : Buffer.t;  (* bytes of the unfinished token from earlier chunks *)
@@ -74,6 +77,7 @@ let create ?stats engine ~emit =
     | None -> emit
     | Some st ->
         Run_stats.set_lookahead st (I.delay engine);
+        Run_stats.set_accel_states st (Engine.accel_states engine);
         fun lexeme rule ->
           Run_stats.record_token st ~rule ~len:(String.length lexeme);
           emit lexeme rule
@@ -87,6 +91,9 @@ let create ?stats engine ~emit =
     reject = Array.init (St_automata.Dfa.size d) (fun q -> I.is_reject engine q);
     cmap = d.St_automata.Dfa.classmap;
     nc = d.St_automata.Dfa.num_classes;
+    aflags = d.St_automata.Dfa.accel_flags;
+    astops = d.St_automata.Dfa.accel_stops;
+    skipped = 0;
     dfa_start = d.St_automata.Dfa.start;
     q = d.St_automata.Dfa.start;
     token = Buffer.create 64;
@@ -99,6 +106,7 @@ let create ?stats engine ~emit =
 
 let failed t = match t.state with `Failed _ -> true | _ -> false
 let bytes_fed t = t.fed
+let accel_skipped_bytes t = t.skipped
 
 let fail_with t pending_bytes =
   (match t.stats with Some st -> Run_stats.record_failure st | None -> ());
@@ -158,6 +166,7 @@ let feed t s pos len =
   if t.state <> `Running then t.fed <- t.fed + len
   else begin
     t.fed <- t.fed + len;
+    let sk0 = t.skipped in
     (match t.impl with
     | M_k1 m ->
         let finish = pos + len in
@@ -172,7 +181,9 @@ let feed t s pos len =
         let trans = t.trans and tbl = m.tbl and reject = t.reject in
         let cmap = t.cmap and nc = t.nc in
         let kw = nc + 1 in
+        let prev2 = ref (-1) in
         while t.state = `Running && !i + 1 < finish do
+          let prev = t.q in
           let c =
             Char.code
               (String.unsafe_get cmap (Char.code (String.unsafe_get s !i)))
@@ -192,7 +203,28 @@ let feed t s pos len =
               emit_token t s !seg !i;
               seg := !i + 1
             end;
-            incr i
+            incr i;
+            (* Skip the rest of a self-loop run, stopping one byte short of
+               the first stop byte so the loop's own probe fires the
+               maximality check with that byte as lookahead — and short of
+               the chunk's last byte, which must still go pending. The
+               Fig. 5 probes skipped in between are structurally 0: a
+               self-loop step never takes a final state non-final. *)
+            if
+              t.q = prev && prev = !prev2
+              && Bytes.unsafe_get t.aflags t.q <> '\000'
+              && !i < finish - 1
+              && St_automata.Dfa.stop_bit t.astops (t.q * 8)
+                   (Char.code (String.unsafe_get s !i))
+                 = 0
+            then begin
+              let j = St_automata.Dfa.skip_run t.astops t.q s !i (finish - 1) in
+              if j > !i then begin
+                t.skipped <- t.skipped + (j - 1 - !i);
+                i := j - 1
+              end
+            end;
+            prev2 := prev
           end
         done;
         if t.state = `Running then begin
@@ -209,7 +241,9 @@ let feed t s pos len =
         let i = ref pos in
         let trans = t.trans and reject = t.reject in
         let cmap = t.cmap and nc = t.nc in
+        let prev2_q = ref (-1) and prev2_st = ref (-1) in
         while t.state = `Running && !i < finish do
+          let prev_st = m.st and prev_q = t.q in
           let c = Char.code (String.unsafe_get s !i) in
           let ccls =
             Char.code (String.unsafe_get cmap c)
@@ -243,16 +277,53 @@ let feed t s pos len =
                 1L
               <> 0L
             then emit_token t "" 0 (-1)
+            else if
+              (* Both cursors just self-looped with the emit bit known 0:
+                 skip while B's byte (s[idx]) and A's byte, k behind
+                 (s[idx-k]), both stay inside their states' self-loops.
+                 Restricted to idx-k ≥ pos so A never reaches back before
+                 this chunk — the carried lead never shrinks. The ring is
+                 rewritten to the k bytes behind the resume point; rd/wr
+                 stay put since the queue is full before and after. *)
+              t.q = prev_q && prev_q = !prev2_q && m.st = prev_st
+              && prev_st = !prev2_st
+              && Bytes.unsafe_get t.aflags t.q <> '\000'
+              && !i + 1 - m.k >= pos
+              && St_automata.Dfa.stop_bit t.astops (t.q * 8)
+                   (Char.code (String.unsafe_get s (!i + 1 - m.k)))
+                 = 0
+            then begin
+              let bstops = Te_dfa.accel_stops m.te m.st in
+              let j =
+                St_automata.Dfa.skip_run2 bstops m.st t.astops t.q ~off:(-m.k) s (!i + 1)
+                  finish
+              in
+              let mskip = j - (!i + 1) in
+              if mskip > 0 then begin
+                Buffer.add_substring t.token s (!i + 1 - m.k) mskip;
+                for x = 0 to m.k - 1 do
+                  Bytes.unsafe_set m.ring
+                    ((m.rd + x) land m.mask)
+                    (String.unsafe_get s (j - m.k + x))
+                done;
+                t.skipped <- t.skipped + mskip;
+                i := j - 1
+              end
+            end
           end
           else begin
             Bytes.unsafe_set m.ring m.wr (Char.unsafe_chr c);
             m.wr <- (m.wr + 1) land m.mask;
             m.rlen <- m.rlen + 1
           end;
+          prev2_q := prev_q;
+          prev2_st := prev_st;
           incr i
         done);
     match t.stats with
-    | Some st -> Run_stats.observe_buffer st (carried_bytes t)
+    | Some st ->
+        Run_stats.add_accel_skipped st (t.skipped - sk0);
+        Run_stats.observe_buffer st (carried_bytes t)
     | None -> ()
   end
 

@@ -41,3 +41,8 @@ val finish : t -> Engine.outcome
 
 (** Total bytes accepted so far (across all chunks). *)
 val bytes_fed : t -> int
+
+(** Bytes consumed by self-loop skip loops so far (0 when the engine was
+    built [~accel:false]). With [stats], each feed also adds its delta to
+    the [accel_skipped_bytes] counter. *)
+val accel_skipped_bytes : t -> int

@@ -39,6 +39,9 @@ type t = {
   mutable emit_rows : int64 array;  (* capacity × words *)
   mutable origin_rows : Bits.t array;  (* per state: extendable finals *)
   mutable sets : Bits.t array;  (* per state: the NFA powerset *)
+  mutable accel_known : Bytes.t;  (* capacity; nonzero = stop row computed *)
+  mutable accel_stops : int array;  (* capacity × 8: 256-bit stop bitmaps *)
+  mutable accel_rows : int;  (* stop rows computed so far (footprint) *)
   tbl : int Set_tbl.t;
   (* NFA parameters *)
   m : int;
@@ -78,6 +81,12 @@ let grow t =
   let sets = Array.make cap (Bits.create 0) in
   Array.blit t.sets 0 sets 0 t.num_states;
   t.sets <- sets;
+  let accel_known = Bytes.make cap '\000' in
+  Bytes.blit t.accel_known 0 accel_known 0 t.num_states;
+  t.accel_known <- accel_known;
+  let accel_stops = Array.make (cap * 8) 0 in
+  Array.blit t.accel_stops 0 accel_stops 0 (t.num_states * 8);
+  t.accel_stops <- accel_stops;
   t.capacity <- cap
 
 (* intern a powerset, computing its origin set and emit-bit row *)
@@ -174,6 +183,9 @@ let build dfa ~k =
       emit_rows = Array.make (capacity * words) 0L;
       origin_rows = Array.make capacity (Bits.create 0);
       sets = Array.make capacity (Bits.create 0);
+      accel_known = Bytes.make capacity '\000';
+      accel_stops = Array.make (capacity * 8) 0;
+      accel_rows = 0;
       tbl = Set_tbl.create 64;
       m;
       active_count;
@@ -230,6 +242,39 @@ let emit_bit t s q =
   <> 0L
 
 let num_states t = t.num_states
+
+(* Lazy per-powerstate stop bitmaps for the accelerated TE runners: bit b
+   set iff byte b moves powerstate [s] somewhere else. Computed the first
+   time a skip loop enters with [s] as the lookahead state, by forcing that
+   powerstate's real-symbol transitions (EOF excluded — the skip loop never
+   feeds it). [step_class] does its own locking, so the row is assembled
+   outside the mutex and only the publication (bitmap write + known flag) is
+   serialized; a racing reader that sees a stale known byte just recomputes
+   the same row. *)
+let compute_accel_row t s =
+  let ncls = t.width - 1 in
+  let selfloop = Array.make ncls false in
+  for cls = 0 to ncls - 1 do
+    selfloop.(cls) <- step_class t s cls = s
+  done;
+  let w = Array.make 8 0 in
+  for b = 0 to 255 do
+    if not selfloop.(Dfa.class_of_byte t.dfa b) then
+      w.(b lsr 5) <- w.(b lsr 5) lor (1 lsl (b land 31))
+  done;
+  Mutex.lock t.lock;
+  if Bytes.get t.accel_known s = '\000' then begin
+    Array.blit w 0 t.accel_stops (s * 8) 8;
+    Bytes.set t.accel_known s '\001';
+    t.accel_rows <- t.accel_rows + 1
+  end;
+  Mutex.unlock t.lock
+
+let accel_stops t s =
+  if Bytes.unsafe_get t.accel_known s = '\000' then compute_accel_row t s;
+  t.accel_stops
+
+let accel_bytes t = (t.accel_rows * 32) + t.num_states
 
 let start _t = 0
 let k t = t.k

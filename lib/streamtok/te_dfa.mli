@@ -83,6 +83,17 @@ val extendable : t -> int -> int -> bool
     read; the engine's per-symbol check. *)
 val emit_bit : t -> int -> int -> bool
 
+(** [accel_stops te s] — the 256-bit stop-byte bitmap of powerstate [s]
+    (bit [b] set iff byte [b] moves [s] somewhere else), lazily computed on
+    first use and cached. Returns the whole packed array (4 words per
+    powerstate, row [s*4]), in the {!Dfa.skip_run2} layout; like {!Raw}
+    views, the array is replaced wholesale on growth, so re-fetch per use. *)
+val accel_stops : t -> int -> int array
+
+(** Bytes held by the lazily materialized stop bitmaps (monotone in use,
+    for footprint accounting). *)
+val accel_bytes : t -> int
+
 (**/**)
 
 (** Internal raw views for the engine's hot loop. The arrays are replaced

@@ -10,6 +10,7 @@ let () =
       ("te-dfa", Test_te_dfa.suite);
       ("engine", Test_engine.suite);
       ("compress", Test_compress.suite);
+      ("accel", Test_accel.suite);
       ("obs", Test_obs.suite);
       ("streaming-extra", Test_streaming_extra.suite);
       ("parallel", Test_parallel.suite);

@@ -303,6 +303,50 @@ let test_classed_dense_parity () =
   done;
   check "ran a spread of grammars" true (!grammars >= 100)
 
+(* Same battery against the self-loop acceleration: the skip-loop engine
+   must be byte-identical to the [~accel:false] reference build. *)
+let test_accel_noaccel_parity () =
+  let rng = Prng.create 0xACCE17EDL in
+  let cases = ref 0 in
+  let grammars = ref 0 in
+  while !cases < 1000 do
+    let rules =
+      match Prng.int rng 3 with
+      | 0 -> Fuzz.Gen.grammar rng ~cls:Fuzz.Gen.charset_bytes
+      | 1 -> Grammar_corpus.sample rng
+      | _ ->
+          let r = Grammar_corpus.sample rng in
+          Grammar_corpus.mutate rng r
+    in
+    let da = Dfa.of_rules rules in
+    let dp = Dfa.of_rules ~accel:false rules in
+    check "reference build has accel off" false (Dfa.accel_enabled dp);
+    match (Engine.compile da, Engine.compile dp) with
+    | Error Engine.Unbounded_tnd, Error Engine.Unbounded_tnd -> ()
+    | Error _, Ok _ | Ok _, Error _ ->
+        Alcotest.fail "accel/noaccel disagree on max-TND boundedness"
+    | Ok ea, Ok ep ->
+        incr grammars;
+        let dense = token_dense_input rng da in
+        let inputs =
+          [
+            dense;
+            Fuzz.Gen.near_miss rng dense;
+            Fuzz.Gen.uniform rng ~alphabet:Fuzz.Gen.byte_alphabet ~max_len:200;
+          ]
+        in
+        List.iter
+          (fun input ->
+            let ta, oa = Engine.tokens ea input in
+            let tp, op = Engine.tokens ep input in
+            if not (Gen.same_tokens tp ta && Engine.outcome_equal op oa) then
+              Alcotest.failf "accel/noaccel mismatch on %S (grammar #%d)"
+                input !grammars;
+            incr cases)
+          inputs
+  done;
+  check "ran a spread of grammars" true (!grammars >= 100)
+
 (* StreamTok takes exactly one DFA step per input byte: its cost is O(n).
    We verify the linear-time claim structurally: the backtracking runner on
    the worst-case family takes ≥ k/2 × n steps while StreamTok's step count
@@ -372,6 +416,8 @@ let suite =
     Alcotest.test_case "backtracking blowup" `Quick test_backtracking_blowup;
     Alcotest.test_case "classed ≡ dense (1k seeded)" `Quick
       test_classed_dense_parity;
+    Alcotest.test_case "accel ≡ noaccel (1k seeded)" `Quick
+      test_accel_noaccel_parity;
     QCheck_alcotest.to_alcotest prop_streamtok_equals_backtracking;
     QCheck_alcotest.to_alcotest prop_lexemes_reconstruct_input;
     QCheck_alcotest.to_alcotest prop_backtracking_reconstructs;

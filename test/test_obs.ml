@@ -263,9 +263,12 @@ let test_footprint_accounts_classmap () =
   let nc = Dfa.num_classes d in
   check "classed build compresses" true (nc < 256);
   let dfa_bytes =
-    ((Array.length d.Dfa.trans + Array.length d.Dfa.accept) * 8) + 256
+    ((Array.length d.Dfa.trans + Array.length d.Dfa.accept) * 8)
+    + 256
+    + Dfa.accel_table_bytes d
   in
-  check_int "k1 footprint = tables + classmap + buffers"
+  check "accel tables accounted" true (Dfa.accel_table_bytes d > 0);
+  check_int "k1 footprint = tables + classmap + accel + buffers"
     (dfa_bytes + Engine.k1_table_bytes e + 1 + 64)
     (Engine.footprint_bytes e);
   check "classmap term present" true

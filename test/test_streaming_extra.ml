@@ -193,6 +193,42 @@ let prop_random_chunk_plans =
               a = b
           | _ -> false))
 
+(* Chunked accel ≡ chunked noaccel (1k seeded cases): the streaming skip
+   loops — M_k1's stop-short re-entry and M_te's dual-cursor skip with the
+   K-symbol lead — against the [~accel:false] reference tokenizer under
+   random chunk plans, so skip entry and exit land on chunk boundaries in
+   every alignment. *)
+let test_accel_chunked_parity () =
+  let rng = Prng.create 0x5C1FFEDL in
+  let cases = ref 0 in
+  while !cases < 1000 do
+    let rules =
+      match Prng.int rng 2 with
+      | 0 -> Fuzz.Gen.grammar rng ~cls:Fuzz.Gen.charset_bytes
+      | _ -> Grammar_corpus.sample rng
+    in
+    let da = Dfa.of_rules rules in
+    let dp = Dfa.of_rules ~accel:false rules in
+    match (Engine.compile da, Engine.compile dp) with
+    | Error Engine.Unbounded_tnd, Error Engine.Unbounded_tnd -> ()
+    | Error _, Ok _ | Ok _, Error _ ->
+        Alcotest.fail "accel/noaccel disagree on max-TND boundedness"
+    | Ok ea, Ok ep ->
+        let base = Fuzz.Gen.token_dense rng da ~target_len:(40 + Prng.int rng 300) in
+        let inputs = [ base; Fuzz.Gen.near_miss rng base ] in
+        List.iter
+          (fun input ->
+            let plan =
+              List.init (1 + Prng.int rng 8) (fun _ -> 1 + Prng.int rng 9)
+            in
+            let ta, oa = chunked_with_plan ea input plan in
+            let tp, op = chunked_with_plan ep input plan in
+            if not (ta = tp && op = oa) then
+              Alcotest.failf "accel/noaccel chunked mismatch on %S" input;
+            incr cases)
+          inputs
+  done
+
 (* The streaming latency claim: a maximal token is emitted no later than
    max(K,1) bytes after its last byte is fed (plus EOS drain). *)
 let test_emission_latency_bound () =
@@ -241,4 +277,6 @@ let suite =
     Alcotest.test_case "lazy footprint" `Quick test_footprint_grows_lazily;
     Alcotest.test_case "engine reuse" `Quick test_engine_reuse_across_inputs;
     QCheck_alcotest.to_alcotest prop_random_chunk_plans;
+    Alcotest.test_case "accel ≡ noaccel chunked (1k seeded)" `Quick
+      test_accel_chunked_parity;
   ]
