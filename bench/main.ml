@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|compress|compress-check|accel|accel-check|smoke|quick|all]";
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|trace|compress|compress-check|accel|accel-check|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -26,6 +26,7 @@ let all ~quick =
   Ablation.run ();
   Parallel_bench.run ?size_mb:(if quick then Some 4 else None) ();
   Serve_bench.run ?size_mb:(if quick then Some 2 else None) ();
+  Trace_bench.run ?size_mb:(if quick then Some 1 else None) ();
   Compress_bench.run ~throughput:(not quick) ();
   Accel_bench.run ~throughput:(not quick) ();
   Micro.run ()
@@ -44,6 +45,7 @@ let () =
   | "micro" -> Micro.run ()
   | "fuzz" -> Fuzz_bench.run ()
   | "serve" -> Serve_bench.run ()
+  | "trace" -> Trace_bench.run ()
   | "compress" -> Compress_bench.run ()
   | "compress-check" -> Compress_bench.run ~throughput:false ()
   | "accel" -> Accel_bench.run ()

@@ -78,7 +78,7 @@ let run () =
    json, K = 3 — and the Fig. 5 table path — csv, K = 1). The measured
    overhead, target ≤2%, is printed and recorded; the hard gate is 10% so
    a noisy CI neighbor cannot fail the build spuriously. *)
-let smoke () =
+let rec smoke () =
   let check (g : Streamtok.Grammar.t) =
     let d = Grammar.dfa g in
     let engine =
@@ -160,5 +160,70 @@ let smoke () =
   if worst > 10.0 then begin
     Printf.eprintf "smoke: instrumented overhead %.1f%% exceeds the 10%% gate\n"
       worst;
+    exit 1
+  end;
+  disabled_tracer_check ()
+
+(* The probe contract: with tracing disabled, the traced entry points cost
+   one bool load per call over the plain ones. Verified the same way as
+   the instrumented runner above — digest parity, then interleaved
+   best-of rounds. Target <=2%; the hard gate is 10% (the expected value
+   is ~0%, so only a broken fast path can reach the gate). *)
+and disabled_tracer_check () =
+  Streamtok.Trace.set_enabled false;
+  let g = Formats.json in
+  let d = Grammar.dfa g in
+  let engine =
+    match Engine.compile d with Ok e -> e | Error _ -> assert false
+  in
+  let gen = Option.get (Gen_data.by_name g.Grammar.name) in
+  let input = gen ~seed:Bench_common.seed_data ~target_bytes:524_288 () in
+  let digest run =
+    let b = Buffer.create 65536 in
+    let outcome =
+      run ~emit:(fun ~pos ~len ~rule ->
+          Buffer.add_string b (Printf.sprintf "%d:%d:%d;" pos len rule))
+    in
+    Buffer.add_string b
+      (match outcome with
+      | Engine.Finished -> "finished"
+      | Engine.Failed { offset; _ } -> Printf.sprintf "failed@%d" offset);
+    Digest.string (Buffer.contents b)
+  in
+  let plain = digest (fun ~emit -> Engine.run_string engine input ~emit) in
+  let traced = digest (fun ~emit -> Engine.run_string_traced engine input ~emit) in
+  if plain <> traced then begin
+    prerr_endline "smoke: traced token stream differs with tracing disabled";
+    exit 1
+  end;
+  let t_plain = ref infinity and t_traced = ref infinity in
+  for _ = 1 to 15 do
+    let _, dt =
+      Bench_common.time_once (fun () ->
+          ignore (Engine.run_string engine input ~emit:Bench_common.emit_spans))
+    in
+    if dt < !t_plain then t_plain := dt;
+    let _, dt =
+      Bench_common.time_once (fun () ->
+          ignore
+            (Engine.run_string_traced engine input ~emit:Bench_common.emit_spans))
+    in
+    if dt < !t_traced then t_traced := dt
+  done;
+  let overhead = (!t_traced -. !t_plain) /. !t_plain *. 100.0 in
+  Printf.printf
+    "  %-10s plain %7.1f MB/s  traced-off    %7.1f MB/s  overhead %+5.2f%%  \
+     (target <=2%%)\n"
+    g.Grammar.name
+    (Bench_common.throughput (String.length input) !t_plain)
+    (Bench_common.throughput (String.length input) !t_traced)
+    overhead;
+  Bench_common.record_result ~experiment:"smoke"
+    ~name:"disabled_tracer_overhead_pct"
+    ~labels:[ ("grammar", g.Grammar.name) ]
+    overhead;
+  if overhead > 10.0 then begin
+    Printf.eprintf
+      "smoke: disabled-tracer overhead %.1f%% exceeds the 10%% gate\n" overhead;
     exit 1
   end

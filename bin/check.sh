@@ -15,8 +15,16 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== bench smoke (instrumented-runner parity + overhead)"
+echo "== bench smoke (instrumented-runner parity + overhead, disabled-tracer cost)"
 dune exec bench/main.exe -- smoke
+
+echo "== trace gate (enabled-tracer overhead <=15%, serve-span attribution >=90%)"
+# Hard checks live inside the bench: token-count parity with the tracer
+# recording, the enabled-tracer overhead gate on the chunked words
+# workload, a non-empty state-heat table from the instrumented heat
+# runner, and >=90% of a traced loopback serve run's wall time attributed
+# by the span-tree report.
+dune exec bench/main.exe -- trace
 
 echo "== compress gate (classed/dense parity + classed tables <= dense bytes)"
 # Hard checks live inside the bench: same minimal DFA size, byte-identical

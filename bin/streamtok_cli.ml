@@ -265,7 +265,18 @@ let tokenize_cmd =
         Printf.printf "%-12s %S\n" (Grammar.rule_name g rule)
           (String.sub input pos len)
     in
-    let stats = Option.map (fun _ -> Run_stats.create ()) stats_dest in
+    (* `trace record --heat` forces the instrumented runner (with state
+       heat on) even without --stats, so the recording can carry a heat
+       table. *)
+    let want_heat = !Trace.heat_requested in
+    let stats =
+      if stats_dest <> None || want_heat then Some (Run_stats.create ())
+      else None
+    in
+    (match stats with
+    | Some st when want_heat ->
+        Run_stats.enable_state_heat st ~states:(Dfa.size d)
+    | _ -> ());
     let ok =
       match engine with
       | `Streamtok -> (
@@ -277,11 +288,16 @@ let tokenize_cmd =
           | Ok e -> (
               let outcome =
                 match stats with
-                | None -> Engine.run_string e input ~emit:print_token
+                | None -> Engine.run_string_traced e input ~emit:print_token
                 | Some st ->
                     Engine.run_string_instrumented e input ~stats:st
                       ~emit:print_token
               in
+              (match stats with
+              | Some st when want_heat ->
+                  Trace.Heat.publish
+                    (Engine.heat_table ~label:g.Grammar.name e st)
+              | _ -> ());
               match outcome with
               | Engine.Finished -> true
               | Engine.Failed { offset; pending } ->
@@ -810,14 +826,202 @@ let convert_cmd =
       const run $ app_arg $ file $ log_format $ stats_dest_arg
       $ stats_format_arg)
 
+(* ---- trace ---- *)
+
+(* Forward reference to the whole command group: `trace record` re-enters
+   the CLI to run the wrapped command with tracing enabled. Set in main
+   before any eval, so Option.get cannot fail at dispatch time. *)
+let main_cmd : unit Cmd.t option ref = ref None
+
+let read_trace_file path =
+  match open_in_bin path with
+  | ic ->
+      let s = read_all ic in
+      close_in ic;
+      s
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let parse_trace data =
+  if Trace.Bin.is_binary data then Trace.Bin.of_string data
+  else Trace.Chrome.of_string data
+
+let write_trace_file ~out ~heat evs =
+  let data =
+    if Filename.check_suffix out ".bin" then Trace.Bin.to_string ~heat evs
+    else Trace.Chrome.to_string ~heat evs
+  in
+  (match open_out_bin out with
+  | oc ->
+      output_string oc data;
+      close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "error: cannot write trace: %s\n" msg;
+      exit 1);
+  data
+
+let top_arg =
+  Arg.(
+    value
+    & opt int 10
+    & info [ "top" ] ~docv:"N" ~doc:"Rows per state-heat table.")
+
+let trace_record_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Output file. A $(b,.bin) extension selects the compact binary \
+             capture; anything else writes Chrome trace-event JSON \
+             (Perfetto-loadable).")
+  in
+  let heat_arg =
+    Arg.(
+      value & flag
+      & info [ "heat" ]
+          ~doc:
+            "Also collect DFA state heat: the wrapped command runs its \
+             instrumented engine with per-state visit/skip counters and \
+             attaches the top-state tables to the trace.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int 262144
+      & info [ "capacity" ] ~docv:"EVENTS"
+          ~doc:
+            "Per-domain ring capacity in events; when it overflows the \
+             oldest events are dropped (and counted).")
+  in
+  let rest_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMD"
+          ~doc:
+            "The streamtok command to trace, after $(b,--) — e.g. \
+             $(b,trace record -- tokenize json input.json).")
+  in
+  let run out heat capacity rest =
+    if rest = [] then begin
+      prerr_endline
+        "error: nothing to record; usage: streamtok trace record [-o FILE] \
+         [--heat] -- <command> ...";
+      exit 2
+    end;
+    Trace.configure ~capacity_events:capacity;
+    Trace.heat_requested := heat;
+    Trace.Heat.clear_published ();
+    Trace.reset ();
+    Trace.set_enabled true;
+    (* The wrapped command may exit directly (e.g. tokenize on lexical
+       failure); dump from at_exit so the recording survives any exit
+       path, and make it idempotent for the normal return. *)
+    let dumped = ref false in
+    let dump () =
+      if not !dumped then begin
+        dumped := true;
+        Trace.set_enabled false;
+        let evs = Trace.events () in
+        let heat_tables = Trace.Heat.published () in
+        ignore (write_trace_file ~out ~heat:heat_tables evs);
+        Printf.eprintf "trace: %d events (%d dropped), %d heat table(s) -> %s\n%!"
+          (List.length evs) (Trace.dropped ())
+          (List.length heat_tables) out
+      end
+    in
+    at_exit dump;
+    let argv = Array.of_list ("streamtok" :: rest) in
+    let code = Cmd.eval ~argv (Option.get !main_cmd) in
+    dump ();
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a streamtok command with tracing enabled and write the \
+          recording")
+    Term.(const run $ out_arg $ heat_arg $ capacity_arg $ rest_arg)
+
+let trace_convert_cmd =
+  let in_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Recording to convert (binary or JSON).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT"
+          ~doc:"Destination; format chosen by extension ($(b,.bin) = binary).")
+  in
+  let run in_file out_file =
+    match parse_trace (read_trace_file in_file) with
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" in_file msg;
+        exit 1
+    | Ok (evs, heat) ->
+        ignore (write_trace_file ~out:out_file ~heat evs);
+        Printf.eprintf "trace: %d events -> %s\n" (List.length evs) out_file
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a recording between binary and Chrome JSON")
+    Term.(const run $ in_arg $ out_arg)
+
+let trace_report_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Recording to summarize (binary or JSON).")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "depth" ] ~docv:"N" ~doc:"Maximum span-tree depth printed.")
+  in
+  let run file top depth =
+    match parse_trace (read_trace_file file) with
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" file msg;
+        exit 1
+    | Ok (evs, heat) ->
+        print_string (Trace.Report.to_text ~max_depth:depth (Trace.Report.build evs));
+        List.iter
+          (fun t -> print_string (Trace.Heat.to_text ~top_n:top t))
+          heat
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Fold a recording into an aggregated span tree with per-category \
+          wall-time attribution, plus any state-heat tables")
+    Term.(const run $ file_arg $ top_arg $ depth_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record ($(b,trace record -- <cmd>)), convert and report execution \
+          traces; see README §Tracing & profiling")
+    [ trace_record_cmd; trace_convert_cmd; trace_report_cmd ]
+
 let () =
   let doc = "StreamTok: static analysis for efficient streaming tokenization" in
   let info = Cmd.info "streamtok" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
-            validate_cmd; gen_cmd; fuzz_cmd; serve_cmd; client_cmd;
-            convert_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
+        validate_cmd; gen_cmd; fuzz_cmd; serve_cmd; client_cmd;
+        convert_cmd; trace_cmd;
+      ]
+  in
+  main_cmd := Some group;
+  exit (Cmd.eval group)

@@ -50,6 +50,13 @@ module Te_dfa = St_streamtok.Te_dfa
 module Obs = St_obs
 module Run_stats = St_streamtok.Run_stats
 
+(** [Trace] is the event tracer: per-domain binary ring buffers, span /
+    instant / counter probes on the serve and engine hot paths, Chrome
+    trace-event (Perfetto) + binary exporters, an aggregated span-tree
+    report, and DFA state-heat tables (see README §Tracing & profiling). *)
+
+module Trace = St_trace.Trace
+
 (** {1 Baseline tokenizers (paper §6)} *)
 
 module Backtracking = St_baselines.Backtracking
@@ -115,3 +122,4 @@ module Sql_apps = St_apps.Sql_apps
 module Prng = St_util.Prng
 module Location = St_util.Location
 module Timer = St_util.Timer
+module Mclock = St_util.Mclock

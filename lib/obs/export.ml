@@ -25,6 +25,9 @@ let metric_to_json (m : metric) =
           ("count", Json.Int (Histogram.count h));
           ("sum", Json.Int (Histogram.sum h));
           ("max", Json.Int (Histogram.max_value h));
+          ("p50", Json.Float (Histogram.percentile h 0.50));
+          ("p90", Json.Float (Histogram.percentile h 0.90));
+          ("p99", Json.Float (Histogram.percentile h 0.99));
           ( "buckets",
             Json.List
               (List.map
@@ -130,7 +133,17 @@ let to_prometheus ?(namespace = "streamtok") r =
           Buffer.add_string b
             (Printf.sprintf "%s_sum%s %d\n" name labels (Histogram.sum h));
           Buffer.add_string b
-            (Printf.sprintf "%s_count%s %d\n" name labels (Histogram.count h))
+            (Printf.sprintf "%s_count%s %d\n" name labels (Histogram.count h));
+          (* Estimated quantiles as summary-style samples: native Prometheus
+             histograms leave quantiles to the query side, but scrapers here
+             are often plain curl, so ship the log2-bucket estimates too. *)
+          List.iter
+            (fun (q, qs) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" name
+                   (render_labels (m.labels @ [ ("quantile", qs) ]))
+                   (float_sample (Histogram.percentile h q))))
+            [ (0.50, "0.5"); (0.90, "0.9"); (0.99, "0.99") ]
       | Span s ->
           header name "summary" m.help;
           Buffer.add_string b

@@ -1,9 +1,10 @@
-(** Minimal JSON generator for the observability exports.
+(** Minimal JSON generator and parser for the observability exports.
 
-    Compact output only, no parser: stats documents are produced, never
-    consumed, by this library (the CLI test suite validates the output with
-    the repo's own [streamtok validate]). Non-finite floats serialize as
-    [null] so the output is always valid RFC 8259 JSON. *)
+    Compact output; non-finite floats serialize as [null] so the output is
+    always valid RFC 8259 JSON. The parser exists so downstream tools
+    ([streamtok trace report/convert]) can read documents this library
+    wrote — it accepts full RFC 8259, mapping integral numerals to [Int]
+    and everything else to [Float]. *)
 
 type t =
   | Null
@@ -16,3 +17,18 @@ type t =
 
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
+
+(** [of_string s] parses one JSON document spanning the whole string. *)
+val of_string : string -> (t, string) result
+
+(** [member k j] is field [k] of object [j], if present. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+
+(** [Int], or an integral [Float]. *)
+val to_int_opt : t -> int option
+
+(** [Float], or any [Int] widened. *)
+val to_float_opt : t -> float option

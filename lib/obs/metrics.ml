@@ -54,6 +54,42 @@ module Histogram = struct
     let hi = ref (-1) in
     Array.iteri (fun i c -> if c > 0 then hi := i) h.buckets;
     List.init (!hi + 1) (fun i -> (bucket_upper i, h.buckets.(i)))
+
+  (* Quantile estimate from log2 buckets: find the bucket holding the
+     continuous rank [q * count], then interpolate linearly inside it
+     assuming observations are uniform over [2^(i-1), 2^i - 1].  The
+     estimate is therefore exact at bucket boundaries and off by at most
+     the bucket width (a factor of 2) in the worst case — the inherent
+     resolution of a log2 histogram. *)
+  let percentile h q =
+    if h.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int h.count in
+      let i = ref 0 and before = ref 0 in
+      while
+        !i < num_buckets - 1
+        && float_of_int (!before + h.buckets.(!i)) < target
+      do
+        before := !before + h.buckets.(!i);
+        incr i
+      done;
+      let i = !i in
+      if i = 0 then 0.0
+      else begin
+        let lo = float_of_int (bucket_upper (i - 1) + 1) in
+        let hi = float_of_int (bucket_upper i) in
+        let in_bucket = float_of_int h.buckets.(i) in
+        let frac =
+          if in_bucket <= 0.0 then 1.0
+          else (target -. float_of_int !before) /. in_bucket
+        in
+        let v = lo +. ((hi -. lo) *. frac) in
+        (* The true values never exceed the recorded maximum; clamp so
+           tail quantiles of a single-valued distribution stay honest. *)
+        Float.min v (float_of_int h.max_value)
+      end
+    end
 end
 
 module Span = struct

@@ -66,6 +66,15 @@ module Histogram : sig
   (** Non-empty prefix of buckets as [(inclusive_upper_bound, count)], in
       increasing bound order, ending at the highest non-empty bucket. *)
   val buckets : t -> (int * int) list
+
+  (** [percentile h q] estimates the [q]-quantile ([q] in [[0,1]]) by
+      locating the log2 bucket containing rank [q * count] and
+      interpolating linearly within it (observations assumed uniform over
+      the bucket's [[2^(i-1), 2^i - 1]] range). Error is bounded by the
+      bucket width, i.e. the estimate is within 2x of the true quantile;
+      results are clamped to [max_value] and [0.] is returned for an empty
+      histogram. *)
+  val percentile : t -> float -> float
 end
 
 module Span : sig

@@ -22,10 +22,16 @@ type segment = {
 
 exception Stop
 
+(* Trace probes: speculation spans land in each worker domain's own ring
+   (per-domain tid), so a Perfetto view shows the parallel phase as
+   overlapping tracks; the splice span lives on the calling domain. *)
+let p_speculate = St_trace.Trace.probe ~cat:"par" "par.speculate"
+let p_splice = St_trace.Trace.probe ~cat:"par" "par.splice"
+
 (* Speculatively tokenize [s] from [seg_start], recording spans until a
    token ends at or past [seg_limit] (that last spilling token is still
    recorded: the splice needs spans that cross the boundary). *)
-let speculate engine s seg_start seg_limit =
+let speculate_untraced engine s seg_start seg_limit =
   let seg =
     {
       seg_start;
@@ -44,6 +50,12 @@ let speculate engine s seg_start seg_limit =
             if pos + len >= seg_limit then raise Stop))
    with Stop -> ());
   seg
+
+let speculate engine s seg_start seg_limit =
+  if not !St_trace.Trace.on then speculate_untraced engine s seg_start seg_limit
+  else
+    St_trace.Trace.with_span p_speculate (fun () ->
+        speculate_untraced engine s seg_start seg_limit)
 
 (* Binary search for a span with start = target; spans starts are strictly
    increasing. *)
@@ -155,6 +167,7 @@ let tokenize ?num_domains ?(min_input_bytes = 4096) engine s ~emit =
       end
     in
     (* segment 0 is authoritative from position 0 *)
+    St_trace.Trace.begin_span p_splice;
     adopt seg0 0 bounds.(1);
     (* seg0 may have stopped early at a failure; in that case !e stays short
        of bounds.(1) and the first catch_up below re-scans and reports it *)
@@ -182,6 +195,7 @@ let tokenize ?num_domains ?(min_input_bytes = 4096) engine s ~emit =
       | Engine.Finished -> ()
       | Engine.Failed { offset; _ } -> failed := Some offset
     end;
+    St_trace.Trace.end_span p_splice;
     let speculative_tokens =
       Array.fold_left (fun acc seg -> acc + V.length seg.pos_v) 0 segments
     in

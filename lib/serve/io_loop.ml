@@ -1,5 +1,11 @@
 let stop = ref false
 
+(* io.read wraps the syscall plus the decode/session/flush work done in
+   Server.on_data, which nests its own spans inside; io.write is the
+   flush syscall side. Both are per-select-readiness, not per-byte. *)
+let p_read = St_trace.Trace.probe ~cat:"io" "io.read"
+let p_write = St_trace.Trace.probe ~cat:"flush" "io.write"
+
 let install_signal_handlers () =
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigterm handler;
@@ -80,25 +86,29 @@ let serve ?config ?(on_listening = fun () -> ()) ~socket () =
     done
   in
   let read_conn fd id =
-    match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+    St_trace.Trace.begin_span p_read;
+    (match Unix.read fd rbuf 0 (Bytes.length rbuf) with
     | 0 -> drop_conn ~eof:true id
     | n -> Server.on_data srv id (Bytes.sub_string rbuf 0 n) ~pos:0 ~len:n
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-        drop_conn ~eof:true id
+        drop_conn ~eof:true id);
+    St_trace.Trace.end_span p_read
   in
   let write_conn fd id =
-    let buf, pos, len = Server.out_view srv id in
-    if len > 0 then
-      match Unix.write fd buf pos len with
-      | n -> Server.out_consume srv id n
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        ->
-          ()
-      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-          drop_conn ~eof:true id
+    St_trace.Trace.begin_span p_write;
+    (let buf, pos, len = Server.out_view srv id in
+     if len > 0 then
+       match Unix.write fd buf pos len with
+       | n -> Server.out_consume srv id n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         ->
+           ()
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+           drop_conn ~eof:true id);
+    St_trace.Trace.end_span p_write
   in
   let listening = ref true in
   let finished = ref false in

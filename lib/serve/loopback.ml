@@ -55,6 +55,10 @@ let hangup c =
     c.closed <- true
   end
 
+(* The server->client copy half of a loopback step; the client->server
+   half is already rooted at the Server.on_data span. *)
+let p_copy = St_trace.Trace.probe ~cat:"io" "loopback.copy"
+
 let step_conn ~chunk t c =
   if c.closed then false
   else begin
@@ -75,9 +79,11 @@ let step_conn ~chunk t c =
     (* server -> client *)
     let buf, pos, len = Server.out_view t.srv c.id in
     if len > 0 then begin
+      St_trace.Trace.begin_span p_copy;
       let n = min chunk len in
       Wire.Decoder.feed c.dec (Bytes.sub_string buf pos n) ~pos:0 ~len:n;
       Server.out_consume t.srv c.id n;
+      St_trace.Trace.end_span p_copy;
       moved := true
     end;
     if Server.should_close t.srv c.id then begin

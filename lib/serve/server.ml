@@ -136,11 +136,23 @@ let conn t id =
 let sessions t =
   Hashtbl.fold (fun _ c n -> if c.phase = Active then n + 1 else n) t.conns 0
 
-let enqueue t c reply =
+let p_enqueue = St_trace.Trace.probe ~cat:"flush" "serve.enqueue"
+let p_on_data = St_trace.Trace.probe ~cat:"decode" "serve.on_data"
+
+let enqueue_untraced t c reply =
   Buffer.clear t.scratch;
   Wire.encode_reply t.scratch reply;
   t.bytes_out_total <- t.bytes_out_total + Buffer.length t.scratch;
   Outbuf.add_buffer c.out t.scratch
+
+(* Reply encode + out-queue append: the "flush" half of the data plane. *)
+let enqueue t c reply =
+  if not !St_trace.Trace.on then enqueue_untraced t c reply
+  else begin
+    St_trace.Trace.begin_span p_enqueue;
+    enqueue_untraced t c reply;
+    St_trace.Trace.end_span p_enqueue
+  end
 
 let resolve_spec spec = St_grammars.Registry.resolve spec
 
@@ -279,7 +291,7 @@ let dispatch t c (req : Wire.request) =
       List.iter (enqueue t c) replies;
       if List.exists fatal_reply replies then c.phase <- Draining
 
-let on_data t id s ~pos ~len =
+let on_data_untraced t id s ~pos ~len =
   let c = conn t id in
   if c.phase = Active then begin
     c.last_activity <- t.cfg.clock ();
@@ -304,6 +316,21 @@ let on_data t id s ~pos ~len =
               c.phase <- Draining
           | Ok req -> dispatch t c req)
     done
+  end
+
+(* Root span of the server-side data plane: everything from raw input
+   bytes to enqueued reply bytes happens inside one on_data call, so this
+   span (with wire.decode / session.* / serve.enqueue nested in it)
+   carries the full decode-to-flush attribution for a byte. *)
+let on_data t id s ~pos ~len =
+  if not !St_trace.Trace.on then on_data_untraced t id s ~pos ~len
+  else begin
+    St_trace.Trace.begin_span p_on_data;
+    match on_data_untraced t id s ~pos ~len with
+    | () -> St_trace.Trace.end_span p_on_data
+    | exception exn ->
+        St_trace.Trace.end_span p_on_data;
+        raise exn
   end
 
 let remove t id =

@@ -136,8 +136,20 @@ let handle_flush t =
       os.outcome <- None;
       replies @ [ pending_reply ]
 
-let handle t = function
-  | Wire.Open spec -> handle_open t spec
-  | Wire.Feed bytes -> handle_feed t bytes
-  | Wire.Flush -> handle_flush t
-  | Wire.Close | Wire.Stats _ -> []  (* handled by Server *)
+let p_open = St_trace.Trace.probe ~cat:"session" "session.open"
+let p_feed = St_trace.Trace.probe ~cat:"session" "session.feed"
+let p_flush = St_trace.Trace.probe ~cat:"session" "session.flush"
+
+let handle t req =
+  if not !St_trace.Trace.on then
+    match req with
+    | Wire.Open spec -> handle_open t spec
+    | Wire.Feed bytes -> handle_feed t bytes
+    | Wire.Flush -> handle_flush t
+    | Wire.Close | Wire.Stats _ -> []  (* handled by Server *)
+  else
+    match req with
+    | Wire.Open spec -> St_trace.Trace.with_span p_open (fun () -> handle_open t spec)
+    | Wire.Feed bytes -> St_trace.Trace.with_span p_feed (fun () -> handle_feed t bytes)
+    | Wire.Flush -> St_trace.Trace.with_span p_flush (fun () -> handle_flush t)
+    | Wire.Close | Wire.Stats _ -> []

@@ -126,7 +126,16 @@ let reply_to_frame = function
   | Metrics { format; body } ->
       { tag = tag_metrics; payload = String.make 1 (format_byte format) ^ body }
 
-let encode_request b r = encode_frame b (request_to_frame r)
+(* Client-side encode: one span per request frame. *)
+let p_encode = St_trace.Trace.probe ~cat:"flush" "wire.encode"
+
+let encode_request b r =
+  if not !St_trace.Trace.on then encode_frame b (request_to_frame r)
+  else begin
+    St_trace.Trace.begin_span p_encode;
+    encode_frame b (request_to_frame r);
+    St_trace.Trace.end_span p_encode
+  end
 
 (* TOKENS frames carry the bulk of a session's reply bytes; encode them
    straight into the output buffer instead of through an intermediate
@@ -164,7 +173,7 @@ let request_of_frame { tag; payload } =
       | None -> Result.Error "STATS: unknown format byte"
   else Result.Error (Printf.sprintf "unknown request tag 0x%02x" tag)
 
-let reply_of_frame { tag; payload } =
+let reply_of_frame_untraced { tag; payload } =
   let len = String.length payload in
   if tag = tag_opened then begin
     let grammar = ref "" and k = ref (-1) and cached = ref false in
@@ -242,6 +251,19 @@ let reply_of_frame { tag; payload } =
   end
   else Result.Error (Printf.sprintf "unknown reply tag 0x%02x" tag)
 
+(* Client-side payload parse: TOKENS frames carry the bulk of the reply
+   bytes, so this span is where a traced client spends its decode time. *)
+let p_parse_reply = St_trace.Trace.probe ~cat:"decode" "wire.parse_reply"
+
+let reply_of_frame f =
+  if not !St_trace.Trace.on then reply_of_frame_untraced f
+  else begin
+    St_trace.Trace.begin_span p_parse_reply;
+    let r = reply_of_frame_untraced f in
+    St_trace.Trace.end_span p_parse_reply;
+    r
+  end
+
 (* ---- incremental decoder ---- *)
 
 module Decoder = struct
@@ -293,7 +315,9 @@ module Decoder = struct
 
   type result = Frame of frame | Need_more | Corrupt of string
 
-  let next t =
+  let p_decode = St_trace.Trace.probe ~cat:"decode" "wire.decode"
+
+  let next_untraced t =
     match t.corrupt with
     | Some msg -> Corrupt msg
     | None ->
@@ -327,6 +351,17 @@ module Decoder = struct
             Frame { tag; payload }
           end
         end
+
+  (* Span around one frame-extraction attempt: one per decoded frame in
+     steady state (Need_more outcomes only occur on partial reads). *)
+  let next t =
+    if not !St_trace.Trace.on then next_untraced t
+    else begin
+      St_trace.Trace.begin_span p_decode;
+      let r = next_untraced t in
+      St_trace.Trace.end_span p_decode;
+      r
+    end
 end
 
 let decode_all s =

@@ -457,16 +457,169 @@ let run_string_te_obs ~from e te rc sk s ~emit =
   done;
   if !startP < n then fail s !startP else Finished
 
+(* State-heat specializations: the _obs loops plus two unchecked per-byte
+   array increments ([sv] = bytes consumed landing in each state, [ss] =
+   bytes the skip loops consumed from it). A third copy of each loop, so
+   heat collection costs nothing unless Run_stats.enable_state_heat was
+   called — the visit counts are exact, not sampled, which keeps the
+   top-N table deterministic for a deterministic workload. *)
+
+let run_string_k1_heat ~from e tbl rc sk sv ss s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let kw = nc + 1 in
+  let start = d.Dfa.start in
+  let n = String.length s in
+  let q = ref start in
+  let startP = ref from in
+  let pos = ref from in
+  let cls =
+    ref
+      (if from < n then
+         Char.code
+           (String.unsafe_get cmap (Char.code (String.unsafe_get s from)))
+       else nc)
+  in
+  let prev2 = ref (-1) in
+  while !pos < n do
+    let prev = !q in
+    q := Array.unsafe_get trans ((!q * nc) + !cls);
+    Array.unsafe_set sv !q (Array.unsafe_get sv !q + 1);
+    incr pos;
+    if
+      !q = prev && prev = !prev2
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos < n
+      && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
+         = 0
+    then begin
+      let j = Dfa.skip_run astops !q s !pos n in
+      sk := !sk + (j - !pos);
+      Array.unsafe_set ss !q (Array.unsafe_get ss !q + (j - !pos));
+      pos := j
+    end;
+    prev2 := prev;
+    let next_cls =
+      if !pos < n then
+        Char.code
+          (String.unsafe_get cmap (Char.code (String.unsafe_get s !pos)))
+      else nc
+    in
+    if Bytes.unsafe_get tbl ((!q * kw) + next_cls) <> '\000' then begin
+      let rule = Array.unsafe_get accept !q in
+      Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
+      emit ~pos:!startP ~len:(!pos - !startP) ~rule;
+      startP := !pos;
+      q := start
+    end;
+    cls := next_cls
+  done;
+  if !startP < n then fail s !startP else Finished
+
+let run_string_te_heat ~from e te rc sk sv ss s ~emit =
+  let d = e.dfa in
+  let trans = d.Dfa.trans and accept = d.Dfa.accept in
+  let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
+  let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let start = d.Dfa.start in
+  let k = Te_dfa.k te in
+  let words = Te_dfa.Raw.words te in
+  let tw = Te_dfa.Raw.width te in
+  let eofc = tw - 1 in
+  let n = String.length s in
+  let q = ref start in
+  let st = ref (Te_dfa.start te) in
+  let startP = ref from in
+  let te_trans = ref (Te_dfa.Raw.trans te) in
+  let emit_rows = ref (Te_dfa.Raw.emit_rows te) in
+  let te_step cls =
+    let tgt = Array.unsafe_get !te_trans ((!st * tw) + cls) in
+    if tgt >= 0 then st := tgt
+    else begin
+      st := Te_dfa.step_class te !st cls;
+      te_trans := Te_dfa.Raw.trans te;
+      emit_rows := Te_dfa.Raw.emit_rows te
+    end
+  in
+  let class_at i =
+    if i < n then
+      Char.code (String.unsafe_get cmap (Char.code (String.unsafe_get s i)))
+    else eofc
+  in
+  for i = from to from + k - 1 do
+    te_step (class_at i)
+  done;
+  let pos = ref from in
+  let prev2_q = ref (-1) and prev2_st = ref (-1) in
+  while !pos < n do
+    let prev_st = !st and prev_q = !q in
+    te_step (class_at (!pos + k));
+    q := Array.unsafe_get trans ((!q * nc) + class_at !pos);
+    Array.unsafe_set sv !q (Array.unsafe_get sv !q + 1);
+    if
+      Int64.logand
+        (Int64.shift_right_logical
+           (Array.unsafe_get !emit_rows ((!st * words) + (!q lsr 6)))
+           (!q land 63))
+        1L
+      <> 0L
+    then begin
+      let rule = Array.unsafe_get accept !q in
+      Array.unsafe_set rc rule (Array.unsafe_get rc rule + 1);
+      emit ~pos:!startP ~len:(!pos + 1 - !startP) ~rule;
+      startP := !pos + 1;
+      q := start;
+      incr pos
+    end
+    else if
+      !q = prev_q && prev_q = !prev2_q && !st = prev_st
+      && prev_st = !prev2_st
+      && Bytes.unsafe_get aflags !q <> '\000'
+      && !pos + 1 < n - k
+      && Dfa.stop_bit astops (!q * 8)
+           (Char.code (String.unsafe_get s (!pos + 1)))
+         = 0
+    then begin
+      let j =
+        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
+          (!pos + 1) (n - k)
+      in
+      sk := !sk + (j - (!pos + 1));
+      Array.unsafe_set ss !q (Array.unsafe_get ss !q + (j - (!pos + 1)));
+      pos := j
+    end
+    else incr pos;
+    prev2_q := prev_q;
+    prev2_st := prev_st
+  done;
+  if !startP < n then fail s !startP else Finished
+
 let num_rules e = 1 + Array.fold_left max (-1) e.dfa.Dfa.accept
 
+(* Trace probe around whole-string runs. The span wraps the plain runner
+   (never a probe inside it), so the disabled-tracer cost is one bool
+   load per call — gated by `bench/main.exe smoke`. *)
+let p_run = St_trace.Trace.probe ~cat:"engine" "engine.run"
+
 let run_string_instrumented ?(from = 0) e s ~stats ~emit =
+  let traced = !St_trace.Trace.on in
+  if traced then St_trace.Trace.begin_span p_run;
   let rc = Run_stats.rule_slots stats (num_rules e) in
   let sk = ref 0 in
   let outcome, dt =
     St_util.Timer.time_it (fun () ->
-        match e.mode with
-        | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc sk s ~emit
-        | Te te -> run_string_te_obs ~from e te rc sk s ~emit)
+        if Run_stats.heat_enabled stats then begin
+          let sv, ss = Run_stats.heat_slots stats (Dfa.size e.dfa) in
+          match e.mode with
+          | Table_k1 tbl -> run_string_k1_heat ~from e tbl rc sk sv ss s ~emit
+          | Te te -> run_string_te_heat ~from e te rc sk sv ss s ~emit
+        end
+        else
+          match e.mode with
+          | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc sk s ~emit
+          | Te te -> run_string_te_obs ~from e te rc sk s ~emit)
   in
   Run_stats.add_run_seconds stats dt;
   Run_stats.add_chunk stats (String.length s - from);
@@ -478,7 +631,50 @@ let run_string_instrumented ?(from = 0) e s ~stats ~emit =
   (match outcome with
   | Failed _ -> Run_stats.record_failure stats
   | Finished -> ());
+  if traced then St_trace.Trace.end_span p_run;
   outcome
+
+let run_string_traced ?from e s ~emit =
+  if not !St_trace.Trace.on then run_string ?from e s ~emit
+  else begin
+    St_trace.Trace.begin_span p_run;
+    match run_string ?from e s ~emit with
+    | o ->
+        St_trace.Trace.end_span p_run;
+        o
+    | exception exn ->
+        St_trace.Trace.end_span p_run;
+        raise exn
+  end
+
+let heat_table ?(label = "") e stats =
+  let d = e.dfa in
+  let n = Dfa.size d in
+  let sv = Run_stats.state_visits stats in
+  let ss = Run_stats.state_skipped stats in
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  let rows =
+    List.init n (fun q ->
+        let stop_bytes = ref 0 in
+        if Dfa.is_accel_state d q then
+          for b = 0 to 255 do
+            if Dfa.accel_stop_byte d q b then incr stop_bytes
+          done;
+        {
+          St_trace.Trace.Heat.state = q;
+          visits = get sv q;
+          skipped = get ss q;
+          stop_bytes = !stop_bytes;
+          rule = Dfa.accept_rule d q;
+          accel = Dfa.is_accel_state d q;
+        })
+  in
+  {
+    St_trace.Trace.Heat.label;
+    states = n;
+    bytes = Run_stats.bytes_in stats;
+    rows;
+  }
 
 module Internal = struct
   let delay e = max e.k 1

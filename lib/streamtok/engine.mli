@@ -124,6 +124,24 @@ val run_string_instrumented :
   emit:(pos:int -> len:int -> rule:int -> unit) ->
   outcome
 
+(** {!run_string} wrapped in a [Trace] span ([engine.run], category
+    [engine]). The probe sits outside the hot loop: with tracing disabled
+    this is one bool load plus the plain runner, which the smoke check
+    gates at ≤2% (hard 10%) against {!run_string} itself. *)
+val run_string_traced :
+  ?from:int ->
+  t ->
+  string ->
+  emit:(pos:int -> len:int -> rule:int -> unit) ->
+  outcome
+
+(** [heat_table e stats] folds the state-heat counters collected by
+    {!run_string_instrumented} (after [Run_stats.enable_state_heat]) into
+    a {!St_trace.Trace.Heat.table}: per state, bytes consumed, bytes
+    skip-scanned, the population of its accel stop-byte set, its rule id
+    (-1 if non-final) and its accel flag. *)
+val heat_table : ?label:string -> t -> Run_stats.t -> St_trace.Trace.Heat.table
+
 (**/**)
 
 (** Internal plumbing shared with {!Stream_tokenizer}: a uniform view of

@@ -52,15 +52,22 @@ let evict_lru t =
       Hashtbl.remove t.table key;
       t.evictions <- t.evictions + 1
 
+let p_hit = St_trace.Trace.probe ~cat:"engine" "cache.hit"
+let p_compile = St_trace.Trace.probe ~cat:"engine" "cache.compile"
+
 let find_or_compile t ?(classes = true) ?(accel = true) rules =
   let key = key_of_rules ~classes ~accel rules in
   match Hashtbl.find_opt t.table key with
   | Some e ->
+      if !St_trace.Trace.on then St_trace.Trace.instant p_hit;
       t.hits <- t.hits + 1;
       e.last_used <- tick t;
       e.result
   | None ->
-      let result = Engine.compile_rules ~classes ~accel rules in
+      let result =
+        St_trace.Trace.with_span p_compile (fun () ->
+            Engine.compile_rules ~classes ~accel rules)
+      in
       t.compiles <- t.compiles + 1;
       if Hashtbl.length t.table >= t.max_entries then evict_lru t;
       Hashtbl.add t.table key { result; last_used = tick t };

@@ -13,6 +13,8 @@ type t = {
   mutable accel_states : int;
   mutable accel_skipped : int;
   mutable rule_counts : int array;
+  mutable state_visits : int array;  (* [||] until state heat is enabled *)
+  mutable state_skipped : int array;
   chunk_bytes : Metrics.Histogram.t;
   run_span : Metrics.Span.t;
 }
@@ -31,6 +33,8 @@ let create () =
     accel_states = 0;
     accel_skipped = 0;
     rule_counts = [||];
+    state_visits = [||];
+    state_skipped = [||];
     chunk_bytes = Metrics.Histogram.create ();
     run_span = Metrics.Span.create ();
   }
@@ -42,6 +46,29 @@ let rule_slots t n =
     t.rule_counts <- grown
   end;
   t.rule_counts
+
+let grow a n =
+  if Array.length a >= n then a
+  else begin
+    let grown = Array.make n 0 in
+    Array.blit a 0 grown 0 (Array.length a);
+    grown
+  end
+
+let enable_state_heat t ~states =
+  let n = max 1 states in
+  t.state_visits <- grow t.state_visits n;
+  t.state_skipped <- grow t.state_skipped n
+
+let heat_enabled t = Array.length t.state_visits > 0
+
+let heat_slots t n =
+  t.state_visits <- grow t.state_visits n;
+  t.state_skipped <- grow t.state_skipped n;
+  (t.state_visits, t.state_skipped)
+
+let state_visits t = t.state_visits
+let state_skipped t = t.state_skipped
 
 let record_token t ~rule ~len =
   ignore len;

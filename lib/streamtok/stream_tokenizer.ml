@@ -153,7 +153,10 @@ let k1_consume_carried t tbl c la =
       emit_token t "" 0 (-1)
   end
 
-let feed t s pos len =
+let p_feed = St_trace.Trace.probe ~cat:"engine" "st.feed"
+let p_finish = St_trace.Trace.probe ~cat:"engine" "st.finish"
+
+let feed_untraced t s pos len =
   if pos < 0 || len < 0 || pos + len > String.length s then
     invalid_arg "Stream_tokenizer.feed";
   (match t.stats with
@@ -327,9 +330,22 @@ let feed t s pos len =
     | None -> ()
   end
 
+(* Per-chunk trace span; the probe never enters the chunk loop itself, so
+   the disabled cost is a single bool load per feed call. *)
+let feed t s pos len =
+  if not !St_trace.Trace.on then feed_untraced t s pos len
+  else begin
+    St_trace.Trace.begin_span p_feed;
+    match feed_untraced t s pos len with
+    | () -> St_trace.Trace.end_span p_feed
+    | exception exn ->
+        St_trace.Trace.end_span p_feed;
+        raise exn
+  end
+
 let feed_string t s = feed t s 0 (String.length s)
 
-let finish t =
+let finish_untraced t =
   match t.state with
   | `Failed o | `Finished o -> o
   | `Running ->
@@ -389,3 +405,16 @@ let finish t =
       | None -> ());
       (match t.state with `Failed _ -> () | _ -> t.state <- `Finished outcome);
       outcome
+
+let finish t =
+  if not !St_trace.Trace.on then finish_untraced t
+  else begin
+    St_trace.Trace.begin_span p_finish;
+    match finish_untraced t with
+    | o ->
+        St_trace.Trace.end_span p_finish;
+        o
+    | exception exn ->
+        St_trace.Trace.end_span p_finish;
+        raise exn
+  end

@@ -1,0 +1,17 @@
+/* Monotonic clock for tracing.
+ *
+ * Returns CLOCK_MONOTONIC as an OCaml immediate int (nanoseconds).  On a
+ * 64-bit platform OCaml ints hold 62 bits: ~73 years of monotonic uptime,
+ * so truncation is not a practical concern.  [@@noalloc]-safe: no OCaml
+ * allocation, no callbacks, no blocking.
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value st_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

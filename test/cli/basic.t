@@ -81,7 +81,7 @@ Prometheus text format; bare --stats goes to stderr so stdout stays clean):
   newline      1
   field        3
   $ streamtok validate < run.json
-  valid (max nesting depth 5, 344 tokens)
+  valid (max nesting depth 5, 356 tokens)
   $ printf '1,2,3\n' | streamtok tokenize csv --count --stats --stats-format=prom 2>&1 | grep -E '^streamtok_(bytes_in|tokens|rule_tokens)'
   streamtok_bytes_in 6
   streamtok_tokens 6

@@ -1,0 +1,67 @@
+Recording a tokenize run: `trace record -- CMD` re-enters the CLI with
+tracing enabled, then dumps the ring (event/heat counts vary by timing,
+so only the stable shape is asserted):
+
+  $ printf 'alpha beta gamma delta\nepsilon zeta\n' > in.txt
+  $ streamtok trace record -o t.json -- tokenize '@[a-z][a-z]*;[ \x0a][ \x0a]*' in.txt --count 2> record.err
+  rule0        6
+  rule1        6
+  $ sed 's/[0-9]* events/N events/' record.err
+  trace: N events (0 dropped), 0 heat table(s) -> t.json
+
+The recording is the Chrome trace-event object form (Perfetto-loadable):
+
+  $ head -c 34 t.json; echo
+  {"displayTimeUnit":"ns","traceEven
+
+  $ grep -c '"ph":"B"' t.json
+  1
+
+`trace report` folds it into the span tree; timings vary, names do not:
+
+  $ streamtok trace report t.json | awk '{print $1}'
+  trace
+  by
+  engine
+  span
+  engine.run
+
+--heat runs the instrumented engine and attaches the state-heat table,
+which the report renders after the span tree:
+
+  $ streamtok trace record -o h.json --heat -- tokenize '@[a-z][a-z]*;[ \x0a][ \x0a]*' in.txt --count 2> record2.err
+  rule0        6
+  rule1        6
+  $ sed 's/[0-9]* events/N events/' record2.err
+  trace: N events (0 dropped), 1 heat table(s) -> h.json
+  $ streamtok trace report h.json | sed -n '/state heat/,$p' | awk '{print $1, $5, $6}'
+  state states, 36
+  state rule accel
+  3 0 yes
+  2 1 no
+  0 -1 no
+  1 -1 yes
+
+`trace convert` moves between the binary capture and Chrome JSON without
+losing events:
+
+  $ streamtok trace convert h.json h.bin 2> /dev/null
+  $ head -c 8 h.bin
+  STTRACE1
+  $ streamtok trace convert h.bin h2.json 2> /dev/null
+  $ streamtok trace report h2.json | tail -n +2 > from_bin.txt
+  $ streamtok trace report h.json | tail -n +2 > from_json.txt
+  $ cmp from_bin.txt from_json.txt
+
+Bad inputs fail cleanly:
+
+  $ streamtok trace report does-not-exist.json
+  error: does-not-exist.json: No such file or directory
+  [1]
+  $ echo 'not a trace' > bad.json
+  $ streamtok trace report bad.json
+  error: bad.json: chrome trace: expected null at byte 0
+  [1]
+  $ streamtok trace record
+  error: nothing to record; usage: streamtok trace record [-o FILE] [--heat] -- <command> ...
+  [2]

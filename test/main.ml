@@ -12,6 +12,7 @@ let () =
       ("compress", Test_compress.suite);
       ("accel", Test_accel.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("streaming-extra", Test_streaming_extra.suite);
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);

@@ -52,6 +52,45 @@ let test_histogram_buckets () =
           (v > M.Histogram.bucket_upper (i - 1)))
     [ 1; 2; 3; 4; 15; 16; 17; 1000; 65535; 65536 ]
 
+let test_histogram_percentiles () =
+  let feq msg a b = check msg true (abs_float (a -. b) < 1e-9) in
+  (* empty histogram: every quantile is 0 *)
+  let h = M.Histogram.create () in
+  feq "empty p50" 0.0 (M.Histogram.percentile h 0.50);
+  (* single-valued distribution: 100 observations of 7 land in bucket
+     [4, 7]; linear interpolation puts p50 mid-bucket, and the max-value
+     clamp keeps tail quantiles at the recorded maximum *)
+  for _ = 1 to 100 do
+    M.Histogram.observe h 7
+  done;
+  feq "pinned p50" 5.5 (M.Histogram.percentile h 0.50);
+  feq "pinned p99" 6.97 (M.Histogram.percentile h 0.99);
+  feq "p100 clamps to max" 7.0 (M.Histogram.percentile h 1.0);
+  check "q clamps below 0" true (M.Histogram.percentile h (-3.0) >= 0.0);
+  (* monotone in q *)
+  let h2 = M.Histogram.create () in
+  List.iter (M.Histogram.observe h2) [ 1; 3; 9; 27; 81; 243; 729; 2187 ];
+  let p50 = M.Histogram.percentile h2 0.50 in
+  let p90 = M.Histogram.percentile h2 0.90 in
+  let p99 = M.Histogram.percentile h2 0.99 in
+  check "p50 <= p90" true (p50 <= p90);
+  check "p90 <= p99" true (p99 >= p90);
+  check "p99 <= max" true (p99 <= float_of_int (M.Histogram.max_value h2));
+  (* log2 resolution: estimates within a factor of 2 of the true quantile
+     on a uniform distribution *)
+  let h3 = M.Histogram.create () in
+  for v = 1 to 1000 do
+    M.Histogram.observe h3 v
+  done;
+  List.iter
+    (fun (q, truth) ->
+      let est = M.Histogram.percentile h3 q in
+      check
+        (Printf.sprintf "uniform q=%.2f within 2x" q)
+        true
+        (est >= truth /. 2.0 && est <= truth *. 2.0))
+    [ (0.50, 500.); (0.90, 900.); (0.99, 990.) ]
+
 let test_histogram_observe () =
   let h = M.Histogram.create () in
   List.iter (M.Histogram.observe h) [ 0; 1; 5; 5; 100 ];
@@ -94,7 +133,8 @@ let test_json_exact () =
      {\"name\":\"mb_s\",\"type\":\"gauge\",\"value\":1.5,\
      \"labels\":{\"grammar\":\"json\"}},\
      {\"name\":\"chunk_bytes\",\"type\":\"histogram\",\"count\":1,\"sum\":3,\
-     \"max\":3,\"buckets\":[[0,0],[1,0],[3,1]]}]}"
+     \"max\":3,\"p50\":2.5,\"p90\":2.9,\"p99\":2.99,\
+     \"buckets\":[[0,0],[1,0],[3,1]]}]}"
     (Obs.Export.to_json_string r)
 
 let test_json_non_finite () =
@@ -167,6 +207,15 @@ let test_prometheus () =
   check "histogram sum/count" true
     (contains ~sub:"streamtok_chunk_bytes_sum 4\n" out
     && contains ~sub:"streamtok_chunk_bytes_count 2\n" out);
+  (* estimated quantiles ride along as summary-style samples: for {1, 3}
+     the p50 rank lands exactly on the le=1 bucket boundary and the tail
+     quantiles interpolate inside [2, 3] *)
+  check "histogram p50" true
+    (contains ~sub:"streamtok_chunk_bytes{quantile=\"0.5\"} 1\n" out);
+  check "histogram p90" true
+    (contains ~sub:"streamtok_chunk_bytes{quantile=\"0.9\"} 2.8\n" out);
+  check "histogram p99" true
+    (contains ~sub:"streamtok_chunk_bytes{quantile=\"0.99\"} 2.98\n" out);
   check "span as summary" true
     (contains ~sub:"# TYPE streamtok_run_seconds summary\n" out
     && contains ~sub:"streamtok_run_seconds_sum 0.5\n" out
@@ -326,6 +375,8 @@ let suite =
     Alcotest.test_case "gauge" `Quick test_gauge;
     Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
     Alcotest.test_case "span" `Quick test_span;
     Alcotest.test_case "JSON exact form" `Quick test_json_exact;
     Alcotest.test_case "JSON non-finite + escaping" `Quick test_json_non_finite;
