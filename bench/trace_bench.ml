@@ -90,35 +90,41 @@ let heat_top10 engine input =
        ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()));
   Engine.heat_table ~label:"words" engine stats
 
+(* Mirrors the serve bench's hot path — coalesced FEED bursts in,
+   zero-copy reply views out — so the span tree profiles the data plane
+   as production drives it. *)
 let traced_loopback input =
   Streamtok.Trace.reset ();
   Streamtok.Trace.set_enabled true;
   let lb = LB.create () in
   let c = LB.connect lb in
   let count = ref 0 in
-  let drain () =
-    List.iter
-      (function
-        | W.Tokens toks -> count := !count + List.length toks
-        | W.Error { message; _ } -> failwith ("trace bench: " ^ message)
-        | _ -> ())
-      (LB.replies c)
+  let on_view v =
+    if v.W.Decoder.vtag = W.tag_tokens then
+      match W.iter_tokens_view v (fun ~rule:_ ~buf:_ ~pos:_ ~len:_ -> ()) with
+      | Ok n -> count := !count + n
+      | Error msg -> failwith ("trace bench: " ^ msg)
+    else if v.W.Decoder.vtag = W.tag_error then
+      failwith "trace bench: server error reply"
   in
   LB.send c (W.Open "json");
   let pos = ref 0 in
   let n = String.length input in
   let wire_chunk = 65536 in
   while !pos < n do
-    let len = min wire_chunk (n - !pos) in
-    LB.send c (W.Feed (String.sub input !pos len));
-    pos := !pos + len;
+    let stop = min n (!pos + (4 * wire_chunk)) in
+    while !pos < stop do
+      let len = min wire_chunk (stop - !pos) in
+      LB.send_feed_sub c input ~pos:!pos ~len;
+      pos := !pos + len
+    done;
     LB.run lb;
-    drain ()
+    LB.drain_views c on_view
   done;
   LB.send c W.Flush;
   LB.send c W.Close;
   LB.run lb;
-  drain ();
+  LB.drain_views c on_view;
   Streamtok.Trace.set_enabled false;
   (Streamtok.Trace.events (), !count)
 

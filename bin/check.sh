@@ -62,7 +62,7 @@ for f in "$tmpd"/*.repro; do
 done
 rm -rf "$tmpd"
 
-echo "== serve smoke (daemon parity, engine cache, client abort, SIGTERM drain)"
+echo "== serve smoke (daemon parity, zero-copy decode, engine cache, client abort, SIGTERM drain)"
 # Use the installed binary directly: the daemon and clients run
 # concurrently, and parallel `dune exec` invocations would fight over the
 # build lock.
@@ -82,6 +82,23 @@ while [ ! -S "$sock" ]; do
   fi
   sleep 0.1
 done
+
+# first contact: a small straddle-free run must record zero decoder
+# copies — every frame fits the fresh decoder buffer whole, so the
+# zero-copy view path never has to compact or grow with live bytes.
+# (The larger runs below use 64 KiB FEED frames, which legitimately
+# force buffer growth, so this must be the first client the daemon
+# sees.)
+"$BIN" gen json --bytes 2000 --seed 3 > "$tmpd/small.json"
+"$BIN" client --socket "$sock" json "$tmpd/small.json" --stats \
+  > /dev/null 2> "$tmpd/stats0.json"
+if ! grep -q '"name":"decoder_copies","type":"counter","value":0[,}]' \
+  "$tmpd/stats0.json"; then
+  echo "serve smoke FAILED: decoder copied bytes on a straddle-free run"
+  cat "$tmpd/stats0.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
 
 "$BIN" gen json --bytes 200000 --seed 9 > "$tmpd/in.json"
 "$BIN" tokenize json "$tmpd/in.json" > "$tmpd/ref.out"

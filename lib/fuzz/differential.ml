@@ -231,6 +231,111 @@ let check ?(on_subject = fun _ -> ()) spec =
               (Printf.sprintf "parallel:p%d" p)
               (of_engine (List.rev !acc, o)))
           spec.domain_counts;
+        (* serve-wire: the full serving data plane — zero-copy decode,
+           FEED coalescing, batched flushes — driven over the loopback
+           transport and held to the same streaming-equivalence contract,
+           plus robustness subjects (poison length, mid-frame truncation)
+           that must hurt only their own connection. *)
+        (let module W = St_serve.Wire in
+        let module SV = St_serve.Server in
+        let module LB = St_serve.Loopback in
+        (* each rule parenthesized so the source parser's line trimming
+           cannot eat a literal leading/trailing space in a printed rule *)
+        let spec_src =
+          String.concat "\n"
+            (List.map (fun r -> "(" ^ Regex.to_string r ^ ")") spec.rules)
+          ^ "\n"
+        in
+        let lb_config =
+          { SV.default_config with idle_timeout = 0.; clock = (fun () -> 0.) }
+        in
+        let fail_subject name msg =
+          incr subjects;
+          on_subject name;
+          mismatches :=
+            {
+              subject = name;
+              expected = reference;
+              got = { tokens = []; failure = Some (0, msg) };
+            }
+            :: !mismatches
+        in
+        let pass_subject name =
+          incr subjects;
+          on_subject name
+        in
+        try
+          let lb = LB.create ~config:lb_config () in
+          let conn = LB.connect lb in
+          LB.send conn (W.Open spec_src);
+          LB.run lb;
+          (match LB.replies conn with
+          | [ W.Opened _ ] ->
+              (* one session, FLUSH-reset between chunkings: N FEED
+                 frames queued up front land in one on_data and are
+                 coalesced; the token stream must still match. *)
+              List.iter
+                (fun (name, ch) ->
+                  let pos = ref 0 in
+                  List.iter
+                    (fun n ->
+                      if n > 0 then
+                        LB.send_feed_sub conn input ~pos:!pos ~len:n;
+                      pos := !pos + n)
+                    ch;
+                  LB.send conn W.Flush;
+                  LB.run lb;
+                  let replies = LB.replies conn in
+                  let tokens =
+                    List.concat_map
+                      (function W.Tokens ts -> ts | _ -> [])
+                      replies
+                  in
+                  let failure =
+                    List.find_map
+                      (function
+                        | W.Pending { ok = false; offset; pending } ->
+                            Some (offset, pending)
+                        | _ -> None)
+                      replies
+                  in
+                  expect ~equal:behaviour_equal_streaming
+                    ("serve-wire:" ^ name)
+                    { tokens; failure })
+                spec.chunkings
+          | _ -> fail_subject "serve-wire:open" "OPEN rejected");
+          (* a poison length prefix closes only its own connection, with
+             a protocol error *)
+          let victim = LB.connect lb in
+          LB.send_raw victim "\xff\xff\xff\xff\x01";
+          LB.run lb;
+          let poison_ok =
+            LB.closed victim
+            && List.exists
+                 (function
+                   | W.Error { code = W.Protocol; _ } -> true | _ -> false)
+                 (LB.replies victim)
+          in
+          if poison_ok then pass_subject "serve-wire:poison"
+          else fail_subject "serve-wire:poison" "no protocol error";
+          (* a client dying mid-frame must not poison the server *)
+          let trunc = LB.connect lb in
+          let b = Buffer.create 64 in
+          W.encode_request b (W.Open spec_src);
+          let enc = Buffer.contents b in
+          LB.send_raw trunc (String.sub enc 0 (max 1 (String.length enc / 2)));
+          LB.run lb;
+          LB.hangup trunc;
+          LB.run lb;
+          let probe = LB.connect lb in
+          LB.send probe (W.Open spec_src);
+          LB.run lb;
+          let healthy =
+            match LB.replies probe with [ W.Opened _ ] -> true | _ -> false
+          in
+          if healthy then pass_subject "serve-wire:truncated"
+          else fail_subject "serve-wire:truncated" "server unhealthy"
+        with exn -> fail_subject "serve-wire" (Printexc.to_string exn));
         true
   in
   { mismatches = List.rev !mismatches; streaming; subjects = !subjects }

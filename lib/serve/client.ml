@@ -14,24 +14,29 @@ let rec read_eintr fd buf pos len =
   try Unix.read fd buf pos len
   with Unix.Unix_error (Unix.EINTR, _, _) -> read_eintr fd buf pos len
 
-let make_reader input =
+(* Pull one chunk of input and frame it as a FEED straight into [pend] —
+   header poke + one payload blit, no intermediate string. Returns [false]
+   once the input is exhausted. *)
+let make_feeder input pend =
   match input with
   | `String s ->
       let pos = ref 0 in
       fun () ->
-        if !pos >= String.length s then None
+        if !pos >= String.length s then false
         else begin
           let n = min chunk_size (String.length s - !pos) in
-          let c = String.sub s !pos n in
+          Outbuf.add_frame_substring pend ~tag:Wire.tag_feed s !pos n;
           pos := !pos + n;
-          Some c
+          true
         end
   | `Fd ifd ->
       let buf = Bytes.create chunk_size in
       fun () ->
         (match read_eintr ifd buf 0 chunk_size with
-        | 0 -> None
-        | n -> Some (Bytes.sub_string buf 0 n))
+        | 0 -> false
+        | n ->
+            Outbuf.add_frame_subbytes pend ~tag:Wire.tag_feed buf 0 n;
+            true)
 
 let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
     ?stats_dest () =
@@ -44,24 +49,26 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
       { exit_code = 2; tokens = 0 }
   | () ->
       Unix.set_nonblock fd;
-      let pend = Buffer.create (2 * chunk_size) in
-      let sent = ref 0 in
-      let pending_len () = Buffer.length pend - !sent in
-      let enqueue req = Wire.encode_request pend req in
-      let next_chunk = make_reader input in
+      let pend = Outbuf.create ~capacity:(2 * chunk_size) () in
+      let scratch = Buffer.create 256 in
+      let enqueue req =
+        Buffer.clear scratch;
+        Wire.encode_request scratch req;
+        Outbuf.add_buffer pend scratch
+      in
+      let next_feed = make_feeder input pend in
       let input_done = ref false in
       enqueue (Wire.Open grammar);
       let refill () =
-        while (not !input_done) && pending_len () < out_budget do
-          match next_chunk () with
-          | Some c -> enqueue (Wire.Feed c)
-          | None ->
-              input_done := true;
-              enqueue Wire.Flush;
-              (match stats with
-              | Some fmt -> enqueue (Wire.Stats fmt)
-              | None -> ());
-              enqueue Wire.Close
+        while (not !input_done) && Outbuf.length pend < out_budget do
+          if not (next_feed ()) then begin
+            input_done := true;
+            enqueue Wire.Flush;
+            (match stats with
+            | Some fmt -> enqueue (Wire.Stats fmt)
+            | None -> ());
+            enqueue Wire.Close
+          end
         done
       in
       let dec = Wire.Decoder.create () in
@@ -86,6 +93,8 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
       let handle_reply = function
         | Wire.Opened { rules; _ } -> rule_names := Array.of_list rules
         | Wire.Tokens toks ->
+            (* only reached via reply_of_frame on non-hot paths; the live
+               TOKENS stream is printed straight from decoder views *)
             List.iter
               (fun (lexeme, rule) ->
                 incr tokens;
@@ -108,29 +117,52 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
             fail 1
         | Wire.Metrics { body; _ } -> write_stats_body body
       in
+      let bad_stream what msg =
+        Printf.fprintf err "error: %s: %s\n" what msg;
+        fail 2;
+        finished := true
+      in
+      let print_token ~rule ~buf ~pos ~len =
+        incr tokens;
+        Printf.fprintf out "%-12s %S\n" (rule_name rule)
+          (Bytes.sub_string buf pos len)
+      in
       let drain_decoder () =
         let continue = ref true in
         while !continue do
-          match Wire.Decoder.next dec with
-          | Wire.Decoder.Need_more -> continue := false
-          | Wire.Decoder.Corrupt msg ->
-              Printf.fprintf err "error: corrupt reply stream: %s\n" msg;
-              fail 2;
-              finished := true;
+          match Wire.Decoder.next_view dec with
+          | Wire.Decoder.View_need_more -> continue := false
+          | Wire.Decoder.View_corrupt msg ->
+              bad_stream "corrupt reply stream" msg;
               continue := false
-          | Wire.Decoder.Frame f -> (
-              match Wire.reply_of_frame f with
-              | Ok r -> handle_reply r
-              | Error msg ->
-                  Printf.fprintf err "error: bad reply frame: %s\n" msg;
-                  fail 2;
-                  finished := true;
-                  continue := false)
+          | Wire.Decoder.View v ->
+              if v.Wire.Decoder.vtag = Wire.tag_tokens then begin
+                (* token batches: walk the records in place, copying each
+                   lexeme only into the printf *)
+                match Wire.iter_tokens_view v print_token with
+                | Ok _ -> ()
+                | Error msg ->
+                    bad_stream "bad reply frame" msg;
+                    continue := false
+              end
+              else begin
+                let f =
+                  {
+                    Wire.tag = v.Wire.Decoder.vtag;
+                    payload = Wire.Decoder.view_string v;
+                  }
+                in
+                match Wire.reply_of_frame f with
+                | Ok r -> handle_reply r
+                | Error msg ->
+                    bad_stream "bad reply frame" msg;
+                    continue := false
+              end
         done
       in
       while not !finished do
         refill ();
-        let want_write = pending_len () > 0 in
+        let want_write = Outbuf.length pend > 0 in
         let readable, writable, _ =
           select_eintr [ fd ] (if want_write then [ fd ] else []) [] 1.0
         in
@@ -140,7 +172,7 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
               drain_decoder ();
               finished := true
           | n ->
-              Wire.Decoder.feed dec (Bytes.sub_string rbuf 0 n) ~pos:0 ~len:n;
+              Wire.Decoder.feed_bytes dec rbuf ~pos:0 ~len:n;
               drain_decoder ()
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
             ->
@@ -151,16 +183,9 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
               finished := true
         end;
         if (not !finished) && writable <> [] then begin
-          match
-            Unix.write_substring fd (Buffer.contents pend) !sent
-              (pending_len ())
-          with
-          | n ->
-              sent := !sent + n;
-              if !sent = Buffer.length pend then begin
-                Buffer.clear pend;
-                sent := 0
-              end
+          let buf, pos, len = Outbuf.view pend in
+          match Unix.write fd buf pos len with
+          | n -> Outbuf.consume pend n
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
             ->
               ()

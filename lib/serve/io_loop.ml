@@ -89,7 +89,7 @@ let serve ?config ?(on_listening = fun () -> ()) ~socket () =
     St_trace.Trace.begin_span p_read;
     (match Unix.read fd rbuf 0 (Bytes.length rbuf) with
     | 0 -> drop_conn ~eof:true id
-    | n -> Server.on_data srv id (Bytes.sub_string rbuf 0 n) ~pos:0 ~len:n
+    | n -> Server.on_data srv id rbuf ~pos:0 ~len:n
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         ()

@@ -1,8 +1,8 @@
 type conn = {
   lb : t;
   id : Server.conn_id;
-  to_server : Buffer.t;
-  mutable sent : int;  (* prefix of [to_server] already delivered *)
+  to_server : Outbuf.t;
+  scratch : Buffer.t;  (* request encoding only; FEEDs skip it *)
   dec : Wire.Decoder.t;  (* client-side reply decoder *)
   mutable closed : bool;
   mutable hung_up : bool;
@@ -26,8 +26,8 @@ let connect t =
     {
       lb = t;
       id;
-      to_server = Buffer.create 256;
-      sent = 0;
+      to_server = Outbuf.create ~capacity:256 ();
+      scratch = Buffer.create 256;
       dec = Wire.Decoder.create ();
       closed = false;
       hung_up = false;
@@ -40,13 +40,21 @@ let conn_id c = c.id
 
 let send c req =
   if c.hung_up then invalid_arg "Loopback.send: connection hung up";
-  Wire.encode_request c.to_server req
+  Buffer.clear c.scratch;
+  Wire.encode_request c.scratch req;
+  Outbuf.add_buffer c.to_server c.scratch
 
 let send_raw c s =
   if c.hung_up then invalid_arg "Loopback.send_raw: connection hung up";
-  Buffer.add_string c.to_server s
+  Outbuf.add_string c.to_server s
 
-let unsent c = Buffer.length c.to_server - c.sent
+(* The hot path for benchmarks: frame a FEED straight from the caller's
+   string — header poke + one payload blit, no intermediate encode. *)
+let send_feed_sub c s ~pos ~len =
+  if c.hung_up then invalid_arg "Loopback.send_feed_sub: connection hung up";
+  Outbuf.add_frame_substring c.to_server ~tag:Wire.tag_feed s pos len
+
+let unsent c = Outbuf.length c.to_server
 
 let hangup c =
   if not (c.closed || c.hung_up) then begin
@@ -63,17 +71,13 @@ let step_conn ~chunk t c =
   if c.closed then false
   else begin
     let moved = ref false in
-    (* client -> server, gated by backpressure *)
-    let avail = unsent c in
+    (* client -> server, gated by backpressure: hand the server a view
+       straight into the client queue (on_data copies into its decoder) *)
+    let buf, pos, avail = Outbuf.view c.to_server in
     if avail > 0 && Server.wants_read t.srv c.id then begin
       let n = min chunk avail in
-      Server.on_data t.srv c.id (Buffer.contents c.to_server) ~pos:c.sent
-        ~len:n;
-      c.sent <- c.sent + n;
-      if c.sent = Buffer.length c.to_server then begin
-        Buffer.clear c.to_server;
-        c.sent <- 0
-      end;
+      Server.on_data t.srv c.id buf ~pos ~len:n;
+      Outbuf.consume c.to_server n;
       moved := true
     end;
     (* server -> client *)
@@ -81,7 +85,7 @@ let step_conn ~chunk t c =
     if len > 0 then begin
       St_trace.Trace.begin_span p_copy;
       let n = min chunk len in
-      Wire.Decoder.feed c.dec (Bytes.sub_string buf pos n) ~pos:0 ~len:n;
+      Wire.Decoder.feed_bytes c.dec buf ~pos ~len:n;
       Server.out_consume t.srv c.id n;
       St_trace.Trace.end_span p_copy;
       moved := true
@@ -116,5 +120,15 @@ let replies c =
         | Error msg -> failwith ("Loopback.replies: bad reply frame: " ^ msg))
   in
   go []
+
+let drain_views c f =
+  let continue = ref true in
+  while !continue do
+    match Wire.Decoder.next_view c.dec with
+    | Wire.Decoder.View_need_more -> continue := false
+    | Wire.Decoder.View_corrupt msg ->
+        failwith ("Loopback.drain_views: corrupt reply stream: " ^ msg)
+    | Wire.Decoder.View v -> f v
+  done
 
 let closed c = c.closed

@@ -26,6 +26,11 @@ val send : conn -> Wire.request -> unit
 (** Queue raw bytes — for protocol-error and adversarial-chunking tests. *)
 val send_raw : conn -> string -> unit
 
+(** Frame a FEED straight from a slice of [s] — header poke plus one
+    payload blit into the client queue, no intermediate encode. The
+    benchmark hot path. *)
+val send_feed_sub : conn -> string -> pos:int -> len:int -> unit
+
 (** Client-side hangup: undelivered bytes are dropped and the server sees
     EOF, as when a client is killed mid-stream. *)
 val hangup : conn -> unit
@@ -49,6 +54,11 @@ val tick : t -> unit
 (** Drain the replies decoded so far, in order. Raises [Failure] on a
     corrupt or undecodable reply frame: the server must never emit one. *)
 val replies : conn -> Wire.reply list
+
+(** Drain decoded reply frames as zero-copy views (each valid only during
+    its callback) — the benchmark path that skips reply materialization.
+    Raises [Failure] on a corrupt reply stream. *)
+val drain_views : conn -> (Wire.Decoder.view -> unit) -> unit
 
 (** The server has closed this connection (drain-close or eviction
     completed). Already-decoded replies remain readable. *)

@@ -1,0 +1,52 @@
+(** A flat growable byte queue — the one buffer discipline of the serve
+    data plane.
+
+    Bytes [pos, len) of an internal [Bytes.t] are live; producers append
+    at the tail ({!add_...}), consumers take from the head
+    ({!view}/{!consume}). Storage is compacted in place only when the dead
+    prefix dominates and reallocated by doubling otherwise, so a
+    long-lived queue neither accretes memory nor moves bytes per frame.
+
+    Four roles share it: per-connection output queues ({!Server}), the
+    per-session token-record encoder ({!Session}), the loopback
+    client→server queue ({!Loopback}), and the CLI client's pending-write
+    queue ({!Client}). {!add_frame} / {!add_frame_substring} /
+    {!add_frame_subbytes} write a [streamtok/wire/v1] frame (u32 length +
+    tag + payload) in one pass — the writev-style batched flush path: the
+    payload bytes are blitted exactly once, straight into the queue. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Live bytes ([len - pos]). *)
+val length : t -> int
+
+(** Drop all content (storage kept). *)
+val clear : t -> unit
+
+(** {1 Producing} *)
+
+val add_char : t -> char -> unit
+val add_string : t -> string -> unit
+val add_substring : t -> string -> int -> int -> unit
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+val add_buffer : t -> Buffer.t -> unit
+
+(** Big-endian, as everywhere in the wire protocol. *)
+val add_u32 : t -> int -> unit
+
+(** [add_frame dst ~tag src] appends one frame whose payload is [src]'s
+    live bytes. [src] is not consumed (pair with {!clear}). *)
+val add_frame : t -> tag:int -> t -> unit
+
+val add_frame_substring : t -> tag:int -> string -> int -> int -> unit
+val add_frame_subbytes : t -> tag:int -> Bytes.t -> int -> int -> unit
+
+(** {1 Consuming} *)
+
+(** [(buf, pos, len)] of the live bytes; invalidated by any [add_] (the
+    storage may move). Write some prefix, then {!consume} it. *)
+val view : t -> Bytes.t * int * int
+
+val consume : t -> int -> unit

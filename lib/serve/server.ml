@@ -5,6 +5,7 @@ type config = {
   max_sessions : int;
   idle_timeout : float;
   max_out_bytes : int;
+  out_frame_bytes : int;
   cache_entries : int;
   clock : unit -> float;
 }
@@ -14,55 +15,10 @@ let default_config =
     max_sessions = 64;
     idle_timeout = 300.0;
     max_out_bytes = 1 lsl 20;
+    out_frame_bytes = 1 lsl 20;
     cache_entries = 64;
     clock = Unix.gettimeofday;
   }
-
-(* A flat byte queue for per-connection output, compacted when the dead
-   prefix dominates so long-lived connections stay bounded. *)
-module Outbuf = struct
-  type t = { mutable buf : Bytes.t; mutable pos : int; mutable len : int }
-
-  let create () = { buf = Bytes.create 4096; pos = 0; len = 0 }
-  let length t = t.len - t.pos
-
-  let ensure_room t extra =
-    if t.len + extra > Bytes.length t.buf then begin
-      let live = length t in
-      if live + extra <= Bytes.length t.buf / 2 then begin
-        Bytes.blit t.buf t.pos t.buf 0 live;
-        t.pos <- 0;
-        t.len <- live
-      end
-      else begin
-        let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
-        while live + extra > !cap do
-          cap := !cap * 2
-        done;
-        let nb = Bytes.create !cap in
-        Bytes.blit t.buf t.pos nb 0 live;
-        t.buf <- nb;
-        t.pos <- 0;
-        t.len <- live
-      end
-    end
-
-  let add_buffer t (b : Buffer.t) =
-    let n = Buffer.length b in
-    ensure_room t n;
-    Buffer.blit b 0 t.buf t.len n;
-    t.len <- t.len + n
-
-  let view t = (t.buf, t.pos, length t)
-
-  let consume t n =
-    if n < 0 || n > length t then invalid_arg "Outbuf.consume";
-    t.pos <- t.pos + n;
-    if t.pos = t.len then begin
-      t.pos <- 0;
-      t.len <- 0
-    end
-end
 
 type phase = Active | Draining
 
@@ -96,8 +52,11 @@ type t = {
   mutable bytes_out_total : int;
   mutable tokens_total : int;
   mutable feeds_total : int;
+  mutable feed_batches_total : int;
   mutable flushes_total : int;
   mutable peak_sessions : int;
+  mutable decoder_copies_closed : int;
+      (* copies accumulated by decoders of connections already removed *)
   feed_ns : Metrics.Histogram.t;
 }
 
@@ -120,8 +79,10 @@ let create ?(config = default_config) () =
     bytes_out_total = 0;
     tokens_total = 0;
     feeds_total = 0;
+    feed_batches_total = 0;
     flushes_total = 0;
     peak_sessions = 0;
+    decoder_copies_closed = 0;
     feed_ns = Metrics.Histogram.create ();
   }
 
@@ -136,6 +97,11 @@ let conn t id =
 let sessions t =
   Hashtbl.fold (fun _ c n -> if c.phase = Active then n + 1 else n) t.conns 0
 
+let decoder_copies t =
+  Hashtbl.fold
+    (fun _ c n -> n + Wire.Decoder.copies c.dec)
+    t.conns t.decoder_copies_closed
+
 let p_enqueue = St_trace.Trace.probe ~cat:"flush" "serve.enqueue"
 let p_on_data = St_trace.Trace.probe ~cat:"decode" "serve.on_data"
 
@@ -145,12 +111,33 @@ let enqueue_untraced t c reply =
   t.bytes_out_total <- t.bytes_out_total + Buffer.length t.scratch;
   Outbuf.add_buffer c.out t.scratch
 
-(* Reply encode + out-queue append: the "flush" half of the data plane. *)
+(* Reply encode + out-queue append — the cold reply path. Token batches
+   do not come through here (see [flush_tokens]). *)
 let enqueue t c reply =
   if not !St_trace.Trace.on then enqueue_untraced t c reply
   else begin
     St_trace.Trace.begin_span p_enqueue;
     enqueue_untraced t c reply;
+    St_trace.Trace.end_span p_enqueue
+  end
+
+(* The batched flush path: the session's scratch encoder already holds
+   ready-to-send TOKENS records, so flushing a whole coalesced batch is
+   one header poke plus one blit into the connection's out queue. *)
+let flush_tokens_untraced t c =
+  match Session.batch c.session with
+  | None -> ()
+  | Some (enc, n) ->
+      t.tokens_total <- t.tokens_total + n;
+      t.bytes_out_total <- t.bytes_out_total + 5 + Outbuf.length enc;
+      Outbuf.add_frame c.out ~tag:Wire.tag_tokens enc;
+      Session.batch_clear c.session
+
+let flush_tokens t c =
+  if not !St_trace.Trace.on then flush_tokens_untraced t c
+  else begin
+    St_trace.Trace.begin_span p_enqueue;
+    flush_tokens_untraced t c;
     St_trace.Trace.end_span p_enqueue
   end
 
@@ -240,14 +227,18 @@ let stats_registry_impl t =
   counter "bytes_out" "reply frame bytes enqueued" t.bytes_out_total;
   counter "tokens" "tokens emitted" t.tokens_total;
   counter "feeds" "FEED frames processed" t.feeds_total;
+  counter "feed_batches" "coalesced FEED batches flushed" t.feed_batches_total;
   counter "flushes" "FLUSH frames processed" t.flushes_total;
+  counter "decoder_copies"
+    "receive-buffer compaction copies (frames straddling a read)"
+    (decoder_copies t);
   counter "protocol_errors" "fatal protocol errors" t.proto_errors_total;
   counter "lexical_errors" "streams that stopped tokenizing"
     t.lexical_errors_total;
   Metrics.Registry.add r
     {
       Metrics.name = "feed_latency_ns";
-      help = "per-FEED handling latency, nanoseconds (log2 buckets)";
+      help = "per-FEED-batch handling latency, nanoseconds (log2 buckets)";
       labels = [];
       kind = Metrics.Histogram t.feed_ns;
     };
@@ -262,6 +253,7 @@ let stats_registry_impl t =
     (t.cfg.clock () -. t.started);
   r
 
+(* Non-FEED requests (FEED has its own coalesced path in [on_data]). *)
 let dispatch t c (req : Wire.request) =
   match req with
   | Wire.Stats fmt ->
@@ -273,60 +265,106 @@ let dispatch t c (req : Wire.request) =
       in
       enqueue t c (Wire.Metrics { format = fmt; body })
   | Wire.Close -> c.phase <- Draining
-  | Wire.Feed payload ->
-      t.feeds_total <- t.feeds_total + 1;
-      t.bytes_in_total <- t.bytes_in_total + String.length payload;
-      let t0 = t.cfg.clock () in
-      let replies = Session.handle c.session req in
-      Metrics.Histogram.observe_seconds t.feed_ns (t.cfg.clock () -. t0);
-      count_replies t replies;
-      List.iter (enqueue t c) replies;
-      if List.exists fatal_reply replies then c.phase <- Draining
-  | Wire.Open _ | Wire.Flush ->
+  | Wire.Open _ | Wire.Flush | Wire.Feed _ ->
       (match req with
       | Wire.Flush -> t.flushes_total <- t.flushes_total + 1
       | _ -> ());
       let replies = Session.handle c.session req in
+      flush_tokens t c;
       count_replies t replies;
       List.iter (enqueue t c) replies;
       if List.exists fatal_reply replies then c.phase <- Draining
 
-let on_data_untraced t id s ~pos ~len =
+let protocol_failure t c msg =
+  t.proto_errors_total <- t.proto_errors_total + 1;
+  enqueue t c
+    (Wire.Error { code = Wire.Protocol; retryable = false; message = msg });
+  c.phase <- Draining
+
+(* The coalescing decode loop. Consecutive FEED frames form one batch:
+   each payload view goes straight into [Session.feed] (zero-copy — the
+   tokenizer does not retain the slice), and the accumulated TOKENS
+   records are flushed as a single frame when the batch ends — at a
+   non-FEED frame, end of buffered input, a session error, or when the
+   pending frame would exceed [out_frame_bytes]. The batch is also the
+   latency unit: two clock reads per batch, not per frame. *)
+let on_data_untraced t id b ~pos ~len =
   let c = conn t id in
   if c.phase = Active then begin
     c.last_activity <- t.cfg.clock ();
-    Wire.Decoder.feed c.dec s ~pos ~len;
+    Wire.Decoder.feed_bytes c.dec b ~pos ~len;
+    let batch_t0 = ref 0.0 in
+    let in_batch = ref false in
+    let end_batch () =
+      if !in_batch then begin
+        in_batch := false;
+        flush_tokens t c;
+        t.feed_batches_total <- t.feed_batches_total + 1;
+        Metrics.Histogram.observe_seconds t.feed_ns
+          (t.cfg.clock () -. !batch_t0)
+      end
+    in
     let continue = ref true in
     while !continue && c.phase = Active do
-      match Wire.Decoder.next c.dec with
-      | Wire.Decoder.Need_more -> continue := false
-      | Wire.Decoder.Corrupt msg ->
-          t.proto_errors_total <- t.proto_errors_total + 1;
-          enqueue t c
-            (Wire.Error
-               { code = Wire.Protocol; retryable = false; message = msg });
-          c.phase <- Draining
-      | Wire.Decoder.Frame f -> (
-          match Wire.request_of_frame f with
-          | Error msg ->
-              t.proto_errors_total <- t.proto_errors_total + 1;
-              enqueue t c
-                (Wire.Error
-                   { code = Wire.Protocol; retryable = false; message = msg });
-              c.phase <- Draining
-          | Ok req -> dispatch t c req)
-    done
+      match Wire.Decoder.next_view c.dec with
+      | Wire.Decoder.View_need_more -> continue := false
+      | Wire.Decoder.View_corrupt msg ->
+          end_batch ();
+          protocol_failure t c msg
+      | Wire.Decoder.View v ->
+          if v.Wire.Decoder.vtag = Wire.tag_feed then begin
+            if not !in_batch then begin
+              in_batch := true;
+              batch_t0 := t.cfg.clock ()
+            end;
+            t.feeds_total <- t.feeds_total + 1;
+            t.bytes_in_total <- t.bytes_in_total + v.Wire.Decoder.vlen;
+            let replies =
+              (* The tokenizer copies what it keeps, so handing it the
+                 decoder's buffer as an immutable string is safe. *)
+              Session.feed c.session
+                (Bytes.unsafe_to_string v.Wire.Decoder.vbuf)
+                ~pos:v.Wire.Decoder.voff ~len:v.Wire.Decoder.vlen
+            in
+            match replies with
+            | [] -> (
+                match Session.batch c.session with
+                | Some (enc, _)
+                  when Outbuf.length enc >= t.cfg.out_frame_bytes ->
+                    (* cap the frame size; the latency batch stays open *)
+                    flush_tokens t c
+                | _ -> ())
+            | replies ->
+                end_batch ();
+                count_replies t replies;
+                List.iter (enqueue t c) replies;
+                if List.exists fatal_reply replies then c.phase <- Draining
+          end
+          else begin
+            end_batch ();
+            let f =
+              {
+                Wire.tag = v.Wire.Decoder.vtag;
+                payload = Wire.Decoder.view_string v;
+              }
+            in
+            match Wire.request_of_frame f with
+            | Error msg -> protocol_failure t c msg
+            | Ok req -> dispatch t c req
+          end
+    done;
+    end_batch ()
   end
 
 (* Root span of the server-side data plane: everything from raw input
    bytes to enqueued reply bytes happens inside one on_data call, so this
    span (with wire.decode / session.* / serve.enqueue nested in it)
    carries the full decode-to-flush attribution for a byte. *)
-let on_data t id s ~pos ~len =
-  if not !St_trace.Trace.on then on_data_untraced t id s ~pos ~len
+let on_data t id b ~pos ~len =
+  if not !St_trace.Trace.on then on_data_untraced t id b ~pos ~len
   else begin
     St_trace.Trace.begin_span p_on_data;
-    match on_data_untraced t id s ~pos ~len with
+    match on_data_untraced t id b ~pos ~len with
     | () -> St_trace.Trace.end_span p_on_data
     | exception exn ->
         St_trace.Trace.end_span p_on_data;
@@ -334,10 +372,13 @@ let on_data t id s ~pos ~len =
   end
 
 let remove t id =
-  if Hashtbl.mem t.conns id then begin
-    Hashtbl.remove t.conns id;
-    t.closed_total <- t.closed_total + 1
-  end
+  match Hashtbl.find_opt t.conns id with
+  | None -> ()
+  | Some c ->
+      t.decoder_copies_closed <-
+        t.decoder_copies_closed + Wire.Decoder.copies c.dec;
+      Hashtbl.remove t.conns id;
+      t.closed_total <- t.closed_total + 1
 
 let on_eof t id = remove t id
 let on_closed t id = remove t id

@@ -26,6 +26,10 @@ type config = {
   max_out_bytes : int;
       (** per-connection output-queue budget; above it the server stops
           reading that connection until the client drains replies *)
+  out_frame_bytes : int;
+      (** flush a coalesced TOKENS batch once its encoded records reach
+          this size, so one batch never produces a frame anywhere near
+          {!Wire.max_payload} *)
   cache_entries : int;  (** engine-cache capacity *)
   clock : unit -> float;
 }
@@ -46,8 +50,12 @@ val config : t -> config
     {!should_close}. *)
 val on_connect : t -> conn_id
 
-(** Bytes read from the connection's socket. *)
-val on_data : t -> conn_id -> string -> pos:int -> len:int -> unit
+(** Bytes read from the connection's socket. The slice is copied into the
+    connection's frame decoder before returning, so the transport may
+    reuse [buf] for the next read. Consecutive buffered FEED frames are
+    coalesced into one tokenizer batch and answered with one TOKENS frame
+    (split only at [config.out_frame_bytes]). *)
+val on_data : t -> conn_id -> Bytes.t -> pos:int -> len:int -> unit
 
 (** The peer hung up (EOF, reset): the session is discarded immediately. *)
 val on_eof : t -> conn_id -> unit
@@ -98,8 +106,15 @@ val sessions : t -> int
 
 val cache : t -> St_streamtok.Engine_cache.t
 
+(** Receive-buffer bytes moved by decoder compaction across all
+    connections (live and closed): the price of frames straddling a read.
+    Zero on a straddle-free run — also exported as the [decoder_copies]
+    counter in {!stats_registry}. *)
+val decoder_copies : t -> int
+
 (** Fresh snapshot of the server metrics (sessions gauge + peak,
     open/close/reject/evict counters, bytes and token counters, the
-    per-FEED latency log2 histogram in nanoseconds, engine-cache
-    compile/hit counters, uptime). *)
+    per-FEED-batch latency log2 histogram in nanoseconds, [feed_batches]
+    and [decoder_copies] data-plane counters, engine-cache compile/hit
+    counters, uptime). *)
 val stats_registry : t -> Metrics.Registry.t

@@ -10,7 +10,8 @@ type opened_state = {
   engine : Engine.t;
   grammar_name : string;
   rule_names : string list;
-  batch : (string * int) list ref;  (* reversed; shared with the emit closure *)
+  enc : Outbuf.t;  (* encoded TOKENS records; shared with the emit closure *)
+  ntoks : int ref;
   mutable tok : Stream_tokenizer.t;
   mutable outcome : Engine.outcome option;
       (* set as soon as the current stream fails; FLUSH reports and clears *)
@@ -23,16 +24,27 @@ type t = { deps : deps; mutable state : state }
 let create deps = { deps; state = Awaiting_open }
 let opened t = match t.state with Opened_ _ -> true | Awaiting_open -> false
 
-let new_tokenizer engine batch =
+(* Tokens are encoded straight into the wire format as they are emitted —
+   u32 rule, u32 len, lexeme bytes — into a scratch Outbuf reused across
+   frames. Flushing a batch is then a single header poke + one blit. *)
+let new_tokenizer engine enc ntoks =
   Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
-      batch := (lexeme, rule) :: !batch)
+      Outbuf.add_u32 enc rule;
+      Outbuf.add_u32 enc (String.length lexeme);
+      Outbuf.add_string enc lexeme;
+      incr ntoks)
 
-let take_batch os =
-  match !(os.batch) with
-  | [] -> []
-  | toks ->
-      os.batch := [];
-      [ Wire.Tokens (List.rev toks) ]
+let batch t =
+  match t.state with
+  | Awaiting_open -> None
+  | Opened_ os -> if !(os.ntoks) = 0 then None else Some (os.enc, !(os.ntoks))
+
+let batch_clear t =
+  match t.state with
+  | Awaiting_open -> ()
+  | Opened_ os ->
+      Outbuf.clear os.enc;
+      os.ntoks := 0
 
 let protocol_error message =
   [ Wire.Error { code = Wire.Protocol; retryable = false; message } ]
@@ -62,14 +74,16 @@ let handle_open t spec =
                   };
               ]
           | Ok engine ->
-              let batch = ref [] in
+              let enc = Outbuf.create () in
+              let ntoks = ref 0 in
               let os =
                 {
                   engine;
                   grammar_name = g.Grammar.name;
                   rule_names = List.map fst g.Grammar.rules;
-                  batch;
-                  tok = new_tokenizer engine batch;
+                  enc;
+                  ntoks;
+                  tok = new_tokenizer engine enc ntoks;
                   outcome = None;
                 }
               in
@@ -84,21 +98,21 @@ let handle_open t spec =
                   };
               ]))
 
-let handle_feed t bytes =
+let p_feed = St_trace.Trace.probe ~cat:"session" "session.feed"
+
+let feed_untraced t s ~pos ~len =
   match t.state with
   | Awaiting_open -> protocol_error "FEED before OPEN"
   | Opened_ os -> (
       match os.outcome with
       | Some _ -> []  (* stream already failed; drop by contract *)
       | None ->
-          Stream_tokenizer.feed_string os.tok bytes;
-          let replies = take_batch os in
+          Stream_tokenizer.feed os.tok s pos len;
           if Stream_tokenizer.failed os.tok then begin
             (* Drain now so the failure offset is exact; the outcome is
                replayed by the next FLUSH. *)
             let outcome = Stream_tokenizer.finish os.tok in
             os.outcome <- Some outcome;
-            let tail = take_batch os in
             let message =
               match outcome with
               | Engine.Failed { offset; pending } ->
@@ -108,10 +122,13 @@ let handle_feed t bytes =
                     offset (String.length pending)
               | Engine.Finished -> "stream failed"
             in
-            replies @ tail
-            @ [ Wire.Error { code = Wire.Lexical; retryable = false; message } ]
+            [ Wire.Error { code = Wire.Lexical; retryable = false; message } ]
           end
-          else replies)
+          else [])
+
+let feed t s ~pos ~len =
+  if not !St_trace.Trace.on then feed_untraced t s ~pos ~len
+  else St_trace.Trace.with_span p_feed (fun () -> feed_untraced t s ~pos ~len)
 
 let handle_flush t =
   match t.state with
@@ -122,7 +139,6 @@ let handle_flush t =
         | Some o -> o
         | None -> Stream_tokenizer.finish os.tok
       in
-      let replies = take_batch os in
       let pending_reply =
         match outcome with
         | Engine.Finished ->
@@ -132,24 +148,23 @@ let handle_flush t =
             Wire.Pending { ok = false; offset; pending }
       in
       (* Reset for the next stream on the same engine. *)
-      os.tok <- new_tokenizer os.engine os.batch;
+      os.tok <- new_tokenizer os.engine os.enc os.ntoks;
       os.outcome <- None;
-      replies @ [ pending_reply ]
+      [ pending_reply ]
 
 let p_open = St_trace.Trace.probe ~cat:"session" "session.open"
-let p_feed = St_trace.Trace.probe ~cat:"session" "session.feed"
 let p_flush = St_trace.Trace.probe ~cat:"session" "session.flush"
 
 let handle t req =
   if not !St_trace.Trace.on then
     match req with
     | Wire.Open spec -> handle_open t spec
-    | Wire.Feed bytes -> handle_feed t bytes
+    | Wire.Feed bytes -> feed_untraced t bytes ~pos:0 ~len:(String.length bytes)
     | Wire.Flush -> handle_flush t
     | Wire.Close | Wire.Stats _ -> []  (* handled by Server *)
   else
     match req with
     | Wire.Open spec -> St_trace.Trace.with_span p_open (fun () -> handle_open t spec)
-    | Wire.Feed bytes -> St_trace.Trace.with_span p_feed (fun () -> handle_feed t bytes)
+    | Wire.Feed bytes -> feed t bytes ~pos:0 ~len:(String.length bytes)
     | Wire.Flush -> St_trace.Trace.with_span p_flush (fun () -> handle_flush t)
     | Wire.Close | Wire.Stats _ -> []

@@ -8,6 +8,14 @@
     and the next FEED starts a fresh stream, so a connection can tokenize
     many documents without re-OPENing.
 
+    Token output never goes through reply values: the emit closure encodes
+    each token straight into a scratch {!Outbuf} (the wire TOKENS record
+    format) that is reused across frames, so a coalesced run of FEEDs
+    accumulates one batch with zero per-frame allocation. The caller
+    drains it with {!batch}/{!batch_clear} — and must do so {e before}
+    enqueueing the replies a call returned, so TOKENS precede any
+    [Lexical] error or [Pending] outcome for the same bytes.
+
     The module is transport-free — requests in, replies out — which is
     what lets the loopback transport drive the whole server
     deterministically in tests. CLOSE and STATS are connection/server
@@ -28,7 +36,21 @@ val create : deps -> t
 (** Has a valid OPEN been processed? *)
 val opened : t -> bool
 
-(** Process one request; returns the replies to enqueue, in order. A reply
+(** Feed a slice of input — the coalescing hot path. The slice is not
+    retained (safe to pass views into a transport buffer). Tokens land in
+    the batch encoder; the returned replies are only the exceptional ones
+    ([Lexical] on stream failure, [Protocol] before OPEN). *)
+val feed : t -> string -> pos:int -> len:int -> Wire.reply list
+
+(** The pending token batch: the encoder holding ready-to-send TOKENS
+    records and the token count, or [None] if the batch is empty. Frame
+    it (one blit) then {!batch_clear}. *)
+val batch : t -> (Outbuf.t * int) option
+
+val batch_clear : t -> unit
+
+(** Process one request; returns the replies to enqueue, in order —
+    remember to flush {!batch} first. A reply
     [Error { code = Protocol | Bad_grammar; _ }] is fatal to the session —
     the caller should drain-and-close the connection. A [Lexical] error is
     not: the stream is failed (further FEEDs are dropped by contract) until

@@ -267,27 +267,32 @@ let reply_of_frame f =
 (* ---- incremental decoder ---- *)
 
 module Decoder = struct
-  (* A flat byte queue: bytes [pos, len) of [buf] are pending. Compacted
-     when the dead prefix dominates, so long-lived connections do not
-     accrete memory. *)
+  (* A flat byte queue: bytes [pos, len) of [buf] are pending. The decoder
+     hands out *views* into [buf] — no per-frame copy. Bytes move only
+     when a partial frame straddles a feed boundary and the tail runs out
+     of room (offset compaction, or a doubling realloc); [copies] counts
+     those events, and a straddle-free run performs exactly zero. *)
   type t = {
     mutable buf : Bytes.t;
     mutable pos : int;
     mutable len : int;  (* exclusive end *)
     mutable corrupt : string option;
+    mutable copies : int;
   }
 
   let create () =
-    { buf = Bytes.create 4096; pos = 0; len = 0; corrupt = None }
+    { buf = Bytes.create 4096; pos = 0; len = 0; corrupt = None; copies = 0 }
 
   let buffered t = t.len - t.pos
+  let copies t = t.copies
 
   let ensure_room t extra =
     if t.len + extra > Bytes.length t.buf then begin
       let live = buffered t in
       if live + extra <= Bytes.length t.buf / 2 then begin
-        (* compact in place *)
+        (* compact in place: a partial frame straddles this feed *)
         Bytes.blit t.buf t.pos t.buf 0 live;
+        if live > 0 then t.copies <- t.copies + 1;
         t.pos <- 0;
         t.len <- live
       end
@@ -298,6 +303,7 @@ module Decoder = struct
         done;
         let nb = Bytes.create !cap in
         Bytes.blit t.buf t.pos nb 0 live;
+        if live > 0 then t.copies <- t.copies + 1;
         t.buf <- nb;
         t.pos <- 0;
         t.len <- live
@@ -311,17 +317,28 @@ module Decoder = struct
     Bytes.blit_string s pos t.buf t.len len;
     t.len <- t.len + len
 
+  let feed_bytes t b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      invalid_arg "Wire.Decoder.feed_bytes";
+    ensure_room t len;
+    Bytes.blit b pos t.buf t.len len;
+    t.len <- t.len + len
+
   let feed_string t s = feed t s ~pos:0 ~len:(String.length s)
+
+  type view = { vtag : int; vbuf : Bytes.t; voff : int; vlen : int }
+
+  type view_result = View of view | View_need_more | View_corrupt of string
 
   type result = Frame of frame | Need_more | Corrupt of string
 
   let p_decode = St_trace.Trace.probe ~cat:"decode" "wire.decode"
 
-  let next_untraced t =
+  let next_view_untraced t =
     match t.corrupt with
-    | Some msg -> Corrupt msg
+    | Some msg -> View_corrupt msg
     | None ->
-        if buffered t < 5 then Need_more
+        if buffered t < 5 then View_need_more
         else begin
           let b = t.buf in
           let p = t.pos in
@@ -337,32 +354,75 @@ module Decoder = struct
                 max_payload
             in
             t.corrupt <- Some msg;
-            Corrupt msg
+            View_corrupt msg
           end
-          else if buffered t < 5 + plen then Need_more
+          else if buffered t < 5 + plen then View_need_more
           else begin
             let tag = Char.code (Bytes.get b (p + 4)) in
-            let payload = Bytes.sub_string b (p + 5) plen in
             t.pos <- p + 5 + plen;
             if t.pos = t.len then begin
+              (* pointer reset only — no bytes move, views stay valid *)
               t.pos <- 0;
               t.len <- 0
             end;
-            Frame { tag; payload }
+            View { vtag = tag; vbuf = b; voff = p + 5; vlen = plen }
           end
         end
 
   (* Span around one frame-extraction attempt: one per decoded frame in
      steady state (Need_more outcomes only occur on partial reads). *)
-  let next t =
-    if not !St_trace.Trace.on then next_untraced t
+  let next_view t =
+    if not !St_trace.Trace.on then next_view_untraced t
     else begin
       St_trace.Trace.begin_span p_decode;
-      let r = next_untraced t in
+      let r = next_view_untraced t in
       St_trace.Trace.end_span p_decode;
       r
     end
+
+  let view_string v = Bytes.sub_string v.vbuf v.voff v.vlen
+
+  (* Copying compatibility shim over [next_view] — cold paths and tests. *)
+  let next t =
+    match next_view t with
+    | View_need_more -> Need_more
+    | View_corrupt msg -> Corrupt msg
+    | View v -> Frame { tag = v.vtag; payload = view_string v }
 end
+
+(* Walk the TOKENS records of a decoded frame view without materializing
+   a list or copying lexemes: [f] sees (rule, buffer, offset, length) per
+   record, valid only during the call. Returns the record count. *)
+let iter_tokens_view (v : Decoder.view) f =
+  let b = v.Decoder.vbuf in
+  let stop = v.Decoder.voff + v.Decoder.vlen in
+  let pos = ref v.Decoder.voff in
+  let count = ref 0 in
+  let ok = ref true in
+  while !ok && !pos < stop do
+    if stop - !pos < 8 then ok := false
+    else begin
+      let rule =
+        (Char.code (Bytes.unsafe_get b !pos) lsl 24)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 1)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 2)) lsl 8)
+        lor Char.code (Bytes.unsafe_get b (!pos + 3))
+      in
+      let n =
+        (Char.code (Bytes.unsafe_get b (!pos + 4)) lsl 24)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 5)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 6)) lsl 8)
+        lor Char.code (Bytes.unsafe_get b (!pos + 7))
+      in
+      if stop - !pos - 8 < n then ok := false
+      else begin
+        f ~rule ~buf:b ~pos:(!pos + 8) ~len:n;
+        incr count;
+        pos := !pos + 8 + n
+      end
+    end
+  done;
+  if !ok then Ok !count else Result.Error "malformed TOKENS payload"
 
 let decode_all s =
   let d = Decoder.create () in

@@ -33,6 +33,20 @@
     protocol error, not an allocation. *)
 val max_payload : int
 
+(** Frame tags, for code that works on raw frames/views without going
+    through {!request_of_frame} / {!reply_of_frame}. *)
+
+val tag_open : int
+val tag_feed : int
+val tag_flush : int
+val tag_close : int
+val tag_stats : int
+val tag_opened : int
+val tag_tokens : int
+val tag_pending : int
+val tag_error : int
+val tag_metrics : int
+
 type format = Json | Prom
 
 type error_code =
@@ -75,23 +89,69 @@ val encode_reply : Buffer.t -> reply -> unit
 val request_of_frame : frame -> (request, string) result
 val reply_of_frame : frame -> (reply, string) result
 
-(** Incremental frame reassembly. After a [Corrupt] result the decoder is
-    poisoned — the stream has no recoverable framing — and every further
-    {!next} returns the same error. *)
+(** Incremental frame reassembly, zero-copy.
+
+    The decoder is a flat byte queue; {!next_view} parses the frame header
+    in place and hands back a {!view} into the decoder's own buffer —
+    no per-frame allocation or copy. Bytes move only inside {!feed}, and
+    only when a partial frame straddles the previous feed boundary and
+    the buffer tail runs out of room (offset compaction or a doubling
+    realloc); {!copies} counts those events, so a straddle-free run — every
+    feed delivering whole frames — reports exactly zero.
+
+    View lifetime: a view is valid until the next [feed]/[feed_bytes] call
+    on the decoder. {!next_view} itself never invalidates earlier views
+    (draining the queue resets offsets without moving bytes), so a caller
+    may pull every view of one feed batch before processing any of them.
+    Callers that need the payload beyond the next feed must copy
+    ({!view_string}).
+
+    After a [View_corrupt]/[Corrupt] result the decoder is poisoned — the
+    stream has no recoverable framing — and every further call returns the
+    same error. *)
 module Decoder : sig
   type t
 
   val create : unit -> t
   val feed : t -> string -> pos:int -> len:int -> unit
+  val feed_bytes : t -> Bytes.t -> pos:int -> len:int -> unit
   val feed_string : t -> string -> unit
+
+  (** One decoded frame: payload = bytes [voff, voff+vlen) of [vbuf].
+      Do not mutate [vbuf]. *)
+  type view = { vtag : int; vbuf : Bytes.t; voff : int; vlen : int }
+
+  type view_result = View of view | View_need_more | View_corrupt of string
+
+  (** The zero-copy hot path: never moves or copies payload bytes. *)
+  val next_view : t -> view_result
+
+  (** Copy a view's payload out (cold paths, retention past the batch). *)
+  val view_string : view -> string
 
   type result = Frame of frame | Need_more | Corrupt of string
 
+  (** Copying shim over {!next_view} (tests, cold paths). *)
   val next : t -> result
 
   (** Bytes buffered but not yet consumed by complete frames. *)
   val buffered : t -> int
+
+  (** Compaction/realloc events that moved live bytes — the straddle
+      penalty. Zero iff no partial frame ever had to be carried across a
+      feed while the tail was out of room. *)
+  val copies : t -> int
 end
+
+(** [iter_tokens_view v f] walks the TOKENS records of a decoded frame
+    view without materializing a list or copying lexemes: [f] is called
+    per record with the rule id and the lexeme's location in the decoder
+    buffer (valid only during the call). Returns the record count, or
+    [Error _] on a malformed payload. *)
+val iter_tokens_view :
+  Decoder.view ->
+  (rule:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
+  (int, string) result
 
 (** Decode every frame of a complete byte string (test helper). *)
 val decode_all : string -> (frame list, string) result

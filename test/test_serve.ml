@@ -122,8 +122,15 @@ let fake_clock start =
   ((fun () -> !now), fun t -> now := t)
 
 let config ?(max_sessions = 8) ?(idle_timeout = 0.) ?(max_out_bytes = 1 lsl 20)
-    clock =
-  { SV.default_config with max_sessions; idle_timeout; max_out_bytes; clock }
+    ?(out_frame_bytes = 1 lsl 20) clock =
+  {
+    SV.default_config with
+    max_sessions;
+    idle_timeout;
+    max_out_bytes;
+    out_frame_bytes;
+    clock;
+  }
 
 let tokens_of replies =
   List.concat_map (function W.Tokens ts -> ts | _ -> []) replies
@@ -275,8 +282,8 @@ let test_backpressure () =
   (* every digit is its own token: plenty of reply bytes *)
   W.encode_request b (W.Feed (String.concat " " (List.init 300 (fun _ -> "7"))));
   W.encode_request b (W.Flush);
-  let s = Buffer.contents b in
-  SV.on_data srv id s ~pos:0 ~len:(String.length s);
+  let s = Buffer.to_bytes b in
+  SV.on_data srv id s ~pos:0 ~len:(Bytes.length s);
   check "queue over budget" true (SV.out_pending srv id > 256);
   check "backpressure: reading off" false (SV.wants_read srv id);
   while SV.out_pending srv id > 0 do
@@ -386,6 +393,278 @@ let test_drain () =
   check "new connections rejected while draining" true (LB.closed b);
   check_int "no live conns left" 0 (SV.live_conns (LB.server lb))
 
+(* ---- zero-copy decoder views ---- *)
+
+(* Drive the view API under one chunking and collect (tag, payload copy)
+   pairs; [Corrupt]/[View_corrupt] maps to None. *)
+let decode_views_under chunking stream =
+  let d = W.Decoder.create () in
+  let frames = ref [] in
+  let ok = ref true in
+  let pos = ref 0 in
+  List.iter
+    (fun n ->
+      W.Decoder.feed d stream ~pos:!pos ~len:n;
+      pos := !pos + n;
+      let continue = ref true in
+      while !continue do
+        match W.Decoder.next_view d with
+        | W.Decoder.View v ->
+            frames := (v.W.Decoder.vtag, W.Decoder.view_string v) :: !frames
+        | W.Decoder.View_need_more -> continue := false
+        | W.Decoder.View_corrupt _ ->
+            ok := false;
+            continue := false
+      done)
+    chunking;
+  if !ok then Some (List.rev !frames, W.Decoder.copies d) else None
+
+(* The tentpole contract: under ANY chunk split — byte-at-a-time, random,
+   straddling the compaction boundary — the payload views are
+   byte-identical to the old compact-and-copy decode, and a whole-stream
+   feed (no frame ever straddles a feed) performs zero copies. *)
+let prop_view_decode_identity =
+  QCheck.Test.make ~count:100 ~name:"wire: zero-copy views ≡ copying decode"
+    QCheck.(
+      make
+        Gen.(
+          pair (list_size (int_range 1 10) gen_request) (int_range 0 9999)))
+    (fun (reqs, seed) ->
+      let b = Buffer.create 256 in
+      List.iter (W.encode_request b) reqs;
+      let stream = Buffer.contents b in
+      let reference =
+        match W.decode_all stream with
+        | Ok fs -> List.map (fun f -> (f.W.tag, f.W.payload)) fs
+        | Error _ -> assert false
+      in
+      let rng = Prng.create (Int64.of_int seed) in
+      let whole_ok =
+        match decode_views_under [ String.length stream ] stream with
+        | Some (frames, copies) -> frames = reference && copies = 0
+        | None -> false
+      in
+      whole_ok
+      && List.for_all
+           (fun (_name, chunking) ->
+             match decode_views_under chunking stream with
+             | Some (frames, _) -> frames = reference
+             | None -> false)
+           (Fuzz.Chunking.standard ~rng ~delay:5 (String.length stream)))
+
+let test_view_straddle_compaction () =
+  (* A payload bigger than the decoder's initial 4 KiB buffer, delivered
+     in two feeds: the carried partial frame forces a grow/compact blit,
+     which the copies counter must report — and the view must still be
+     byte-identical. *)
+  let payload = String.init 6000 (fun i -> Char.chr (i land 0xff)) in
+  let b = Buffer.create 8192 in
+  W.encode_request b (W.Feed payload);
+  let stream = Buffer.contents b in
+  let d = W.Decoder.create () in
+  let half = String.length stream / 2 in
+  W.Decoder.feed d stream ~pos:0 ~len:half;
+  check "partial frame: need more" true (W.Decoder.next_view d = W.Decoder.View_need_more);
+  W.Decoder.feed d stream ~pos:half ~len:(String.length stream - half);
+  (match W.Decoder.next_view d with
+  | W.Decoder.View v ->
+      check_int "tag" 0x02 v.W.Decoder.vtag;
+      check "payload identical across straddle" true
+        (W.Decoder.view_string v = payload)
+  | _ -> Alcotest.fail "expected a frame");
+  check "straddle was copied (counted)" true (W.Decoder.copies d > 0);
+  (* Views of one feed batch stay valid until the next feed: pull both
+     frames of a single feed, then read them. *)
+  let b = Buffer.create 64 in
+  W.encode_request b (W.Feed "alpha");
+  W.encode_request b (W.Feed "beta");
+  let s = Buffer.contents b in
+  let d = W.Decoder.create () in
+  W.Decoder.feed_string d s;
+  let v1 =
+    match W.Decoder.next_view d with
+    | W.Decoder.View v -> v
+    | _ -> Alcotest.fail "frame 1"
+  in
+  let v2 =
+    match W.Decoder.next_view d with
+    | W.Decoder.View v -> v
+    | _ -> Alcotest.fail "frame 2"
+  in
+  check "both views of the batch readable" true
+    (W.Decoder.view_string v1 = "alpha" && W.Decoder.view_string v2 = "beta");
+  check_int "no copies on whole-frame feeds" 0 (W.Decoder.copies d)
+
+(* ---- FEED coalescing ---- *)
+
+let counter_value srv name =
+  let metrics = Obs.Metrics.Registry.metrics (SV.stats_registry srv) in
+  match List.find_opt (fun m -> m.Obs.Metrics.name = name) metrics with
+  | Some { Obs.Metrics.kind = Obs.Metrics.Counter c; _ } ->
+      Obs.Metrics.Counter.value c
+  | _ -> Alcotest.fail (Printf.sprintf "no counter %s" name)
+
+let grammar_engine spec =
+  match Registry.resolve spec with
+  | Error msg -> Alcotest.fail ("no grammar " ^ spec ^ ": " ^ msg)
+  | Ok g -> (
+      match Engine.compile (Grammar.dfa g) with
+      | Ok e -> e
+      | Error _ -> Alcotest.fail ("engine compile failed for " ^ spec))
+
+(* One session fed [input] under the given FEED split; everything is
+   queued up front, so with [deliver_each = false] the whole burst lands
+   in one on_data call and the server coalesces it into one batch. *)
+let serve_tokens ?(deliver_each = false) lb grammar input split =
+  let c = LB.connect lb in
+  LB.send c (W.Open grammar);
+  if deliver_each then LB.run lb;
+  let pos = ref 0 in
+  List.iter
+    (fun n ->
+      if n > 0 then LB.send_feed_sub c input ~pos:!pos ~len:n;
+      pos := !pos + n;
+      if deliver_each then LB.run lb)
+    split;
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  let replies = LB.replies c in
+  (match List.rev replies with
+  | W.Pending { ok; _ } :: _ -> check "clean flush" true ok
+  | _ -> Alcotest.fail "expected PENDING last");
+  tokens_of replies
+
+let test_coalescing_parity () =
+  (* N FEED frames coalesced into one batch must produce the exact token
+     stream of N separately delivered feeds — and of the batch engine —
+     across the golden grammar corpus and seeded random splits. *)
+  let rng = Prng.create 0x5EEDL in
+  List.iter
+    (fun name ->
+      let gen =
+        match Gen_data.by_name name with
+        | Some g -> g
+        | None -> Alcotest.fail ("no generator " ^ name)
+      in
+      let input = gen ~seed:7L ~target_bytes:3000 () in
+      let reference, outcome = Engine.tokens (grammar_engine name) input in
+      check (name ^ ": batch engine finished") true (outcome = Engine.Finished);
+      List.iter
+        (fun split ->
+          let clock, _ = fake_clock 0. in
+          let lb = LB.create ~config:(config clock) () in
+          let coalesced = serve_tokens lb name input split in
+          check (name ^ ": coalesced ≡ batch engine") true
+            (coalesced = reference);
+          (* the burst really was coalesced: many FEEDs, fewer batches *)
+          let srv = LB.server lb in
+          let feeds = counter_value srv "feeds" in
+          let batches = counter_value srv "feed_batches" in
+          if feeds > 1 then
+            check (name ^ ": burst coalesced") true (batches < feeds);
+          let lb2 = LB.create ~config:(config clock) () in
+          let separate =
+            serve_tokens ~deliver_each:true lb2 name input split
+          in
+          check (name ^ ": separate feeds ≡ coalesced") true
+            (separate = coalesced))
+        [
+          Fuzz.Chunking.bytes 37 (String.length input);
+          Fuzz.Chunking.random rng (String.length input);
+        ])
+    [ "json"; "csv"; "yaml"; "fasta" ]
+
+let test_backpressure_mid_batch () =
+  (* Backpressure must engage mid-coalesced-batch: a burst of FEEDs whose
+     token output blows the out-queue budget turns wants_read off while
+     client bytes are still queued — and a tiny out_frame_bytes splits the
+     batch into several TOKENS frames without changing the stream. *)
+  let clock, _ = fake_clock 0. in
+  let lb =
+    LB.create
+      ~config:(config ~max_out_bytes:256 ~out_frame_bytes:128 clock) ()
+  in
+  let srv = LB.server lb in
+  let c = LB.connect lb in
+  LB.send c (W.Open "@[0-9];[ ]+");
+  LB.run lb;
+  let input = String.concat " " (List.init 400 (fun _ -> "7")) in
+  let pos = ref 0 in
+  while !pos < String.length input do
+    let n = min 40 (String.length input - !pos) in
+    LB.send_feed_sub c input ~pos:!pos ~len:n;
+    pos := !pos + n
+  done;
+  (* deliver roughly half the burst in one on_data: one coalesced batch,
+     reply bytes >> max_out_bytes *)
+  ignore (LB.step ~chunk:((5 + 40) * 10) lb : bool);
+  check "client bytes still queued" true (LB.unsent c > 0);
+  check "backpressure engaged mid-batch" false
+    (SV.wants_read srv (LB.conn_id c));
+  (* parity is unaffected: drain everything and compare token streams —
+     counting TOKENS frames, which the 128-byte cap must have split *)
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  let frames = ref 0 in
+  let toks = ref [] in
+  let continue = ref true in
+  while !continue do
+    if not (LB.step lb) then continue := false;
+    LB.drain_views c (fun v ->
+        if v.W.Decoder.vtag = W.tag_tokens then begin
+          incr frames;
+          match
+            W.iter_tokens_view v (fun ~rule ~buf ~pos ~len ->
+                toks := (Bytes.sub_string buf pos len, rule) :: !toks)
+          with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.fail msg
+        end)
+  done;
+  check "batch split into multiple TOKENS frames" true (!frames > 1);
+  let reference, _ = Engine.tokens (grammar_engine "@[0-9];[ ]+") input in
+  check "tokens ≡ batch engine despite backpressure" true
+    (List.rev !toks = reference)
+
+let test_decoder_copies_stat () =
+  (* Straddle-free runs (whole frames per delivery) must report exactly
+     zero decoder copies; byte-dribbled deliveries (every header and
+     payload straddles) must report some. *)
+  let clock, _ = fake_clock 0. in
+  let lb = LB.create ~config:(config clock) () in
+  let srv = LB.server lb in
+  let c = LB.connect lb in
+  LB.send c (W.Open "json");
+  let input = Gen_data.json ~seed:3L ~target_bytes:5000 () in
+  let pos = ref 0 in
+  while !pos < String.length input do
+    let n = min 500 (String.length input - !pos) in
+    LB.send_feed_sub c input ~pos:!pos ~len:n;
+    pos := !pos + n
+  done;
+  LB.send c W.Flush;
+  LB.send c W.Close;
+  LB.run lb;
+  ignore (LB.replies c : W.reply list);
+  check_int "straddle-free run: zero decoder copies" 0
+    (SV.decoder_copies srv);
+  check_int "exported as a counter" 0 (counter_value srv "decoder_copies");
+  (* one frame bigger than the decoder's 4 KiB initial buffer, delivered
+     in 1000-byte slices: the partial frame is carried across feeds until
+     the buffer must grow with live bytes — a counted copy. The count
+     must also survive the connection teardown (closed conns included). *)
+  let d = LB.connect lb in
+  LB.send d (W.Open "json");
+  LB.send_feed_sub d input ~pos:0 ~len:(String.length input);
+  LB.send d W.Flush;
+  LB.send d W.Close;
+  LB.run ~chunk:1000 lb;
+  ignore (LB.replies d : W.reply list);
+  check "straddled run counts copies" true (SV.decoder_copies srv > 0);
+  check "closed conns keep their copies" true
+    (counter_value srv "decoder_copies" > 0)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -402,4 +681,11 @@ let suite =
     Alcotest.test_case "lexical failure" `Quick test_lexical_failure;
     Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
     Alcotest.test_case "drain" `Quick test_drain;
+    QCheck_alcotest.to_alcotest prop_view_decode_identity;
+    Alcotest.test_case "view straddle + compaction" `Quick
+      test_view_straddle_compaction;
+    Alcotest.test_case "coalescing parity" `Quick test_coalescing_parity;
+    Alcotest.test_case "backpressure mid-coalesced-batch" `Quick
+      test_backpressure_mid_batch;
+    Alcotest.test_case "decoder copies stat" `Quick test_decoder_copies_stat;
   ]
