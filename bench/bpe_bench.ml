@@ -1,0 +1,164 @@
+(* BPE at vocabulary scale: the merge-table→DFA compiler against the
+   reference merge-loop encoder.
+
+   Hard checks, not just reporting: the vendored vocabulary must equal the
+   trainer's output, pass the munch-consistency audit, analyze to a small
+   finite max-TND, and the DFA engine's token ids must be byte-identical
+   to the reference encoder on every input — batch AND chunked through
+   Stream_tokenizer. Throughput mode then reports MB/s of both sides and
+   the table footprint. Scalars go via STREAMTOK_BENCH_STATS into
+   BENCH_bpe.json. *)
+
+open Streamtok
+
+let vocab_path = "test/vocab/mini.tiktoken"
+
+let load_vocab () =
+  match Bpe.Vocab.load_file vocab_path with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "bpe bench: %s: %s (run from the repo root)\n" vocab_path e;
+      exit 1
+
+let engine_ids e input =
+  let ids = ref [] in
+  (match Engine.run_string e input ~emit:(fun ~pos:_ ~len:_ ~rule -> ids := rule :: !ids) with
+  | Engine.Finished -> ()
+  | Engine.Failed { offset; _ } ->
+      Printf.eprintf "bpe bench: munch failed at %d on a byte-complete vocab\n"
+        offset;
+      exit 1);
+  List.rev !ids
+
+let stream_ids e input chunk =
+  let ids = ref [] in
+  let st = Stream_tokenizer.create e ~emit:(fun _lex rule -> ids := rule :: !ids) in
+  let n = String.length input in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Stream_tokenizer.feed st input !pos len;
+    pos := !pos + len
+  done;
+  (match Stream_tokenizer.finish st with
+  | Engine.Finished -> ()
+  | Engine.Failed _ ->
+      Printf.eprintf "bpe bench: chunked munch failed\n";
+      exit 1);
+  List.rev !ids
+
+let check_parity v e input =
+  let expected = Bpe.Encoder.encode v input in
+  let batch = engine_ids e input in
+  if batch <> expected then begin
+    Printf.eprintf "bpe bench: batch ids differ from the merge loop\n";
+    exit 1
+  end;
+  List.iter
+    (fun chunk ->
+      if stream_ids e input chunk <> expected then begin
+        Printf.eprintf "bpe bench: %d-byte-chunk ids differ from the merge loop\n"
+          chunk;
+        exit 1
+      end)
+    [ 1; 7; 4096 ];
+  List.length expected
+
+let record name v =
+  Bench_common.record_result ~experiment:"bpe" ~name
+    ~labels:[ ("vocab", "mini") ]
+    v
+
+let run ?(throughput = true) () =
+  Bench_common.pp_header
+    "BPE: merge-table\xe2\x86\x92DFA engine vs the reference merge-loop encoder";
+
+  let v = load_vocab () in
+  if Bpe.Vocab.tokens v <> Bpe.Vocab.tokens (Bpe.Trainer.mini ()) then begin
+    Printf.eprintf
+      "bpe bench: %s drifted from Trainer.mini () — regenerate with \
+       `streamtok bpe train --mini -o %s`\n"
+      vocab_path vocab_path;
+    exit 1
+  end;
+
+  let t0 = Unix.gettimeofday () in
+  (match Bpe.Compiler.audit v with
+  | Ok () -> ()
+  | Error w ->
+      Printf.eprintf "bpe bench: vendored vocab inconsistent: %s\n"
+        (Bpe.Compiler.witness_to_string w);
+      exit 1);
+  let audit_s = Unix.gettimeofday () -. t0 in
+
+  let d =
+    match Bpe.Compiler.dfa ~audit:false v with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "bpe bench: %s\n" e;
+        exit 1
+  in
+  let k, e, footprint =
+    match Engine.compile_timed d with
+    | Error Engine.Unbounded_tnd ->
+        Printf.eprintf "bpe bench: finite vocabulary analyzed as unbounded\n";
+        exit 1
+    | Ok (e, cs) ->
+        (match cs.Engine.max_tnd with
+        | Tnd.Finite k when k <= 16 -> k
+        | Tnd.Finite k ->
+            Printf.eprintf "bpe bench: max-TND %d above the sanity cap\n" k;
+            exit 1
+        | Tnd.Infinite -> assert false),
+        e,
+        cs.Engine.footprint_bytes
+  in
+  Printf.printf
+    "  vocab %d tokens -> DFA %d states, max-TND %d, audit %.2fs, %d-byte tables\n"
+    (Bpe.Vocab.size v) (Dfa.size d) k audit_s footprint;
+  record "tokens" (float_of_int (Bpe.Vocab.size v));
+  record "dfa_states" (float_of_int (Dfa.size d));
+  record "max_tnd" (float_of_int k);
+  record "audit_seconds" audit_s;
+  record "footprint_bytes" (float_of_int footprint);
+
+  (* parity corpus: training-distribution text plus adversarial shapes *)
+  let rng = Prng.create 0xb9eb9eL in
+  let inputs =
+    Bpe.Trainer.gen_corpus rng 65536
+    :: String.init 512 (fun _ -> Char.chr (Prng.int rng 256))
+    :: String.make 2048 'e'
+    :: List.init 40 (fun _ ->
+           Bpe.Trainer.gen_corpus rng (1 + Prng.int rng 300))
+  in
+  let tokens =
+    List.fold_left (fun acc input -> acc + check_parity v e input) 0 inputs
+  in
+  Printf.printf
+    "  parity: %d inputs, %d tokens, engine == merge loop (batch + chunked)\n"
+    (List.length inputs) tokens;
+  record "parity_inputs" (float_of_int (List.length inputs));
+
+  if throughput then begin
+    let input = Bpe.Trainer.gen_corpus (Prng.create 0xfa57L) (4 * 1024 * 1024) in
+    let mb = float_of_int (String.length input) /. (1024. *. 1024.) in
+    let t_dfa =
+      Bench_common.time_best ~repeats:5 (fun () ->
+          Engine.run_string e input ~emit:(fun ~pos:_ ~len:_ ~rule:_ -> ()))
+    in
+    let t_merge =
+      Bench_common.time_best ~repeats:3 (fun () -> Bpe.Encoder.encode v input)
+    in
+    let dfa_mb_s = mb /. t_dfa and merge_mb_s = mb /. t_merge in
+    record "dfa_mb_s" dfa_mb_s;
+    record "merge_mb_s" merge_mb_s;
+    record "speedup" (dfa_mb_s /. merge_mb_s);
+    Printf.printf "  %-12s %8.1f MB/s\n" "dfa-engine" dfa_mb_s;
+    Printf.printf "  %-12s %8.1f MB/s   (%.1fx)\n" "merge-loop" merge_mb_s
+      (dfa_mb_s /. merge_mb_s);
+    (* the point of compiling at all: the DFA side must not lose *)
+    if dfa_mb_s < merge_mb_s then begin
+      Printf.eprintf "bpe bench: DFA engine slower than the merge loop\n";
+      exit 1
+    end
+  end

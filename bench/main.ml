@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|trace|compress|compress-check|accel|accel-check|smoke|quick|all]";
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|trace|compress|compress-check|accel|accel-check|bpe|bpe-check|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -29,6 +29,7 @@ let all ~quick =
   Trace_bench.run ?size_mb:(if quick then Some 1 else None) ();
   Compress_bench.run ~throughput:(not quick) ();
   Accel_bench.run ~throughput:(not quick) ();
+  Bpe_bench.run ~throughput:(not quick) ();
   Micro.run ()
 
 let () =
@@ -50,6 +51,8 @@ let () =
   | "compress-check" -> Compress_bench.run ~throughput:false ()
   | "accel" -> Accel_bench.run ()
   | "accel-check" -> Accel_bench.run ~throughput:false ()
+  | "bpe" -> Bpe_bench.run ()
+  | "bpe-check" -> Bpe_bench.run ~throughput:false ()
   | "smoke" -> Micro.smoke ()
   | "all" -> all ~quick:false
   | "quick" -> all ~quick:true

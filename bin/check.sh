@@ -41,6 +41,22 @@ echo "== accel gate (skip-loop parity + analysis coverage + skip ratios)"
 # overhead gate) is skipped here to keep the gate fast and CI-noise-free.
 dune exec bench/main.exe -- accel-check
 
+echo "== bpe gate (vendored-vocab drift, audit, parity vs merge loop, bounded K)"
+# Hard checks live inside the bench: the vendored vocabulary must equal
+# Trainer.mini (), pass the munch-consistency audit, and the DFA engine's
+# token ids must equal the reference merge-loop encoder on every parity
+# input, batch and chunked. Throughput timing is skipped here.
+dune exec bench/main.exe -- bpe-check
+
+echo "== bpe analyze smoke (finite max-TND at vocab scale)"
+out=$(dune exec -- streamtok bpe analyze test/vocab/mini.tiktoken)
+echo "$out" | grep '^max-TND:'
+if ! echo "$out" | grep -q '^max-TND:   [0-9][0-9]*$'; then
+  echo "bpe analyze FAILED: max-TND not finite"
+  echo "$out"
+  exit 1
+fi
+
 echo "== fuzz smoke (differential battery, seeded + deterministic)"
 dune exec -- streamtok fuzz --smoke --seed 42
 
@@ -162,6 +178,19 @@ if ! grep -q '"name":"sessions","type":"gauge","value":1[,}]' \
   "$tmpd/stats.json"; then
   echo "serve smoke FAILED: aborted session not evicted"
   cat "$tmpd/stats.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+# BPE token-id session: OPEN_BPE + IDS frames through the daemon must
+# equal the local engine's `tokenize --ids` on the same input. (After the
+# cache probe: the BPE engine is a second cache entry.)
+"$BIN" tokenize bpe:test/vocab/mini.tiktoken "$tmpd/small.json" --ids \
+  > "$tmpd/ids.ref"
+"$BIN" client --socket "$sock" bpe:test/vocab/mini.tiktoken \
+  "$tmpd/small.json" --ids > "$tmpd/ids.out"
+if ! cmp -s "$tmpd/ids.ref" "$tmpd/ids.out"; then
+  echo "serve smoke FAILED: BPE ids over the wire differ from tokenize --ids"
   rm -rf "$tmpd"
   exit 1
 fi

@@ -4,7 +4,8 @@
      list                          list built-in grammars
      analyze  <grammar>            static analysis (sizes, max-TND, witness)
      stats    <grammar>            compile-time analysis as machine-readable JSON
-     tokenize <grammar> [FILE]     tokenize a file or stdin
+     tokenize <grammar> [FILE]     tokenize a file or stdin (--ids: token ids)
+     bpe      analyze|train        BPE vocabularies: audit + max-TND, training
      gen      <format>             generate a synthetic workload
      fuzz     [REPRO...]           differential fuzzing / repro replay
      convert  <app> [FILE]         run an RQ5 application pipeline
@@ -38,21 +39,45 @@ let read_input = function
 
 (* A grammar argument is a built-in name, an inline grammar prefixed with
    '@' (rules separated by top-level ';' — a ';' inside a character class
-   stays in its rule), or a path to a grammar file. Names, inline bodies
-   and ad-hoc sources go through Registry.resolve / Grammar.of_* — the
-   same validated parse path the serve OPEN frame uses — so a malformed
-   rule is always an Error naming it. Only the file lookup is CLI-local. *)
+   stays in its rule), a 'bpe:<vocab-file>' spec (audited and compiled to
+   literal rules, rule index = token id), or a path to a grammar file.
+   Names, inline bodies and ad-hoc sources go through Registry.resolve /
+   Grammar.of_* — the same validated parse path the serve OPEN frame uses
+   — so a malformed rule is always an Error naming it. Only the file
+   lookups are CLI-local. *)
+let bpe_spec spec =
+  if String.length spec > 4 && String.sub spec 0 4 = "bpe:" then
+    Some (String.sub spec 4 (String.length spec - 4))
+  else None
+
 let resolve_grammar spec =
-  match Registry.find spec with
-  | Some g -> Ok g
-  | None ->
-      if (String.length spec = 0 || spec.[0] <> '@') && Sys.file_exists spec
-      then
-        read_input (Some spec)
-        |> Grammar.of_source ~name:(Filename.basename spec)
-             ~description:("grammar file " ^ spec)
-        |> Result.map_error (fun e -> spec ^ ": " ^ e)
-      else Registry.resolve spec
+  match bpe_spec spec with
+  | Some path -> (
+      match Bpe.Vocab.load_file path with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok v -> (
+          match Bpe.Compiler.audit v with
+          | Error w ->
+              Error
+                (Printf.sprintf "%s: vocabulary is not munch-consistent — %s"
+                   path
+                   (Bpe.Compiler.witness_to_string w))
+          | Ok () ->
+              Ok
+                (Bpe.Compiler.grammar_of_vocab
+                   ~name:("bpe:" ^ Filename.basename path)
+                   v)))
+  | None -> (
+      match Registry.find spec with
+      | Some g -> Ok g
+      | None ->
+          if (String.length spec = 0 || spec.[0] <> '@') && Sys.file_exists spec
+          then
+            read_input (Some spec)
+            |> Grammar.of_source ~name:(Filename.basename spec)
+                 ~description:("grammar file " ^ spec)
+            |> Result.map_error (fun e -> spec ^ ": " ^ e)
+          else Registry.resolve spec)
 
 let grammar_conv =
   let parse spec =
@@ -249,18 +274,27 @@ let tokenize_cmd =
   let count_only =
     Arg.(value & flag & info [ "count" ] ~doc:"Print token counts per rule only.")
   in
+  let ids_only =
+    Arg.(
+      value & flag
+      & info [ "ids" ]
+          ~doc:
+            "Print the rule index (= BPE token id for $(b,bpe:) grammars), \
+             one per line, instead of rule names and lexemes.")
+  in
   let engine_flag =
     Arg.(
       value
       & opt (enum [ ("streamtok", `Streamtok); ("flex", `Flex) ]) `Streamtok
       & info [ "engine" ] ~doc:"Tokenizer: streamtok (default) or flex.")
   in
-  let run g file count_only engine stats_dest stats_format =
+  let run g file count_only ids_only engine stats_dest stats_format =
     let input = read_input file in
     let d = Grammar.dfa g in
     let counts = Array.make (Grammar.num_rules g) 0 in
     let print_token ~pos ~len ~rule =
       if count_only then counts.(rule) <- counts.(rule) + 1
+      else if ids_only then Printf.printf "%d\n" rule
       else
         Printf.printf "%-12s %S\n" (Grammar.rule_name g rule)
           (String.sub input pos len)
@@ -344,8 +378,156 @@ let tokenize_cmd =
   in
   Cmd.v (Cmd.info "tokenize" ~doc:"Tokenize a file or stdin")
     Term.(
-      const run $ grammar_arg $ file $ count_only $ engine_flag
+      const run $ grammar_arg $ file $ count_only $ ids_only $ engine_flag
       $ stats_dest_arg $ stats_format_arg)
+
+(* ---- bpe ---- *)
+
+(* Loads + audits are CLI-local so `bpe analyze` can show partial results
+   (vocab stats, the witness) where the grammar_conv path would just
+   abort with the combined error string. *)
+let load_vocab path =
+  match Bpe.Vocab.load_file path with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 2
+
+let bpe_analyze_cmd =
+  let vocab_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VOCAB"
+          ~doc:"Vocabulary file: tiktoken lines ('<base64> <rank>') or a \
+                JSON object mapping token strings to ids.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt int Bpe.Compiler.default_max_states
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Abort subset construction past $(docv) DFA states.")
+  in
+  let run path max_states =
+    let v = load_vocab path in
+    Printf.printf "vocab:     %s (%d tokens, longest %d bytes)\n"
+      (Filename.basename path) (Bpe.Vocab.size v)
+      (Bpe.Vocab.max_token_len v);
+    (match Bpe.Compiler.audit v with
+    | Error w ->
+        Printf.printf "audit:     NOT munch-consistent — %s\n"
+          (Bpe.Compiler.witness_to_string w);
+        print_endline
+          "           (the greedy DFA would disagree with the merge loop; \
+           drop the long token or retrain)";
+        exit 1
+    | Ok () ->
+        print_endline
+          "audit:     munch-consistent (greedy DFA = merge loop on every \
+           input)");
+    let d =
+      match Bpe.Compiler.dfa ~audit:false ~max_states v with
+      | Ok d -> d
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+    in
+    Printf.printf "DFA size:  %d\n" (Dfa.size d);
+    let result = Tnd.max_tnd d in
+    Printf.printf "max-TND:   %s\n" (Tnd.result_to_string result);
+    (match result with
+    | Tnd.Finite k when k > 0 -> (
+        match Tnd.witness d k with
+        | Some (u, w) ->
+            Printf.printf "witness:   %S -> %S (distance %d)\n" u w
+              (String.length w - String.length u)
+        | None -> ())
+    | _ -> ());
+    match Engine.compile_timed d with
+    | Error Engine.Unbounded_tnd ->
+        (* Unreachable for a finite vocabulary of literals, but keep the
+           same shape as `analyze` rather than asserting. *)
+        print_endline "streaming: unbounded lookahead; StreamTok does not apply";
+        exit 1
+    | Ok (e, cs) ->
+        Printf.printf "streaming: StreamTok applies (lookahead K = %d)\n"
+          (Engine.k e);
+        Printf.printf "footprint: %d bytes (engine tables)\n"
+          cs.Engine.footprint_bytes
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Audit a BPE vocabulary for munch-consistency and run the max-TND \
+          analysis on its tokenization DFA")
+    Term.(const run $ vocab_file $ max_states)
+
+let bpe_train_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output vocabulary file (tiktoken format).")
+  in
+  let tokens =
+    Arg.(
+      value & opt int 512
+      & info [ "tokens" ] ~docv:"N" ~doc:"Target vocabulary size.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0x5eed
+      & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for the synthetic corpus.")
+  in
+  let corpus_bytes =
+    Arg.(
+      value & opt int 131072
+      & info [ "corpus-bytes" ] ~docv:"B"
+          ~doc:"Synthetic training corpus size in bytes.")
+  in
+  let mini =
+    Arg.(
+      value & flag
+      & info [ "mini" ]
+          ~doc:
+            "Reproduce the vendored test vocabulary \
+             (test/vocab/mini.tiktoken) exactly, ignoring the other knobs.")
+  in
+  let run out tokens seed corpus_bytes mini =
+    let v =
+      if mini then Bpe.Trainer.mini ()
+      else
+        let rng = Prng.create (Int64.of_int seed) in
+        let corpus = Bpe.Trainer.gen_corpus rng corpus_bytes in
+        let v = Bpe.Trainer.train ~corpus ~n_tokens:tokens in
+        match Bpe.Trainer.repair v with
+        | Ok v -> v
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1
+    in
+    let oc = open_out_bin out in
+    output_string oc (Bpe.Vocab.to_tiktoken v);
+    close_out oc;
+    Printf.printf "wrote %s (%d tokens, munch-consistent)\n" out
+      (Bpe.Vocab.size v)
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Train a small BPE vocabulary on a seeded synthetic corpus and \
+          repair it to munch-consistency (for tests and demos)")
+    Term.(const run $ out $ tokens $ seed $ corpus_bytes $ mini)
+
+let bpe_cmd =
+  Cmd.group
+    (Cmd.info "bpe"
+       ~doc:
+         "BPE vocabularies as grammars: consistency audit, max-TND \
+          analysis, deterministic training")
+    [ bpe_analyze_cmd; bpe_train_cmd ]
 
 (* ---- compile ---- *)
 
@@ -653,8 +835,9 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"GRAMMAR"
           ~doc:
-            "Built-in grammar name, grammar file, or '@rule;rule' — files \
-             are read here and sent to the daemon as grammar source.")
+            "Built-in grammar name, grammar file, 'bpe:<vocab-file>', or \
+             '@rule;rule' — files are read here and sent to the daemon as \
+             grammar source (vocab files as an OPEN_BPE frame).")
   in
   let file =
     Arg.(
@@ -662,9 +845,29 @@ let client_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"FILE" ~doc:"Input file (default: stream from stdin).")
   in
-  let run socket spec file stats_dest stats_format =
+  let ids =
+    Arg.(
+      value & flag
+      & info [ "ids" ]
+          ~doc:
+            "BPE sessions only: request token ids (IDS frames), printed one \
+             per line. Requires a $(b,bpe:) grammar spec.")
+  in
+  let run socket spec file ids stats_dest stats_format =
     (* The daemon never touches client paths: resolve files to source
-       locally, everything else is sent verbatim for Registry.resolve. *)
+       locally, everything else is sent verbatim for Registry.resolve.
+       A bpe: spec becomes an OPEN_BPE frame carrying the vocab text. *)
+    let open_request =
+      match bpe_spec spec with
+      | Some path ->
+          Some (Serve.Wire.Open_bpe { ids; vocab = read_input (Some path) })
+      | None ->
+          if ids then begin
+            prerr_endline "error: --ids requires a bpe:<vocab-file> grammar";
+            exit 2
+          end;
+          None
+    in
     let grammar =
       if Registry.find spec <> None then spec
       else if (String.length spec = 0 || spec.[0] <> '@') && Sys.file_exists spec
@@ -690,7 +893,10 @@ let client_cmd =
     let stats_dest =
       match stats_dest with Some "-" | None -> None | Some path -> Some path
     in
-    let outcome = Serve.Client.run ~socket ~grammar ~input ?stats ?stats_dest () in
+    let outcome =
+      Serve.Client.run ~socket ~grammar ~input ?open_request ?stats ?stats_dest
+        ()
+    in
     if outcome.Serve.Client.exit_code <> 0 then exit outcome.Serve.Client.exit_code
   in
   Cmd.v
@@ -698,7 +904,7 @@ let client_cmd =
        ~doc:
          "Tokenize through a running daemon (same output as $(b,tokenize))")
     Term.(
-      const run $ socket_arg $ grammar_spec $ file $ stats_dest_arg
+      const run $ socket_arg $ grammar_spec $ file $ ids $ stats_dest_arg
       $ stats_format_arg)
 
 (* ---- convert ---- *)
@@ -1018,7 +1224,7 @@ let () =
   let group =
     Cmd.group info
       [
-        list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; compile_cmd;
+        list_cmd; analyze_cmd; stats_cmd; tokenize_cmd; bpe_cmd; compile_cmd;
         validate_cmd; gen_cmd; fuzz_cmd; serve_cmd; client_cmd;
         convert_cmd; trace_cmd;
       ]

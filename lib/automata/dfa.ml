@@ -213,7 +213,7 @@ module Set_tbl = Hashtbl.Make (struct
   let hash = Bits.hash
 end)
 
-let of_nfa ?(classes = true) ?(accel = true) (nfa : Nfa.t) =
+let of_nfa ?(classes = true) ?(accel = true) ?max_states (nfa : Nfa.t) =
   let classmap, nc =
     if classes then equiv_classes nfa else (identity_classmap, 256)
   in
@@ -230,6 +230,14 @@ let of_nfa ?(classes = true) ?(accel = true) (nfa : Nfa.t) =
     match Set_tbl.find_opt tbl set with
     | Some id -> id
     | None ->
+        (match max_states with
+        | Some cap when !count >= cap ->
+            failwith
+              (Printf.sprintf
+                 "Dfa.of_nfa: subset construction exceeded %d states \
+                  (max_states cap)"
+                 cap)
+        | _ -> ());
         let id = !count in
         incr count;
         Set_tbl.add tbl set id;
@@ -338,12 +346,12 @@ let minimize_dfa d =
       accel_stops = [||];
     }
 
-let of_rules ?(minimize = true) ?classes ?accel rules =
-  let d = of_nfa ?classes ?accel (Nfa.of_rules rules) in
+let of_rules ?(minimize = true) ?classes ?accel ?max_states rules =
+  let d = of_nfa ?classes ?accel ?max_states (Nfa.of_rules rules) in
   if minimize then minimize_dfa d else d
 
-let of_grammar ?minimize ?classes ?accel src =
-  of_rules ?minimize ?classes ?accel (Parser.parse_grammar src)
+let of_grammar ?minimize ?classes ?accel ?max_states src =
+  of_rules ?minimize ?classes ?accel ?max_states (Parser.parse_grammar src)
 
 let co_accessible d =
   let n = d.num_states in

@@ -78,15 +78,22 @@ val class_reps : string -> int -> int array
     256-column reference layout. Both recognize the same languages.
     [accel] (default true) runs the self-loop acceleration analysis;
     [~accel:false] keeps the unaccelerated build as the differential
-    reference, mirroring [~classes:false]. *)
-val of_nfa : ?classes:bool -> ?accel:bool -> Nfa.t -> t
+    reference, mirroring [~classes:false]. [max_states] (default
+    unbounded) caps the number of interned subset states: data-driven
+    grammars (BPE vocabularies) can blow up the construction, and a
+    prompt [Failure] naming the cap beats unbounded memory growth. *)
+val of_nfa : ?classes:bool -> ?accel:bool -> ?max_states:int -> Nfa.t -> t
 
 (** [of_rules rules] = subset construction ∘ Thompson, with Moore
     minimization applied when [minimize] (default true). *)
-val of_rules : ?minimize:bool -> ?classes:bool -> ?accel:bool -> Regex.t list -> t
+val of_rules :
+  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?max_states:int ->
+  Regex.t list -> t
 
 (** [of_grammar src] parses a newline-separated grammar and builds its DFA. *)
-val of_grammar : ?minimize:bool -> ?classes:bool -> ?accel:bool -> string -> t
+val of_grammar :
+  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?max_states:int ->
+  string -> t
 
 (** {2 Self-loop run acceleration}
 

@@ -1,0 +1,77 @@
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let put v = Buffer.add_char out alphabet.[v land 63] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    put (w lsr 18);
+    put (w lsr 12);
+    put (w lsr 6);
+    put w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let w = byte !i lsl 16 in
+      put (w lsr 18);
+      put (w lsr 12);
+      Buffer.add_string out "=="
+  | 2 ->
+      let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      put (w lsr 18);
+      put (w lsr 12);
+      put (w lsr 6);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 26
+  | '0' .. '9' -> Char.code c - Char.code '0' + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> -1
+
+let decode s =
+  (* strip trailing padding, remember how much *)
+  let n = String.length s in
+  let body =
+    if n >= 2 && s.[n - 1] = '=' && s.[n - 2] = '=' then n - 2
+    else if n >= 1 && s.[n - 1] = '=' then n - 1
+    else n
+  in
+  let pad = n - body in
+  if pad > 0 && n mod 4 <> 0 then Error "base64: padded length not a multiple of 4"
+  else if body mod 4 = 1 then Error "base64: truncated quantum"
+  else begin
+    let out = Buffer.create (body * 3 / 4) in
+    let acc = ref 0 and bits = ref 0 in
+    let err = ref None in
+    String.iteri
+      (fun i c ->
+        if !err = None && i < body then
+          match value c with
+          | -1 -> err := Some (Printf.sprintf "base64: bad character %C" c)
+          | v ->
+              acc := (!acc lsl 6) lor v;
+              bits := !bits + 6;
+              if !bits >= 8 then begin
+                bits := !bits - 8;
+                Buffer.add_char out (Char.chr ((!acc lsr !bits) land 0xff))
+              end)
+      s;
+    match !err with
+    | Some e -> Error e
+    | None ->
+        (* leftover bits must be zero (canonical encoding) *)
+        if !bits > 0 && !acc land ((1 lsl !bits) - 1) <> 0 then
+          Error "base64: nonzero trailing bits"
+        else Ok (Buffer.contents out)
+  end

@@ -1,0 +1,10 @@
+(** RFC 4648 base64 — the token encoding of tiktoken-style vocab files.
+    Hand-rolled because the OCaml stdlib ships none and this tree adds no
+    dependencies. *)
+
+val encode : string -> string
+
+(** Strict decode: rejects characters outside the alphabet, bad lengths,
+    and misplaced padding. Unpadded input is accepted (tiktoken files in
+    the wild carry both forms). *)
+val decode : string -> (string, string) result

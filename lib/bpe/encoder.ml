@@ -1,0 +1,132 @@
+(* Doubly-linked segment list over byte offsets plus a lazy-invalidation
+   binary min-heap of candidate merges. Heap keys pack (rank, pos) as
+   rank * (n + 1) + pos so ordering is rank-major with leftmost
+   tie-break. Validity of a popped candidate is monotone — segments only
+   grow and segment starts only disappear — so a cheap recheck at pop
+   time is sound. *)
+
+type state = {
+  input : string;
+  n : int;
+  seg_len : int array; (* length of the segment starting at offset i *)
+  next : int array; (* offset of the next live segment, n = end *)
+  prev : int array; (* offset of the previous live segment, -1 = start *)
+  alive : Bytes.t; (* '\001' iff offset i starts a live segment *)
+  mutable heap : int array; (* packed keys *)
+  mutable heap_n : int;
+}
+
+let heap_push st key =
+  if st.heap_n = Array.length st.heap then begin
+    let bigger = Array.make (max 16 (2 * st.heap_n)) 0 in
+    Array.blit st.heap 0 bigger 0 st.heap_n;
+    st.heap <- bigger
+  end;
+  let h = st.heap in
+  let i = ref st.heap_n in
+  st.heap_n <- st.heap_n + 1;
+  h.(!i) <- key;
+  while !i > 0 && h.((!i - 1) / 2) > h.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.(p) in
+    h.(p) <- h.(!i);
+    h.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop st =
+  if st.heap_n = 0 then None
+  else begin
+    let h = st.heap in
+    let top = h.(0) in
+    st.heap_n <- st.heap_n - 1;
+    h.(0) <- h.(st.heap_n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < st.heap_n && h.(l) < h.(!m) then m := l;
+      if r < st.heap_n && h.(r) < h.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = h.(!m) in
+        h.(!m) <- h.(!i);
+        h.(!i) <- tmp;
+        i := !m
+      end
+    done;
+    Some top
+  end
+
+(* Offer the merge of the segment at [pos] with its successor, if their
+   concatenation is a vocab token. A pushed key (rank, pos) permanently
+   satisfies input[pos .. pos+|token rank|) = token rank, so validity at
+   pop time reduces to a length check. *)
+let offer vocab st pos =
+  if pos >= 0 && pos < st.n then begin
+    let nxt = st.next.(pos) in
+    if nxt < st.n then
+      let len = st.seg_len.(pos) + st.seg_len.(nxt) in
+      match Vocab.rank vocab (String.sub st.input pos len) with
+      | Some r -> heap_push st ((r * (st.n + 1)) + pos)
+      | None -> ()
+  end
+
+let segment vocab input =
+  let n = String.length input in
+  if n = 0 then []
+  else begin
+    let st =
+      {
+        input;
+        n;
+        seg_len = Array.make n 1;
+        next = Array.init n (fun i -> i + 1);
+        prev = Array.init n (fun i -> i - 1);
+        alive = Bytes.make n '\001';
+        heap = Array.make (max 16 n) 0;
+        heap_n = 0;
+      }
+    in
+    for i = 0 to n - 2 do
+      offer vocab st i
+    done;
+    let exhausted = ref false in
+    while not !exhausted do
+      match heap_pop st with
+      | None -> exhausted := true
+      | Some key ->
+          let pos = key mod (n + 1) in
+          let rank = key / (n + 1) in
+          let tlen = String.length (Vocab.token vocab rank) in
+          if Bytes.get st.alive pos = '\001' then begin
+            let nxt = st.next.(pos) in
+            if nxt < n && st.seg_len.(pos) + st.seg_len.(nxt) = tlen then begin
+              (* merge nxt into pos *)
+              st.seg_len.(pos) <- tlen;
+              Bytes.set st.alive nxt '\000';
+              let after = st.next.(nxt) in
+              st.next.(pos) <- after;
+              if after < n then st.prev.(after) <- pos;
+              offer vocab st st.prev.(pos);
+              offer vocab st pos
+            end
+          end
+    done;
+    let rec collect pos acc =
+      if pos >= n then List.rev acc
+      else collect st.next.(pos) ((pos, st.seg_len.(pos)) :: acc)
+    in
+    collect 0 []
+  end
+
+let encode_tokens vocab input =
+  segment vocab input
+  |> List.map (fun (pos, len) ->
+         let lexeme = String.sub input pos len in
+         match Vocab.rank vocab lexeme with
+         | Some id -> (id, lexeme)
+         | None -> assert false (* byte-complete + merges only form tokens *))
+
+let encode vocab input = List.map fst (encode_tokens vocab input)

@@ -1,0 +1,142 @@
+module Prng = St_util.Prng
+
+let gen_corpus rng size =
+  let b = Buffer.create size in
+  (* a fixed word stock with Zipfian reuse makes pairs repeat enough for
+     merges to form words and word fragments, like real text *)
+  let letters = "etaoinshrdlu" in
+  let stock =
+    Array.init 192 (fun _ ->
+        let len = 1 + Prng.int rng 8 in
+        String.init len (fun _ ->
+            letters.[Prng.int rng (String.length letters)]))
+  in
+  while Buffer.length b < size do
+    (* Zipf-ish: low indices of the stock dominate *)
+    let i =
+      let u = Prng.float rng in
+      let n = Array.length stock in
+      min (n - 1) (int_of_float (float_of_int n *. u *. u))
+    in
+    Buffer.add_string b stock.(i);
+    (match Prng.int rng 12 with
+    | 0 -> Buffer.add_string b ". "
+    | 1 -> Buffer.add_char b ','
+    | 2 -> Buffer.add_string b (string_of_int (Prng.int rng 100))
+    | 3 -> Buffer.add_char b (Char.chr (0x80 + Prng.int rng 0x80))
+    | _ -> ());
+    Buffer.add_char b ' '
+  done;
+  Buffer.sub b 0 size
+
+let train ~corpus ~n_tokens =
+  let toks = ref (Array.init 256 (fun b -> String.make 1 (Char.chr b))) in
+  let ranks = Hashtbl.create 1024 in
+  Array.iteri (fun id tok -> Hashtbl.add ranks tok id) !toks;
+  (* corpus as a token-id sequence, rewritten greedily after each merge *)
+  let seq = ref (Array.init (String.length corpus) (fun i -> Char.code corpus.[i])) in
+  let continue = ref (Array.length !seq >= 2) in
+  while !continue && Array.length !toks < n_tokens do
+    let s = !seq in
+    let counts = Hashtbl.create 4096 in
+    for i = 0 to Array.length s - 2 do
+      let key = (s.(i), s.(i + 1)) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    done;
+    (* most frequent pair, ties to the smaller (a, b) *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun pair c ->
+        match !best with
+        | Some (_, bc) when bc > c -> ()
+        | Some (bp, bc) when bc = c && bp <= pair -> ()
+        | _ -> best := Some (pair, c))
+      counts;
+    match !best with
+    | Some ((a, b), c) when c >= 2 ->
+        let merged = !toks.(a) ^ !toks.(b) in
+        let id =
+          match Hashtbl.find_opt ranks merged with
+          | Some id -> id (* same string reachable via another split *)
+          | None ->
+              let id = Array.length !toks in
+              toks := Array.append !toks [| merged |];
+              Hashtbl.add ranks merged id;
+              id
+        in
+        (* greedy left-to-right rewrite of (a, b) -> id *)
+        let out = Array.make (Array.length s) 0 in
+        let w = ref 0 and r = ref 0 in
+        while !r < Array.length s do
+          if !r + 1 < Array.length s && s.(!r) = a && s.(!r + 1) = b then begin
+            out.(!w) <- id;
+            r := !r + 2
+          end
+          else begin
+            out.(!w) <- s.(!r);
+            incr r
+          end;
+          incr w
+        done;
+        seq := Array.sub out 0 !w;
+        continue := Array.length !seq >= 2
+    | _ -> continue := false
+  done;
+  match Vocab.of_tokens !toks with
+  | Ok v -> v
+  | Error e -> failwith ("Trainer.train: " ^ e) (* byte tokens are seeded *)
+
+let drop_token vocab tok =
+  let kept =
+    Array.of_list
+      (List.filter
+         (fun t -> not (String.equal t tok))
+         (Array.to_list (Vocab.tokens vocab)))
+  in
+  match Vocab.of_tokens kept with
+  | Ok v -> v
+  | Error e -> failwith ("Trainer.drop_token: " ^ e)
+
+let repair ?max_rounds vocab =
+  let max_rounds = Option.value max_rounds ~default:(Vocab.size vocab) in
+  let rec go vocab round =
+    match Compiler.audit vocab with
+    | Ok () -> Ok vocab
+    | Error w ->
+        if round >= max_rounds then
+          Error
+            (Printf.sprintf "bpe: repair did not converge after %d rounds (%s)"
+               round
+               (Compiler.witness_to_string w))
+        else if String.length w.long_token < 2 then
+          Error "bpe: repair witness names a single-byte token" (* impossible *)
+        else go (drop_token vocab w.long_token) (round + 1)
+  in
+  go vocab 0
+
+let mini () =
+  let rng = Prng.create 0x5eedL in
+  let corpus = gen_corpus rng 131072 in
+  let v = train ~corpus ~n_tokens:512 in
+  match repair v with
+  | Ok v -> v
+  | Error e -> failwith ("Trainer.mini: " ^ e)
+
+let tiny ~seed =
+  let rng = Prng.create seed in
+  (* tighter alphabet than gen_corpus: merges collide harder, giving the
+     audit and fuzz battery denser adversarial structure per token *)
+  let letters = "abcdef" in
+  let b = Buffer.create 8192 in
+  while Buffer.length b < 8192 do
+    let len = 1 + Prng.int rng 4 in
+    for _ = 1 to len do
+      Buffer.add_char b letters.[Prng.int rng (String.length letters)]
+    done;
+    if Prng.bool rng then Buffer.add_char b ' '
+  done;
+  let v = train ~corpus:(Buffer.contents b) ~n_tokens:280 in
+  match repair v with
+  | Ok v -> v
+  | Error e -> failwith ("Trainer.tiny: " ^ e)

@@ -1,0 +1,34 @@
+(** Deterministic BPE training and vocabulary repair.
+
+    The vendored test vocabulary and the fuzz driver's throwaway
+    vocabularies are produced here rather than downloaded: training is
+    plain whole-corpus BPE (most frequent adjacent pair wins, ties to the
+    smaller id pair) over a {!St_util.Prng}-generated corpus, so equal
+    seeds give byte-identical vocabularies, and {!repair} then drops the
+    offending long token of each {!Compiler.audit} witness until the
+    vocabulary is munch-consistent. Repair terminates (the vocabulary
+    shrinks every round and witness long-tokens are never single bytes,
+    so byte-completeness is preserved). *)
+
+(** Synthetic text-like corpus: words over a small letter alphabet with
+    Zipfian reuse, spaces, digits, punctuation, and a sprinkle of high
+    bytes. Deterministic in the generator state. *)
+val gen_corpus : St_util.Prng.t -> int -> string
+
+(** [train ~corpus ~n_tokens] — 256 byte tokens (ids 0–255, byte order)
+    plus merges learned from [corpus] until the vocabulary holds
+    [n_tokens] tokens or no adjacent pair repeats. *)
+val train : corpus:string -> n_tokens:int -> Vocab.t
+
+(** Drop witness long-tokens until {!Compiler.audit} passes. [Error] only
+    if [max_rounds] (default: vocabulary size) is exhausted. *)
+val repair : ?max_rounds:int -> Vocab.t -> (Vocab.t, string) result
+
+(** The vendored test vocabulary (≈340 tokens, consistent by
+    construction); [test/vocab/mini.tiktoken] is its serialization and
+    the bench cross-checks the two. *)
+val mini : unit -> Vocab.t
+
+(** Small consistent vocabulary family for the fuzz driver (≈280 tokens
+    over a 6-letter corpus — cheap enough to compile a DFA per check). *)
+val tiny : seed:int64 -> Vocab.t

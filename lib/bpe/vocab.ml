@@ -1,0 +1,157 @@
+type t = { tokens : string array; ranks : (string, int) Hashtbl.t; max_len : int }
+
+let size v = Array.length v.tokens
+
+let token v id =
+  if id < 0 || id >= Array.length v.tokens then
+    invalid_arg (Printf.sprintf "Vocab.token: id %d out of range" id);
+  v.tokens.(id)
+
+let tokens v = Array.copy v.tokens
+let rank v s = Hashtbl.find_opt v.ranks s
+let mem v s = Hashtbl.mem v.ranks s
+let max_token_len v = v.max_len
+
+let of_tokens toks =
+  let n = Array.length toks in
+  let ranks = Hashtbl.create (2 * n) in
+  let err = ref None in
+  Array.iteri
+    (fun id tok ->
+      if !err = None then
+        if String.length tok = 0 then
+          err := Some (Printf.sprintf "vocab: token %d is empty" id)
+        else
+          match Hashtbl.find_opt ranks tok with
+          | Some prev ->
+              err :=
+                Some
+                  (Printf.sprintf "vocab: duplicate token %S (ids %d and %d)" tok
+                     prev id)
+          | None -> Hashtbl.add ranks tok id)
+    toks;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      (* byte-completeness: arbitrary input must always be encodable *)
+      let missing = ref [] in
+      for b = 255 downto 0 do
+        if not (Hashtbl.mem ranks (String.make 1 (Char.chr b))) then
+          missing := b :: !missing
+      done;
+      (match !missing with
+      | [] ->
+          let max_len =
+            Array.fold_left (fun m tok -> max m (String.length tok)) 0 toks
+          in
+          Ok { tokens = Array.copy toks; ranks; max_len }
+      | b :: _ ->
+          Error
+            (Printf.sprintf
+               "vocab: not byte-complete — %d single-byte tokens missing (first: \
+                0x%02x)"
+               (List.length !missing) b))
+
+let of_pairs pairs =
+  (* pairs : (token, id) list with arbitrary order; require dense ids *)
+  let n = List.length pairs in
+  if n = 0 then Error "vocab: empty"
+  else begin
+    let toks = Array.make n "" in
+    let seen = Array.make n false in
+    let err = ref None in
+    List.iter
+      (fun (tok, id) ->
+        if !err = None then
+          if id < 0 || id >= n then
+            err :=
+              Some
+                (Printf.sprintf
+                   "vocab: rank %d out of range (need dense ids 0..%d)" id (n - 1))
+          else if seen.(id) then
+            err := Some (Printf.sprintf "vocab: duplicate rank %d" id)
+          else begin
+            seen.(id) <- true;
+            toks.(id) <- tok
+          end)
+      pairs;
+    match !err with Some e -> Error e | None -> of_tokens toks
+  end
+
+let of_tiktoken src =
+  let lineno = ref 0 in
+  let err = ref None in
+  let pairs = ref [] in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         incr lineno;
+         if !err = None then
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then ()
+           else
+             match String.index_opt line ' ' with
+             | None ->
+                 err :=
+                   Some
+                     (Printf.sprintf "vocab:%d: expected '<base64> <rank>'"
+                        !lineno)
+             | Some sp -> (
+                 let b64 = String.sub line 0 sp in
+                 let rank_s =
+                   String.trim
+                     (String.sub line (sp + 1) (String.length line - sp - 1))
+                 in
+                 match (B64.decode b64, int_of_string_opt rank_s) with
+                 | Error e, _ ->
+                     err := Some (Printf.sprintf "vocab:%d: %s" !lineno e)
+                 | _, None ->
+                     err :=
+                       Some (Printf.sprintf "vocab:%d: bad rank %S" !lineno rank_s)
+                 | Ok tok, Some rank -> pairs := (tok, rank) :: !pairs));
+  match !err with Some e -> Error e | None -> of_pairs (List.rev !pairs)
+
+let of_json src =
+  match St_obs.Json.of_string src with
+  | Error e -> Error (Printf.sprintf "vocab: json: %s" e)
+  | Ok (St_obs.Json.Obj kvs) ->
+      let err = ref None in
+      let pairs =
+        List.filter_map
+          (fun (k, v) ->
+            match St_obs.Json.to_int_opt v with
+            | Some id -> Some (k, id)
+            | None ->
+                if !err = None then
+                  err :=
+                    Some
+                      (Printf.sprintf "vocab: json: rank of %S is not an integer"
+                         k);
+                None)
+          kvs
+      in
+      (match !err with Some e -> Error e | None -> of_pairs pairs)
+  | Ok _ -> Error "vocab: json: expected a top-level object"
+
+let of_string src =
+  let rec first_nonspace i =
+    if i >= String.length src then None
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
+      | c -> Some c
+  in
+  match first_nonspace 0 with
+  | Some '{' -> of_json src
+  | _ -> of_tiktoken src
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> of_string src
+  | exception Sys_error e -> Error e
+
+let to_tiktoken v =
+  let b = Buffer.create (Array.length v.tokens * 12) in
+  Array.iteri
+    (fun id tok -> Buffer.add_string b (Printf.sprintf "%s %d\n" (B64.encode tok) id))
+    v.tokens;
+  Buffer.contents b

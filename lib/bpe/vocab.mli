@@ -1,0 +1,47 @@
+(** BPE vocabulary: token byte-strings with dense ranks.
+
+    A vocabulary maps token ids [0 .. size-1] to byte strings; the id is
+    also the merge rank (lower id = earlier merge, tiktoken convention).
+    Two invariants are enforced at load time:
+
+    - ids are dense: every id in [0, size) is bound exactly once;
+    - the vocabulary is byte-complete: all 256 single-byte tokens are
+      present, so encoding can never fail on arbitrary bytes. *)
+
+type t
+
+val size : t -> int
+
+(** [token v id] — raises [Invalid_argument] out of range. *)
+val token : t -> int -> string
+
+val tokens : t -> string array
+
+(** Rank (= id) of a token's byte string, if present. *)
+val rank : t -> string -> int option
+
+val mem : t -> string -> bool
+
+(** Length of the longest token, in bytes. *)
+val max_token_len : t -> int
+
+(** Build from an (id-ordered) token array. Validates density of the
+    implied ids and byte-completeness. *)
+val of_tokens : string array -> (t, string) result
+
+(** Parse tiktoken format: one [<base64-token> <rank>] pair per line;
+    blank lines and [#] comments are ignored. *)
+val of_tiktoken : string -> (t, string) result
+
+(** Parse a JSON object [{ "<token>": <id>, ... }] (huggingface
+    [vocab.json] style, without byte-level remapping: keys are the raw
+    token bytes, UTF-8 escaped as needed). *)
+val of_json : string -> (t, string) result
+
+(** Sniff the format ([{] ⇒ JSON, otherwise tiktoken) and parse. *)
+val of_string : string -> (t, string) result
+
+val load_file : string -> (t, string) result
+
+(** Serialize in tiktoken format (sorted by rank). *)
+val to_tiktoken : t -> string

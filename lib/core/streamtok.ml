@@ -75,6 +75,16 @@ module Comb_tokenizers = St_combinator.Comb_tokenizers
 
 module Fuzz = St_fuzz
 
+(** {1 BPE (data-driven grammars)}
+
+    The merge-table → DFA compiler: tiktoken-style vocabularies become
+    literal-rule grammars (rule index = token id) after a static
+    munch-consistency audit, with a reference merge-loop encoder as the
+    differential ground truth and a deterministic trainer for test
+    vocabularies (see DESIGN.md §BPE). *)
+
+module Bpe = St_bpe
+
 (** {1 Grammars} *)
 
 module Grammar = St_grammars.Grammar

@@ -82,6 +82,7 @@ type spec = {
   chunkings : (string * Chunking.t) list;
   domain_counts : int list;
   inject_bug : bool;
+  bpe : St_bpe.Vocab.t option;
 }
 
 type result = {
@@ -110,7 +111,8 @@ let reference_token_ends rules input =
     toks;
   List.rev !ends
 
-let spec ?rng ?(domain_counts = [ 2; 3 ]) ?(inject_bug = false) rules input =
+let spec ?rng ?(domain_counts = [ 2; 3 ]) ?(inject_bug = false) ?bpe rules
+    input =
   let token_ends = reference_token_ends rules input in
   let delay =
     (* the engine's lookahead window, if the grammar streams; 2 otherwise
@@ -126,6 +128,7 @@ let spec ?rng ?(domain_counts = [ 2; 3 ]) ?(inject_bug = false) rules input =
       Chunking.standard ?rng ~token_ends ~delay (String.length input);
     domain_counts;
     inject_bug;
+    bpe;
   }
 
 let check ?(on_subject = fun _ -> ()) spec =
@@ -336,6 +339,73 @@ let check ?(on_subject = fun _ -> ()) spec =
           if healthy then pass_subject "serve-wire:truncated"
           else fail_subject "serve-wire:truncated" "server unhealthy"
         with exn -> fail_subject "serve-wire" (Printexc.to_string exn));
+        (* BPE arm: when [spec.rules] came from a vocabulary, the reference
+           merge-loop encoder is a second executable specification. The
+           maximal-munch reference must replay it id-for-id (that is the
+           munch-consistency the compiler's audit guarantees), and the
+           serving data plane in token-id mode (OPEN_BPE + IDS frames) must
+           do the same under every adversarial chunking. *)
+        (match spec.bpe with
+        | None -> ()
+        | Some v ->
+            let enc_ids = St_bpe.Encoder.encode v input in
+            let of_ids ids =
+              {
+                tokens = List.map (fun id -> (St_bpe.Vocab.token v id, id)) ids;
+                failure = None;
+              }
+            in
+            let merge_loop = of_ids enc_ids in
+            expect "bpe:ref" merge_loop;
+            (let module W = St_serve.Wire in
+            let module SV = St_serve.Server in
+            let module LB = St_serve.Loopback in
+            let lb_config =
+              {
+                SV.default_config with
+                idle_timeout = 0.;
+                clock = (fun () -> 0.);
+              }
+            in
+            let fail_subject name msg =
+              incr subjects;
+              on_subject name;
+              mismatches :=
+                {
+                  subject = name;
+                  expected = merge_loop;
+                  got = { tokens = []; failure = Some (0, msg) };
+                }
+                :: !mismatches
+            in
+            try
+              let lb = LB.create ~config:lb_config () in
+              let conn = LB.connect lb in
+              LB.send conn
+                (W.Open_bpe { ids = true; vocab = St_bpe.Vocab.to_tiktoken v });
+              LB.run lb;
+              match LB.replies conn with
+              | [ W.Opened _ ] ->
+                  List.iter
+                    (fun (name, ch) ->
+                      let pos = ref 0 in
+                      List.iter
+                        (fun n ->
+                          if n > 0 then
+                            LB.send_feed_sub conn input ~pos:!pos ~len:n;
+                          pos := !pos + n)
+                        ch;
+                      LB.send conn W.Flush;
+                      LB.run lb;
+                      let ids =
+                        List.concat_map
+                          (function W.Ids ids -> ids | _ -> [])
+                          (LB.replies conn)
+                      in
+                      expect ("bpe:serve-ids:" ^ name) (of_ids ids))
+                    spec.chunkings
+              | _ -> fail_subject "bpe:serve-ids:open" "OPEN_BPE rejected"
+            with exn -> fail_subject "bpe:serve-ids" (Printexc.to_string exn)));
         true
   in
   { mismatches = List.rev !mismatches; streaming; subjects = !subjects }

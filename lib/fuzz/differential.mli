@@ -59,14 +59,23 @@ type spec = {
       (** testing hook: corrupt the batch engine's stream (drop its last
           token) so the catch-and-shrink pipeline itself can be validated
           end to end *)
+  bpe : St_bpe.Vocab.t option;
+      (** when [rules] are a compiled BPE vocabulary
+          ({!St_bpe.Compiler.rules_of_vocab}): adds the [bpe:ref] subject
+          (maximal-munch rule ids must equal the reference merge-loop
+          encoder's token ids) and [bpe:serve-ids:*] (the serving data
+          plane in token-id mode — OPEN_BPE + IDS frames over loopback —
+          under every chunking) *)
 }
 
 (** [spec rules input] with the {!Chunking.standard} battery (token ends
-    taken from the reference run), domain counts [[2; 3]], no injection. *)
+    taken from the reference run), domain counts [[2; 3]], no injection,
+    no BPE arm. *)
 val spec :
   ?rng:St_util.Prng.t ->
   ?domain_counts:int list ->
   ?inject_bug:bool ->
+  ?bpe:St_bpe.Vocab.t ->
   Regex.t list ->
   string ->
   spec

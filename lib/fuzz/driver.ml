@@ -48,34 +48,54 @@ type report = {
 
 (* ---- grammar sources ---- *)
 
-type source = Small | Bytes | Corpus | Mutate | Registry
+type source = Small | Bytes | Corpus | Mutate | Registry | Bpe
 
-let source_weights = [| 0.30; 0.20; 0.20; 0.20; 0.10 |]
-let sources = [| Small; Bytes; Corpus; Mutate; Registry |]
+let source_weights = [| 0.28; 0.18; 0.18; 0.18; 0.08; 0.10 |]
+let sources = [| Small; Bytes; Corpus; Mutate; Registry; Bpe |]
 
 let registry_grammars =
   lazy (Array.of_list St_grammars.Registry.all)
 
 let worst_case_ks = lazy (Array.of_list St_workloads.Worst_case.sweep_k)
 
+(* Small munch-consistent vocabularies, trained once per process: training
+   takes ~100ms each, far too slow per iteration, and sharing them keeps
+   the engine cache and audit memo warm across inputs. *)
+let bpe_vocabs =
+  lazy (Array.map (fun seed -> St_bpe.Trainer.tiny ~seed) [| 11L; 23L |])
+
+type picked = {
+  p_rules : Regex.t list;
+  p_worst_case : bool;
+  p_vocab : St_bpe.Vocab.t option;
+}
+
 let pick_grammar rng =
+  let plain ?vocab ?(worst_case = false) rules =
+    { p_rules = rules; p_worst_case = worst_case; p_vocab = vocab }
+  in
   match sources.(Prng.weighted rng source_weights) with
-  | Small -> (Gen.grammar rng ~cls:Gen.charset_small, false)
-  | Bytes -> (Gen.grammar rng ~cls:Gen.charset_bytes, false)
-  | Corpus -> (St_workloads.Grammar_corpus.sample rng, false)
+  | Small -> plain (Gen.grammar rng ~cls:Gen.charset_small)
+  | Bytes -> plain (Gen.grammar rng ~cls:Gen.charset_bytes)
+  | Corpus -> plain (St_workloads.Grammar_corpus.sample rng)
   | Mutate ->
       let rules = ref (St_workloads.Grammar_corpus.sample rng) in
       for _ = 0 to Prng.int rng 3 do
         rules := St_workloads.Grammar_corpus.mutate rng !rules
       done;
-      (!rules, false)
+      plain !rules
   | Registry ->
       if Prng.chance rng 0.4 then
         let k = Prng.choose rng (Lazy.force worst_case_ks) in
-        (St_grammars.Grammar.rules (St_workloads.Worst_case.grammar k), true)
+        plain ~worst_case:true
+          (St_grammars.Grammar.rules (St_workloads.Worst_case.grammar k))
       else
-        ( St_grammars.Grammar.rules (Prng.choose rng (Lazy.force registry_grammars)),
-          false )
+        plain
+          (St_grammars.Grammar.rules
+             (Prng.choose rng (Lazy.force registry_grammars)))
+  | Bpe ->
+      let v = Prng.choose rng (Lazy.force bpe_vocabs) in
+      plain ~vocab:v (St_bpe.Compiler.rules_of_vocab v)
 
 let gen_input rng rules dfa ~worst_case ~max_len shape =
   let target_len = 1 + Prng.int rng max_len in
@@ -133,7 +153,9 @@ let run ?(on_progress = fun _ -> ()) config =
   while !iters < config.max_iters && Unix.gettimeofday () < deadline do
     incr iters;
     on_progress !iters;
-    let rules, worst_case = pick_grammar rng in
+    let { p_rules = rules; p_worst_case = worst_case; p_vocab } =
+      pick_grammar rng
+    in
     Metrics.Counter.incr c_grammars;
     (match Engine.compile_rules rules with
     | Ok _ -> ()
@@ -150,7 +172,7 @@ let run ?(on_progress = fun _ -> ()) config =
       in
       let spec =
         Differential.spec ~rng ~domain_counts ~inject_bug:config.inject_bug
-          rules input
+          ?bpe:p_vocab rules input
       in
       let r =
         Differential.check
@@ -170,13 +192,27 @@ let run ?(on_progress = fun _ -> ()) config =
           let fails (c : Shrink.candidate) =
             let spec =
               Differential.spec ~domain_counts:shrink_dc
-                ~inject_bug:config.inject_bug c.Shrink.rules c.Shrink.input
+                ~inject_bug:config.inject_bug ?bpe:p_vocab c.Shrink.rules
+                c.Shrink.input
             in
             (Differential.check spec).Differential.mismatches <> []
           in
           let c0 = { Shrink.rules; input } in
           let (cmin, evals), chunks =
-            if fails c0 then (Shrink.minimize ~fails c0, None)
+            (* BPE rules ARE the vocabulary: dropping one desynchronizes
+               them from the [bpe:*] reference encoder (and can break
+               byte-completeness), so only the input is minimized. *)
+            if p_vocab <> None then
+              ( Shrink.minimize_input ~fails c0,
+                (* bpe:serve-ids:<chunking> names the split that tripped *)
+                match String.rindex_opt subject ':' with
+                | Some i when String.length subject > 4
+                              && String.sub subject 0 4 = "bpe:" ->
+                    List.assoc_opt
+                      (String.sub subject (i + 1) (String.length subject - i - 1))
+                      spec.Differential.chunkings
+                | _ -> None )
+            else if fails c0 then (Shrink.minimize ~fails c0, None)
             else
               (* only the run's random chunking tripped it: keep the exact
                  split in the repro instead of shrinking *)
@@ -190,8 +226,8 @@ let run ?(on_progress = fun _ -> ()) config =
           in
           Metrics.Counter.add c_shrink evals;
           let repro =
-            Repro.v ?chunks ?domains ~note:("subject " ^ subject)
-              cmin.Shrink.rules cmin.Shrink.input
+            Repro.v ?chunks ?domains ?vocab:p_vocab
+              ~note:("subject " ^ subject) cmin.Shrink.rules cmin.Shrink.input
           in
           let repro_path =
             Option.map (fun dir -> Repro.save ~dir repro) config.corpus_dir

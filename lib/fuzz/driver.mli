@@ -2,7 +2,10 @@
 
     Each iteration draws one grammar from a weighted mix of sources —
     random small-alphabet, random full-byte, corpus sample, corpus
-    mutation, and the registry / worst-case families — then several inputs
+    mutation, the registry / worst-case families, and compiled BPE
+    vocabularies ({!St_bpe.Trainer.tiny}, trained once per process; these
+    also run the [bpe:*] subjects against the reference merge-loop
+    encoder) — then several inputs
     (token-dense DFA walks, near-misses, uniform noise; all-['a'] streams
     for the worst-case grammars) and runs the {!Differential} battery on
     each. Mismatches are minimized with {!Shrink} and written to

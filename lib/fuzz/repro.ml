@@ -6,10 +6,33 @@ type t = {
   chunks : int list option;
   domains : int option;
   note : string option;
+  vocab : St_bpe.Vocab.t option;
 }
 
-let v ?chunks ?domains ?note rules input =
-  { rules; input; chunks; domains; note }
+let v ?chunks ?domains ?note ?vocab rules input =
+  { rules; input; chunks; domains; note; vocab }
+
+(* BPE repros carry the whole vocabulary on one line: space-separated
+   base64 tokens, token id = position. Rules are derived from it at load
+   time, so [rule:] and [vocab:] are mutually exclusive. *)
+let vocab_to_line v =
+  String.concat " "
+    (Array.to_list (Array.map St_bpe.B64.encode (St_bpe.Vocab.tokens v)))
+
+let vocab_of_line line =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  let rec decode acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match St_bpe.B64.decode p with
+        | Ok tok -> decode (tok :: acc) rest
+        | Error e -> Error e)
+  in
+  match decode [] parts with
+  | Error e -> Error e
+  | Ok tokens -> St_bpe.Vocab.of_tokens (Array.of_list tokens)
 
 let hex_of_string s =
   let buf = Buffer.create (2 * String.length s) in
@@ -45,9 +68,13 @@ let to_string t =
   (match t.note with
   | Some n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)
   | None -> ());
-  List.iter
-    (fun r -> Buffer.add_string buf (Printf.sprintf "rule: %s\n" (Regex.to_string r)))
-    t.rules;
+  (match t.vocab with
+  | Some v -> Buffer.add_string buf (Printf.sprintf "vocab: %s\n" (vocab_to_line v))
+  | None ->
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Printf.sprintf "rule: %s\n" (Regex.to_string r)))
+        t.rules);
   Buffer.add_string buf (Printf.sprintf "input-hex: %s\n" (hex_of_string t.input));
   (match t.chunks with
   | Some cs ->
@@ -65,6 +92,7 @@ let of_string src =
   let chunks = ref None in
   let domains = ref None in
   let note = ref None in
+  let vocab = ref None in
   let err = ref None in
   let fail msg = if !err = None then err := Some msg in
   List.iteri
@@ -101,16 +129,29 @@ let of_string src =
                 | exception Failure _ ->
                     fail (Printf.sprintf "line %d: bad domains" (lineno + 1)))
             | "note" -> note := Some value
+            | "vocab" -> (
+                match vocab_of_line value with
+                | Ok v -> vocab := Some v
+                | Error e -> fail (Printf.sprintf "line %d: vocab: %s" (lineno + 1) e))
             | _ -> fail (Printf.sprintf "line %d: unknown key %S" (lineno + 1) key)))
     (String.split_on_char '\n' src);
   match !err with
   | Some e -> Error e
   | None -> (
-      match (!rules, !input) with
-      | [], _ -> Error "no rules"
-      | _, None -> Error "no input-hex"
-      | rules, Some input -> (
-          let t = { rules = List.rev rules; input; chunks = !chunks; domains = !domains; note = !note } in
+      match (!rules, !vocab, !input) with
+      | _ :: _, Some _, _ -> Error "rule: and vocab: are mutually exclusive"
+      | [], None, _ -> Error "no rules"
+      | _, _, None -> Error "no input-hex"
+      | rules, vocab, Some input -> (
+          let rules =
+            match vocab with
+            | Some v -> St_bpe.Compiler.rules_of_vocab v
+            | None -> List.rev rules
+          in
+          let t =
+            { rules; input; chunks = !chunks; domains = !domains;
+              note = !note; vocab }
+          in
           match t.chunks with
           | Some cs when not (Chunking.is_partition cs (String.length input)) ->
               Error "chunks do not partition the input"
@@ -137,7 +178,7 @@ let save ~dir t =
   path
 
 let check ?(inject_bug = false) t =
-  let spec = Differential.spec ~inject_bug t.rules t.input in
+  let spec = Differential.spec ~inject_bug ?bpe:t.vocab t.rules t.input in
   let spec =
     {
       spec with

@@ -19,7 +19,12 @@
     order); the input is hex so arbitrary bytes survive editors and VCS.
     [chunks]/[domains] pin an adversarial split when the mismatch was
     chunking-specific; replay always adds the {!Chunking.standard} battery
-    on top. *)
+    on top.
+
+    BPE repros carry a [vocab:] line instead of [rule:] lines — the whole
+    vocabulary as space-separated base64 tokens, token id = position. The
+    rules are reconstructed with {!St_bpe.Compiler.rules_of_vocab} at load
+    time and replay adds the [bpe:*] differential subjects. *)
 
 open St_regex
 
@@ -29,10 +34,18 @@ type t = {
   chunks : int list option;
   domains : int option;
   note : string option;
+  vocab : St_bpe.Vocab.t option;
+      (** set for BPE repros; [rules] are then derived, not parsed *)
 }
 
 val v :
-  ?chunks:int list -> ?domains:int -> ?note:string -> Regex.t list -> string -> t
+  ?chunks:int list ->
+  ?domains:int ->
+  ?note:string ->
+  ?vocab:St_bpe.Vocab.t ->
+  Regex.t list ->
+  string ->
+  t
 
 (** Lowercase hex of arbitrary bytes — the [input-hex] encoding (also used
     by the fuzz report). *)

@@ -19,7 +19,7 @@ let rec simpler r =
   | Regex.Star a ->
       (Regex.eps :: a :: List.map Regex.star (simpler a))
 
-let minimize ?(budget = 600) ~fails c0 =
+let minimize_gen ~rule_passes ?(budget = 600) ~fails c0 =
   let evals = ref 0 in
   let fails c =
     if !evals >= budget then false
@@ -105,9 +105,17 @@ let minimize ?(budget = 600) ~fails c0 =
   while !progress && !evals < budget do
     progress := false;
     if shrink_input () then progress := true;
-    if shrink_rules () then progress := true;
-    if shrink_regexes () then progress := true;
+    if rule_passes && shrink_rules () then progress := true;
+    if rule_passes && shrink_regexes () then progress := true;
     if shrink_input () then progress := true
   done;
   ignore (canonicalize ());
   (!cur, !evals)
+
+let minimize ?budget ~fails c0 = minimize_gen ~rule_passes:true ?budget ~fails c0
+
+(* For subjects whose rules are not free to change (a compiled BPE
+   vocabulary: rule index = token id, and the reference encoder reads the
+   same vocabulary) — only the input is reduced and canonicalized. *)
+let minimize_input ?budget ~fails c0 =
+  minimize_gen ~rule_passes:false ?budget ~fails c0

@@ -26,3 +26,9 @@ type candidate = { rules : Regex.t list; input : string }
     spent. [budget] (default 600) bounds the evaluations. *)
 val minimize :
   ?budget:int -> fails:(candidate -> bool) -> candidate -> candidate * int
+
+(** Input-only variant (passes 1 and 4): for subjects whose rules must
+    stay fixed, e.g. a compiled BPE vocabulary where rule index = token id
+    and the differential reference reads the same vocabulary. *)
+val minimize_input :
+  ?budget:int -> fails:(candidate -> bool) -> candidate -> candidate * int

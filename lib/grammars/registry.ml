@@ -19,6 +19,8 @@ let resolve spec =
       else
         Error
           (Printf.sprintf
-             "unknown grammar %S (use a built-in name, '@rule;rule;...', or \
-              grammar source with one rule per line)"
-             spec)
+             "unknown grammar %S (built-in grammars: %s; or use \
+              '@rule;rule;...', 'bpe:<vocab-file>', or grammar source with \
+              one rule per line)"
+             spec
+             (String.concat ", " (names ())))

@@ -12,5 +12,7 @@ val names : unit -> string list
     source (one rule per line). File paths are the caller's business —
     read the file and pass its contents. All rules are parse-validated
     ({!Grammar.of_rules}); malformed specs are an [Error], never an
-    exception. *)
+    exception. An unknown single-line spec is an [Error] listing every
+    built-in name (and the [bpe:<vocab-file>] scheme, which the CLI layer
+    resolves before calling here). *)
 val resolve : string -> (Grammar.t, string) result

@@ -114,14 +114,67 @@ let of_string s =
           | 'r' -> Buffer.add_char b '\r'
           | 't' -> Buffer.add_char b '\t'
           | 'u' ->
-              if !pos + 4 >= n then fail "truncated \\u escape";
-              let hex = String.sub s (!pos + 1) 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape"
+              (* \uXXXX decodes to UTF-8. A high surrogate followed by a
+                 \uYYYY low surrogate combines into one supplementary code
+                 point; a lone surrogate becomes U+FFFD (the second escape
+                 of a broken pair is left for the next loop iteration). *)
+              let hex_val = function
+                | '0' .. '9' as c -> Some (Char.code c - 48)
+                | 'a' .. 'f' as c -> Some (Char.code c - 87)
+                | 'A' .. 'F' as c -> Some (Char.code c - 55)
+                | _ -> None
               in
-              Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
-              pos := !pos + 4
+              let peek_hex4 at =
+                if at + 4 > n then None
+                else
+                  match
+                    ( hex_val s.[at],
+                      hex_val s.[at + 1],
+                      hex_val s.[at + 2],
+                      hex_val s.[at + 3] )
+                  with
+                  | Some h3, Some h2, Some h1, Some h0 ->
+                      Some ((h3 lsl 12) lor (h2 lsl 8) lor (h1 lsl 4) lor h0)
+                  | _ -> None
+              in
+              let u1 =
+                match peek_hex4 (!pos + 1) with
+                | Some v -> v
+                | None ->
+                    if !pos + 5 > n then fail "truncated \\u escape"
+                    else fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              let cp =
+                if u1 >= 0xD800 && u1 <= 0xDBFF then
+                  match
+                    if !pos + 2 < n && s.[!pos + 1] = '\\' && s.[!pos + 2] = 'u'
+                    then peek_hex4 (!pos + 3)
+                    else None
+                  with
+                  | Some u2 when u2 >= 0xDC00 && u2 <= 0xDFFF ->
+                      pos := !pos + 6;
+                      0x10000 + ((u1 - 0xD800) lsl 10) + (u2 - 0xDC00)
+                  | _ -> 0xFFFD
+                else if u1 >= 0xDC00 && u1 <= 0xDFFF then 0xFFFD
+                else u1
+              in
+              if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else if cp < 0x10000 then begin
+                Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+                Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
           | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
           incr pos;
           loop ()

@@ -38,8 +38,8 @@ let make_feeder input pend =
             Outbuf.add_frame_subbytes pend ~tag:Wire.tag_feed buf 0 n;
             true)
 
-let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
-    ?stats_dest () =
+let run ~socket ~grammar ~input ?open_request ?(out = stdout) ?(err = stderr)
+    ?stats ?stats_dest () =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket) with
   | exception Unix.Unix_error (e, _, _) ->
@@ -58,7 +58,10 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
       in
       let next_feed = make_feeder input pend in
       let input_done = ref false in
-      enqueue (Wire.Open grammar);
+      enqueue
+        (match open_request with
+        | Some req -> req
+        | None -> Wire.Open grammar);
       let refill () =
         while (not !input_done) && Outbuf.length pend < out_budget do
           if not (next_feed ()) then begin
@@ -116,6 +119,12 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
               (if retryable then " (retryable)" else "");
             fail 1
         | Wire.Metrics { body; _ } -> write_stats_body body
+        | Wire.Ids ids ->
+            List.iter
+              (fun id ->
+                incr tokens;
+                Printf.fprintf out "%d\n" id)
+              ids
       in
       let bad_stream what msg =
         Printf.fprintf err "error: %s: %s\n" what msg;
@@ -140,6 +149,17 @@ let run ~socket ~grammar ~input ?(out = stdout) ?(err = stderr) ?stats
                 (* token batches: walk the records in place, copying each
                    lexeme only into the printf *)
                 match Wire.iter_tokens_view v print_token with
+                | Ok _ -> ()
+                | Error msg ->
+                    bad_stream "bad reply frame" msg;
+                    continue := false
+              end
+              else if v.Wire.Decoder.vtag = Wire.tag_ids then begin
+                match
+                  Wire.iter_ids_view v (fun id ->
+                      incr tokens;
+                      Printf.fprintf out "%d\n" id)
+                with
                 | Ok _ -> ()
                 | Error msg ->
                     bad_stream "bad reply frame" msg;

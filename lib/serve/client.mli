@@ -20,13 +20,19 @@ type outcome = {
 
     [grammar] is the usual spec: built-in name, [@inline] rules, or
     grammar source (the caller resolves file paths to source). Tokens go
-    to [out] as ["%-12s %S\n" rule_name lexeme]; diagnostics go to [err].
-    [stats], if given, requests a STATS document after FLUSH and prints
-    the body to [err] (or the file given by [stats_dest]). *)
+    to [out] as ["%-12s %S\n" rule_name lexeme]; IDS frames (token-id
+    mode BPE sessions) print one decimal id per line. [stats], if given,
+    requests a STATS document after FLUSH and prints the body to [err]
+    (or the file given by [stats_dest]).
+
+    [open_request] replaces the initial [Wire.Open grammar] frame — the
+    CLI uses it to send [Wire.Open_bpe] for [bpe:<vocab>] specs;
+    [grammar] is then only documentation. *)
 val run :
   socket:string ->
   grammar:string ->
   input:[ `String of string | `Fd of Unix.file_descr ] ->
+  ?open_request:Wire.request ->
   ?out:out_channel ->
   ?err:out_channel ->
   ?stats:Wire.format ->

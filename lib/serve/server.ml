@@ -130,7 +130,7 @@ let flush_tokens_untraced t c =
   | Some (enc, n) ->
       t.tokens_total <- t.tokens_total + n;
       t.bytes_out_total <- t.bytes_out_total + 5 + Outbuf.length enc;
-      Outbuf.add_frame c.out ~tag:Wire.tag_tokens enc;
+      Outbuf.add_frame c.out ~tag:(Session.batch_tag c.session) enc;
       Session.batch_clear c.session
 
 let flush_tokens t c =
@@ -265,7 +265,7 @@ let dispatch t c (req : Wire.request) =
       in
       enqueue t c (Wire.Metrics { format = fmt; body })
   | Wire.Close -> c.phase <- Draining
-  | Wire.Open _ | Wire.Flush | Wire.Feed _ ->
+  | Wire.Open _ | Wire.Open_bpe _ | Wire.Flush | Wire.Feed _ ->
       (match req with
       | Wire.Flush -> t.flushes_total <- t.flushes_total + 1
       | _ -> ());

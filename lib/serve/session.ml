@@ -10,7 +10,8 @@ type opened_state = {
   engine : Engine.t;
   grammar_name : string;
   rule_names : string list;
-  enc : Outbuf.t;  (* encoded TOKENS records; shared with the emit closure *)
+  ids : bool;  (* token-id serving mode: IDS frames, no lexeme bytes *)
+  enc : Outbuf.t;  (* encoded TOKENS/IDS records; shared with the emit closure *)
   ntoks : int ref;
   mutable tok : Stream_tokenizer.t;
   mutable outcome : Engine.outcome option;
@@ -25,19 +26,30 @@ let create deps = { deps; state = Awaiting_open }
 let opened t = match t.state with Opened_ _ -> true | Awaiting_open -> false
 
 (* Tokens are encoded straight into the wire format as they are emitted —
-   u32 rule, u32 len, lexeme bytes — into a scratch Outbuf reused across
-   frames. Flushing a batch is then a single header poke + one blit. *)
-let new_tokenizer engine enc ntoks =
-  Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
-      Outbuf.add_u32 enc rule;
-      Outbuf.add_u32 enc (String.length lexeme);
-      Outbuf.add_string enc lexeme;
-      incr ntoks)
+   u32 rule, u32 len, lexeme bytes (or just u32 rule in id mode) — into a
+   scratch Outbuf reused across frames. Flushing a batch is then a single
+   header poke + one blit. *)
+let new_tokenizer ~ids engine enc ntoks =
+  if ids then
+    Stream_tokenizer.create engine ~emit:(fun _lexeme rule ->
+        Outbuf.add_u32 enc rule;
+        incr ntoks)
+  else
+    Stream_tokenizer.create engine ~emit:(fun lexeme rule ->
+        Outbuf.add_u32 enc rule;
+        Outbuf.add_u32 enc (String.length lexeme);
+        Outbuf.add_string enc lexeme;
+        incr ntoks)
 
 let batch t =
   match t.state with
   | Awaiting_open -> None
   | Opened_ os -> if !(os.ntoks) = 0 then None else Some (os.enc, !(os.ntoks))
+
+let batch_tag t =
+  match t.state with
+  | Opened_ os when os.ids -> Wire.tag_ids
+  | _ -> Wire.tag_tokens
 
 let batch_clear t =
   match t.state with
@@ -81,9 +93,10 @@ let handle_open t spec =
                   engine;
                   grammar_name = g.Grammar.name;
                   rule_names = List.map fst g.Grammar.rules;
+                  ids = false;
                   enc;
                   ntoks;
-                  tok = new_tokenizer engine enc ntoks;
+                  tok = new_tokenizer ~ids:false engine enc ntoks;
                   outcome = None;
                 }
               in
@@ -97,6 +110,64 @@ let handle_open t spec =
                     rules = os.rule_names;
                   };
               ]))
+
+(* OPEN_BPE: vocab text -> audited vocabulary -> literal rules through the
+   same engine cache as OPEN (the rules' canonical print is the key, so N
+   sessions of one vocabulary share one engine). The subset-construction
+   cap turns a hostile vocab into a Bad_grammar error, not an OOM. *)
+let handle_open_bpe t ~ids vocab_text =
+  match t.state with
+  | Opened_ _ -> protocol_error "session already OPENed"
+  | Awaiting_open -> (
+      let bad message =
+        [ Wire.Error { code = Wire.Bad_grammar; retryable = false; message } ]
+      in
+      match St_bpe.Vocab.of_string vocab_text with
+      | Error msg -> bad msg
+      | Ok vocab -> (
+          match St_bpe.Compiler.audit vocab with
+          | Error w ->
+              bad
+                ("vocabulary is not munch-consistent — "
+               ^ St_bpe.Compiler.witness_to_string w)
+          | Ok () -> (
+              let rules = St_bpe.Compiler.rules_of_vocab vocab in
+              let cached = Engine_cache.mem t.deps.cache rules in
+              match
+                Engine_cache.find_or_compile t.deps.cache
+                  ~max_states:St_bpe.Compiler.default_max_states rules
+              with
+              | exception Failure msg -> bad msg
+              | Error Engine.Unbounded_tnd ->
+                  (* unreachable: a finite token language has finite TND *)
+                  bad "vocabulary has unbounded max-TND"
+              | Ok engine ->
+                  let enc = Outbuf.create () in
+                  let ntoks = ref 0 in
+                  let os =
+                    {
+                      engine;
+                      grammar_name = "bpe";
+                      rule_names =
+                        List.init (St_bpe.Vocab.size vocab)
+                          (Printf.sprintf "t%d");
+                      ids;
+                      enc;
+                      ntoks;
+                      tok = new_tokenizer ~ids engine enc ntoks;
+                      outcome = None;
+                    }
+                  in
+                  t.state <- Opened_ os;
+                  [
+                    Wire.Opened
+                      {
+                        grammar = os.grammar_name;
+                        k = Engine.k engine;
+                        cached;
+                        rules = os.rule_names;
+                      };
+                  ])))
 
 let p_feed = St_trace.Trace.probe ~cat:"session" "session.feed"
 
@@ -148,7 +219,7 @@ let handle_flush t =
             Wire.Pending { ok = false; offset; pending }
       in
       (* Reset for the next stream on the same engine. *)
-      os.tok <- new_tokenizer os.engine os.enc os.ntoks;
+      os.tok <- new_tokenizer ~ids:os.ids os.engine os.enc os.ntoks;
       os.outcome <- None;
       [ pending_reply ]
 
@@ -159,12 +230,15 @@ let handle t req =
   if not !St_trace.Trace.on then
     match req with
     | Wire.Open spec -> handle_open t spec
+    | Wire.Open_bpe { ids; vocab } -> handle_open_bpe t ~ids vocab
     | Wire.Feed bytes -> feed_untraced t bytes ~pos:0 ~len:(String.length bytes)
     | Wire.Flush -> handle_flush t
     | Wire.Close | Wire.Stats _ -> []  (* handled by Server *)
   else
     match req with
     | Wire.Open spec -> St_trace.Trace.with_span p_open (fun () -> handle_open t spec)
+    | Wire.Open_bpe { ids; vocab } ->
+        St_trace.Trace.with_span p_open (fun () -> handle_open_bpe t ~ids vocab)
     | Wire.Feed bytes -> feed t bytes ~pos:0 ~len:(String.length bytes)
     | Wire.Flush -> St_trace.Trace.with_span p_flush (fun () -> handle_flush t)
     | Wire.Close | Wire.Stats _ -> []

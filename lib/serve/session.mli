@@ -1,7 +1,9 @@
 (** Per-session protocol state machine.
 
     A session is the server half of one connection: [Awaiting_open] until
-    a valid OPEN resolves and compiles (through the shared
+    a valid OPEN (or OPEN_BPE: vocabulary text, audited and compiled to
+    literal rules, optionally serving token ids instead of lexemes)
+    resolves and compiles (through the shared
     {!St_streamtok.Engine_cache}), then a live incremental
     {!St_streamtok.Stream_tokenizer} that FEED advances and FLUSH drains.
     FLUSH ends the {e stream} but not the {e session}: the engine is kept
@@ -42,10 +44,15 @@ val opened : t -> bool
     ([Lexical] on stream failure, [Protocol] before OPEN). *)
 val feed : t -> string -> pos:int -> len:int -> Wire.reply list
 
-(** The pending token batch: the encoder holding ready-to-send TOKENS
-    records and the token count, or [None] if the batch is empty. Frame
-    it (one blit) then {!batch_clear}. *)
+(** The pending token batch: the encoder holding ready-to-send TOKENS (or
+    IDS, for a BPE session opened in id mode) records and the token count,
+    or [None] if the batch is empty. Frame it (one blit) under
+    {!batch_tag}, then {!batch_clear}. *)
 val batch : t -> (Outbuf.t * int) option
+
+(** The frame tag the current batch encodes: {!Wire.tag_ids} for a BPE
+    session opened with [ids = true], {!Wire.tag_tokens} otherwise. *)
+val batch_tag : t -> int
 
 val batch_clear : t -> unit
 

@@ -32,6 +32,7 @@ type request =
   | Flush
   | Close
   | Stats of format
+  | Open_bpe of { ids : bool; vocab : string }
 
 type reply =
   | Opened of { grammar : string; k : int; cached : bool; rules : string list }
@@ -39,6 +40,7 @@ type reply =
   | Pending of { ok : bool; offset : int; pending : string }
   | Error of { code : error_code; retryable : bool; message : string }
   | Metrics of { format : format; body : string }
+  | Ids of int list
 
 (* ---- tags ---- *)
 
@@ -47,11 +49,13 @@ let tag_feed = 0x02
 let tag_flush = 0x03
 let tag_close = 0x04
 let tag_stats = 0x05
+let tag_open_bpe = 0x06
 let tag_opened = 0x81
 let tag_tokens = 0x82
 let tag_pending = 0x83
 let tag_error = 0x84
 let tag_metrics = 0x85
+let tag_ids = 0x86
 
 (* ---- primitive encoders ---- *)
 
@@ -93,6 +97,11 @@ let request_to_frame = function
   | Flush -> { tag = tag_flush; payload = "" }
   | Close -> { tag = tag_close; payload = "" }
   | Stats fmt -> { tag = tag_stats; payload = String.make 1 (format_byte fmt) }
+  | Open_bpe { ids; vocab } ->
+      {
+        tag = tag_open_bpe;
+        payload = (if ids then "\x01" else "\x00") ^ vocab;
+      }
 
 let reply_to_frame = function
   | Opened { grammar; k; cached; rules } ->
@@ -125,6 +134,10 @@ let reply_to_frame = function
       { tag = tag_error; payload = Buffer.contents b }
   | Metrics { format; body } ->
       { tag = tag_metrics; payload = String.make 1 (format_byte format) ^ body }
+  | Ids ids ->
+      let b = Buffer.create (4 * List.length ids) in
+      List.iter (fun id -> add_u32 b id) ids;
+      { tag = tag_ids; payload = Buffer.contents b }
 
 (* Client-side encode: one span per request frame. *)
 let p_encode = St_trace.Trace.probe ~cat:"flush" "wire.encode"
@@ -171,6 +184,19 @@ let request_of_frame { tag; payload } =
       match format_of_byte payload.[0] with
       | Some fmt -> Ok (Stats fmt)
       | None -> Result.Error "STATS: unknown format byte"
+  else if tag = tag_open_bpe then
+    if String.length payload < 1 then
+      Result.Error "OPEN_BPE payload missing ids byte"
+    else
+      match payload.[0] with
+      | '\x00' | '\x01' ->
+          Ok
+            (Open_bpe
+               {
+                 ids = payload.[0] = '\x01';
+                 vocab = String.sub payload 1 (String.length payload - 1);
+               })
+      | _ -> Result.Error "OPEN_BPE: unknown ids byte"
   else Result.Error (Printf.sprintf "unknown request tag 0x%02x" tag)
 
 let reply_of_frame_untraced { tag; payload } =
@@ -248,6 +274,18 @@ let reply_of_frame_untraced { tag; payload } =
       | None -> Result.Error "METRICS: unknown format byte"
       | Some format ->
           Ok (Metrics { format; body = String.sub payload 1 (len - 1) })
+  end
+  else if tag = tag_ids then begin
+    if len mod 4 <> 0 then Result.Error "malformed IDS payload"
+    else begin
+      let ids = ref [] in
+      let pos = ref (len - 4) in
+      while !pos >= 0 do
+        ids := get_u32 payload !pos :: !ids;
+        pos := !pos - 4
+      done;
+      Ok (Ids !ids)
+    end
   end
   else Result.Error (Printf.sprintf "unknown reply tag 0x%02x" tag)
 
@@ -423,6 +461,27 @@ let iter_tokens_view (v : Decoder.view) f =
     end
   done;
   if !ok then Ok !count else Result.Error "malformed TOKENS payload"
+
+(* Same idea for IDS frames (token-id serving mode): one u32 per token,
+   no lexemes. *)
+let iter_ids_view (v : Decoder.view) f =
+  if v.Decoder.vlen mod 4 <> 0 then Result.Error "malformed IDS payload"
+  else begin
+    let b = v.Decoder.vbuf in
+    let stop = v.Decoder.voff + v.Decoder.vlen in
+    let pos = ref v.Decoder.voff in
+    while !pos < stop do
+      let id =
+        (Char.code (Bytes.unsafe_get b !pos) lsl 24)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 1)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get b (!pos + 2)) lsl 8)
+        lor Char.code (Bytes.unsafe_get b (!pos + 3))
+      in
+      f id;
+      pos := !pos + 4
+    done;
+    Ok (v.Decoder.vlen / 4)
+  end
 
 let decode_all s =
   let d = Decoder.create () in

@@ -16,6 +16,11 @@
     - [CLOSE 0x04] — close the session; the server drains its output queue
       and hangs up.
     - [STATS 0x05] — payload: 1 byte, [0] = JSON, [1] = Prometheus text.
+    - [OPEN_BPE 0x06] — open a BPE session: [u8 ids] (1 = reply with IDS
+      frames instead of TOKENS), then the vocabulary text
+      ({!St_bpe.Vocab.of_string} syntax: tiktoken lines or a JSON
+      object). The server audits munch-consistency and compiles the
+      literal-rule DFA through the same engine cache as OPEN.
 
     Replies (server → client):
     - [OPENED 0x81] — line-oriented text: [grammar NAME], [k K],
@@ -27,7 +32,11 @@
       then the pending (untokenizable) tail bytes; [ok = 1] means the
       stream finished cleanly (offset = total bytes, empty tail).
     - [ERROR 0x84] — [u8 code], [u8 retryable], then a UTF-8 message.
-    - [METRICS 0x85] — [u8 format] then the serialized registry. *)
+    - [METRICS 0x85] — [u8 format] then the serialized registry.
+    - [IDS 0x86] — repeated [u32 token id], in stream order: the batched
+      reply of a FEED on an [ids = 1] BPE session (rule index = token id,
+      no lexeme bytes — the token-id serving mode's whole point is not
+      echoing the input back). *)
 
 (** Hard cap on payload size (16 MiB): a length prefix beyond it is a
     protocol error, not an allocation. *)
@@ -41,11 +50,13 @@ val tag_feed : int
 val tag_flush : int
 val tag_close : int
 val tag_stats : int
+val tag_open_bpe : int
 val tag_opened : int
 val tag_tokens : int
 val tag_pending : int
 val tag_error : int
 val tag_metrics : int
+val tag_ids : int
 
 type format = Json | Prom
 
@@ -66,6 +77,7 @@ type request =
   | Flush
   | Close
   | Stats of format
+  | Open_bpe of { ids : bool; vocab : string }
 
 type reply =
   | Opened of { grammar : string; k : int; cached : bool; rules : string list }
@@ -73,6 +85,7 @@ type reply =
   | Pending of { ok : bool; offset : int; pending : string }
   | Error of { code : error_code; retryable : bool; message : string }
   | Metrics of { format : format; body : string }
+  | Ids of int list  (** token ids in stream order *)
 
 (** {1 Encoding} *)
 
@@ -152,6 +165,11 @@ val iter_tokens_view :
   Decoder.view ->
   (rule:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
   (int, string) result
+
+(** [iter_ids_view v f] — the IDS counterpart: [f] per token id. Returns
+    the id count, or [Error _] if the payload length is not a multiple
+    of 4. *)
+val iter_ids_view : Decoder.view -> (int -> unit) -> (int, string) result
 
 (** Decode every frame of a complete byte string (test helper). *)
 val decode_all : string -> (frame list, string) result

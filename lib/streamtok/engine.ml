@@ -125,8 +125,8 @@ let compile_trusted d ~k =
   in
   { dfa = d; k; reject; mode }
 
-let compile_rules ?classes ?accel rules =
-  compile (Dfa.of_rules ?classes ?accel rules)
+let compile_rules ?classes ?accel ?max_states rules =
+  compile (Dfa.of_rules ?classes ?accel ?max_states rules)
 
 let compile_grammar src = compile (Dfa.of_grammar src)
 let accel_states e = Dfa.accel_state_count e.dfa

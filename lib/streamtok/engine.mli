@@ -48,10 +48,12 @@ val compile_trusted : Dfa.t -> k:int -> t
 
 (** Convenience wrappers: build the minimized tokenization DFA first.
     [classes] / [accel] (both default true) select the table layout and the
-    self-loop acceleration analysis, as in {!Dfa.of_rules} — the reference
+    self-loop acceleration analysis, and [max_states] caps the subset
+    construction (raising [Failure]), as in {!Dfa.of_rules} — the reference
     builds used by the differential batteries. *)
 val compile_rules :
-  ?classes:bool -> ?accel:bool -> Regex.t list -> (t, error) result
+  ?classes:bool -> ?accel:bool -> ?max_states:int -> Regex.t list ->
+  (t, error) result
 
 val compile_grammar : string -> (t, error) result
 

@@ -55,7 +55,7 @@ let evict_lru t =
 let p_hit = St_trace.Trace.probe ~cat:"engine" "cache.hit"
 let p_compile = St_trace.Trace.probe ~cat:"engine" "cache.compile"
 
-let find_or_compile t ?(classes = true) ?(accel = true) rules =
+let find_or_compile t ?(classes = true) ?(accel = true) ?max_states rules =
   let key = key_of_rules ~classes ~accel rules in
   match Hashtbl.find_opt t.table key with
   | Some e ->
@@ -66,7 +66,7 @@ let find_or_compile t ?(classes = true) ?(accel = true) rules =
   | None ->
       let result =
         St_trace.Trace.with_span p_compile (fun () ->
-            Engine.compile_rules ~classes ~accel rules)
+            Engine.compile_rules ~classes ~accel ?max_states rules)
       in
       t.compiles <- t.compiles + 1;
       if Hashtbl.length t.table >= t.max_entries then evict_lru t;

@@ -31,11 +31,15 @@ val key_of_rules : ?classes:bool -> ?accel:bool -> Regex.t list -> string
 
 (** [find_or_compile t rules] returns the cached engine (or cached compile
     error) for [rules] under the given compile flags, compiling on first
-    use. *)
+    use. [max_states] caps the subset construction of a cache-miss compile
+    ({!St_automata.Dfa.of_nfa}); the resulting [Failure] propagates and is
+    not cached. It is not part of the key: a successful capped build is
+    identical to the uncapped one. *)
 val find_or_compile :
   t ->
   ?classes:bool ->
   ?accel:bool ->
+  ?max_states:int ->
   Regex.t list ->
   (Engine.t, Engine.error) result
 

@@ -1,0 +1,46 @@
+BPE vocabularies are data-driven grammars. The deterministic trainer
+reproduces the vendored test vocabulary bit-for-bit:
+
+  $ streamtok bpe train --mini -o mini.tiktoken
+  wrote mini.tiktoken (341 tokens, munch-consistent)
+
+The audit proves the greedy DFA equals the merge loop, then the max-TND
+analysis runs at vocabulary scale:
+
+  $ streamtok bpe analyze mini.tiktoken
+  vocab:     mini.tiktoken (341 tokens, longest 8 bytes)
+  audit:     munch-consistent (greedy DFA = merge loop on every input)
+  DFA size:  401
+  max-TND:   5
+  witness:   " lt" -> " ltshhro" (distance 5)
+  streaming: StreamTok applies (lookahead K = 5)
+  footprint: 840146 bytes (engine tables)
+
+Tokenizing with a bpe: grammar spec; --ids prints token ids (= rule
+indices, = vocabulary ranks):
+
+  $ printf 'the rain in spain' | streamtok tokenize bpe:mini.tiktoken --ids | head -6
+  116
+  104
+  101
+  263
+  97
+  105
+
+  $ printf 'the rain' | streamtok tokenize bpe:mini.tiktoken | head -3
+  t116         "t"
+  t104         "h"
+  t101         "e"
+
+An unknown grammar name reports the candidates (and the other spec forms):
+
+  $ streamtok analyze no-such-grammar
+  streamtok: GRAMMAR argument: unknown grammar "no-such-grammar" (built-in
+             grammars: json, csv, csv-rfc4180, tsv, xml, yaml, fasta, dns-zone,
+             log, android, apache, bgl, hadoop, hdfs, linux, mac, nginx,
+             openssh, proxifier, spark, windows, c, r, sql, sql-insert, ini,
+             toml, http-headers; or use '@rule;rule;...', 'bpe:<vocab-file>',
+             or grammar source with one rule per line)
+  Usage: streamtok analyze [--explain] [OPTION]… GRAMMAR
+  Try 'streamtok analyze --help' or 'streamtok --help' for more information.
+  [124]

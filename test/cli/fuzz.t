@@ -3,7 +3,7 @@ inputs. The smoke preset is iteration-bound (no wall-clock cutoff), so its
 summary is a pure function of the seed:
 
   $ streamtok fuzz --smoke --seed 42
-  fuzz: 60 grammars (7 unbounded), 180 inputs, 4411 subject checks, 0 mismatches
+  fuzz: 60 grammars (7 unbounded), 180 inputs, 4561 subject checks, 0 mismatches
 
 The JSON report is deterministic too, up to timings:
 

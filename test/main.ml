@@ -24,4 +24,5 @@ let () =
       ("apps", Test_apps.suite);
       ("combinator", Test_combinator.suite);
       ("fuzz", Test_fuzz.suite);
+      ("bpe", Test_bpe.suite);
     ]

@@ -42,6 +42,28 @@ let test_dfa_totality () =
   done;
   check "total" true !ok
 
+let test_max_states_cap () =
+  let rules = Parser.parse_grammar "[0-9]+(\\.[0-9]+)?\n[ \\t]+\n[a-z]+" in
+  (* The cap binds during subset construction, before minimization, so
+     measure against the unminimized size: a cap at exactly that size
+     succeeds and builds the identical automaton; one state less must
+     abort with a Failure naming the cap. *)
+  let d = Dfa.of_rules ~minimize:false rules in
+  let capped = Dfa.of_rules ~minimize:false ~max_states:(Dfa.size d) rules in
+  check_int "cap = size succeeds" (Dfa.size d) (Dfa.size capped);
+  (match Dfa.of_rules ~minimize:false ~max_states:(Dfa.size d - 1) rules with
+  | exception Failure msg ->
+      check "message names the cap" true
+        (let sub = string_of_int (Dfa.size d - 1) in
+         let n = String.length msg and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+         go 0)
+  | _ -> Alcotest.fail "expected Failure from exceeded cap");
+  (* The cap threads through the engine compile path too. *)
+  match Engine.compile_rules ~max_states:1 rules with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure from Engine.compile_rules cap"
+
 let test_minimization_shrinks () =
   let rules = Parser.parse_grammar "(a|b)(a|b)\n(aa|ab|ba|bb)c" in
   let d_min = Dfa.of_rules ~minimize:true rules in
@@ -114,6 +136,7 @@ let suite =
     Alcotest.test_case "DFA basics (Fig. 1)" `Quick test_dfa_basic;
     Alcotest.test_case "rule priority" `Quick test_dfa_priority;
     Alcotest.test_case "totality" `Quick test_dfa_totality;
+    Alcotest.test_case "max-states cap" `Quick test_max_states_cap;
     Alcotest.test_case "minimization shrinks" `Quick test_minimization_shrinks;
     Alcotest.test_case "minimization preserves language" `Quick
       test_minimization_preserves_language;

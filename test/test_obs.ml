@@ -144,6 +144,67 @@ let test_json_non_finite () =
   check_str "escaping" "\"a\\\"b\\\\c\\n\\u0001\""
     (Obs.Json.to_string (Obs.Json.String "a\"b\\c\n\001"))
 
+(* Vocab-style inputs for the parser: BPE JSON vocabularies are big flat
+   objects whose keys are arbitrary byte strings — \u escapes (including
+   surrogate pairs), long keys, and machine-generated nesting all have to
+   round-trip exactly, because a key that decodes wrong becomes a wrong
+   token. *)
+let parse_ok s =
+  match Obs.Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_json_parse_unicode () =
+  let str s =
+    match parse_ok s with
+    | Obs.Json.String v -> v
+    | _ -> Alcotest.failf "expected string for %S" s
+  in
+  check_str "ascii \\u" "A" (str "\"\\u0041\"");
+  check_str "2-byte utf8" "\xc3\xa9" (str "\"\\u00e9\"");
+  check_str "3-byte utf8" "\xe2\x82\xac" (str "\"\\u20ac\"");
+  check_str "surrogate pair" "\xf0\x9f\x98\x80" (str "\"\\ud83d\\ude00\"");
+  check_str "lone high surrogate" "\xef\xbf\xbd" (str {|"\ud83d"|});
+  check_str "lone low surrogate" "\xef\xbf\xbd" (str {|"\ude00"|});
+  check_str "high surrogate + non-surrogate escape" "\xef\xbf\xbdA"
+    (str {|"\ud83dA"|});
+  check_str "pair then text" "x\xf0\x9f\x98\x80y"
+    (str "\"x\\ud83d\\ude00y\"");
+  check "truncated \\u fails" true
+    (Result.is_error (Obs.Json.of_string {|"\u00"|}));
+  check "bad hex fails" true
+    (Result.is_error (Obs.Json.of_string {|"\u00zz"|}))
+
+let test_json_parse_vocab_shapes () =
+  (* Long keys: a 64 KiB key must come back byte-identical. *)
+  let key = String.init 65536 (fun i -> Char.chr (0x61 + (i mod 26))) in
+  (match parse_ok (Printf.sprintf "{%S: 7}" key) with
+  | Obs.Json.Obj [ (k, v) ] ->
+      check "long key round-trips" true (String.equal k key);
+      check_int "long key value" 7
+        (match Obs.Json.to_int_opt v with Some n -> n | None -> -1)
+  | _ -> Alcotest.fail "expected 1-entry object");
+  (* Wide objects: vocab files are one object with thousands of entries. *)
+  let entries =
+    String.concat "," (List.init 2000 (fun i -> Printf.sprintf "\"t%d\":%d" i i))
+  in
+  (match parse_ok ("{" ^ entries ^ "}") with
+  | Obs.Json.Obj kvs ->
+      check_int "wide object size" 2000 (List.length kvs);
+      check_int "wide object last value" 1999
+        (match Obs.Json.to_int_opt (snd (List.nth kvs 1999)) with
+        | Some n -> n
+        | None -> -1)
+  | _ -> Alcotest.fail "expected object");
+  (* Deep nesting: 512 levels of arrays must not blow the parser. *)
+  let deep = String.make 512 '[' ^ "1" ^ String.make 512 ']' in
+  let rec depth = function
+    | Obs.Json.List [ v ] -> 1 + depth v
+    | Obs.Json.Int 1 -> 0
+    | _ -> Alcotest.fail "unexpected nesting shape"
+  in
+  check_int "deep nesting depth" 512 (depth (parse_ok deep))
+
 (* The documents the library produces must be valid JSON by the repo's own
    validator: tokenize with the Formats.json grammar, then stream the
    tokens through Json_validate. *)
@@ -380,6 +441,10 @@ let suite =
     Alcotest.test_case "span" `Quick test_span;
     Alcotest.test_case "JSON exact form" `Quick test_json_exact;
     Alcotest.test_case "JSON non-finite + escaping" `Quick test_json_non_finite;
+    Alcotest.test_case "JSON \\u decoding (surrogates)" `Quick
+      test_json_parse_unicode;
+    Alcotest.test_case "JSON vocab-shaped inputs" `Quick
+      test_json_parse_vocab_shapes;
     Alcotest.test_case "JSON validates" `Quick test_json_validates;
     Alcotest.test_case "Prometheus text format" `Quick test_prometheus;
     Alcotest.test_case "instrumented ≡ plain" `Quick test_instrumented_identical;
