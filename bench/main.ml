@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|trace|compress|compress-check|accel|accel-check|bpe|bpe-check|smoke|quick|all]";
+     [table1|fig7|fig8|fig9|fig11|table2|rq6|ablation|parallel|micro|fuzz|serve|trace|compress|compress-check|accel|accel-check|swar-check|bpe|bpe-check|smoke|quick|all]";
   exit 2
 
 let all ~quick =
@@ -51,6 +51,7 @@ let () =
   | "compress-check" -> Compress_bench.run ~throughput:false ()
   | "accel" -> Accel_bench.run ()
   | "accel-check" -> Accel_bench.run ~throughput:false ()
+  | "swar-check" -> Accel_bench.swar_check ()
   | "bpe" -> Bpe_bench.run ()
   | "bpe-check" -> Bpe_bench.run ~throughput:false ()
   | "smoke" -> Micro.smoke ()

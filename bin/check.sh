@@ -41,6 +41,26 @@ echo "== accel gate (skip-loop parity + analysis coverage + skip ratios)"
 # overhead gate) is skipped here to keep the gate fast and CI-noise-free.
 dune exec bench/main.exe -- accel-check
 
+echo "== swar gate (SWAR classification, 3-way parity, quick speedup floor)"
+# Hard checks live inside the bench: the words and json-strings workloads
+# must classify at least one SWAR state, the SWAR / bitmap-only / noaccel
+# builds must produce byte-identical token streams, >=50% of skipped
+# bytes must flow through SWAR-classified scans, and a best-of-3 timing
+# must clear a lenient 1.5x SWAR-vs-bitmap floor (the full `bench accel`
+# enforces the hard 2x gate).
+dune exec bench/main.exe -- swar-check
+
+# The stats surface must expose the classification: a json run carries at
+# least one state in the SWAR tier.
+swar_states=$(dune exec -- streamtok stats json < /dev/null \
+  | grep -o '"name":"accel_swar_states","type":"gauge","value":[0-9]*' \
+  | grep -o '[0-9]*$' || true)
+if [ -z "$swar_states" ] || [ "$swar_states" -lt 1 ]; then
+  echo "swar gate FAILED: stats json reports no SWAR states"
+  dune exec -- streamtok stats json < /dev/null || true
+  exit 1
+fi
+
 echo "== bpe gate (vendored-vocab drift, audit, parity vs merge loop, bounded K)"
 # Hard checks live inside the bench: the vendored vocabulary must equal
 # Trainer.mini (), pass the munch-consistency audit, and the DFA engine's

@@ -237,6 +237,9 @@ let stats_cmd =
             cs.Engine.footprint_bytes;
           gauge "accel_states" "accelerable self-loop (skip-scan) states"
             (Engine.accel_states e);
+          gauge "accel_swar_states"
+            "accelerable states in the SWAR (64-bit scan) tier"
+            (Engine.accel_swar_states e);
           span "analysis_seconds" "max-TND frontier analysis"
             cs.Engine.analysis_seconds;
           span "build_seconds" "engine table construction"

@@ -39,6 +39,26 @@ type t = {
           for every state of an
           accelerated build, flagged or not; [[||]] when [accel] is false —
           only dereference it behind an [accel_flags] hit. *)
+  accel_kind : Bytes.t;
+      (** [num_states] bytes classifying each state's scanner:
+          ['\000'] bitmap scan (>= 4 stop bytes, or SWAR disabled),
+          ['\001'..'\003'] SWAR with that many distinct stop bytes,
+          ['\004'] free-running (no stop bytes: a run never ends before the
+          range limit). Derived from [accel_stops] by {!swar_classify};
+          all zero when [accel] is false or the build passed
+          [~swar:false]. *)
+  accel_swar : int64 array;
+      (** 3 broadcast masks per state ([0x0101010101010101 * stop_byte]);
+          states with fewer than 3 stop bytes repeat the last real mask.
+          Only meaningful for SWAR kinds; [[||]] when classification is
+          off. *)
+  accel_tbl : Bytes.t;
+      (** 256 bytes per state: [tbl.[q*256 + b]] is ['\001'] iff byte [b]
+          stops state [q] — the stop bitmap re-expanded for the
+          dual-cursor mixed scan, whose merged word loop gathers per-byte
+          0/1 flags for the bitmap-classified side while testing the SWAR
+          side with broadcast detectors. Derived by {!swar_byte_table};
+          [Bytes.empty] when classification is off. *)
 }
 
 (** [step dfa q c] is δ(q, c): classmap load, then table load. *)
@@ -81,19 +101,23 @@ val class_reps : string -> int -> int array
     reference, mirroring [~classes:false]. [max_states] (default
     unbounded) caps the number of interned subset states: data-driven
     grammars (BPE vocabularies) can blow up the construction, and a
-    prompt [Failure] naming the cap beats unbounded memory growth. *)
-val of_nfa : ?classes:bool -> ?accel:bool -> ?max_states:int -> Nfa.t -> t
+    prompt [Failure] naming the cap beats unbounded memory growth.
+    [swar] (default true) additionally classifies accelerated states into
+    per-state scanners (see {!type:t.accel_kind}); [~swar:false] keeps the
+    pure-bitmap accelerated build as the SWAR differential reference. *)
+val of_nfa :
+  ?classes:bool -> ?accel:bool -> ?swar:bool -> ?max_states:int -> Nfa.t -> t
 
 (** [of_rules rules] = subset construction ∘ Thompson, with Moore
     minimization applied when [minimize] (default true). *)
 val of_rules :
-  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?max_states:int ->
-  Regex.t list -> t
+  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?swar:bool ->
+  ?max_states:int -> Regex.t list -> t
 
 (** [of_grammar src] parses a newline-separated grammar and builds its DFA. *)
 val of_grammar :
-  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?max_states:int ->
-  string -> t
+  ?minimize:bool -> ?classes:bool -> ?accel:bool -> ?swar:bool ->
+  ?max_states:int -> string -> t
 
 (** {2 Self-loop run acceleration}
 
@@ -106,23 +130,46 @@ val of_grammar :
 
 (** Recompute (or strip, with [~enabled:false]) the acceleration tables of
     an existing DFA. Used by deserialization and by rebuilds that renumber
-    states. *)
-val attach_accel : enabled:bool -> t -> t
+    states. [swar] (default true) controls whether the SWAR classification
+    is computed alongside the bitmaps. *)
+val attach_accel : enabled:bool -> ?swar:bool -> t -> t
 
 val accel_enabled : t -> bool
+
+(** Whether this build carries a SWAR classification (always true for a
+    default accelerated build; false after [~swar:false] or [~accel:false]). *)
+val accel_swar_enabled : t -> bool
 
 (** Number of flagged (accelerable) states. *)
 val accel_state_count : t -> int
 
+(** Number of states classified into the SWAR tier (kinds 1–3; the
+    free-running kind 4 is not counted — it never runs a word loop). *)
+val accel_swar_state_count : t -> int
+
 val is_accel_state : t -> int -> bool
+
+(** [swar_classify ~num_states ~stops]: derive the per-state scanner
+    classification (kind bytes + broadcast masks) from stop-byte bitmaps.
+    Exposed for deserialization (which recomputes and cross-checks the
+    stored kinds) and for the SWAR oracle tests, which feed it synthetic
+    bitmaps. *)
+val swar_classify :
+  num_states:int -> stops:int array -> Bytes.t * int64 array
+
+(** [swar_byte_table ~num_states ~stops]: re-expand stop-byte bitmaps into
+    the 256-byte-per-state 0/1 gather tables ([accel_tbl]) used by
+    {!skip_run2}'s mixed-pair word loop. Like {!swar_classify}, a pure
+    function of the bitmaps, recomputed on every build and load. *)
+val swar_byte_table : num_states:int -> stops:int array -> Bytes.t
 
 (** [accel_stop_byte d q b] iff the analysis marks byte [b] as a stop byte
     of state [q] (false on unaccelerated builds). Test/tool access; hot
     loops use {!skip_run} directly. *)
 val accel_stop_byte : t -> int -> int -> bool
 
-(** Bytes held by the acceleration tables (flags + bitmaps), for
-    footprint accounting. *)
+(** Bytes held by the acceleration tables (flags + bitmaps + kind bytes +
+    SWAR masks), for footprint accounting. *)
 val accel_table_bytes : t -> int
 
 (** [stop_bit stops base b]: 1 iff byte [b] is a stop byte of the bitmap
@@ -132,19 +179,41 @@ val accel_table_bytes : t -> int
     extends the run (a run-poor stream then never pays the call). *)
 val stop_bit : int array -> int -> int -> int
 
-(** [skip_run stops q s pos limit]: first index in [[pos, limit)] holding a
-    stop byte of state [q] per the bitmaps [stops] (normally
-    [d.accel_stops]), or [limit] when the whole range self-loops. 8 bytes
-    per iteration on the fast path. Callers must only reach this from a
+(** [skip_run stops kinds masks q s pos limit]: first index in
+    [[pos, limit)] holding a stop byte of state [q] per the bitmaps [stops]
+    (normally [d.accel_stops]), or [limit] when the whole range self-loops.
+    Dispatches on [kinds.[q]] (normally [d.accel_kind]): SWAR states scan
+    8 bytes per 64-bit load using the broadcast [masks]
+    ([d.accel_swar]), free-running states return [limit] outright, bitmap
+    states take the 8-way byte loop. Callers must only reach this from a
     flagged state of an accelerated build. *)
-val skip_run : int array -> int -> string -> int -> int -> int
+val skip_run :
+  int array -> Bytes.t -> int64 array -> int -> string -> int -> int -> int
+
+(** The kind-['\000'] scanner of {!skip_run}, callable directly: pure
+    byte-at-a-time bitmap scanning, no SWAR. This is the reference the
+    SWAR tier is differentially tested (and benched) against. *)
+val skip_run_bitmap : int array -> int -> string -> int -> int -> int
 
 (** Dual-cursor variant for the TE paths: stops when {e either} state hits
     a stop byte, the second cursor reading [off] bytes away from the first
     ([off = +k] when the lookahead automaton leads, [-k] when the main
-    automaton trails). Caller guarantees both cursors stay in bounds:
-    [pos + off >= 0] and [limit + off <= String.length s]. *)
+    automaton trails). Both sides carry (stops, kinds, masks, byte table);
+    both sides SWAR runs the dual detector loop, a mixed pair runs the
+    merged SWAR + byte-table-gather loop (the slow side's [tbl] is the
+    only table it dereferences), and only a doubly-bitmap pair falls back
+    to the dual bitmap loop. Caller guarantees both cursors stay in
+    bounds: [pos + off >= 0] and [limit + off <= String.length s] (which
+    also bounds the offset 64-bit load — the word loop stops at
+    [limit - 8]). *)
 val skip_run2 :
+  int array -> Bytes.t -> int64 array -> Bytes.t -> int ->
+  int array -> Bytes.t -> int64 array -> Bytes.t -> int ->
+  off:int -> string -> int -> int -> int
+
+(** The dual bitmap scanner of {!skip_run2}, callable directly as the SWAR
+    differential reference. *)
+val skip_run2_bitmap :
   int array -> int -> int array -> int -> off:int -> string -> int -> int -> int
 
 (** States from which some final state is reachable (co-accessible,

@@ -26,6 +26,7 @@ let run d s ~emit =
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
   let n = String.length s in
   let steps = ref 0 in
   let startP = ref 0 in
@@ -61,7 +62,7 @@ let run d s ~emit =
       then begin
         (* self-loop run: accept status is constant, so the furthest match
            moves with the skip; [steps] still counts every byte read *)
-        let j = Dfa.skip_run astops !q s !pos n in
+        let j = Dfa.skip_run astops akind aswar !q s !pos n in
         if j > !pos then begin
           steps := !steps + (j - !pos);
           pos := j;
@@ -157,7 +158,8 @@ let run_buffered d ~capacity ~read ~emit =
             (* skip within the filled window; the refill logic above
                resumes normally at the stop byte (or the fill limit) *)
             let j =
-              Dfa.skip_run d.Dfa.accel_stops !q
+              Dfa.skip_run d.Dfa.accel_stops d.Dfa.accel_kind
+                d.Dfa.accel_swar !q
                 (Bytes.unsafe_to_string !buf)
                 !pos !fill
             in

@@ -12,6 +12,7 @@ let run d s ~emit =
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
   let n = String.length s in
   let m = Dfa.size d in
   (* failed bit (q * (n+1) + pos): the deterministic run from state q at
@@ -80,7 +81,7 @@ let run d s ~emit =
              never be memoized anyway — the failed-bit table is identical
              to the unaccelerated run's. Record only the run's endpoint
              and move the last accept there. *)
-          let j = Dfa.skip_run astops !q s !pos n in
+          let j = Dfa.skip_run astops akind aswar !q s !pos n in
           if j > !pos then begin
             steps := !steps + (j - !pos);
             pos := j;

@@ -217,6 +217,29 @@ let check ?(on_subject = fun _ -> ()) spec =
                   ("stream-noaccel:" ^ name)
                   (of_engine (Chunking.apply ena input ch)))
               spec.chunkings);
+        (* the reference build with acceleration but without the SWAR
+           tier: the word-at-a-time scanners the "engine" subject ran
+           must agree with the pure bitmap skip loops *)
+        (match Engine.compile (Dfa.of_rules ~swar:false spec.rules) with
+        | Error Engine.Unbounded_tnd ->
+            incr subjects;
+            on_subject "engine-swar-off";
+            mismatches :=
+              {
+                subject = "engine-swar-off";
+                expected = reference;
+                got =
+                  { tokens = []; failure = Some (0, "swar-off compile failed") };
+              }
+              :: !mismatches
+        | Ok eso ->
+            expect "engine-swar-off" (of_engine (Engine.tokens eso input));
+            List.iter
+              (fun (name, ch) ->
+                expect ~equal:behaviour_equal_streaming
+                  ("stream-swar-off:" ^ name)
+                  (of_engine (Chunking.apply eso input ch)))
+              spec.chunkings);
         List.iter
           (fun (name, ch) ->
             expect ~equal:behaviour_equal_streaming ("stream:" ^ name)

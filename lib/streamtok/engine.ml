@@ -125,11 +125,12 @@ let compile_trusted d ~k =
   in
   { dfa = d; k; reject; mode }
 
-let compile_rules ?classes ?accel ?max_states rules =
-  compile (Dfa.of_rules ?classes ?accel ?max_states rules)
+let compile_rules ?classes ?accel ?swar ?max_states rules =
+  compile (Dfa.of_rules ?classes ?accel ?swar ?max_states rules)
 
 let compile_grammar src = compile (Dfa.of_grammar src)
 let accel_states e = Dfa.accel_state_count e.dfa
+let accel_swar_states e = Dfa.accel_swar_state_count e.dfa
 
 type outcome = Finished | Failed of { offset : int; pending : string }
 
@@ -179,6 +180,7 @@ let run_string_k1 ?(from = 0) e tbl s ~emit =
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
   let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
@@ -206,7 +208,7 @@ let run_string_k1 ?(from = 0) e tbl s ~emit =
       && !pos < n
       && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
          = 0
-    then pos := Dfa.skip_run astops !q s !pos n;
+    then pos := Dfa.skip_run astops akind aswar !q s !pos n;
     prev2 := prev;
     let next_cls =
       if !pos < n then
@@ -242,6 +244,8 @@ let run_string_te ?(from = 0) e te s ~emit =
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
+  let atbl = d.Dfa.accel_tbl in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
@@ -300,10 +304,13 @@ let run_string_te ?(from = 0) e te s ~emit =
       && Dfa.stop_bit astops (!q * 8)
            (Char.code (String.unsafe_get s (!pos + 1)))
          = 0
-    then
+    then begin
+      let bstops = Te_dfa.accel_stops te !st in
       pos :=
-        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
-          (!pos + 1) (n - k)
+        Dfa.skip_run2 astops akind aswar atbl !q bstops
+          (Te_dfa.accel_kinds te) (Te_dfa.accel_masks te)
+          (Te_dfa.accel_tbl te) !st ~off:k s (!pos + 1) (n - k)
+    end
     else incr pos;
     prev2_q := prev_q;
     prev2_st := prev_st
@@ -329,11 +336,12 @@ let tokens e s =
    `bench/main.exe smoke` gates; everything else Run_stats reports is
    recorded once per call, outside the loop. *)
 
-let run_string_k1_obs ~from e tbl rc sk s ~emit =
+let run_string_k1_obs ~from e tbl rc sk swk s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
   let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
@@ -359,8 +367,9 @@ let run_string_k1_obs ~from e tbl rc sk s ~emit =
       && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
          = 0
     then begin
-      let j = Dfa.skip_run astops !q s !pos n in
+      let j = Dfa.skip_run astops akind aswar !q s !pos n in
       sk := !sk + (j - !pos);
+      if Bytes.unsafe_get akind !q <> '\000' then swk := !swk + (j - !pos);
       pos := j
     end;
     prev2 := prev;
@@ -381,11 +390,13 @@ let run_string_k1_obs ~from e tbl rc sk s ~emit =
   done;
   if !startP < n then fail s !startP else Finished
 
-let run_string_te_obs ~from e te rc sk s ~emit =
+let run_string_te_obs ~from e te rc sk swk s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
+  let atbl = d.Dfa.accel_tbl in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
@@ -444,11 +455,18 @@ let run_string_te_obs ~from e te rc sk s ~emit =
            (Char.code (String.unsafe_get s (!pos + 1)))
          = 0
     then begin
+      let bstops = Te_dfa.accel_stops te !st in
+      let bkinds = Te_dfa.accel_kinds te in
       let j =
-        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
+        Dfa.skip_run2 astops akind aswar atbl !q bstops bkinds
+          (Te_dfa.accel_masks te) (Te_dfa.accel_tbl te) !st ~off:k s
           (!pos + 1) (n - k)
       in
       sk := !sk + (j - (!pos + 1));
+      if
+        Bytes.unsafe_get akind !q <> '\000'
+        || Bytes.unsafe_get bkinds !st <> '\000'
+      then swk := !swk + (j - (!pos + 1));
       pos := j
     end
     else incr pos;
@@ -464,11 +482,12 @@ let run_string_te_obs ~from e te rc sk s ~emit =
    called — the visit counts are exact, not sampled, which keeps the
    top-N table deterministic for a deterministic workload. *)
 
-let run_string_k1_heat ~from e tbl rc sk sv ss s ~emit =
+let run_string_k1_heat ~from e tbl rc sk swk sv ss s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
   let kw = nc + 1 in
   let start = d.Dfa.start in
   let n = String.length s in
@@ -495,8 +514,9 @@ let run_string_k1_heat ~from e tbl rc sk sv ss s ~emit =
       && Dfa.stop_bit astops (!q * 8) (Char.code (String.unsafe_get s !pos))
          = 0
     then begin
-      let j = Dfa.skip_run astops !q s !pos n in
+      let j = Dfa.skip_run astops akind aswar !q s !pos n in
       sk := !sk + (j - !pos);
+      if Bytes.unsafe_get akind !q <> '\000' then swk := !swk + (j - !pos);
       Array.unsafe_set ss !q (Array.unsafe_get ss !q + (j - !pos));
       pos := j
     end;
@@ -518,11 +538,13 @@ let run_string_k1_heat ~from e tbl rc sk sv ss s ~emit =
   done;
   if !startP < n then fail s !startP else Finished
 
-let run_string_te_heat ~from e te rc sk sv ss s ~emit =
+let run_string_te_heat ~from e te rc sk swk sv ss s ~emit =
   let d = e.dfa in
   let trans = d.Dfa.trans and accept = d.Dfa.accept in
   let cmap = d.Dfa.classmap and nc = d.Dfa.num_classes in
   let aflags = d.Dfa.accel_flags and astops = d.Dfa.accel_stops in
+  let akind = d.Dfa.accel_kind and aswar = d.Dfa.accel_swar in
+  let atbl = d.Dfa.accel_tbl in
   let start = d.Dfa.start in
   let k = Te_dfa.k te in
   let words = Te_dfa.Raw.words te in
@@ -582,11 +604,18 @@ let run_string_te_heat ~from e te rc sk sv ss s ~emit =
            (Char.code (String.unsafe_get s (!pos + 1)))
          = 0
     then begin
+      let bstops = Te_dfa.accel_stops te !st in
+      let bkinds = Te_dfa.accel_kinds te in
       let j =
-        Dfa.skip_run2 astops !q (Te_dfa.accel_stops te !st) !st ~off:k s
+        Dfa.skip_run2 astops akind aswar atbl !q bstops bkinds
+          (Te_dfa.accel_masks te) (Te_dfa.accel_tbl te) !st ~off:k s
           (!pos + 1) (n - k)
       in
       sk := !sk + (j - (!pos + 1));
+      if
+        Bytes.unsafe_get akind !q <> '\000'
+        || Bytes.unsafe_get bkinds !st <> '\000'
+      then swk := !swk + (j - (!pos + 1));
       Array.unsafe_set ss !q (Array.unsafe_get ss !q + (j - (!pos + 1)));
       pos := j
     end
@@ -608,23 +637,27 @@ let run_string_instrumented ?(from = 0) e s ~stats ~emit =
   if traced then St_trace.Trace.begin_span p_run;
   let rc = Run_stats.rule_slots stats (num_rules e) in
   let sk = ref 0 in
+  let swk = ref 0 in
   let outcome, dt =
     St_util.Timer.time_it (fun () ->
         if Run_stats.heat_enabled stats then begin
           let sv, ss = Run_stats.heat_slots stats (Dfa.size e.dfa) in
           match e.mode with
-          | Table_k1 tbl -> run_string_k1_heat ~from e tbl rc sk sv ss s ~emit
-          | Te te -> run_string_te_heat ~from e te rc sk sv ss s ~emit
+          | Table_k1 tbl ->
+              run_string_k1_heat ~from e tbl rc sk swk sv ss s ~emit
+          | Te te -> run_string_te_heat ~from e te rc sk swk sv ss s ~emit
         end
         else
           match e.mode with
-          | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc sk s ~emit
-          | Te te -> run_string_te_obs ~from e te rc sk s ~emit)
+          | Table_k1 tbl -> run_string_k1_obs ~from e tbl rc sk swk s ~emit
+          | Te te -> run_string_te_obs ~from e te rc sk swk s ~emit)
   in
   Run_stats.add_run_seconds stats dt;
   Run_stats.add_chunk stats (String.length s - from);
   Run_stats.add_accel_skipped stats !sk;
+  Run_stats.add_swar_skipped stats !swk;
   Run_stats.set_accel_states stats (accel_states e);
+  Run_stats.set_accel_swar_states stats (accel_swar_states e);
   Run_stats.set_lookahead stats (max e.k 1);
   Run_stats.observe_buffer stats (lookahead_buffer_bytes e);
   Run_stats.set_te_states stats (te_states e);

@@ -47,19 +47,25 @@ val compile_timed : ?force_te:bool -> Dfa.t -> (t * compile_stats, error) result
 val compile_trusted : Dfa.t -> k:int -> t
 
 (** Convenience wrappers: build the minimized tokenization DFA first.
-    [classes] / [accel] (both default true) select the table layout and the
-    self-loop acceleration analysis, and [max_states] caps the subset
-    construction (raising [Failure]), as in {!Dfa.of_rules} — the reference
-    builds used by the differential batteries. *)
+    [classes] / [accel] / [swar] (all default true) select the table layout,
+    the self-loop acceleration analysis and its SWAR classification, and
+    [max_states] caps the subset construction (raising [Failure]), as in
+    {!Dfa.of_rules} — the reference builds used by the differential
+    batteries. *)
 val compile_rules :
-  ?classes:bool -> ?accel:bool -> ?max_states:int -> Regex.t list ->
-  (t, error) result
+  ?classes:bool -> ?accel:bool -> ?swar:bool -> ?max_states:int ->
+  Regex.t list -> (t, error) result
 
 val compile_grammar : string -> (t, error) result
 
 (** Number of accelerable (skip-loop) DFA states; 0 on an unaccelerated
     build. Reported as the [accel_states] gauge. *)
 val accel_states : t -> int
+
+(** Number of accelerable states classified into the SWAR (64-bit scan)
+    tier; 0 on unaccelerated or [~swar:false] builds. Reported as the
+    [accel_swar_states] gauge. *)
+val accel_swar_states : t -> int
 
 (** The grammar's max-TND; the engine's lookahead window. *)
 val k : t -> int

@@ -12,6 +12,8 @@ type t = {
   mutable sync_tokens : int;
   mutable accel_states : int;
   mutable accel_skipped : int;
+  mutable accel_swar_states : int;
+  mutable swar_skipped : int;
   mutable rule_counts : int array;
   mutable state_visits : int array;  (* [||] until state heat is enabled *)
   mutable state_skipped : int array;
@@ -32,6 +34,8 @@ let create () =
     sync_tokens = 0;
     accel_states = 0;
     accel_skipped = 0;
+    accel_swar_states = 0;
+    swar_skipped = 0;
     rule_counts = [||];
     state_visits = [||];
     state_skipped = [||];
@@ -88,6 +92,9 @@ let set_te_states t n = t.te_states <- n
 let set_accel_states t n = t.accel_states <- n
 let add_accel_skipped t n = t.accel_skipped <- t.accel_skipped + n
 let accel_skipped t = t.accel_skipped
+let set_accel_swar_states t n = t.accel_swar_states <- n
+let add_swar_skipped t n = t.swar_skipped <- t.swar_skipped + n
+let swar_skipped t = t.swar_skipped
 let record_failure t = t.failures <- t.failures + 1
 let add_run_seconds t dt = Metrics.Span.add t.run_span dt
 
@@ -137,6 +144,12 @@ let to_registry ?(rule_name = string_of_int) t =
   g "accel_states" "accelerable (skip-loop) DFA states" t.accel_states;
   c "accel_skipped_bytes" "bytes consumed by skip loops without table steps"
     t.accel_skipped;
+  g "accel_swar_states" "accelerable states in the SWAR (64-bit scan) tier"
+    t.accel_swar_states;
+  c "swar_skipped_bytes"
+    "bytes consumed by SWAR-classified skip loops (subset of \
+     accel_skipped_bytes)"
+    t.swar_skipped;
   if t.bytes_in > 0 then
     Metrics.Gauge.set
       (St_obs.Metrics.Registry.gauge r

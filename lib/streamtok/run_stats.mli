@@ -26,6 +26,10 @@
       table steps
     - [accel_skip_ratio] (gauge) — [accel_skipped_bytes / bytes_in], the
       per-run skip ratio (omitted until bytes flow)
+    - [accel_swar_states] (gauge) — accelerable states classified into the
+      SWAR (64-bit scan) tier, kinds 1–3
+    - [swar_skipped_bytes] (counter) — bytes consumed by SWAR-classified
+      skip loops (a subset of [accel_skipped_bytes])
     - [segments], [splice_retries], [sync_tokens] (parallel tokenizer)
     - [run_seconds] (span) — wall-clock time inside instrumented runs *)
 
@@ -68,6 +72,8 @@ val set_lookahead : t -> int -> unit
 val set_te_states : t -> int -> unit
 val set_accel_states : t -> int -> unit
 val add_accel_skipped : t -> int -> unit
+val set_accel_swar_states : t -> int -> unit
+val add_swar_skipped : t -> int -> unit
 val record_failure : t -> unit
 val add_run_seconds : t -> float -> unit
 val record_parallel : t -> segments:int -> splice_retries:int -> sync_tokens:int -> unit
@@ -77,6 +83,7 @@ val record_parallel : t -> segments:int -> splice_retries:int -> sync_tokens:int
 val bytes_in : t -> int
 val chunks : t -> int
 val accel_skipped : t -> int
+val swar_skipped : t -> int
 val tokens_out : t -> int
 val failures : t -> int
 val rule_count : t -> int -> int

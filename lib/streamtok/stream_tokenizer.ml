@@ -33,7 +33,11 @@ type t = {
   nc : int;  (* classes; the k1 table and TeDFA rows are nc+1 wide *)
   aflags : Bytes.t;  (* accelerable-state flags (all zero when disabled) *)
   astops : int array;  (* per-state stop-byte bitmaps *)
+  akind : Bytes.t;  (* per-state scanner kinds (SWAR classification) *)
+  aswar : int64 array;  (* per-state SWAR broadcast masks *)
+  atbl : Bytes.t;  (* per-state 0/1 gather stop tables (mixed-pair scan) *)
   mutable skipped : int;  (* bytes consumed by skip loops, across chunks *)
+  mutable swar_skipped : int;  (* subset consumed by SWAR-classified loops *)
   dfa_start : int;
   mutable q : int;
   token : Buffer.t;  (* bytes of the unfinished token from earlier chunks *)
@@ -78,6 +82,7 @@ let create ?stats engine ~emit =
     | Some st ->
         Run_stats.set_lookahead st (I.delay engine);
         Run_stats.set_accel_states st (Engine.accel_states engine);
+        Run_stats.set_accel_swar_states st (Engine.accel_swar_states engine);
         fun lexeme rule ->
           Run_stats.record_token st ~rule ~len:(String.length lexeme);
           emit lexeme rule
@@ -93,7 +98,11 @@ let create ?stats engine ~emit =
     nc = d.St_automata.Dfa.num_classes;
     aflags = d.St_automata.Dfa.accel_flags;
     astops = d.St_automata.Dfa.accel_stops;
+    akind = d.St_automata.Dfa.accel_kind;
+    aswar = d.St_automata.Dfa.accel_swar;
+    atbl = d.St_automata.Dfa.accel_tbl;
     skipped = 0;
+    swar_skipped = 0;
     dfa_start = d.St_automata.Dfa.start;
     q = d.St_automata.Dfa.start;
     token = Buffer.create 64;
@@ -107,6 +116,7 @@ let create ?stats engine ~emit =
 let failed t = match t.state with `Failed _ -> true | _ -> false
 let bytes_fed t = t.fed
 let accel_skipped_bytes t = t.skipped
+let swar_skipped_bytes t = t.swar_skipped
 
 let fail_with t pending_bytes =
   (match t.stats with Some st -> Run_stats.record_failure st | None -> ());
@@ -170,6 +180,7 @@ let feed_untraced t s pos len =
   else begin
     t.fed <- t.fed + len;
     let sk0 = t.skipped in
+    let sw0 = t.swar_skipped in
     (match t.impl with
     | M_k1 m ->
         let finish = pos + len in
@@ -221,9 +232,14 @@ let feed_untraced t s pos len =
                    (Char.code (String.unsafe_get s !i))
                  = 0
             then begin
-              let j = St_automata.Dfa.skip_run t.astops t.q s !i (finish - 1) in
+              let j =
+                St_automata.Dfa.skip_run t.astops t.akind t.aswar t.q s !i
+                  (finish - 1)
+              in
               if j > !i then begin
                 t.skipped <- t.skipped + (j - 1 - !i);
+                if Bytes.unsafe_get t.akind t.q <> '\000' then
+                  t.swar_skipped <- t.swar_skipped + (j - 1 - !i);
                 i := j - 1
               end
             end;
@@ -297,9 +313,13 @@ let feed_untraced t s pos len =
                  = 0
             then begin
               let bstops = Te_dfa.accel_stops m.te m.st in
+              let bkinds = Te_dfa.accel_kinds m.te in
               let j =
-                St_automata.Dfa.skip_run2 bstops m.st t.astops t.q ~off:(-m.k) s (!i + 1)
-                  finish
+                St_automata.Dfa.skip_run2 bstops bkinds
+                  (Te_dfa.accel_masks m.te)
+                  (Te_dfa.accel_tbl m.te)
+                  m.st t.astops t.akind t.aswar t.atbl t.q ~off:(-m.k) s
+                  (!i + 1) finish
               in
               let mskip = j - (!i + 1) in
               if mskip > 0 then begin
@@ -310,6 +330,10 @@ let feed_untraced t s pos len =
                     (String.unsafe_get s (j - m.k + x))
                 done;
                 t.skipped <- t.skipped + mskip;
+                if
+                  Bytes.unsafe_get t.akind t.q <> '\000'
+                  || Bytes.unsafe_get bkinds m.st <> '\000'
+                then t.swar_skipped <- t.swar_skipped + mskip;
                 i := j - 1
               end
             end
@@ -326,6 +350,7 @@ let feed_untraced t s pos len =
     match t.stats with
     | Some st ->
         Run_stats.add_accel_skipped st (t.skipped - sk0);
+        Run_stats.add_swar_skipped st (t.swar_skipped - sw0);
         Run_stats.observe_buffer st (carried_bytes t)
     | None -> ()
   end

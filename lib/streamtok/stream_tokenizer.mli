@@ -46,3 +46,8 @@ val bytes_fed : t -> int
     built [~accel:false]). With [stats], each feed also adds its delta to
     the [accel_skipped_bytes] counter. *)
 val accel_skipped_bytes : t -> int
+
+(** Subset of {!accel_skipped_bytes} consumed by SWAR-classified skip
+    loops (0 when the engine was built [~swar:false]). With [stats], each
+    feed also adds its delta to the [swar_skipped_bytes] counter. *)
+val swar_skipped_bytes : t -> int

@@ -41,6 +41,9 @@ type t = {
   mutable sets : Bits.t array;  (* per state: the NFA powerset *)
   mutable accel_known : Bytes.t;  (* capacity; nonzero = stop row computed *)
   mutable accel_stops : int array;  (* capacity × 8: 256-bit stop bitmaps *)
+  mutable accel_kinds : Bytes.t;  (* capacity; per-row Dfa.accel_kind byte *)
+  mutable accel_masks : int64 array;  (* capacity × 3: SWAR broadcast masks *)
+  mutable accel_tbl : Bytes.t;  (* capacity × 256: 0/1 gather stop tables *)
   mutable accel_rows : int;  (* stop rows computed so far (footprint) *)
   tbl : int Set_tbl.t;
   (* NFA parameters *)
@@ -87,6 +90,15 @@ let grow t =
   let accel_stops = Array.make (cap * 8) 0 in
   Array.blit t.accel_stops 0 accel_stops 0 (t.num_states * 8);
   t.accel_stops <- accel_stops;
+  let accel_kinds = Bytes.make cap '\000' in
+  Bytes.blit t.accel_kinds 0 accel_kinds 0 t.num_states;
+  t.accel_kinds <- accel_kinds;
+  let accel_masks = Array.make (cap * 3) 0L in
+  Array.blit t.accel_masks 0 accel_masks 0 (t.num_states * 3);
+  t.accel_masks <- accel_masks;
+  let accel_tbl = Bytes.make (cap * 256) '\000' in
+  Bytes.blit t.accel_tbl 0 accel_tbl 0 (t.num_states * 256);
+  t.accel_tbl <- accel_tbl;
   t.capacity <- cap
 
 (* intern a powerset, computing its origin set and emit-bit row *)
@@ -185,6 +197,9 @@ let build dfa ~k =
       sets = Array.make capacity (Bits.create 0);
       accel_known = Bytes.make capacity '\000';
       accel_stops = Array.make (capacity * 8) 0;
+      accel_kinds = Bytes.make capacity '\000';
+      accel_masks = Array.make (capacity * 3) 0L;
+      accel_tbl = Bytes.make (capacity * 256) '\000';
       accel_rows = 0;
       tbl = Set_tbl.create 64;
       m;
@@ -262,9 +277,21 @@ let compute_accel_row t s =
     if not selfloop.(Dfa.class_of_byte t.dfa b) then
       w.(b lsr 5) <- w.(b lsr 5) lor (1 lsl (b land 31))
   done;
+  (* classify the row for the SWAR tier, mirroring the DFA-side tables —
+     but only when the underlying build carries a SWAR classification, so
+     a ~swar:false engine stays pure-bitmap on the TE side too *)
+  let kind, masks, tbl =
+    if Dfa.accel_swar_enabled t.dfa then
+      let kind, masks = Dfa.swar_classify ~num_states:1 ~stops:w in
+      (kind, masks, Dfa.swar_byte_table ~num_states:1 ~stops:w)
+    else (Bytes.make 1 '\000', Array.make 3 0L, Bytes.make 256 '\000')
+  in
   Mutex.lock t.lock;
   if Bytes.get t.accel_known s = '\000' then begin
     Array.blit w 0 t.accel_stops (s * 8) 8;
+    Array.blit masks 0 t.accel_masks (s * 3) 3;
+    Bytes.blit tbl 0 t.accel_tbl (s * 256) 256;
+    Bytes.set t.accel_kinds s (Bytes.get kind 0);
     Bytes.set t.accel_known s '\001';
     t.accel_rows <- t.accel_rows + 1
   end;
@@ -274,7 +301,12 @@ let accel_stops t s =
   if Bytes.unsafe_get t.accel_known s = '\000' then compute_accel_row t s;
   t.accel_stops
 
-let accel_bytes t = (t.accel_rows * 32) + t.num_states
+let accel_kinds t = t.accel_kinds
+let accel_masks t = t.accel_masks
+let accel_tbl t = t.accel_tbl
+
+let accel_bytes t =
+  (t.accel_rows * (32 + 24 + 256)) + (2 * t.num_states)
 
 let start _t = 0
 let k t = t.k

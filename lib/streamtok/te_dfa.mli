@@ -85,13 +85,30 @@ val emit_bit : t -> int -> int -> bool
 
 (** [accel_stops te s] — the 256-bit stop-byte bitmap of powerstate [s]
     (bit [b] set iff byte [b] moves [s] somewhere else), lazily computed on
-    first use and cached. Returns the whole packed array (4 words per
-    powerstate, row [s*4]), in the {!Dfa.skip_run2} layout; like {!Raw}
-    views, the array is replaced wholesale on growth, so re-fetch per use. *)
+    first use and cached. Returns the whole packed array (8 words per
+    powerstate, row [s*8]), in the {!Dfa.skip_run2} layout; like {!Raw}
+    views, the array is replaced wholesale on growth, so re-fetch per use.
+    Computing a row also classifies it for the SWAR tier (see
+    {!accel_kinds}). *)
 val accel_stops : t -> int -> int array
 
-(** Bytes held by the lazily materialized stop bitmaps (monotone in use,
-    for footprint accounting). *)
+(** Per-powerstate {!Dfa.type:t.accel_kind} bytes, valid for rows already
+    ensured via {!accel_stops} (all zero when the underlying DFA was built
+    [~swar:false]). Replaced wholesale on growth — re-fetch per use. *)
+val accel_kinds : t -> Bytes.t
+
+(** Per-powerstate SWAR broadcast masks (3 per row, [s*3]), paired with
+    {!accel_kinds}; same validity and growth caveats. *)
+val accel_masks : t -> int64 array
+
+(** Per-powerstate 256-byte 0/1 gather stop tables (row [s*256]), in the
+    {!Dfa.type:t.accel_tbl} layout, for {!Dfa.skip_run2}'s mixed-pair
+    loop; same validity and growth caveats as {!accel_kinds}. *)
+val accel_tbl : t -> Bytes.t
+
+(** Bytes held by the lazily materialized stop bitmaps, kind bytes, SWAR
+    masks and gather tables (monotone in use, for footprint
+    accounting). *)
 val accel_bytes : t -> int
 
 (**/**)

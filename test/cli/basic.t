@@ -64,7 +64,7 @@ A lexical error reports the position and pending bytes, and exits nonzero:
 Compile-time statistics come out as JSON our own validator accepts:
 
   $ streamtok stats json | streamtok validate
-  valid (max nesting depth 3, 246 tokens)
+  valid (max nesting depth 3, 264 tokens)
   $ streamtok stats json | grep -c '"schema":"streamtok/compile-stats/v1"'
   1
 
@@ -81,7 +81,7 @@ Prometheus text format; bare --stats goes to stderr so stdout stays clean):
   newline      1
   field        3
   $ streamtok validate < run.json
-  valid (max nesting depth 5, 356 tokens)
+  valid (max nesting depth 5, 392 tokens)
   $ printf '1,2,3\n' | streamtok tokenize csv --count --stats --stats-format=prom 2>&1 | grep -E '^streamtok_(bytes_in|tokens|rule_tokens)'
   streamtok_bytes_in 6
   streamtok_tokens 6

@@ -14,7 +14,7 @@ analysis runs at vocabulary scale:
   max-TND:   5
   witness:   " lt" -> " ltshhro" (distance 5)
   streaming: StreamTok applies (lookahead K = 5)
-  footprint: 840146 bytes (engine tables)
+  footprint: 952828 bytes (engine tables)
 
 Tokenizing with a bpe: grammar spec; --ids prints token ids (= rule
 indices, = vocabulary ranks):

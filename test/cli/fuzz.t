@@ -3,7 +3,7 @@ inputs. The smoke preset is iteration-bound (no wall-clock cutoff), so its
 summary is a pure function of the seed:
 
   $ streamtok fuzz --smoke --seed 42
-  fuzz: 60 grammars (7 unbounded), 180 inputs, 4561 subject checks, 0 mismatches
+  fuzz: 60 grammars (7 unbounded), 180 inputs, 5689 subject checks, 0 mismatches
 
 The JSON report is deterministic too, up to timings:
 
@@ -20,7 +20,7 @@ An injected engine bug (the batch engine drops its final token) is found,
 shrunk to a tiny repro, and the run exits nonzero:
 
   $ streamtok fuzz --iters 2 --seconds 0 --seed 7 --inject-bug --corpus-dir repros
-  fuzz: 2 grammars (0 unbounded), 6 inputs, 164 subject checks, 6 mismatches
+  fuzz: 2 grammars (0 unbounded), 6 inputs, 206 subject checks, 6 mismatches
   mismatch 0: subject engine
     grammar: [z-\xa8\xe7]
     input: "\133"
@@ -56,7 +56,7 @@ Replaying a shrunk repro without the injected bug passes — the engines all
 agree on it:
 
   $ streamtok fuzz repros/fuzz-6e2939.repro
-  repros/fuzz-6e2939.repro: ok (26 subjects)
+  repros/fuzz-6e2939.repro: ok (32 subjects)
 
 With the bug injected again, the replay reproduces the mismatch:
 

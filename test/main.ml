@@ -11,6 +11,7 @@ let () =
       ("engine", Test_engine.suite);
       ("compress", Test_compress.suite);
       ("accel", Test_accel.suite);
+      ("swar", Test_swar.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("streaming-extra", Test_streaming_extra.suite);

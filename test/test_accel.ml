@@ -2,8 +2,9 @@
    against the transition function, build determinism, the skip-loop
    scanners' unit behaviour around the unroll boundaries, golden-corpus
    parity of accelerated vs. reference engines (batch and chunked), the
-   streaming skip counters, and the .stc v3 accel section (round-trip,
-   v2 compat, corruption). *)
+   streaming skip counters, and the .stc v4 accel section (round-trip,
+   v2/v3 compat, corruption). The SWAR tier itself (word-level oracle,
+   endianness, random battery) lives in test_swar.ml. *)
 
 open Streamtok
 module Chunking = Fuzz.Chunking
@@ -28,8 +29,8 @@ let test_bitmap_sound () =
       let d = Grammar.dfa g in
       check (name ^ ": accel on by default") true (Dfa.accel_enabled d);
       check_int
-        (name ^ ": table bytes = 33/state")
-        (33 * Dfa.size d)
+        (name ^ ": table bytes = 314/state")
+        (314 * Dfa.size d)
         (Dfa.accel_table_bytes d);
       let flagged = ref 0 in
       for q = 0 to Dfa.size d - 1 do
@@ -85,7 +86,19 @@ let test_noaccel_reference_build () =
   (* flags are still allocated (hot loops probe unconditionally), all 0 *)
   check "noaccel: flags all zero" true
     (Bytes.for_all (fun c -> c = '\000') d.Dfa.accel_flags);
-  check_int "noaccel: empty stop table" 0 (Array.length d.Dfa.accel_stops)
+  check_int "noaccel: empty stop table" 0 (Array.length d.Dfa.accel_stops);
+  check "noaccel: kinds all zero" true
+    (Bytes.for_all (fun c -> c = '\000') d.Dfa.accel_kind);
+  check_int "noaccel: empty mask table" 0 (Array.length d.Dfa.accel_swar);
+  check_int "noaccel: zero swar states" 0 (Dfa.accel_swar_state_count d);
+  (* a swar-off build keeps the bitmap tier but classifies nothing *)
+  let ds = Dfa.of_rules ~swar:false (Grammar.rules Formats.json) in
+  check "swar-off: accel still on" true (Dfa.accel_enabled ds);
+  check "swar-off: accel states unchanged" true (Dfa.accel_state_count ds > 0);
+  check "swar-off: classification disabled" false (Dfa.accel_swar_enabled ds);
+  check_int "swar-off: zero swar states" 0 (Dfa.accel_swar_state_count ds);
+  check "swar-off: kinds all zero" true
+    (Bytes.for_all (fun c -> c = '\000') ds.Dfa.accel_kind)
 
 (* ---- skip-loop scanners ---- *)
 
@@ -97,28 +110,58 @@ let toy_stops =
   set 1 (Char.code 'y');
   stops
 
+(* both toy states are single-stop, so classification puts them in the
+   SWAR tier; forcing the kinds to 0 exercises the bitmap dispatch on the
+   very same assertions *)
+let toy_kinds, toy_masks = Dfa.swar_classify ~num_states:2 ~stops:toy_stops
+let toy_tbl = Dfa.swar_byte_table ~num_states:2 ~stops:toy_stops
+let toy_bitmap_kinds = Bytes.make 2 '\000'
+
+let skip q s pos limit =
+  let v = Dfa.skip_run toy_stops toy_kinds toy_masks q s pos limit in
+  check_int "bitmap dispatch agrees" v
+    (Dfa.skip_run toy_stops toy_bitmap_kinds [||] q s pos limit);
+  check_int "skip_run_bitmap agrees" v
+    (Dfa.skip_run_bitmap toy_stops q s pos limit);
+  v
+
+let skip2 qa qb ~off s pos limit =
+  let v =
+    Dfa.skip_run2 toy_stops toy_kinds toy_masks toy_tbl qa toy_stops
+      toy_kinds toy_masks toy_tbl qb ~off s pos limit
+  in
+  (* forcing one side's kind to bitmap routes the same pair through each of
+     the two merged mixed loops; both must agree with the dual-SWAR path *)
+  check_int "mixed dispatch agrees (A bitmap)" v
+    (Dfa.skip_run2 toy_stops toy_bitmap_kinds [||] toy_tbl qa toy_stops
+       toy_kinds toy_masks toy_tbl qb ~off s pos limit);
+  check_int "mixed dispatch agrees (B bitmap)" v
+    (Dfa.skip_run2 toy_stops toy_kinds toy_masks toy_tbl qa toy_stops
+       toy_bitmap_kinds [||] toy_tbl qb ~off s pos limit);
+  check_int "skip_run2_bitmap agrees" v
+    (Dfa.skip_run2_bitmap toy_stops qa toy_stops qb ~off s pos limit);
+  v
+
 let test_skip_run_unit () =
+  check "toy states are SWAR-classified" true
+    (Bytes.get toy_kinds 0 = '\001' && Bytes.get toy_kinds 1 = '\001');
   (* stop at every distance 0..20 from pos: covers the scalar tail and the
-     8-way unrolled body on both sides of its boundaries *)
+     word-at-a-time body on both sides of its boundaries *)
   for r = 0 to 20 do
     let s = String.make r 'a' ^ "x" ^ String.make 3 'a' in
-    check_int
-      (Printf.sprintf "stop after %d" r)
-      r
-      (Dfa.skip_run toy_stops 0 s 0 (String.length s))
+    check_int (Printf.sprintf "stop after %d" r) r (skip 0 s 0 (String.length s))
   done;
   (* no stop byte: the whole range self-loops to the limit *)
   for n = 0 to 20 do
     let s = String.make n 'a' in
-    check_int (Printf.sprintf "clean run %d" n) n (Dfa.skip_run toy_stops 0 s 0 n)
+    check_int (Printf.sprintf "clean run %d" n) n (skip 0 s 0 n)
   done;
   (* the limit clamps the scan even when the stop byte lies beyond it *)
-  check_int "limit clamps" 13
-    (Dfa.skip_run toy_stops 0 (String.make 13 'a' ^ "bx") 5 13);
+  check_int "limit clamps" 13 (skip 0 (String.make 13 'a' ^ "bx") 5 13);
   (* empty range *)
-  check_int "empty range" 7 (Dfa.skip_run toy_stops 0 (String.make 9 'a') 7 7);
+  check_int "empty range" 7 (skip 0 (String.make 9 'a') 7 7);
   (* stop at pos itself *)
-  check_int "stop at pos" 2 (Dfa.skip_run toy_stops 0 "aax" 2 3)
+  check_int "stop at pos" 2 (skip 0 "aax" 2 3)
 
 let test_skip_run2_unit () =
   (* dual-cursor: cursor a reads s.[i] against state 0 ('x' stops), cursor b
@@ -128,27 +171,27 @@ let test_skip_run2_unit () =
   let s = Bytes.make n 'a' in
   Bytes.set s 9 'y';
   check_int "b stops first (off 2)" 7
-    (Dfa.skip_run2 toy_stops 0 toy_stops 1 ~off:2
-       (Bytes.to_string s) 0 (n - 2));
+    (skip2 0 1 ~off:2 (Bytes.to_string s) 0 (n - 2));
   (* a-cursor stops first *)
   Bytes.set s 3 'x';
-  check_int "a stops first" 3
-    (Dfa.skip_run2 toy_stops 0 toy_stops 1 ~off:2
-       (Bytes.to_string s) 0 (n - 2));
+  check_int "a stops first" 3 (skip2 0 1 ~off:2 (Bytes.to_string s) 0 (n - 2));
   (* negative offset (the streaming M_te shape): b reads behind a *)
   let s = Bytes.make n 'a' in
   Bytes.set s 5 'y';
   check_int "b stops first (off -3)" 8
-    (Dfa.skip_run2 toy_stops 0 toy_stops 1 ~off:(-3)
-       (Bytes.to_string s) 3 n);
+    (skip2 0 1 ~off:(-3) (Bytes.to_string s) 3 n);
   (* clean to the limit at every length (unroll boundaries) *)
   for len = 0 to 12 do
     let s = String.make (len + 4) 'a' in
-    check_int
-      (Printf.sprintf "clean dual run %d" len)
-      len
-      (Dfa.skip_run2 toy_stops 0 toy_stops 1 ~off:4 s 0 len)
-  done
+    check_int (Printf.sprintf "clean dual run %d" len) len
+      (skip2 0 1 ~off:4 s 0 len)
+  done;
+  (* mixed dispatch: one SWAR cursor against one bitmap cursor *)
+  let s = Bytes.make n 'a' in
+  Bytes.set s 9 'y';
+  check_int "mixed swar/bitmap dual" 7
+    (Dfa.skip_run2 toy_stops toy_bitmap_kinds [||] toy_tbl 0 toy_stops
+       toy_kinds toy_masks toy_tbl 1 ~off:2 (Bytes.to_string s) 0 (n - 2))
 
 (* ---- golden corpus parity: accel vs noaccel, batch + chunked ---- *)
 
@@ -244,7 +287,7 @@ let test_streaming_skip_counters () =
   ignore (Stream_tokenizer.finish st');
   check_int "noaccel skips nothing" 0 (Stream_tokenizer.accel_skipped_bytes st')
 
-(* ---- .stc v3 accel section ---- *)
+(* ---- .stc v4 accel section ---- *)
 
 let compile_grammar g =
   match Engine.compile (Grammar.dfa g) with
@@ -267,15 +310,19 @@ let fix_checksum b =
 let tables_end d =
   281 + (4 * Dfa.size d) + (4 * Dfa.size d * Dfa.num_classes d)
 
-let test_stc_v3_roundtrip () =
+let test_stc_v4_roundtrip () =
   let e = compile_grammar Formats.json in
   let blob = Engine_io.to_string e in
-  check_int "v3 version byte" 3 (Char.code blob.[4]);
+  check_int "v4 version byte" 4 (Char.code blob.[4]);
   (match Engine_io.of_string blob with
   | Ok e' ->
       check "accel tables survive the round trip" true
-        (Dfa.equal (Engine.dfa e) (Engine.dfa e'))
-  | Error msg -> Alcotest.failf "v3 load failed: %s" msg);
+        (Dfa.equal (Engine.dfa e) (Engine.dfa e'));
+      check "swar classification survives" true
+        (Dfa.accel_swar_state_count (Engine.dfa e') > 0);
+      check "round trip is bit-for-bit stable" true
+        (String.equal blob (Engine_io.to_string e'))
+  | Error msg -> Alcotest.failf "v4 load failed: %s" msg);
   (* an unaccelerated engine round-trips as unaccelerated *)
   let ep =
     match Engine.compile (Dfa.of_rules ~accel:false (Grammar.rules Formats.json)) with
@@ -286,15 +333,15 @@ let test_stc_v3_roundtrip () =
   | Ok ep' ->
       check "noaccel stays off after round trip" false
         (Dfa.accel_enabled (Engine.dfa ep'))
-  | Error msg -> Alcotest.failf "noaccel v3 load failed: %s" msg
+  | Error msg -> Alcotest.failf "noaccel v4 load failed: %s" msg
 
 let test_stc_v2_compat () =
-  (* a v2 blob is a v3 blob cut at the end of the transition tables with
+  (* a v2 blob is a v4 blob cut at the end of the transition tables with
      the version byte rewound; acceleration must be recomputed on load *)
   let e = compile_grammar Formats.csv in
   let d = Engine.dfa e in
-  let v3 = Engine_io.to_string e in
-  let v2 = Bytes.of_string (String.sub v3 0 (tables_end d)) in
+  let v4 = Engine_io.to_string e in
+  let v2 = Bytes.of_string (String.sub v4 0 (tables_end d)) in
   Bytes.set v2 4 '\002';
   fix_checksum v2;
   match Engine_io.of_string (Bytes.to_string v2) with
@@ -302,6 +349,26 @@ let test_stc_v2_compat () =
       check "v2 load recomputes identical accel tables" true
         (Dfa.equal d (Engine.dfa e'))
   | Error msg -> Alcotest.failf "v2 load failed: %s" msg
+
+let test_stc_v3_compat () =
+  (* a v3 blob is a v4 blob with the per-state kind section cut off and the
+     version byte rewound; the SWAR classification must be recomputed on
+     load, identically to the build-time one *)
+  let e = compile_grammar Formats.json in
+  let d = Engine.dfa e in
+  let v4 = Engine_io.to_string e in
+  let n = Dfa.size d in
+  let v3 = Bytes.of_string (String.sub v4 0 (String.length v4 - n)) in
+  Bytes.set v3 4 '\003';
+  fix_checksum v3;
+  match Engine_io.of_string (Bytes.to_string v3) with
+  | Ok e' ->
+      check "v3 load recomputes identical classification" true
+        (Dfa.equal d (Engine.dfa e'));
+      check_int "v3 load finds the same swar states"
+        (Dfa.accel_swar_state_count d)
+        (Dfa.accel_swar_state_count (Engine.dfa e'))
+  | Error msg -> Alcotest.failf "v3 load failed: %s" msg
 
 let test_stc_accel_corruption () =
   let e = compile_grammar Formats.csv in
@@ -330,6 +397,44 @@ let test_stc_accel_corruption () =
     | Ok _ -> true
     | Error _ -> false)
 
+let test_stc_swar_corruption () =
+  let e = compile_grammar Formats.json in
+  let d = Engine.dfa e in
+  let n = Dfa.size d in
+  let blob = Engine_io.to_string e in
+  let kbase = tables_end d + 1 + n + (n * 32) in
+  let reject what b =
+    match Engine_io.of_string (Bytes.to_string b) with
+    | Error msg ->
+        check (what ^ ": error mentions the accel section") true
+          (let has needle =
+             let nl = String.length needle and ml = String.length msg in
+             let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has "kind" || has "table sizes")
+    | Ok _ -> Alcotest.failf "%s: corrupted blob accepted" what
+  in
+  (* a kind byte above 4 is malformed *)
+  let b = Bytes.of_string blob in
+  Bytes.set b kbase '\007';
+  fix_checksum b;
+  reject "kind byte > 4" b;
+  (* a well-formed but wrong kind contradicts the stop bitmaps; this is
+     structural validation, so it must hold even without verify *)
+  let b = Bytes.of_string blob in
+  Bytes.set b kbase (if Bytes.get b kbase = '\000' then '\001' else '\000');
+  fix_checksum b;
+  reject "kind inconsistent with bitmaps" b;
+  check "kind inconsistency rejected even unverified" true
+    (match Engine_io.of_string ~verify:false (Bytes.to_string b) with
+    | Error _ -> true
+    | Ok _ -> false);
+  (* a truncated kind section makes the blob the wrong length for v4 *)
+  let b = Bytes.of_string (String.sub blob 0 (String.length blob - 1)) in
+  fix_checksum b;
+  reject "truncated kind section" b
+
 let suite =
   [
     Alcotest.test_case "stop bitmaps sound" `Quick test_bitmap_sound;
@@ -341,7 +446,9 @@ let suite =
     Alcotest.test_case "golden grammars parity" `Quick test_golden_grammars;
     Alcotest.test_case "streaming skip counters" `Quick
       test_streaming_skip_counters;
-    Alcotest.test_case "stc v3 roundtrip" `Quick test_stc_v3_roundtrip;
+    Alcotest.test_case "stc v4 roundtrip" `Quick test_stc_v4_roundtrip;
     Alcotest.test_case "stc v2 compat" `Quick test_stc_v2_compat;
+    Alcotest.test_case "stc v3 compat" `Quick test_stc_v3_compat;
     Alcotest.test_case "stc accel corruption" `Quick test_stc_accel_corruption;
+    Alcotest.test_case "stc swar corruption" `Quick test_stc_swar_corruption;
   ]
