@@ -229,4 +229,111 @@ if [ -e "$sock" ]; then
 fi
 rm -rf "$tmpd"
 
+echo "== shard check (--domains 2: parity, pool stats, client abort, SIGTERM drain)"
+# The sharded daemon must be indistinguishable from --domains 1 on the
+# wire: same client output bytes (checked against batch tokenize, which
+# the single-domain leg above also matched), one engine compile pool-wide
+# through the shared cache, and the same abort/drain behavior — a killed
+# client takes down neither its worker domain nor the acceptor.
+tmpd=$(mktemp -d)
+sock="$tmpd/st.sock"
+"$BIN" serve --socket "$sock" --domains 2 --idle-timeout 30 \
+  > "$tmpd/serve.log" 2>&1 &
+srv=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "shard check FAILED: sharded daemon did not come up"
+    cat "$tmpd/serve.log"
+    rm -rf "$tmpd"
+    exit 1
+  fi
+  sleep 0.1
+done
+if ! grep -q "2 domains" "$tmpd/serve.log"; then
+  echo "shard check FAILED: daemon did not report 2 domains"
+  cat "$tmpd/serve.log"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+"$BIN" gen json --bytes 200000 --seed 9 > "$tmpd/in.json"
+"$BIN" tokenize json "$tmpd/in.json" > "$tmpd/ref.out"
+
+# 4 concurrent sessions land 2 on each worker domain (round-robin)
+for n in 1 2 3 4; do
+  "$BIN" client --socket "$sock" json "$tmpd/in.json" > "$tmpd/out.$n" &
+  eval "c$n=\$!"
+done
+clients_failed=0
+for job in "$c1" "$c2" "$c3" "$c4"; do
+  wait "$job" || clients_failed=1
+done
+if [ "$clients_failed" -ne 0 ]; then
+  echo "shard check FAILED: a client exited non-zero"
+  rm -rf "$tmpd"
+  exit 1
+fi
+for n in 1 2 3 4; do
+  if ! cmp -s "$tmpd/ref.out" "$tmpd/out.$n"; then
+    echo "shard check FAILED: client $n output differs from tokenize"
+    rm -rf "$tmpd"
+    exit 1
+  fi
+done
+
+# kill -9 a mid-stream client: the owning worker domain must survive
+fifo="$tmpd/fifo"
+mkfifo "$fifo"
+"$BIN" client --socket "$sock" json < "$fifo" > /dev/null 2>&1 &
+cpid=$!
+exec 9> "$fifo"
+head -c 1000 "$tmpd/in.json" >&9
+sleep 0.3
+kill -9 "$cpid" 2> /dev/null || true
+exec 9>&-
+wait "$cpid" 2> /dev/null || true
+sleep 0.3
+if ! kill -0 "$srv" 2> /dev/null; then
+  echo "shard check FAILED: sharded daemon died after client abort"
+  cat "$tmpd/serve.log"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+# pool-wide STATS from any worker: 4 same-grammar sessions across both
+# workers cost exactly one compile (shared cache), and the vectored
+# write path is live (writev consumptions counted)
+"$BIN" client --socket "$sock" json "$tmpd/in.json" --stats \
+  > /dev/null 2> "$tmpd/stats.json"
+if ! grep -q '"name":"engine_cache_compiles","type":"counter","value":1[,}]' \
+  "$tmpd/stats.json"; then
+  echo "shard check FAILED: expected exactly one compile pool-wide"
+  cat "$tmpd/stats.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
+if grep -q '"name":"writevs","type":"counter","value":0[,}]' \
+  "$tmpd/stats.json"; then
+  echo "shard check FAILED: vectored write path never used"
+  cat "$tmpd/stats.json"
+  rm -rf "$tmpd"
+  exit 1
+fi
+
+# SIGTERM: stop accepting, drain both workers, exit 0, unlink the socket
+kill -TERM "$srv"
+if ! wait "$srv"; then
+  echo "shard check FAILED: sharded daemon did not exit 0 on SIGTERM"
+  rm -rf "$tmpd"
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "shard check FAILED: socket file left behind"
+  rm -rf "$tmpd"
+  exit 1
+fi
+rm -rf "$tmpd"
+
 echo "== check.sh OK"

@@ -809,16 +809,27 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"S"
           ~doc:"Evict sessions idle for more than $(docv) seconds (0: never).")
   in
-  let run socket max_sessions idle_timeout =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains. 1 (default): the classic single-threaded \
+             select loop. N>1: one acceptor hands connections to $(docv) \
+             worker domains round-robin; the engine cache is shared \
+             (one compile per grammar pool-wide) and STATS aggregates \
+             across the pool.")
+  in
+  let run socket max_sessions idle_timeout domains =
     let config =
       { Serve.Server.default_config with max_sessions; idle_timeout }
     in
-    match
-      Serve.Io_loop.serve ~config
-        ~on_listening:(fun () ->
-          Printf.printf "listening on %s\n%!" socket)
-        ~socket ()
-    with
+    let on_listening () =
+      if domains > 1 then
+        Printf.printf "listening on %s (%d domains)\n%!" socket domains
+      else Printf.printf "listening on %s\n%!" socket
+    in
+    match Serve.Shard.serve ~config ~on_listening ~domains ~socket () with
     | () -> ()
     | exception Unix.Unix_error (e, _, arg) ->
         Printf.eprintf "error: %s: %s\n" arg (Unix.error_message e);
@@ -828,8 +839,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the tokenization daemon: one session per connection, engines \
-          shared across same-grammar sessions, SIGTERM drains and exits")
-    Term.(const run $ socket_arg $ max_sessions $ idle_timeout)
+          shared across same-grammar sessions (and across --domains worker \
+          domains), SIGTERM drains and exits")
+    Term.(const run $ socket_arg $ max_sessions $ idle_timeout $ domains)
 
 let client_cmd =
   let grammar_spec =

@@ -47,6 +47,24 @@ module Histogram = struct
   let sum h = h.sum
   let max_value h = h.max_value
 
+  (* Snapshot/merge support for cross-domain aggregation: a worker domain
+     publishes [copy]s of its histograms and an aggregator [merge]s them
+     into one distribution. Log2 buckets make the merge exact — same
+     boundaries everywhere, so summing per-bucket counts loses nothing. *)
+  let copy h =
+    {
+      buckets = Array.copy h.buckets;
+      count = h.count;
+      sum = h.sum;
+      max_value = h.max_value;
+    }
+
+  let merge dst src =
+    Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum;
+    if src.max_value > dst.max_value then dst.max_value <- src.max_value
+
   let observe_seconds h dt =
     observe h (if dt <= 0.0 then 0 else int_of_float (dt *. 1e9))
 

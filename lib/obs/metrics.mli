@@ -57,6 +57,16 @@ module Histogram : sig
   val sum : t -> int
   val max_value : t -> int
 
+  (** Independent deep copy — the snapshot a worker domain publishes so
+      an aggregator can read it without racing further observations. *)
+  val copy : t -> t
+
+  (** [merge dst src] folds [src]'s distribution into [dst] (per-bucket
+      count sums, summed [count]/[sum], max of maxima). Exact: every
+      histogram shares the same log2 bucket boundaries. [src] is not
+      modified. *)
+  val merge : t -> t -> unit
+
   (** Bit length of [max v 0]: the bucket an observation lands in. *)
   val bucket_index : int -> int
 

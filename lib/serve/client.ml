@@ -1,5 +1,38 @@
 type outcome = { exit_code : int; tokens : int }
 
+(* Append the [Printf "%S"] rendering of bytes [pos, pos+len) — quotes,
+   then [String.escaped]'s exact escaping: the six named escapes,
+   printable ASCII verbatim, everything else [\DDD] decimal — straight
+   into [b], no intermediate lexeme string. Byte-parity with the printf
+   path is what lets check.sh [cmp] client output against [tokenize]. *)
+let append_escaped b buf pos len =
+  Buffer.add_char b '"';
+  for i = pos to pos + len - 1 do
+    match Bytes.unsafe_get buf i with
+    | '"' -> Buffer.add_string b "\\\""
+    | '\\' -> Buffer.add_string b "\\\\"
+    | '\n' -> Buffer.add_string b "\\n"
+    | '\t' -> Buffer.add_string b "\\t"
+    | '\r' -> Buffer.add_string b "\\r"
+    | '\b' -> Buffer.add_string b "\\b"
+    | ' ' .. '~' as c -> Buffer.add_char b c
+    | c ->
+        let n = Char.code c in
+        Buffer.add_char b '\\';
+        Buffer.add_char b (Char.unsafe_chr (48 + (n / 100)));
+        Buffer.add_char b (Char.unsafe_chr (48 + (n / 10 mod 10)));
+        Buffer.add_char b (Char.unsafe_chr (48 + (n mod 10)))
+  done;
+  Buffer.add_char b '"'
+
+(* ["%-12s "]: the name, right-padded with spaces to at least 12. *)
+let append_padded b name =
+  Buffer.add_string b name;
+  for _ = String.length name to 11 do
+    Buffer.add_char b ' '
+  done;
+  Buffer.add_char b ' '
+
 let chunk_size = 65536
 
 (* Keep roughly this much encoded output in flight; more input is pulled
@@ -77,9 +110,17 @@ let run ~socket ~grammar ~input ?open_request ?(out = stdout) ?(err = stderr)
       let dec = Wire.Decoder.create () in
       let rbuf = Bytes.create chunk_size in
       let rule_names = ref [||] in
+      (* per-rule "%-12s " prefixes, rendered once at OPENED *)
+      let rule_prefixes = ref [||] in
       let rule_name r =
         if r >= 0 && r < Array.length !rule_names then !rule_names.(r)
         else Printf.sprintf "rule%d" r
+      in
+      let pbuf = Buffer.create 65536 in
+      let rule_prefix r =
+        if r >= 0 && r < Array.length !rule_prefixes then
+          Buffer.add_string pbuf !rule_prefixes.(r)
+        else append_padded pbuf (rule_name r)
       in
       let code = ref 0 in
       let tokens = ref 0 in
@@ -94,7 +135,15 @@ let run ~socket ~grammar ~input ?open_request ?(out = stdout) ?(err = stderr)
             close_out oc
       in
       let handle_reply = function
-        | Wire.Opened { rules; _ } -> rule_names := Array.of_list rules
+        | Wire.Opened { rules; _ } ->
+            rule_names := Array.of_list rules;
+            rule_prefixes :=
+              Array.map
+                (fun name ->
+                  let b = Buffer.create 16 in
+                  append_padded b name;
+                  Buffer.contents b)
+                !rule_names
         | Wire.Tokens toks ->
             (* only reached via reply_of_frame on non-hot paths; the live
                TOKENS stream is printed straight from decoder views *)
@@ -131,10 +180,20 @@ let run ~socket ~grammar ~input ?open_request ?(out = stdout) ?(err = stderr)
         fail 2;
         finished := true
       in
+      (* The hot print path: each record renders into the reused [pbuf]
+         — padded rule prefix, escaped lexeme straight from the decoder
+         buffer — and the whole reply batch leaves in one write. *)
       let print_token ~rule ~buf ~pos ~len =
         incr tokens;
-        Printf.fprintf out "%-12s %S\n" (rule_name rule)
-          (Bytes.sub_string buf pos len)
+        rule_prefix rule;
+        append_escaped pbuf buf pos len;
+        Buffer.add_char pbuf '\n'
+      in
+      let flush_pbuf () =
+        if Buffer.length pbuf > 0 then begin
+          Buffer.output_buffer out pbuf;
+          Buffer.clear pbuf
+        end
       in
       let drain_decoder () =
         let continue = ref true in
@@ -146,24 +205,27 @@ let run ~socket ~grammar ~input ?open_request ?(out = stdout) ?(err = stderr)
               continue := false
           | Wire.Decoder.View v ->
               if v.Wire.Decoder.vtag = Wire.tag_tokens then begin
-                (* token batches: walk the records in place, copying each
-                   lexeme only into the printf *)
-                match Wire.iter_tokens_view v print_token with
+                (* token batches: walk the records in place; lexeme bytes
+                   are escaped straight from the decoder buffer *)
+                (match Wire.iter_tokens_view v print_token with
                 | Ok _ -> ()
                 | Error msg ->
                     bad_stream "bad reply frame" msg;
-                    continue := false
+                    continue := false);
+                flush_pbuf ()
               end
               else if v.Wire.Decoder.vtag = Wire.tag_ids then begin
-                match
-                  Wire.iter_ids_view v (fun id ->
-                      incr tokens;
-                      Printf.fprintf out "%d\n" id)
-                with
+                (match
+                   Wire.iter_ids_view v (fun id ->
+                       incr tokens;
+                       Buffer.add_string pbuf (string_of_int id);
+                       Buffer.add_char pbuf '\n')
+                 with
                 | Ok _ -> ()
                 | Error msg ->
                     bad_stream "bad reply frame" msg;
-                    continue := false
+                    continue := false);
+                flush_pbuf ()
               end
               else begin
                 let f =

@@ -8,6 +8,15 @@
     is over budget, so a client that only wrote and never read could
     deadlock against its own unread tokens. *)
 
+(** [append_escaped b buf pos len] appends exactly what
+    [Printf "%S" (Bytes.sub_string buf pos len)] would print — quotes +
+    [String.escaped]'s escaping — without materializing the lexeme. The
+    client's hot print path; exposed for the byte-parity test. *)
+val append_escaped : Buffer.t -> Bytes.t -> int -> int -> unit
+
+(** [append_padded b name] appends [Printf "%-12s " name]. *)
+val append_padded : Buffer.t -> string -> unit
+
 type outcome = {
   exit_code : int;
       (** 0 ok; 1 lexical failure or server error; 2 connection/protocol

@@ -1,9 +1,16 @@
 (** The Unix-domain-socket daemon: a single-threaded [Unix.select] loop
     over non-blocking sockets, driving {!Server}.
 
-    All byte movement and fd lifecycle lives here; protocol and policy
-    live in {!Server}/{!Session}, which is why the rest of the subsystem
-    never needs a real socket to be tested.
+    All byte movement and fd lifecycle lives in {!Core}; protocol and
+    policy live in {!Server}/{!Session}, which is why the rest of the
+    subsystem never needs a real socket to be tested. {!Core} is also
+    the per-worker event loop of the sharded server ({!Shard}): a worker
+    domain runs the same select round with its wakeup pipe as the
+    [extra] fd where the daemon has its listener.
+
+    Writes are vectored: a connection's queued replies and its deferred
+    token batch (header + session-encoder bytes, never blitted through
+    the out queue) go out in one {!Writev.write}.
 
     Shutdown: SIGTERM/SIGINT set a flag; the loop then calls
     {!Server.drain} (live sessions get a retryable [Shutting_down]
@@ -11,10 +18,43 @@
     and returns once the last connection closes. The socket file is
     unlinked on exit. *)
 
+(** [bind_listener ~socket] binds and listens on a Unix-domain socket,
+    non-blocking. A stale socket file (bind refused, nobody accepting)
+    is unlinked and rebound; a live one raises [EADDRINUSE]. *)
+val bind_listener : socket:string -> Unix.file_descr
+
+(** One server's event loop state: the fd↔conn-id tables, the shared
+    read buffer, and the writev scratch. Single-domain, like the
+    {!Server.t} it drives. *)
+module Core : sig
+  type t
+
+  val create : Server.t -> t
+
+  (** Adopt an accepted (or handed-off) socket: set it non-blocking,
+      {!Server.on_connect} it, track it. *)
+  val register : t -> Unix.file_descr -> unit
+
+  (** [iterate t ~extra ~max_timeout] runs one select round — reads
+      ready connections into {!Server.on_data}, issues vectored writes
+      for pending output, completes drain-closes, ticks — and returns
+      the subset of [extra] fds (listener, wakeup pipe — watched for
+      readability, never read here) that were ready. The timeout is
+      capped at [max_timeout] seconds and tightened to the server's next
+      idle deadline. *)
+  val iterate :
+    t -> extra:Unix.file_descr list -> max_timeout:float ->
+    Unix.file_descr list
+end
+
 (** [serve ~socket ()] binds [socket], listens, and runs until drained
     after a termination signal. [on_listening] fires once the socket is
-    accepting (the CLI prints its ready line from it). Raises
-    [Unix.Unix_error] if the socket cannot be bound. *)
+    accepting (the CLI prints its ready line from it). [should_stop],
+    when given, replaces the SIGTERM/SIGINT handlers as the stop
+    condition (polled every round, which is then capped at 50 ms) — the
+    harness hook for driving a daemon from a bench or a test without
+    process-global signal state. Raises [Unix.Unix_error] if the socket
+    cannot be bound. *)
 val serve :
-  ?config:Server.config -> ?on_listening:(unit -> unit) -> socket:string ->
-  unit -> unit
+  ?config:Server.config -> ?on_listening:(unit -> unit) ->
+  ?should_stop:(unit -> bool) -> socket:string -> unit -> unit

@@ -27,20 +27,30 @@ type conn = {
   session : Session.t;
   dec : Wire.Decoder.t;
   out : Outbuf.t;
+  hdr : Bytes.t;  (* 5-byte scratch: the deferred batch's frame header *)
+  mutable deferred : bool;
+      (* the session encoder holds a finished batch that has not been
+         framed yet; it is written in place by the writev path
+         ([out_vectors]) or materialized into [out] on demand *)
   mutable last_activity : float;
   mutable phase : phase;
 }
 
 type conn_id = int
 
+(* most segments one gathered FEED run hands the tokenizer *)
+let max_gather = 64
+
 type t = {
   cfg : config;
   cache : Engine_cache.t;
   conns : (int, conn) Hashtbl.t;
   scratch : Buffer.t;
+  segs : (string * int * int) array;  (* gathered-FEED scratch *)
   started : float;
   mutable next_id : int;
   mutable is_draining : bool;
+  mutable stats_hook : (unit -> Metrics.Registry.t) option;
   (* counters; snapshotted by stats_registry *)
   mutable opened_total : int;
   mutable closed_total : int;
@@ -54,21 +64,29 @@ type t = {
   mutable feeds_total : int;
   mutable feed_batches_total : int;
   mutable flushes_total : int;
+  mutable writevs_total : int;
+  mutable batch_bytes_direct : int;
+  mutable batch_bytes_copied : int;
   mutable peak_sessions : int;
   mutable decoder_copies_closed : int;
       (* copies accumulated by decoders of connections already removed *)
   feed_ns : Metrics.Histogram.t;
 }
 
-let create ?(config = default_config) () =
+let create ?cache ?(config = default_config) () =
   {
     cfg = config;
-    cache = Engine_cache.create ~max_entries:config.cache_entries ();
+    cache =
+      (match cache with
+      | Some c -> c
+      | None -> Engine_cache.create ~max_entries:config.cache_entries ());
     conns = Hashtbl.create 32;
     scratch = Buffer.create 4096;
+    segs = Array.make max_gather ("", 0, 0);
     started = config.clock ();
     next_id = 0;
     is_draining = false;
+    stats_hook = None;
     opened_total = 0;
     closed_total = 0;
     rejected_total = 0;
@@ -81,6 +99,9 @@ let create ?(config = default_config) () =
     feeds_total = 0;
     feed_batches_total = 0;
     flushes_total = 0;
+    writevs_total = 0;
+    batch_bytes_direct = 0;
+    batch_bytes_copied = 0;
     peak_sessions = 0;
     decoder_copies_closed = 0;
     feed_ns = Metrics.Histogram.create ();
@@ -88,6 +109,7 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 let cache t = t.cache
+let set_stats_hook t f = t.stats_hook <- Some f
 
 let conn t id =
   match Hashtbl.find_opt t.conns id with
@@ -105,7 +127,35 @@ let decoder_copies t =
 let p_enqueue = St_trace.Trace.probe ~cat:"flush" "serve.enqueue"
 let p_on_data = St_trace.Trace.probe ~cat:"decode" "serve.on_data"
 
+(* The batched flush path, copied flavor: the session's scratch encoder
+   already holds ready-to-send TOKENS records, so materializing the
+   batch is one header poke plus one blit into the connection's out
+   queue. Also clears a deferral: a pending batch must be framed before
+   anything else is enqueued behind it, and before [out_view] exposes
+   the queue to single-buffer transports. *)
+let flush_tokens_untraced t c =
+  match Session.batch c.session with
+  | None -> c.deferred <- false
+  | Some (enc, n) ->
+      c.deferred <- false;
+      t.tokens_total <- t.tokens_total + n;
+      let bytes = 5 + Outbuf.length enc in
+      t.bytes_out_total <- t.bytes_out_total + bytes;
+      t.batch_bytes_copied <- t.batch_bytes_copied + bytes;
+      Outbuf.add_frame c.out ~tag:(Session.batch_tag c.session) enc;
+      Session.batch_clear c.session
+
+let flush_tokens t c =
+  if not !St_trace.Trace.on then flush_tokens_untraced t c
+  else begin
+    St_trace.Trace.begin_span p_enqueue;
+    flush_tokens_untraced t c;
+    St_trace.Trace.end_span p_enqueue
+  end
+
 let enqueue_untraced t c reply =
+  (* frame order: a deferred token batch precedes any later reply *)
+  flush_tokens_untraced t c;
   Buffer.clear t.scratch;
   Wire.encode_reply t.scratch reply;
   t.bytes_out_total <- t.bytes_out_total + Buffer.length t.scratch;
@@ -118,26 +168,6 @@ let enqueue t c reply =
   else begin
     St_trace.Trace.begin_span p_enqueue;
     enqueue_untraced t c reply;
-    St_trace.Trace.end_span p_enqueue
-  end
-
-(* The batched flush path: the session's scratch encoder already holds
-   ready-to-send TOKENS records, so flushing a whole coalesced batch is
-   one header poke plus one blit into the connection's out queue. *)
-let flush_tokens_untraced t c =
-  match Session.batch c.session with
-  | None -> ()
-  | Some (enc, n) ->
-      t.tokens_total <- t.tokens_total + n;
-      t.bytes_out_total <- t.bytes_out_total + 5 + Outbuf.length enc;
-      Outbuf.add_frame c.out ~tag:(Session.batch_tag c.session) enc;
-      Session.batch_clear c.session
-
-let flush_tokens t c =
-  if not !St_trace.Trace.on then flush_tokens_untraced t c
-  else begin
-    St_trace.Trace.begin_span p_enqueue;
-    flush_tokens_untraced t c;
     St_trace.Trace.end_span p_enqueue
   end
 
@@ -154,6 +184,8 @@ let on_connect t =
       session = Session.create { cache = t.cache; resolve = resolve_spec };
       dec = Wire.Decoder.create ();
       out = Outbuf.create ();
+      hdr = Bytes.create 5;
+      deferred = false;
       last_activity = t.cfg.clock ();
       phase = Active;
     }
@@ -206,7 +238,120 @@ let count_replies t replies =
       | _ -> ())
     replies
 
-let stats_registry_impl t =
+(* ---- stats ---- *)
+
+type totals = {
+  tot_sessions : int;
+  tot_peak : int;
+  tot_opened : int;
+  tot_closed : int;
+  tot_rejected : int;
+  tot_evicted_idle : int;
+  tot_proto_errors : int;
+  tot_lexical_errors : int;
+  tot_bytes_in : int;
+  tot_bytes_out : int;
+  tot_tokens : int;
+  tot_feeds : int;
+  tot_feed_batches : int;
+  tot_flushes : int;
+  tot_writevs : int;
+  tot_batch_bytes_direct : int;
+  tot_batch_bytes_copied : int;
+  tot_decoder_copies : int;
+  tot_feed_ns : Metrics.Histogram.t;
+  tot_cache_compiles : int;
+  tot_cache_hits : int;
+  tot_cache_evictions : int;
+  tot_cache_entries : int;
+  tot_uptime : float;
+}
+
+let totals t =
+  {
+    tot_sessions = sessions t;
+    tot_peak = t.peak_sessions;
+    tot_opened = t.opened_total;
+    tot_closed = t.closed_total;
+    tot_rejected = t.rejected_total;
+    tot_evicted_idle = t.evicted_idle_total;
+    tot_proto_errors = t.proto_errors_total;
+    tot_lexical_errors = t.lexical_errors_total;
+    tot_bytes_in = t.bytes_in_total;
+    tot_bytes_out = t.bytes_out_total;
+    tot_tokens = t.tokens_total;
+    tot_feeds = t.feeds_total;
+    tot_feed_batches = t.feed_batches_total;
+    tot_flushes = t.flushes_total;
+    tot_writevs = t.writevs_total;
+    tot_batch_bytes_direct = t.batch_bytes_direct;
+    tot_batch_bytes_copied = t.batch_bytes_copied;
+    tot_decoder_copies = decoder_copies t;
+    tot_feed_ns = Metrics.Histogram.copy t.feed_ns;
+    tot_cache_compiles = Engine_cache.compiles t.cache;
+    tot_cache_hits = Engine_cache.hits t.cache;
+    tot_cache_evictions = Engine_cache.evictions t.cache;
+    tot_cache_entries = Engine_cache.size t.cache;
+    tot_uptime = t.cfg.clock () -. t.started;
+  }
+
+(* Fold worker snapshots into one pool-wide view. With a shared engine
+   cache every worker reports the same cache counters, so they are taken
+   once (max, the freshest snapshot) rather than summed; per-domain
+   caches sum. [tot_peak] sums per-worker peaks — an upper bound on the
+   true pool-wide concurrent peak, which no worker can observe alone. *)
+let sum_totals ~shared_cache = function
+  | [] -> invalid_arg "Server.sum_totals: empty"
+  | first :: rest ->
+      let acc =
+        ref { first with tot_feed_ns = Metrics.Histogram.copy first.tot_feed_ns }
+      in
+      List.iter
+        (fun x ->
+          let a = !acc in
+          Metrics.Histogram.merge a.tot_feed_ns x.tot_feed_ns;
+          acc :=
+            {
+              a with
+              tot_sessions = a.tot_sessions + x.tot_sessions;
+              tot_peak = a.tot_peak + x.tot_peak;
+              tot_opened = a.tot_opened + x.tot_opened;
+              tot_closed = a.tot_closed + x.tot_closed;
+              tot_rejected = a.tot_rejected + x.tot_rejected;
+              tot_evicted_idle = a.tot_evicted_idle + x.tot_evicted_idle;
+              tot_proto_errors = a.tot_proto_errors + x.tot_proto_errors;
+              tot_lexical_errors = a.tot_lexical_errors + x.tot_lexical_errors;
+              tot_bytes_in = a.tot_bytes_in + x.tot_bytes_in;
+              tot_bytes_out = a.tot_bytes_out + x.tot_bytes_out;
+              tot_tokens = a.tot_tokens + x.tot_tokens;
+              tot_feeds = a.tot_feeds + x.tot_feeds;
+              tot_feed_batches = a.tot_feed_batches + x.tot_feed_batches;
+              tot_flushes = a.tot_flushes + x.tot_flushes;
+              tot_writevs = a.tot_writevs + x.tot_writevs;
+              tot_batch_bytes_direct =
+                a.tot_batch_bytes_direct + x.tot_batch_bytes_direct;
+              tot_batch_bytes_copied =
+                a.tot_batch_bytes_copied + x.tot_batch_bytes_copied;
+              tot_decoder_copies = a.tot_decoder_copies + x.tot_decoder_copies;
+              tot_cache_compiles =
+                (if shared_cache then max a.tot_cache_compiles x.tot_cache_compiles
+                 else a.tot_cache_compiles + x.tot_cache_compiles);
+              tot_cache_hits =
+                (if shared_cache then max a.tot_cache_hits x.tot_cache_hits
+                 else a.tot_cache_hits + x.tot_cache_hits);
+              tot_cache_evictions =
+                (if shared_cache then
+                   max a.tot_cache_evictions x.tot_cache_evictions
+                 else a.tot_cache_evictions + x.tot_cache_evictions);
+              tot_cache_entries =
+                (if shared_cache then max a.tot_cache_entries x.tot_cache_entries
+                 else a.tot_cache_entries + x.tot_cache_entries);
+              tot_uptime = Float.max a.tot_uptime x.tot_uptime;
+            })
+        rest;
+      !acc
+
+let registry_of_totals tot =
   let r = Metrics.Registry.create () in
   let gauge name help v =
     Metrics.Gauge.set (Metrics.Registry.gauge r ~help name) v
@@ -214,50 +359,62 @@ let stats_registry_impl t =
   let counter name help v =
     Metrics.Counter.add (Metrics.Registry.counter r ~help name) v
   in
-  gauge "sessions" "active sessions" (float_of_int (sessions t));
+  gauge "sessions" "active sessions" (float_of_int tot.tot_sessions);
   gauge "sessions_peak" "peak concurrent sessions"
-    (float_of_int t.peak_sessions);
-  counter "sessions_opened" "connections accepted as sessions" t.opened_total;
-  counter "sessions_closed" "sessions ended (any reason)" t.closed_total;
+    (float_of_int tot.tot_peak);
+  counter "sessions_opened" "connections accepted as sessions" tot.tot_opened;
+  counter "sessions_closed" "sessions ended (any reason)" tot.tot_closed;
   counter "sessions_rejected" "connections rejected at capacity or drain"
-    t.rejected_total;
+    tot.tot_rejected;
   counter "sessions_evicted_idle" "sessions evicted by the idle timeout"
-    t.evicted_idle_total;
-  counter "bytes_in" "FEED payload bytes" t.bytes_in_total;
-  counter "bytes_out" "reply frame bytes enqueued" t.bytes_out_total;
-  counter "tokens" "tokens emitted" t.tokens_total;
-  counter "feeds" "FEED frames processed" t.feeds_total;
-  counter "feed_batches" "coalesced FEED batches flushed" t.feed_batches_total;
-  counter "flushes" "FLUSH frames processed" t.flushes_total;
+    tot.tot_evicted_idle;
+  counter "bytes_in" "FEED payload bytes" tot.tot_bytes_in;
+  counter "bytes_out" "reply frame bytes enqueued" tot.tot_bytes_out;
+  counter "tokens" "tokens emitted" tot.tot_tokens;
+  counter "feeds" "FEED frames processed" tot.tot_feeds;
+  counter "feed_batches" "coalesced FEED batches flushed" tot.tot_feed_batches;
+  counter "flushes" "FLUSH frames processed" tot.tot_flushes;
+  counter "writevs" "vectored socket writes consumed" tot.tot_writevs;
+  counter "batch_bytes_direct"
+    "token-batch frame bytes written in place by writev (no out-queue blit)"
+    tot.tot_batch_bytes_direct;
+  counter "batch_bytes_copied"
+    "token-batch frame bytes blitted through the out queue"
+    tot.tot_batch_bytes_copied;
   counter "decoder_copies"
     "receive-buffer compaction copies (frames straddling a read)"
-    (decoder_copies t);
-  counter "protocol_errors" "fatal protocol errors" t.proto_errors_total;
+    tot.tot_decoder_copies;
+  counter "protocol_errors" "fatal protocol errors" tot.tot_proto_errors;
   counter "lexical_errors" "streams that stopped tokenizing"
-    t.lexical_errors_total;
+    tot.tot_lexical_errors;
   Metrics.Registry.add r
     {
       Metrics.name = "feed_latency_ns";
       help = "per-FEED-batch handling latency, nanoseconds (log2 buckets)";
       labels = [];
-      kind = Metrics.Histogram t.feed_ns;
+      kind = Metrics.Histogram tot.tot_feed_ns;
     };
   counter "engine_cache_compiles" "grammar compiles (cache misses)"
-    (Engine_cache.compiles t.cache);
-  counter "engine_cache_hits" "engine cache hits" (Engine_cache.hits t.cache);
+    tot.tot_cache_compiles;
+  counter "engine_cache_hits" "engine cache hits" tot.tot_cache_hits;
   counter "engine_cache_evictions" "engines evicted from the cache"
-    (Engine_cache.evictions t.cache);
+    tot.tot_cache_evictions;
   gauge "engine_cache_entries" "resident compiled engines"
-    (float_of_int (Engine_cache.size t.cache));
-  gauge "uptime_seconds" "seconds since server start"
-    (t.cfg.clock () -. t.started);
+    (float_of_int tot.tot_cache_entries);
+  gauge "uptime_seconds" "seconds since server start" tot.tot_uptime;
   r
+
+let stats_registry_impl t = registry_of_totals (totals t)
 
 (* Non-FEED requests (FEED has its own coalesced path in [on_data]). *)
 let dispatch t c (req : Wire.request) =
   match req with
   | Wire.Stats fmt ->
-      let registry = stats_registry_impl t in
+      let registry =
+        match t.stats_hook with
+        | Some f -> f ()
+        | None -> stats_registry_impl t
+      in
       let body =
         match fmt with
         | Wire.Json -> Export.to_json_string registry
@@ -282,12 +439,16 @@ let protocol_failure t c msg =
   c.phase <- Draining
 
 (* The coalescing decode loop. Consecutive FEED frames form one batch:
-   each payload view goes straight into [Session.feed] (zero-copy — the
-   tokenizer does not retain the slice), and the accumulated TOKENS
-   records are flushed as a single frame when the batch ends — at a
-   non-FEED frame, end of buffered input, a session error, or when the
-   pending frame would exceed [out_frame_bytes]. The batch is also the
-   latency unit: two clock reads per batch, not per frame. *)
+   their payload views are gathered (decoder views stay valid across
+   [next_view]) and handed to the tokenizer as one [Session.feed_views]
+   call — zero-copy, one call's overhead for the whole run. Accumulated
+   TOKENS records are flushed as a single frame when the batch ends — at
+   a non-FEED frame, a session error, or when the pending frame would
+   exceed [out_frame_bytes]. A batch still pending when buffered input
+   runs out is {e deferred}: the encoder keeps it and the transport
+   writes it in place ([out_vectors]), skipping the out-queue blit. The
+   batch is also the latency unit: two clock reads per batch, not per
+   frame. *)
 let on_data_untraced t id b ~pos ~len =
   let c = conn t id in
   if c.phase = Active then begin
@@ -295,21 +456,33 @@ let on_data_untraced t id b ~pos ~len =
     Wire.Decoder.feed_bytes c.dec b ~pos ~len;
     let batch_t0 = ref 0.0 in
     let in_batch = ref false in
-    let end_batch () =
+    let end_batch ~defer =
       if !in_batch then begin
         in_batch := false;
-        flush_tokens t c;
+        (if defer then
+           (match Session.batch c.session with
+           | Some _ -> c.deferred <- true
+           | None -> ())
+         else flush_tokens t c);
         t.feed_batches_total <- t.feed_batches_total + 1;
         Metrics.Histogram.observe_seconds t.feed_ns
           (t.cfg.clock () -. !batch_t0)
       end
     in
+    let stash = ref None in
     let continue = ref true in
     while !continue && c.phase = Active do
-      match Wire.Decoder.next_view c.dec with
+      let next =
+        match !stash with
+        | Some v ->
+            stash := None;
+            Wire.Decoder.View v
+        | None -> Wire.Decoder.next_view c.dec
+      in
+      match next with
       | Wire.Decoder.View_need_more -> continue := false
       | Wire.Decoder.View_corrupt msg ->
-          end_batch ();
+          end_batch ~defer:false;
           protocol_failure t c msg
       | Wire.Decoder.View v ->
           if v.Wire.Decoder.vtag = Wire.tag_feed then begin
@@ -317,15 +490,46 @@ let on_data_untraced t id b ~pos ~len =
               in_batch := true;
               batch_t0 := t.cfg.clock ()
             end;
-            t.feeds_total <- t.feeds_total + 1;
-            t.bytes_in_total <- t.bytes_in_total + v.Wire.Decoder.vlen;
-            let replies =
-              (* The tokenizer copies what it keeps, so handing it the
-                 decoder's buffer as an immutable string is safe. *)
-              Session.feed c.session
-                (Bytes.unsafe_to_string v.Wire.Decoder.vbuf)
-                ~pos:v.Wire.Decoder.voff ~len:v.Wire.Decoder.vlen
+            (* Gather the run of buffered FEED frames, bounded so one
+               run's token output lands near [out_frame_bytes]. The
+               decoder never moves bytes between feeds, so every view
+               of the run stays valid until the tokenizer has consumed
+               it. *)
+            let nsegs = ref 0 in
+            let acc = ref 0 in
+            let push (v : Wire.Decoder.view) =
+              t.feeds_total <- t.feeds_total + 1;
+              t.bytes_in_total <- t.bytes_in_total + v.Wire.Decoder.vlen;
+              t.segs.(!nsegs) <-
+                ( (* the tokenizer copies what it keeps, so handing it
+                     the decoder's buffer as an immutable string is
+                     safe *)
+                  Bytes.unsafe_to_string v.Wire.Decoder.vbuf,
+                  v.Wire.Decoder.voff,
+                  v.Wire.Decoder.vlen );
+              incr nsegs;
+              acc := !acc + v.Wire.Decoder.vlen
             in
+            push v;
+            let gathering = ref true in
+            while
+              !gathering && !nsegs < max_gather
+              && !acc < t.cfg.out_frame_bytes
+            do
+              match Wire.Decoder.next_view c.dec with
+              | Wire.Decoder.View v2
+                when v2.Wire.Decoder.vtag = Wire.tag_feed ->
+                  push v2
+              | Wire.Decoder.View v2 ->
+                  stash := Some v2;
+                  gathering := false
+              | Wire.Decoder.View_need_more -> gathering := false
+              | Wire.Decoder.View_corrupt _ ->
+                  (* poisoned decoders repeat the error; the outer loop
+                     reports it after this run is fed *)
+                  gathering := false
+            done;
+            let replies = Session.feed_views c.session t.segs !nsegs in
             match replies with
             | [] -> (
                 match Session.batch c.session with
@@ -335,13 +539,13 @@ let on_data_untraced t id b ~pos ~len =
                     flush_tokens t c
                 | _ -> ())
             | replies ->
-                end_batch ();
+                end_batch ~defer:false;
                 count_replies t replies;
                 List.iter (enqueue t c) replies;
                 if List.exists fatal_reply replies then c.phase <- Draining
           end
           else begin
-            end_batch ();
+            end_batch ~defer:false;
             let f =
               {
                 Wire.tag = v.Wire.Decoder.vtag;
@@ -353,7 +557,7 @@ let on_data_untraced t id b ~pos ~len =
             | Ok req -> dispatch t c req
           end
     done;
-    end_batch ()
+    end_batch ~defer:true
   end
 
 (* Root span of the server-side data plane: everything from raw input
@@ -405,17 +609,90 @@ let on_tick t =
 
 (* ---- queries ---- *)
 
+let deferred_bytes c =
+  if not c.deferred then 0
+  else
+    match Session.batch c.session with
+    | Some (enc, _) -> 5 + Outbuf.length enc
+    | None -> 0
+
+let pending_of c = Outbuf.length c.out + deferred_bytes c
+
 let wants_read t id =
   let c = conn t id in
-  c.phase = Active && Outbuf.length c.out <= t.cfg.max_out_bytes
+  c.phase = Active && pending_of c <= t.cfg.max_out_bytes
 
-let out_view t id = Outbuf.view (conn t id).out
+(* Single-buffer transports (loopback, tests) get the deferred batch
+   materialized; only [out_vectors] keeps it in place. *)
+let out_view t id =
+  let c = conn t id in
+  if c.deferred then flush_tokens_untraced t c;
+  Outbuf.view c.out
+
 let out_consume t id n = Outbuf.consume (conn t id).out n
-let out_pending t id = Outbuf.length (conn t id).out
+let out_pending t id = pending_of (conn t id)
+
+let poke_hdr hdr plen tag =
+  Bytes.unsafe_set hdr 0 (Char.unsafe_chr ((plen lsr 24) land 0xff));
+  Bytes.unsafe_set hdr 1 (Char.unsafe_chr ((plen lsr 16) land 0xff));
+  Bytes.unsafe_set hdr 2 (Char.unsafe_chr ((plen lsr 8) land 0xff));
+  Bytes.unsafe_set hdr 3 (Char.unsafe_chr (plen land 0xff));
+  Bytes.unsafe_set hdr 4 (Char.unsafe_chr (tag land 0xff))
+
+let out_vectors t id vecs =
+  let c = conn t id in
+  let k = ref 0 in
+  let buf, pos, len = Outbuf.view c.out in
+  if len > 0 then begin
+    vecs.(0) <- (buf, pos, len);
+    k := 1
+  end;
+  (if c.deferred then
+     match Session.batch c.session with
+     | None -> c.deferred <- false
+     | Some (enc, _) ->
+         let plen = Outbuf.length enc in
+         poke_hdr c.hdr plen (Session.batch_tag c.session);
+         vecs.(!k) <- (c.hdr, 0, 5);
+         incr k;
+         let eb, ep, el = Outbuf.view enc in
+         vecs.(!k) <- (eb, ep, el);
+         incr k);
+  !k
+
+let out_vec_consume t id n =
+  let c = conn t id in
+  t.writevs_total <- t.writevs_total + 1;
+  let ol = Outbuf.length c.out in
+  if n <= ol then Outbuf.consume c.out n
+  else begin
+    Outbuf.consume c.out ol;
+    let written = n - ol in
+    match Session.batch c.session with
+    | None -> invalid_arg "Server.out_vec_consume: no deferred batch"
+    | Some (enc, ntoks) ->
+        let frame = 5 + Outbuf.length enc in
+        if written > frame then invalid_arg "Server.out_vec_consume";
+        t.tokens_total <- t.tokens_total + ntoks;
+        t.bytes_out_total <- t.bytes_out_total + frame;
+        t.batch_bytes_direct <- t.batch_bytes_direct + written;
+        c.deferred <- false;
+        if written < frame then begin
+          (* Short write mid-frame: the unwritten tail (header remainder
+             + encoder suffix) moves to the out queue so the next
+             writable event resumes exactly where the socket stopped. *)
+          t.batch_bytes_copied <- t.batch_bytes_copied + (frame - written);
+          if written < 5 then Outbuf.add_subbytes c.out c.hdr written (5 - written);
+          let skip = if written > 5 then written - 5 else 0 in
+          let eb, ep, el = Outbuf.view enc in
+          Outbuf.add_subbytes c.out eb (ep + skip) (el - skip)
+        end;
+        Session.batch_clear c.session
+  end
 
 let should_close t id =
   let c = conn t id in
-  c.phase = Draining && Outbuf.length c.out = 0
+  c.phase = Draining && pending_of c = 0
 
 let conn_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.conns []
 

@@ -1,18 +1,25 @@
 (** The transport-agnostic serving core.
 
-    One {!t} holds the session table, the shared
-    {!St_streamtok.Engine_cache}, per-connection frame decoders and
-    bounded output queues, and the server-wide metrics. A transport (the
-    [Unix.select] daemon in {!Io_loop}, the in-memory {!Loopback} in
-    tests and benchmarks) owns the actual byte movement and drives this
-    module through a small event/query interface:
+    One {!t} holds the session table, the (possibly shared — see
+    {!create}'s [cache]) {!St_streamtok.Engine_cache}, per-connection
+    frame decoders and bounded output queues, and the server-wide
+    metrics. A transport (the [Unix.select] daemon in {!Io_loop}, a
+    {!Shard} worker domain, the in-memory {!Loopback} in tests and
+    benchmarks) owns the actual byte movement and drives this module
+    through a small event/query interface:
 
     - events in: {!on_connect}, {!on_data}, {!on_eof}, {!on_closed},
       {!on_tick};
     - queries out: {!wants_read} (backpressure: [false] while a
       connection's output queue is over budget — stop reading its socket),
-      {!out_view}/{!out_consume} (pending output), {!should_close}
-      (drain-then-close handshake).
+      {!out_vectors}/{!out_vec_consume} (pending output as writev
+      segments, the gathered-write hot path) or {!out_view}/{!out_consume}
+      (single-buffer transports), {!should_close} (drain-then-close
+      handshake).
+
+    A {!t} is single-domain: one transport drives it, and in the sharded
+    server each worker domain owns its own instance (only the engine
+    cache and the {!totals} snapshots cross domains).
 
     Time enters only through [config.clock], so a fake clock makes idle
     eviction and latency recording fully deterministic under loopback. *)
@@ -29,8 +36,9 @@ type config = {
   out_frame_bytes : int;
       (** flush a coalesced TOKENS batch once its encoded records reach
           this size, so one batch never produces a frame anywhere near
-          {!Wire.max_payload} *)
-  cache_entries : int;  (** engine-cache capacity *)
+          {!Wire.max_payload}; also bounds one gathered-FEED run *)
+  cache_entries : int;  (** engine-cache capacity (ignored when a shared
+                            cache is passed to {!create}) *)
   clock : unit -> float;
 }
 
@@ -39,7 +47,12 @@ val default_config : config
 type t
 type conn_id = int
 
-val create : ?config:config -> unit -> t
+(** [create ?cache ()] — [cache] (default: a private one of
+    [config.cache_entries]) lets worker domains share one domain-safe
+    engine cache, so N domains OPENing the same grammar cost one
+    compile. *)
+val create : ?cache:St_streamtok.Engine_cache.t -> ?config:config -> unit -> t
+
 val config : t -> config
 
 (** {1 Events (transport → server)} *)
@@ -53,8 +66,11 @@ val on_connect : t -> conn_id
 (** Bytes read from the connection's socket. The slice is copied into the
     connection's frame decoder before returning, so the transport may
     reuse [buf] for the next read. Consecutive buffered FEED frames are
-    coalesced into one tokenizer batch and answered with one TOKENS frame
-    (split only at [config.out_frame_bytes]). *)
+    gathered and coalesced into one tokenizer batch
+    ({!Session.feed_views}) and answered with one TOKENS frame (split
+    only at [config.out_frame_bytes]). A batch still pending when
+    buffered input runs out is left {e deferred} in the session encoder
+    for {!out_vectors} to write in place. *)
 val on_data : t -> conn_id -> Bytes.t -> pos:int -> len:int -> unit
 
 (** The peer hung up (EOF, reset): the session is discarded immediately. *)
@@ -72,12 +88,32 @@ val on_tick : t -> unit
 (** Backpressure: read from this connection's socket only while [true]. *)
 val wants_read : t -> conn_id -> bool
 
-(** Pending output as [(buf, pos, len)]; write some prefix, then
-    {!out_consume} what was written. The view is invalidated by any other
-    call on [t]. *)
+(** [out_vectors t id vecs] fills [vecs] (length ≥ 3) with the
+    connection's pending output as [(buf, pos, len)] writev segments and
+    returns the count: the out queue's live bytes, then — when a token
+    batch was deferred — the 5-byte frame header and the session
+    encoder's bytes, written straight from where they were encoded.
+    Write some prefix with {!Writev.write}, then {!out_vec_consume} it.
+    The segments are invalidated by any other call on [t]. *)
+val out_vectors : t -> conn_id -> (Bytes.t * int * int) array -> int
+
+(** [out_vec_consume t id n] consumes [n] written bytes across the
+    segments of the last {!out_vectors}, counts the vectored write, and
+    retires the deferred batch: fully-written frames never touch the out
+    queue ([batch_bytes_direct]); a short write mid-frame moves only the
+    unwritten tail into the queue so the next writable event resumes
+    exactly where the socket stopped. *)
+val out_vec_consume : t -> conn_id -> int -> unit
+
+(** Pending output as one [(buf, pos, len)] view; a deferred batch is
+    first materialized into the out queue. Single-buffer transports
+    (loopback, tests) use this; write some prefix, then {!out_consume}
+    what was written. The view is invalidated by any other call on [t]. *)
 val out_view : t -> conn_id -> Bytes.t * int * int
 
 val out_consume : t -> conn_id -> int -> unit
+
+(** Total pending output bytes, deferred batch included. *)
 val out_pending : t -> conn_id -> int
 
 (** The connection should be closed once its output queue is empty. *)
@@ -112,9 +148,39 @@ val cache : t -> St_streamtok.Engine_cache.t
     counter in {!stats_registry}. *)
 val decoder_copies : t -> int
 
+(** A point-in-time snapshot of every exported quantity, as plain data —
+    what a worker domain publishes (under the pool's mutex) so the
+    sharded server can aggregate stats across domains without touching
+    another domain's live [t]. The histogram inside is a deep copy. *)
+type totals
+
+val totals : t -> totals
+
+(** [sum_totals ~shared_cache snapshots] folds worker snapshots into one
+    pool-wide view: counters sum, latency histograms merge exactly
+    (shared log2 buckets), uptime takes the max. With [shared_cache]
+    every worker reports the same engine-cache counters, so they are
+    taken once (max — the freshest snapshot) instead of summed.
+    [sessions_peak] sums per-worker peaks: an upper bound on the true
+    pool-wide concurrent peak, which no single worker can observe.
+    Raises [Invalid_argument] on an empty list. *)
+val sum_totals : shared_cache:bool -> totals list -> totals
+
+(** Render a snapshot with exactly the same metric names and shapes as
+    {!stats_registry}, so aggregated (sharded) STATS replies are
+    indistinguishable from single-domain ones. *)
+val registry_of_totals : totals -> Metrics.Registry.t
+
+(** Install the STATS responder: when set, a STATS request is answered
+    with [f ()]'s registry instead of this instance's own — the hook a
+    {!Shard} worker uses to reply with pool-wide aggregated stats. *)
+val set_stats_hook : t -> (unit -> Metrics.Registry.t) -> unit
+
 (** Fresh snapshot of the server metrics (sessions gauge + peak,
     open/close/reject/evict counters, bytes and token counters, the
     per-FEED-batch latency log2 histogram in nanoseconds, [feed_batches]
-    and [decoder_copies] data-plane counters, engine-cache compile/hit
-    counters, uptime). *)
+    / [decoder_copies] / [writevs] / [batch_bytes_direct] /
+    [batch_bytes_copied] data-plane counters, engine-cache compile/hit
+    counters, uptime). Equal to
+    [registry_of_totals (totals t)]. *)
 val stats_registry : t -> Metrics.Registry.t

@@ -171,6 +171,25 @@ let handle_open_bpe t ~ids vocab_text =
 
 let p_feed = St_trace.Trace.probe ~cat:"session" "session.feed"
 
+(* Shared post-feed failure check: drain now so the failure offset is
+   exact; the outcome is replayed by the next FLUSH. *)
+let check_failed os =
+  if Stream_tokenizer.failed os.tok then begin
+    let outcome = Stream_tokenizer.finish os.tok in
+    os.outcome <- Some outcome;
+    let message =
+      match outcome with
+      | Engine.Failed { offset; pending } ->
+          Printf.sprintf
+            "untokenizable input at offset %d (%d pending bytes); \
+             FLUSH for the outcome"
+            offset (String.length pending)
+      | Engine.Finished -> "stream failed"
+    in
+    [ Wire.Error { code = Wire.Lexical; retryable = false; message } ]
+  end
+  else []
+
 let feed_untraced t s ~pos ~len =
   match t.state with
   | Awaiting_open -> protocol_error "FEED before OPEN"
@@ -179,27 +198,25 @@ let feed_untraced t s ~pos ~len =
       | Some _ -> []  (* stream already failed; drop by contract *)
       | None ->
           Stream_tokenizer.feed os.tok s pos len;
-          if Stream_tokenizer.failed os.tok then begin
-            (* Drain now so the failure offset is exact; the outcome is
-               replayed by the next FLUSH. *)
-            let outcome = Stream_tokenizer.finish os.tok in
-            os.outcome <- Some outcome;
-            let message =
-              match outcome with
-              | Engine.Failed { offset; pending } ->
-                  Printf.sprintf
-                    "untokenizable input at offset %d (%d pending bytes); \
-                     FLUSH for the outcome"
-                    offset (String.length pending)
-              | Engine.Finished -> "stream failed"
-            in
-            [ Wire.Error { code = Wire.Lexical; retryable = false; message } ]
-          end
-          else [])
+          check_failed os)
 
 let feed t s ~pos ~len =
   if not !St_trace.Trace.on then feed_untraced t s ~pos ~len
   else St_trace.Trace.with_span p_feed (fun () -> feed_untraced t s ~pos ~len)
+
+let feed_views_untraced t segs n =
+  match t.state with
+  | Awaiting_open -> protocol_error "FEED before OPEN"
+  | Opened_ os -> (
+      match os.outcome with
+      | Some _ -> []  (* stream already failed; drop by contract *)
+      | None ->
+          Stream_tokenizer.feed_batch os.tok segs n;
+          check_failed os)
+
+let feed_views t segs n =
+  if not !St_trace.Trace.on then feed_views_untraced t segs n
+  else St_trace.Trace.with_span p_feed (fun () -> feed_views_untraced t segs n)
 
 let handle_flush t =
   match t.state with

@@ -44,6 +44,14 @@ val opened : t -> bool
     ([Lexical] on stream failure, [Protocol] before OPEN). *)
 val feed : t -> string -> pos:int -> len:int -> Wire.reply list
 
+(** [feed_views t segs n] feeds the first [n] [(s, pos, len)] segments —
+    a gathered run of decoded FEED payload views — through one
+    {!St_streamtok.Stream_tokenizer.feed_batch} call: identical output to
+    [n] {!feed}s, one call's overhead. Segments after a stream failure
+    are not consumed (the failure offset stays exact) and are implicitly
+    dropped, exactly as separate post-failure {!feed}s would be. *)
+val feed_views : t -> (string * int * int) array -> int -> Wire.reply list
+
 (** The pending token batch: the encoder holding ready-to-send TOKENS (or
     IDS, for a BPE session opened in id mode) records and the token count,
     or [None] if the batch is empty. Frame it (one blit) under

@@ -1,0 +1,54 @@
+external writev_stub :
+  Unix.file_descr -> (Bytes.t * int * int) array -> int -> int
+  = "st_serve_writev"
+[@@noalloc]
+
+external errno_const : int -> int = "st_serve_errno_const" [@@noalloc]
+
+let eagain = errno_const 0
+let ewouldblock = errno_const 1
+let eintr = errno_const 2
+let epipe = errno_const 3
+let econnreset = errno_const 4
+let max_iovs = 8
+
+type result = Written of int | Retry | Closed | Error of int
+
+let classify r =
+  if r >= 0 then Written r
+  else
+    let e = -r in
+    if e = eagain || e = ewouldblock || e = eintr then Retry
+    else if e = epipe || e = econnreset then Closed
+    else Error e
+
+let force_fallback = ref false
+
+(* One Unix.write of the first non-empty segment. Correctness never
+   depends on gathering — the caller consumes whatever prefix was
+   written and retries — so degrading to a single-segment write is a
+   complete fallback, just with more syscalls per flush. *)
+let fallback fd iovs n =
+  let rec first i =
+    if i >= n then None
+    else
+      let (_, _, len) = iovs.(i) in
+      if len > 0 then Some i else first (i + 1)
+  in
+  match first 0 with
+  | None -> Written 0
+  | Some i -> (
+      let buf, pos, len = iovs.(i) in
+      match Unix.write fd buf pos len with
+      | w -> Written w
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          Retry
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Closed
+      | exception Unix.Unix_error (_, _, _) -> Error 0)
+
+let write fd iovs n =
+  if !force_fallback then fallback fd iovs n
+  else classify (writev_stub fd iovs n)

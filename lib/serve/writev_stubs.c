@@ -1,0 +1,49 @@
+/* writev(2) binding for the serve io loop.
+ *
+ * The OCaml side passes an array of (bytes, pos, len) triples; the stub
+ * builds the iovec array on the C stack and issues one writev. Sockets
+ * are non-blocking, so the call never blocks and the stub can be
+ * [@@noalloc]: it allocates nothing on the OCaml heap, raises nothing,
+ * and keeps the runtime lock. Errors come back in-band as -errno so the
+ * OCaml wrapper can classify EAGAIN/EPIPE/... without an exception
+ * allocation on the hot path.
+ */
+
+#include <caml/mlvalues.h>
+#include <sys/uio.h>
+#include <errno.h>
+
+#define ST_SERVE_MAX_IOVS 8
+
+CAMLprim value st_serve_writev(value v_fd, value v_iovs, value v_count)
+{
+  struct iovec iov[ST_SERVE_MAX_IOVS];
+  long n = Long_val(v_count);
+  long i;
+  ssize_t w;
+
+  if (n < 0) n = 0;
+  if (n > ST_SERVE_MAX_IOVS) n = ST_SERVE_MAX_IOVS;
+  for (i = 0; i < n; i++) {
+    value t = Field(v_iovs, i); /* (bytes, pos, len) */
+    iov[i].iov_base = Bytes_val(Field(t, 0)) + Long_val(Field(t, 1));
+    iov[i].iov_len = (size_t)Long_val(Field(t, 2));
+  }
+  w = writev(Int_val(v_fd), iov, (int)n);
+  if (w < 0) return Val_long(-(long)errno);
+  return Val_long((long)w);
+}
+
+/* errno values are platform-specific; export the ones the io loop
+ * classifies. Index-based so one noalloc external covers them all. */
+CAMLprim value st_serve_errno_const(value v_idx)
+{
+  switch (Int_val(v_idx)) {
+  case 0: return Val_int(EAGAIN);
+  case 1: return Val_int(EWOULDBLOCK);
+  case 2: return Val_int(EINTR);
+  case 3: return Val_int(EPIPE);
+  case 4: return Val_int(ECONNRESET);
+  default: return Val_int(0);
+  }
+}

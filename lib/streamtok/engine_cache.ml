@@ -6,6 +6,7 @@ type entry = {
 }
 
 type t = {
+  mu : Mutex.t;
   table : (string, entry) Hashtbl.t;
   max_entries : int;
   mutable clock : int;
@@ -16,6 +17,7 @@ type t = {
 
 let create ?(max_entries = 64) () =
   {
+    mu = Mutex.create ();
     table = Hashtbl.create 16;
     max_entries = max 1 max_entries;
     clock = 0;
@@ -55,27 +57,56 @@ let evict_lru t =
 let p_hit = St_trace.Trace.probe ~cat:"engine" "cache.hit"
 let p_compile = St_trace.Trace.probe ~cat:"engine" "cache.compile"
 
+(* The whole operation — lookup, compile on miss, LRU bookkeeping — runs
+   under [t.mu]. Holding the mutex across the compile is what gives the
+   exactly-one-compile guarantee when N domains OPEN the same grammar
+   simultaneously: the losers of the race block on the lock and then hit.
+   The cost is that an expensive compile stalls other domains' cache
+   lookups for its duration; compiles are per-distinct-grammar rare (and
+   capped by [max_states]), while lookups are per-session rare, so the
+   simple global lock beats per-key in-progress tracking in both code
+   size and measured storm behavior (see DESIGN.md, Sharding). *)
 let find_or_compile t ?(classes = true) ?(accel = true) ?max_states rules =
   let key = key_of_rules ~classes ~accel rules in
+  Mutex.lock t.mu;
   match Hashtbl.find_opt t.table key with
   | Some e ->
       if !St_trace.Trace.on then St_trace.Trace.instant p_hit;
       t.hits <- t.hits + 1;
       e.last_used <- tick t;
-      e.result
-  | None ->
-      let result =
+      let result = e.result in
+      Mutex.unlock t.mu;
+      result
+  | None -> (
+      match
         St_trace.Trace.with_span p_compile (fun () ->
             Engine.compile_rules ~classes ~accel ?max_states rules)
-      in
-      t.compiles <- t.compiles + 1;
-      if Hashtbl.length t.table >= t.max_entries then evict_lru t;
-      Hashtbl.add t.table key { result; last_used = tick t };
-      result
+      with
+      | result ->
+          t.compiles <- t.compiles + 1;
+          if Hashtbl.length t.table >= t.max_entries then evict_lru t;
+          Hashtbl.add t.table key { result; last_used = tick t };
+          Mutex.unlock t.mu;
+          result
+      | exception exn ->
+          (* a capped build's Failure propagates and is not cached *)
+          Mutex.unlock t.mu;
+          raise exn)
 
 let mem t ?(classes = true) ?(accel = true) rules =
-  Hashtbl.mem t.table (key_of_rules ~classes ~accel rules)
-let compiles t = t.compiles
-let hits t = t.hits
-let evictions t = t.evictions
-let size t = Hashtbl.length t.table
+  let key = key_of_rules ~classes ~accel rules in
+  Mutex.lock t.mu;
+  let r = Hashtbl.mem t.table key in
+  Mutex.unlock t.mu;
+  r
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  let r = f () in
+  Mutex.unlock t.mu;
+  r
+
+let compiles t = with_mu t (fun () -> t.compiles)
+let hits t = with_mu t (fun () -> t.hits)
+let evictions t = with_mu t (fun () -> t.evictions)
+let size t = with_mu t (fun () -> Hashtbl.length t.table)

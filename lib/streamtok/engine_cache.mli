@@ -12,7 +12,16 @@
     an entry. Compile {e failures} (unbounded max-TND) are cached too:
     repeatedly OPENing a non-streamable grammar costs one analysis total.
 
-    Not thread-safe — one cache per single-threaded server loop. *)
+    Domain-safe: every operation (lookup, compile-on-miss, LRU update,
+    counter reads) runs under one internal mutex, and the mutex is held
+    {e across} a miss's compile — so N domains OPENing the same grammar
+    concurrently cost exactly one compile (the racers block, then hit),
+    and the LRU clock/table are never torn. The tradeoff — a long compile
+    stalls other domains' cache lookups — is measured and discussed in
+    DESIGN.md (Sharding): lookups are per-session rare, so the sharded
+    server keeps one shared cache rather than per-domain caches. The
+    single-threaded daemon pays one uncontended lock per OPEN, which is
+    noise. *)
 
 open St_regex
 

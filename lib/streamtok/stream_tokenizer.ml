@@ -166,22 +166,12 @@ let k1_consume_carried t tbl c la =
 let p_feed = St_trace.Trace.probe ~cat:"engine" "st.feed"
 let p_finish = St_trace.Trace.probe ~cat:"engine" "st.finish"
 
-let feed_untraced t s pos len =
-  if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Stream_tokenizer.feed";
-  (match t.stats with
-  | Some st ->
-      Run_stats.add_chunk st len;
-      (* carried state is sampled before and after each chunk (below), so
-         the high-water mark reflects what survives chunk boundaries *)
-      Run_stats.observe_buffer st (carried_bytes t)
-  | None -> ());
-  if t.state <> `Running then t.fed <- t.fed + len
-  else begin
-    t.fed <- t.fed + len;
-    let sk0 = t.skipped in
-    let sw0 = t.swar_skipped in
-    (match t.impl with
+(* One chunk through the mode-specialized hot loop. Callers guarantee
+   [t.state = `Running] and in-bounds [pos]/[len]; all per-call
+   bookkeeping (bounds, [fed], stats, trace) lives in the wrappers so the
+   batched path can amortize it over many segments. *)
+let run_chunk t s pos len =
+  (match t.impl with
     | M_k1 m ->
         let finish = pos + len in
         let i = ref pos in
@@ -346,7 +336,24 @@ let feed_untraced t s pos len =
           prev2_q := prev_q;
           prev2_st := prev_st;
           incr i
-        done);
+        done)
+
+let feed_untraced t s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Stream_tokenizer.feed";
+  (match t.stats with
+  | Some st ->
+      Run_stats.add_chunk st len;
+      (* carried state is sampled before and after each chunk (below), so
+         the high-water mark reflects what survives chunk boundaries *)
+      Run_stats.observe_buffer st (carried_bytes t)
+  | None -> ());
+  if t.state <> `Running then t.fed <- t.fed + len
+  else begin
+    t.fed <- t.fed + len;
+    let sk0 = t.skipped in
+    let sw0 = t.swar_skipped in
+    run_chunk t s pos len;
     match t.stats with
     | Some st ->
         Run_stats.add_accel_skipped st (t.skipped - sk0);
@@ -354,6 +361,44 @@ let feed_untraced t s pos len =
         Run_stats.observe_buffer st (carried_bytes t)
     | None -> ()
   end
+
+(* The coalesced-FEED path: many chunks, one call. Each [(pos, len)]
+   segment of [s] is processed as its own chunk — carried-byte, ring and
+   failure semantics at segment boundaries are bit-identical to calling
+   {!feed} once per segment — but the per-call overhead (validation,
+   stats sampling, the trace span, skip-counter deltas) is paid once for
+   the batch. Processing stops at the segment that fails the stream:
+   later segments are neither consumed nor counted, matching the serving
+   layer's drop-after-failure contract ({!Session.feed} never feeds a
+   failed stream). *)
+let feed_batch_untraced t segs n =
+  if n < 0 || n > Array.length segs then
+    invalid_arg "Stream_tokenizer.feed_batch";
+  for j = 0 to n - 1 do
+    let s, pos, len = Array.unsafe_get segs j in
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Stream_tokenizer.feed_batch"
+  done;
+  let sk0 = t.skipped in
+  let sw0 = t.swar_skipped in
+  let j = ref 0 in
+  while !j < n && t.state = `Running do
+    let s, pos, len = Array.unsafe_get segs !j in
+    (match t.stats with
+    | Some st ->
+        Run_stats.add_chunk st len;
+        Run_stats.observe_buffer st (carried_bytes t)
+    | None -> ());
+    t.fed <- t.fed + len;
+    run_chunk t s pos len;
+    incr j
+  done;
+  match t.stats with
+  | Some st ->
+      Run_stats.add_accel_skipped st (t.skipped - sk0);
+      Run_stats.add_swar_skipped st (t.swar_skipped - sw0);
+      Run_stats.observe_buffer st (carried_bytes t)
+  | None -> ()
 
 (* Per-chunk trace span; the probe never enters the chunk loop itself, so
    the disabled cost is a single bool load per feed call. *)
@@ -369,6 +414,19 @@ let feed t s pos len =
   end
 
 let feed_string t s = feed t s 0 (String.length s)
+
+(* One trace span per batch — the whole point: the span (and every other
+   per-call cost) amortizes over the coalesced segments. *)
+let feed_batch t segs n =
+  if not !St_trace.Trace.on then feed_batch_untraced t segs n
+  else begin
+    St_trace.Trace.begin_span p_feed;
+    match feed_batch_untraced t segs n with
+    | () -> St_trace.Trace.end_span p_feed
+    | exception exn ->
+        St_trace.Trace.end_span p_feed;
+        raise exn
+  end
 
 let finish_untraced t =
   match t.state with

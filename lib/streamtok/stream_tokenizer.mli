@@ -35,6 +35,18 @@ val feed : t -> string -> int -> int -> unit
 (** [feed_string t s] = [feed t s 0 (String.length s)]. *)
 val feed_string : t -> string -> unit
 
+(** [feed_batch t segs n] pushes the first [n] [(s, pos, len)] segments of
+    [segs] as consecutive chunks in one call — the serving layer's
+    coalesced-FEED path. Token output, carried state and failure offsets
+    are bit-identical to [n] separate {!feed} calls; the per-call overhead
+    (bounds validation, stats sampling, the trace span) is paid once for
+    the whole batch. Segments after the one that fails the stream are not
+    consumed (they do not advance {!bytes_fed}), matching the serving
+    layer's contract of dropping FEEDs after a failure. Raises
+    [Invalid_argument] if [n] exceeds the array or any segment is out of
+    bounds. *)
+val feed_batch : t -> (string * int * int) array -> int -> unit
+
 (** Signal end-of-stream: drains the lookahead window, emits any final
     maximal token, and reports the outcome. Idempotent. *)
 val finish : t -> Engine.outcome

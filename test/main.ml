@@ -22,6 +22,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("stream", Test_stream.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("apps", Test_apps.suite);
       ("combinator", Test_combinator.suite);
       ("fuzz", Test_fuzz.suite);

@@ -665,6 +665,151 @@ let test_decoder_copies_stat () =
   check "closed conns keep their copies" true
     (counter_value srv "decoder_copies" > 0)
 
+(* ---- vectored write path ---- *)
+
+(* The same request stream through two identical servers: one drained
+   through the single-buffer view (out_view/out_consume), one through
+   the vectored path (out_vectors/out_vec_consume) with deliberately
+   awkward partial consumes that land inside the 5-byte frame header
+   and inside the deferred TOKENS payload. The reconstructed reply
+   streams must be byte-identical. *)
+let drive_requests srv id reqs =
+  let b = Buffer.create 4096 in
+  List.iter (fun r -> W.encode_request b r) reqs;
+  let data = Buffer.to_bytes b in
+  SV.on_data srv id data ~pos:0 ~len:(Bytes.length data)
+
+let collect_view srv id =
+  let out = Buffer.create 4096 in
+  let continue = ref true in
+  while !continue do
+    let buf, pos, len = SV.out_view srv id in
+    if len = 0 then continue := false
+    else begin
+      Buffer.add_subbytes out buf pos len;
+      SV.out_consume srv id len
+    end
+  done;
+  Buffer.contents out
+
+let collect_vectored srv id ~step =
+  let vecs = Array.make 8 (Bytes.empty, 0, 0) in
+  let out = Buffer.create 4096 in
+  let continue = ref true in
+  while !continue do
+    let k = SV.out_vectors srv id vecs in
+    if k = 0 then continue := false
+    else begin
+      let total = ref 0 in
+      for i = 0 to k - 1 do
+        let _, _, len = vecs.(i) in
+        total := !total + len
+      done;
+      let n = min step !total in
+      let left = ref n and i = ref 0 in
+      while !left > 0 do
+        let buf, pos, len = vecs.(!i) in
+        let take = min len !left in
+        Buffer.add_subbytes out buf pos take;
+        left := !left - take;
+        incr i
+      done;
+      SV.out_vec_consume srv id n
+    end
+  done;
+  Buffer.contents out
+
+let test_vectored_write_parity () =
+  let input = Gen_data.json ~seed:0xFEED1L ~target_bytes:3000 () in
+  let reqs = [ W.Open "json"; W.Feed input; W.Flush; W.Close ] in
+  let run collect =
+    let srv = SV.create () in
+    let id = SV.on_connect srv in
+    drive_requests srv id reqs;
+    let s = collect srv id in
+    (s, srv)
+  in
+  let view_stream, _ = run collect_view in
+  check "view stream nonempty" true (String.length view_stream > 0);
+  List.iter
+    (fun step ->
+      let vec_stream, srv =
+        run (fun srv id -> collect_vectored srv id ~step)
+      in
+      check
+        (Printf.sprintf "vectored stream byte-identical (step %d)" step)
+        true
+        (vec_stream = view_stream);
+      check "writev consumptions counted" true
+        (counter_value srv "writevs" > 0))
+    [ 1; 3; 7; 4096; max_int ]
+
+(* ---- gathered feeds ---- *)
+
+let test_feed_batch_parity () =
+  let engine = grammar_engine "json" in
+  let input = Gen_data.json ~seed:0xBA7C4L ~target_bytes:4096 () in
+  let n = String.length input in
+  let run_batch segments =
+    let toks = ref [] in
+    let tok =
+      Stream_tokenizer.create engine ~emit:(fun lex rule ->
+          toks := (lex, rule) :: !toks)
+    in
+    let arr =
+      Array.of_list (List.map (fun (pos, len) -> (input, pos, len)) segments)
+    in
+    Stream_tokenizer.feed_batch tok arr (Array.length arr);
+    (match Stream_tokenizer.finish tok with
+    | Engine.Finished -> ()
+    | Engine.Failed _ -> Alcotest.fail "batch workload must tokenize");
+    List.rev !toks
+  in
+  let whole = run_batch [ (0, n) ] in
+  check "tokens produced" true (whole <> []);
+  let segs_of sizes =
+    let rec go pos = function
+      | [] -> if pos < n then [ (pos, n - pos) ] else []
+      | s :: rest ->
+          if pos >= n then []
+          else
+            let len = min s (n - pos) in
+            (pos, len) :: go (pos + len) rest
+    in
+    go 0 sizes
+  in
+  check "tiny leading segments" true
+    (run_batch (segs_of [ 1; 1; 1; 5; 64 ]) = whole);
+  let rec splits pos acc =
+    if pos >= n then List.rev acc
+    else
+      let len = min 97 (n - pos) in
+      splits (pos + len) ((pos, len) :: acc)
+  in
+  check "97-byte segmentation" true (run_batch (splits 0 []) = whole);
+  check "empty segments are no-ops" true
+    (run_batch [ (0, 0); (0, n); (n, 0) ] = whole)
+
+(* ---- client escaping ---- *)
+
+let prop_escape_parity =
+  QCheck.Test.make ~count:500 ~name:"client escaping ≡ Printf %S"
+    (QCheck.make gen_bytes) (fun s ->
+      let b = Buffer.create 64 in
+      Serve.Client.append_escaped b (Bytes.of_string s) 0 (String.length s);
+      Buffer.contents b = Printf.sprintf "%S" s)
+
+let test_padded_parity () =
+  List.iter
+    (fun name ->
+      let b = Buffer.create 32 in
+      Serve.Client.append_padded b name;
+      Alcotest.(check string)
+        ("padding for " ^ name)
+        (Printf.sprintf "%-12s " name)
+        (Buffer.contents b))
+    [ ""; "x"; "number"; "exactly12chr"; "longer_than_twelve" ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -688,4 +833,9 @@ let suite =
     Alcotest.test_case "backpressure mid-coalesced-batch" `Quick
       test_backpressure_mid_batch;
     Alcotest.test_case "decoder copies stat" `Quick test_decoder_copies_stat;
+    Alcotest.test_case "vectored write parity" `Quick
+      test_vectored_write_parity;
+    Alcotest.test_case "feed_batch parity" `Quick test_feed_batch_parity;
+    QCheck_alcotest.to_alcotest prop_escape_parity;
+    Alcotest.test_case "client padding parity" `Quick test_padded_parity;
   ]

@@ -1,0 +1,226 @@
+(* Domain sharding: the engine cache under real multi-domain compile
+   storms (exactly-one-compile, LRU integrity, cached failures), and the
+   worker-domain pool end-to-end — socketpair handoff, token parity on
+   every connection, pool-wide stats aggregation, and drain liveness. *)
+
+open Streamtok
+module W = Serve.Wire
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let json_rules = Grammar.rules Formats.json
+
+(* Spawn [n] domains, hold them at a barrier so the racy section really
+   races, run [f], join. *)
+let run_domains n f =
+  let started = Atomic.make 0 in
+  let doms =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            Atomic.incr started;
+            while Atomic.get started < n do
+              Domain.cpu_relax ()
+            done;
+            f i))
+  in
+  List.iter Domain.join doms
+
+(* ---- engine cache storms ---- *)
+
+let test_storm_one_compile () =
+  let cache = Engine_cache.create () in
+  let iters = 8 in
+  let engines = Array.make 4 [] in
+  run_domains 4 (fun i ->
+      for _ = 1 to iters do
+        match Engine_cache.find_or_compile cache json_rules with
+        | Ok e -> engines.(i) <- e :: engines.(i)
+        | Error _ -> assert false
+      done);
+  check_int "exactly one compile under a 4-domain storm" 1
+    (Engine_cache.compiles cache);
+  check_int "every other lookup hit" ((4 * iters) - 1)
+    (Engine_cache.hits cache);
+  let e0 = List.hd engines.(0) in
+  Array.iter
+    (List.iter (fun e -> check "all domains share one engine" true (e == e0)))
+    engines
+
+let test_eviction_storm () =
+  (* 4 distinct keys (flag variants) hammering a 2-entry cache from 4
+     domains: evictions race with lookups, and the accounting identities
+     prove no lookup was lost or double-counted (no torn LRU state). *)
+  let cache = Engine_cache.create ~max_entries:2 () in
+  let variants = [| (true, true); (true, false); (false, true); (false, false) |] in
+  let rounds = 8 in
+  run_domains 4 (fun i ->
+      for r = 0 to rounds - 1 do
+        let classes, accel = variants.((i + r) mod 4) in
+        match Engine_cache.find_or_compile cache ~classes ~accel json_rules with
+        | Ok _ -> ()
+        | Error _ -> assert false
+      done);
+  check "resident entries bounded" true (Engine_cache.size cache <= 2);
+  check_int "every lookup was a hit or a compile" (4 * rounds)
+    (Engine_cache.compiles cache + Engine_cache.hits cache);
+  check_int "evictions = compiles - resident"
+    (Engine_cache.compiles cache - Engine_cache.size cache)
+    (Engine_cache.evictions cache)
+
+let test_cached_failure_storm () =
+  (* A non-streamable grammar: the unbounded-TND analysis runs once,
+     every domain gets the cached failure. *)
+  let g =
+    match Grammar.of_source ~name:"tnd-unbounded" "a\nb\n(a|b)*c" with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let rules = Grammar.rules g in
+  let cache = Engine_cache.create () in
+  run_domains 4 (fun _ ->
+      for _ = 1 to 4 do
+        match Engine_cache.find_or_compile cache rules with
+        | Error Engine.Unbounded_tnd -> ()
+        | Ok _ -> assert false
+      done);
+  check_int "failure analyzed exactly once" 1 (Engine_cache.compiles cache)
+
+(* ---- pool end-to-end over socketpairs ---- *)
+
+let encode_reqs reqs =
+  let b = Buffer.create 4096 in
+  List.iter (fun r -> W.encode_request b r) reqs;
+  Buffer.to_bytes b
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write fd b !pos (n - !pos) with
+    | w -> pos := !pos + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let read_all fd =
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 4096 in
+  let rec loop () =
+    match Unix.read fd buf 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    (* a worker closing with unread request bytes resets the socket —
+       for the shutdown race that is as final as a clean EOF *)
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  loop ();
+  Buffer.contents out
+
+let tokens_of_stream s =
+  match W.decode_all s with
+  | Error msg -> Alcotest.fail ("corrupt reply stream: " ^ msg)
+  | Ok frames ->
+      List.concat_map
+        (fun f ->
+          if f.W.tag = W.tag_tokens then
+            match W.reply_of_frame f with
+            | Ok (W.Tokens toks) -> toks
+            | _ -> Alcotest.fail "bad TOKENS frame"
+          else [])
+        frames
+
+let has_error_frame s =
+  match W.decode_all s with
+  | Error _ -> true
+  | Ok frames -> List.exists (fun f -> f.W.tag = W.tag_error) frames
+
+let pool_counter reg name =
+  let metrics = Obs.Metrics.Registry.metrics reg in
+  match List.find_opt (fun m -> m.Obs.Metrics.name = name) metrics with
+  | Some { Obs.Metrics.kind = Obs.Metrics.Counter c; _ } ->
+      Obs.Metrics.Counter.value c
+  | _ -> Alcotest.fail (Printf.sprintf "no counter %s" name)
+
+let test_pool_parity_and_stats () =
+  let input = Gen_data.json ~seed:0x5EEDL ~target_bytes:2048 () in
+  let engine =
+    match Engine.compile (Grammar.dfa Formats.json) with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let expect = ref [] in
+  let tok =
+    Stream_tokenizer.create engine ~emit:(fun lex rule ->
+        expect := (lex, rule) :: !expect)
+  in
+  Stream_tokenizer.feed_string tok input;
+  (match Stream_tokenizer.finish tok with
+  | Engine.Finished -> ()
+  | Engine.Failed _ -> assert false);
+  let expect = List.rev !expect in
+  let pool = Serve.Shard.create_pool ~domains:2 () in
+  let reqs = encode_reqs [ W.Open "json"; W.Feed input; W.Flush; W.Close ] in
+  let clients =
+    List.init 4 (fun _ ->
+        let cl, sv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Serve.Shard.inject pool sv;
+        cl)
+  in
+  (* the workload is small enough that kernel socket buffers absorb the
+     replies, so plain sequential write-then-read cannot deadlock *)
+  List.iter (fun cl -> write_all cl reqs) clients;
+  let streams = List.map read_all clients in
+  List.iter Unix.close clients;
+  Serve.Shard.stop pool;
+  Serve.Shard.join pool;
+  List.iter
+    (fun s ->
+      check "no error reply" false (has_error_frame s);
+      let got = tokens_of_stream s in
+      check_int "token count parity" (List.length expect) (List.length got);
+      check "token parity with direct engine" true (got = expect))
+    streams;
+  match Serve.Shard.stats pool with
+  | None -> Alcotest.fail "pool published no stats"
+  | Some reg ->
+      (* cross-domain aggregation: 4 sessions round-robined over 2
+         workers sum back to 4; the shared cache compiled json once *)
+      check_int "sessions aggregated across workers" 4
+        (pool_counter reg "sessions_opened");
+      check_int "one compile pool-wide (shared cache)" 1
+        (pool_counter reg "engine_cache_compiles")
+
+let test_stop_with_inflight_handoff () =
+  (* stop racing a just-injected connection: whichever side wins, the
+     client must see EOF (tokens or a Shutting_down error, never a
+     wedge) and join must return. *)
+  let pool = Serve.Shard.create_pool ~domains:2 () in
+  let reqs = encode_reqs [ W.Open "json"; W.Feed "[1, 2]"; W.Flush; W.Close ] in
+  let cl, sv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  write_all cl reqs;
+  Serve.Shard.inject pool sv;
+  Serve.Shard.stop pool;
+  let s = read_all cl in
+  Unix.close cl;
+  Serve.Shard.join pool;
+  (* liveness is the assertion: read_all and join returned. The reply
+     depends on who won the race — tokens, a Shutting_down error, or a
+     reset before any reply. *)
+  check "connection resolved without wedging" true
+    (s = "" || tokens_of_stream s <> [] || has_error_frame s)
+
+let suite =
+  [
+    Alcotest.test_case "cache storm: exactly one compile" `Quick
+      test_storm_one_compile;
+    Alcotest.test_case "cache storm: eviction integrity" `Quick
+      test_eviction_storm;
+    Alcotest.test_case "cache storm: cached failure" `Quick
+      test_cached_failure_storm;
+    Alcotest.test_case "pool parity + aggregated stats" `Quick
+      test_pool_parity_and_stats;
+    Alcotest.test_case "stop with in-flight handoff" `Quick
+      test_stop_with_inflight_handoff;
+  ]
